@@ -1,0 +1,77 @@
+"""OVERHEAD: what the monitor costs per request.
+
+Paper claim (Section V): "We believe this is not computationally expensive
+because we do not need to save the copy of the whole resource(s) but only
+the values that constitute the guards and invariants ... Usually, this only
+requires a few bits of storage per method."
+
+Reproduction: the same seeded workload runs directly against the cloud and
+through the monitor; the bench reports the per-request latency of each path
+(the monitored path pays the probe GETs plus two OCL evaluations) and the
+snapshot size per method, which must stay tens of bytes.
+"""
+
+import time
+
+from repro.validation import default_setup
+from repro.workloads import WorkloadRunner, make_workload
+
+WORKLOAD = make_workload(60, seed=42)
+
+
+def test_bench_overhead_direct(benchmark):
+    def run_direct():
+        cloud, monitor = default_setup()
+        runner = WorkloadRunner(cloud, monitor)
+        return runner.execute(WORKLOAD, monitored=False)
+
+    histogram = benchmark(run_direct)
+    assert sum(histogram.values()) == len(WORKLOAD)
+    print(f"\n[OVERHEAD] direct run histogram: {histogram}")
+
+
+def test_bench_overhead_monitored(benchmark):
+    def run_monitored():
+        cloud, monitor = default_setup()
+        runner = WorkloadRunner(cloud, monitor)
+        return runner.execute(WORKLOAD, monitored=True)
+
+    histogram = benchmark(run_monitored)
+    assert sum(histogram.values()) == len(WORKLOAD)
+    print(f"\n[OVERHEAD] monitored run histogram: {histogram}")
+
+
+def test_bench_overhead_factor_and_snapshot_size(benchmark):
+    """The analysis row: overhead factor, probes, and snapshot bytes."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cloud, monitor = default_setup()
+    runner = WorkloadRunner(cloud, monitor)
+
+    started = time.perf_counter()
+    runner.execute(WORKLOAD, monitored=False)
+    direct_elapsed = time.perf_counter() - started
+
+    cloud, monitor = default_setup()
+    runner = WorkloadRunner(cloud, monitor)
+    started = time.perf_counter()
+    runner.execute(WORKLOAD, monitored=True)
+    monitored_elapsed = time.perf_counter() - started
+
+    factor = monitored_elapsed / max(direct_elapsed, 1e-9)
+    probes_per_request = monitor.provider.probe_count / len(WORKLOAD)
+    snapshot_sizes = [verdict.snapshot_bytes for verdict in monitor.log
+                      if verdict.snapshot_bytes]
+    max_snapshot = max(snapshot_sizes) if snapshot_sizes else 0
+
+    print(f"\n[OVERHEAD] direct:    {direct_elapsed * 1e3:8.2f} ms "
+          f"for {len(WORKLOAD)} requests")
+    print(f"[OVERHEAD] monitored: {monitored_elapsed * 1e3:8.2f} ms "
+          f"({factor:.1f}x, {probes_per_request:.1f} probe GETs/request)")
+    print(f"[OVERHEAD] snapshot storage per method: max {max_snapshot} "
+          f"bytes (paper: 'a few bits of storage per method')")
+
+    # Shape assertions: the monitor costs a small constant factor (probes
+    # + two OCL evaluations), and snapshots stay tiny.
+    assert factor < 50, "monitoring must stay a constant-factor overhead"
+    assert 0 < max_snapshot <= 64
+    assert probes_per_request <= 10

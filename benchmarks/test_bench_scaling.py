@@ -1,0 +1,73 @@
+"""SCALE: generation cost as the design models grow.
+
+Section VI-B flags scalability as the standing challenge of model-driven
+approaches.  This bench measures contract generation and code generation
+over a family of synthetic models that replicate the Cinder pattern n
+times (2n+1 classes, 3n states, 13n transitions) and asserts the costs
+grow roughly linearly -- i.e., the pipeline itself is not the bottleneck.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ContractGenerator
+from repro.core.codegen import generate_project
+from repro.workloads import synthetic_models
+
+SIZES = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("size", [1, 4, 16])
+def test_bench_scaling_contract_generation(benchmark, size):
+    diagram, machine = synthetic_models(size)
+    generator = ContractGenerator(machine, diagram)
+
+    contracts = benchmark(generator.all_contracts)
+
+    assert len(contracts) == 5 * size
+    print(f"\n[SCALE] n={size}: {len(machine.transitions)} transitions "
+          f"-> {len(contracts)} contracts")
+
+
+@pytest.mark.parametrize("size", [1, 4, 16])
+def test_bench_scaling_codegen(benchmark, size):
+    diagram, machine = synthetic_models(size)
+
+    project = benchmark(generate_project, f"monitor{size}", diagram, machine)
+
+    views = project[f"monitor{size}/views.py"]
+    assert views.count("def ") >= 5 * size
+    print(f"\n[SCALE] n={size}: generated views.py has "
+          f"{len(views.splitlines())} lines")
+
+
+def test_bench_scaling_linearity(benchmark):
+    """The series the paper's scalability discussion implies: cost vs n."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for size in SIZES:
+        diagram, machine = synthetic_models(size)
+        generator = ContractGenerator(machine, diagram)
+        started = time.perf_counter()
+        contracts = generator.all_contracts()
+        contract_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        generate_project(f"m{size}", diagram, machine)
+        codegen_elapsed = time.perf_counter() - started
+        rows.append((size, len(machine.transitions), len(contracts),
+                     contract_elapsed, codegen_elapsed))
+
+    print("\n[SCALE] n  transitions  contracts  contract-gen(ms)  "
+          "codegen(ms)")
+    for size, transitions, contracts, cg, cc in rows:
+        print(f"[SCALE] {size:<3} {transitions:>10} {contracts:>10} "
+              f"{cg * 1e3:>16.2f} {cc * 1e3:>12.2f}")
+
+    # Shape: cost per transition must not blow up with model size
+    # (allowing generous noise for the small absolute times involved).
+    small = rows[0]
+    large = rows[-1]
+    per_transition_small = small[3] / small[1]
+    per_transition_large = large[3] / large[1]
+    assert per_transition_large < per_transition_small * 10

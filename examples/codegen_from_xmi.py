@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The tool chain of Figure 4: MagicDraw XMI in, Django project out.
+
+The paper's workflow is ``uml2django ProjectName DiagramsFileinXML``.  This
+example plays both sides: it exports the Figure-3 models to an XMI file
+(standing in for the MagicDraw export) and then runs the generator exactly
+as the CLI would, printing the generated Listing-2/3 artifacts.
+
+Run with::
+
+    python examples/codegen_from_xmi.py
+"""
+
+import os
+import tempfile
+
+from repro.core import cinder_behavior_model, cinder_resource_model
+from repro.core.codegen.cli import main as uml2django
+from repro.uml import read_xmi_file, write_xmi_file
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        xmi_path = os.path.join(workdir, "cinder_models.xmi")
+
+        # The security analyst's export (MagicDraw stand-in).
+        write_xmi_file(xmi_path, cinder_resource_model(),
+                       cinder_behavior_model(), model_name="Cinder")
+        print(f"exported design models to {os.path.basename(xmi_path)} "
+              f"({os.path.getsize(xmi_path)} bytes)")
+
+        # Sanity: the import path the tool uses.
+        diagram, machine = read_xmi_file(xmi_path)
+        print(f"parsed back: {len(diagram.classes)} classes, "
+              f"{len(machine.transitions)} transitions")
+
+        # The paper's command line: uml2django ProjectName DiagramsFileinXML
+        print("\n$ uml2django cmonitor cinder_models.xmi --paper-table")
+        exit_code = uml2django(["cmonitor", xmi_path, "--output", workdir,
+                                "--cloud-base",
+                                "http://cinder/v3/myProject",
+                                "--paper-table"])
+        assert exit_code == 0
+
+        # Show the generated DELETE view (the paper's Listing 2).
+        views_path = os.path.join(workdir, "cmonitor", "views.py")
+        with open(views_path, encoding="utf-8") as handle:
+            views = handle.read()
+        start = views.index("def volume_delete")
+        end = views.index("\n\n", start + 1)
+        print("\ngenerated views.py excerpt (Listing 2):\n")
+        print(views[start:end])
+
+        urls_path = os.path.join(workdir, "cmonitor", "urls.py")
+        with open(urls_path, encoding="utf-8") as handle:
+            print("\ngenerated urls.py (Listing 3):\n")
+            print(handle.read())
+
+
+if __name__ == "__main__":
+    main()

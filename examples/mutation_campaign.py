@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The Section VI-D validation: kill the seeded mutants.
+
+The paper's claim: "we were able to kill all three mutants (errors)
+systematically introduced in the cloud implementation to detect wrong
+authorization on resources."  This example runs that campaign, then the
+extended six-mutant ablation showing that functional mutants need a
+battery that exercises the functional edges.
+
+Run with::
+
+    python examples/mutation_campaign.py
+"""
+
+from repro.cloud import extended_mutants, paper_mutants
+from repro.validation import MutationCampaign, extended_battery
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Paper campaign: 3 authorization mutants, standard battery")
+    print("=" * 72)
+    campaign = MutationCampaign()
+    result = campaign.run(paper_mutants())
+    print(result.render())
+    assert result.kill_rate == 1.0, "the paper's 3/3 result must reproduce"
+
+    print()
+    print("=" * 72)
+    print("Ablation A: 6 mutants (3 authorization + 3 functional), "
+          "standard battery")
+    print("=" * 72)
+    result = campaign.run(extended_mutants())
+    print(result.render())
+    print("\n-> the quota-bypass and status-check mutants survive: the "
+          "standard battery never drives the cloud to those edges.")
+
+    print()
+    print("=" * 72)
+    print("Ablation B: 6 mutants, extended battery with functional edges")
+    print("=" * 72)
+    extended_campaign = MutationCampaign(battery=extended_battery())
+    result = extended_campaign.run(extended_mutants())
+    print(result.render())
+    assert result.kill_rate == 1.0
+
+    print("\nConclusion: the monitor kills every authorization mutant with "
+          "the Table-I battery alone (the paper's result); killing "
+          "functional mutants additionally requires battery steps that "
+          "reach the guarded functional states.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of "Generating Cloud Monitors from Models to Secure Clouds".
+
+The package implements the full pipeline of the DSN 2018 paper by Rauf and
+Troubitsyna:
+
+* :mod:`repro.uml` -- UML resource models (class diagrams) and behavioral
+  models (protocol state machines) together with XMI interchange.
+* :mod:`repro.ocl` -- an OCL expression engine (lexer, parser, evaluator)
+  covering the subset the paper's contracts use, including ``pre()``
+  old-value references.
+* :mod:`repro.httpsim` -- an in-process web framework and HTTP client that
+  substitute for Django and urllib2/cURL.
+* :mod:`repro.rbac` -- role-based access control: roles, user groups,
+  OpenStack-style ``policy.json`` rules and the security-requirements table.
+* :mod:`repro.cloud` -- an OpenStack simulator (Keystone, Cinder, Nova-lite)
+  that stands in for the paper's devstack deployment, with fault injection.
+* :mod:`repro.core` -- the paper's contribution: model builders, contract
+  generation (Section V), the runtime cloud monitor (Figure 2) and the
+  ``uml2django`` code generator (Section VI).
+* :mod:`repro.validation` -- the mutation-based validation campaign
+  (Section VI-D, "killed all three mutants").
+* :mod:`repro.workloads` -- request workloads and synthetic model scaling
+  used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,274 @@
+"""``cloudmon``: drive the whole reproduction from the command line.
+
+Subcommands:
+
+* ``cloudmon table`` -- print the Table-I security requirements render,
+* ``cloudmon contracts [TRIGGER]`` -- print the generated Listing-1
+  contracts (all methods, or one trigger like ``"DELETE(volume)"``),
+* ``cloudmon demo`` -- boot the simulated cloud + monitor and replay the
+  standard battery, printing each verdict,
+* ``cloudmon campaign [--extended]`` -- run the mutation campaign and
+  print the kill matrix (the Section VI-D experiment),
+* ``cloudmon dot {resources,behavior}`` -- Graphviz DOT of the Figure-3
+  models,
+* ``cloudmon slice RESOURCE [...]`` -- slice the Cinder models and print
+  the sliced contracts,
+* ``cloudmon localize AUDIT.jsonl`` -- fault hypotheses from a persisted
+  verdict log,
+* ``cloudmon serve [--port N]`` -- run the whole simulated deployment on
+  a real HTTP socket for cURL experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cloud import extended_mutants, paper_mutants
+from .core import ContractGenerator, cinder_behavior_model, cinder_resource_model
+from .errors import ReproError
+from .rbac import SecurityRequirementsTable
+from .validation import (
+    MutationCampaign,
+    TestOracle,
+    default_setup,
+    extended_battery,
+    standard_battery,
+)
+
+
+def cmd_table(_args: argparse.Namespace) -> int:
+    print(SecurityRequirementsTable.paper_table().render())
+    return 0
+
+
+def cmd_contracts(args: argparse.Namespace) -> int:
+    generator = ContractGenerator(cinder_behavior_model(),
+                                  cinder_resource_model())
+    if args.trigger:
+        print(generator.for_trigger(args.trigger).render())
+        return 0
+    for contract in generator.all_contracts().values():
+        print(contract.render())
+        print()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    cloud, monitor = default_setup(enforcing=args.enforcing)
+    oracle = TestOracle(cloud, monitor)
+    battery = extended_battery() if args.extended else standard_battery()
+    oracle.run(battery)
+    print(f"{'step':<24} {'status':>6}  verdict")
+    for (name, response), verdict in zip(oracle.results, monitor.log):
+        print(f"{name:<24} {response.status_code:>6}  {verdict.verdict}")
+    print()
+    print(monitor.coverage.report())
+    violations = monitor.violations()
+    print(f"\nviolations: {len(violations)}")
+    return 0 if not violations else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    mutants = extended_mutants() if args.extended else paper_mutants()
+    battery = extended_battery() if args.extended else standard_battery()
+    campaign = MutationCampaign(battery=battery)
+    result = campaign.run(mutants)
+    print(result.render())
+    return 0 if result.kill_rate == 1.0 else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from .uml import class_diagram_to_dot, state_machine_to_dot
+
+    if args.model == "resources":
+        print(class_diagram_to_dot(cinder_resource_model()))
+    else:
+        print(state_machine_to_dot(cinder_behavior_model()))
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    from .uml import slice_models
+
+    diagram, machine = slice_models(
+        cinder_resource_model(), cinder_behavior_model(), args.resources,
+        methods=args.methods or None)
+    print(f"sliced models: {len(diagram.classes)} classes, "
+          f"{len(machine.states)} states, "
+          f"{len(machine.transitions)} transitions")
+    generator = ContractGenerator(machine, diagram)
+    for contract in generator.all_contracts().values():
+        print()
+        print(contract.render())
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    from .core import read_log
+    from .validation import localize, render_report
+
+    verdicts = read_log(args.logfile)
+    print(f"loaded {len(verdicts)} verdicts from {args.logfile}")
+    print(render_report(localize(verdicts)))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .core import check_consistency, check_models
+    from .uml import validate_class_diagram, validate_state_machine
+
+    diagram = cinder_resource_model(with_snapshots=args.release2)
+    machine = cinder_behavior_model(with_snapshots=args.release2)
+    findings = []
+    findings += validate_class_diagram(diagram)
+    findings += validate_state_machine(machine, diagram)
+    findings += check_models(diagram, machine)
+    overlaps = check_consistency(machine)
+
+    if not findings and not overlaps:
+        print("models are well-formed, cross-checked, and consistent "
+              "over the sampled state space")
+        return 0
+    for finding in findings:
+        print(f"{finding.level.upper()}: {finding.element}: "
+              f"{finding.message}")
+    for overlap in overlaps:
+        print(f"OVERLAP ({overlap.kind}): {overlap.first} vs "
+              f"{overlap.second}; witness: {overlap.witness}")
+    blocking = [finding for finding in findings
+                if finding.level == "error"] or overlaps
+    return 1 if blocking else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .cloud import extended_mutants, paper_mutants
+    from .validation import session_report
+
+    cloud, monitor = default_setup()
+    oracle = TestOracle(cloud, monitor)
+    battery = extended_battery() if args.extended else standard_battery()
+    oracle.run(battery)
+    mutants = extended_mutants() if args.extended else paper_mutants()
+    campaign = MutationCampaign(battery=battery)
+    result = campaign.run(mutants)
+    report = session_report(monitor, result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0 if result.kill_rate == 1.0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
+    from .httpsim import serve
+
+    cloud, monitor = default_setup(enforcing=not args.audit)
+    tokens = cloud.paper_tokens()
+    server = serve(monitor.app, port=args.port).start()
+    print(f"cloud monitor listening on {server.base_url}/cmonitor/volumes")
+    print("tokens:")
+    for user, token in tokens.items():
+        print(f"  {user}: {token}")
+    print("example:")
+    print(f"  curl -H 'X-Auth-Token: {tokens['alice']}' "
+          f"{server.base_url}/cmonitor/volumes")
+    try:
+        import time
+
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudmon",
+        description="Model-driven cloud monitor reproduction (DSN 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table", help="print the Table-I security requirements")
+
+    contracts = sub.add_parser(
+        "contracts", help="print the generated method contracts")
+    contracts.add_argument("trigger", nargs="?", default=None,
+                           help='optional trigger, e.g. "DELETE(volume)"')
+
+    demo = sub.add_parser("demo", help="replay the request battery through "
+                                       "the monitor")
+    demo.add_argument("--enforcing", action="store_true",
+                      help="block failing pre-conditions (Figure 2 proxy "
+                           "mode) instead of audit mode")
+    demo.add_argument("--extended", action="store_true",
+                      help="use the extended battery with functional edges")
+
+    campaign = sub.add_parser(
+        "campaign", help="run the mutation-validation campaign")
+    campaign.add_argument("--extended", action="store_true",
+                          help="six mutants + extended battery instead of "
+                               "the paper's three")
+
+    dot = sub.add_parser("dot", help="Graphviz DOT of the design models")
+    dot.add_argument("model", choices=["resources", "behavior"])
+
+    slice_parser = sub.add_parser(
+        "slice", help="slice the Cinder models to given resources")
+    slice_parser.add_argument("resources", nargs="+",
+                              help="resource names, e.g. volume")
+    slice_parser.add_argument("--methods", nargs="*", default=None,
+                              help="optional HTTP method filter")
+
+    localize_parser = sub.add_parser(
+        "localize", help="fault hypotheses from a JSONL audit log")
+    localize_parser.add_argument("logfile", help="path to the audit log")
+
+    check_parser = sub.add_parser(
+        "check", help="validate, cross-check, and consistency-check the "
+                      "built-in models")
+    check_parser.add_argument("--release2", action="store_true",
+                              help="check the release-2 (snapshot) models")
+
+    report_parser = sub.add_parser(
+        "report", help="run battery + campaign and emit a Markdown report")
+    report_parser.add_argument("--output", "-o", default=None,
+                               help="write the report to a file")
+    report_parser.add_argument("--extended", action="store_true",
+                               help="extended battery and mutant set")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the monitored deployment on a real socket")
+    serve_parser.add_argument("--port", type=int, default=8000)
+    serve_parser.add_argument("--audit", action="store_true",
+                              help="audit mode instead of enforcing")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table": cmd_table,
+        "contracts": cmd_contracts,
+        "demo": cmd_demo,
+        "campaign": cmd_campaign,
+        "dot": cmd_dot,
+        "slice": cmd_slice,
+        "check": cmd_check,
+        "localize": cmd_localize,
+        "report": cmd_report,
+        "serve": cmd_serve,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"cloudmon: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

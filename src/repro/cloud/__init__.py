@@ -1,0 +1,61 @@
+"""An OpenStack simulator: the private cloud the monitor watches.
+
+The paper validates its monitor against OpenStack Newton (Keystone +
+Cinder) deployed in VirtualBox (Section VI-D).  This package provides the
+in-process equivalent:
+
+* :mod:`repro.cloud.keystone` -- identity: users, projects, roles, tokens,
+  and the RBAC policy backend,
+* :mod:`repro.cloud.cinder` -- block storage: volumes, quota sets,
+  attach/detach lifecycle, per-request policy enforcement,
+* :mod:`repro.cloud.nova` -- compute-lite: servers and volume attachments
+  (what makes a volume ``in-use``),
+* :mod:`repro.cloud.deployment` -- assembles the services on a virtual
+  network, bootstraps the paper's ``myProject`` setup,
+* :mod:`repro.cloud.faults` -- the mutation operators of the validation
+  campaign ("three mutants systematically introduced in the cloud
+  implementation to detect wrong authorization on resources").
+
+The services speak the same URIs, JSON shapes, and status codes as their
+OpenStack counterparts, so the generated monitor drives them exactly as the
+paper's monitor drives devstack.
+"""
+
+from .base import ResourceStore, Service
+from .cinder import CinderService
+from .deployment import PrivateCloud
+from .glance import GlanceService
+from .faults import (
+    FunctionalMutant,
+    Mutant,
+    PolicyMutant,
+    QuotaBypassMutant,
+    ScopeLeakMutant,
+    SnapshotCheckBypassMutant,
+    StatusCheckBypassMutant,
+    StatusCodeMutant,
+    paper_mutants,
+    extended_mutants,
+)
+from .keystone import KeystoneService
+from .nova import NovaService
+
+__all__ = [
+    "CinderService",
+    "FunctionalMutant",
+    "GlanceService",
+    "KeystoneService",
+    "Mutant",
+    "NovaService",
+    "PolicyMutant",
+    "PrivateCloud",
+    "QuotaBypassMutant",
+    "ResourceStore",
+    "ScopeLeakMutant",
+    "SnapshotCheckBypassMutant",
+    "Service",
+    "StatusCheckBypassMutant",
+    "StatusCodeMutant",
+    "extended_mutants",
+    "paper_mutants",
+]

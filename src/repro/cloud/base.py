@@ -1,0 +1,120 @@
+"""Shared plumbing for the simulated OpenStack services.
+
+Every service is an :class:`~repro.httpsim.Application` plus a policy
+:class:`~repro.rbac.Enforcer` and a reference to Keystone for token
+validation.  Request handling follows the OpenStack convention:
+
+* missing or invalid token -> 401,
+* valid token but policy denies -> 403,
+* policy passes -> the resource handler runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..httpsim import Application, Request, Response
+from ..rbac import Enforcer
+
+
+class ResourceStore:
+    """An in-memory table of JSON-shaped resources keyed by string id."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._rows: Dict[str, Dict[str, Any]] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, document: Dict[str, Any],
+               resource_id: Optional[str] = None) -> Dict[str, Any]:
+        """Insert *document*, assigning an id unless one is given."""
+        if resource_id is None:
+            resource_id = f"{self.prefix}-{next(self._counter)}"
+        row = dict(document)
+        row["id"] = resource_id
+        self._rows[resource_id] = row
+        return row
+
+    def get(self, resource_id: str) -> Optional[Dict[str, Any]]:
+        """The row with *resource_id*, or ``None``."""
+        return self._rows.get(resource_id)
+
+    def update(self, resource_id: str,
+               changes: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Merge *changes* into the row; returns the row or ``None``."""
+        row = self._rows.get(resource_id)
+        if row is None:
+            return None
+        row.update(changes)
+        row["id"] = resource_id  # the id is immutable
+        return row
+
+    def delete(self, resource_id: str) -> bool:
+        """Remove the row; returns whether it existed."""
+        return self._rows.pop(resource_id, None) is not None
+
+    def all(self) -> List[Dict[str, Any]]:
+        """All rows in insertion order."""
+        return list(self._rows.values())
+
+    def where(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows whose fields equal every criterion."""
+        return [
+            row for row in self._rows.values()
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, resource_id: object) -> bool:
+        return resource_id in self._rows
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._rows.values())
+
+
+class Service:
+    """Base class for the simulated OpenStack services."""
+
+    def __init__(self, name: str, policy: Optional[Enforcer] = None):
+        self.name = name
+        self.app = Application(name)
+        self.policy = policy or Enforcer()
+        #: Set by the deployment; Keystone leaves it as itself.
+        self.identity: Optional["Service"] = None
+
+    # -- authentication / authorization -------------------------------------
+
+    def credentials_from(self, request: Request) -> Optional[Dict[str, Any]]:
+        """Resolve the request's token to credentials via Keystone.
+
+        Returns ``None`` when the token is missing or invalid.
+        """
+        token = request.auth_token
+        if token is None or self.identity is None:
+            return None
+        return self.identity.validate_token(token)  # type: ignore[attr-defined]
+
+    def authorize(self, request: Request, action: str,
+                  target: Optional[Dict[str, Any]] = None):
+        """Common auth preamble: returns (credentials, None) or (None, error).
+
+        The error response is 401 for authentication failures and 403 for
+        policy denials, matching the OpenStack services the paper monitors.
+        """
+        credentials = self.credentials_from(request)
+        if credentials is None:
+            return None, Response.error(401, "authentication required")
+        if not self.policy.enforce(action, credentials, target):
+            return None, Response.error(
+                403, f"policy does not allow {action}")
+        return credentials, None
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch through the service's application."""
+        return self.app.handle(request)
+
+    def __repr__(self) -> str:
+        return f"<Service {self.name}>"

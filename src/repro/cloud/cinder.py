@@ -1,0 +1,331 @@
+"""The block-storage service: volumes, quotas, attachment lifecycle.
+
+Mirrors the Cinder v3 API surface the paper models (Section II): volumes
+are exposed under ``/v3/{project_id}/volumes``; any user with the right
+credentials may GET them, creation is limited by the project quota, and a
+volume can only be deleted while not ``in-use``.  Status codes follow
+Cinder: 401 unauthenticated, 403 policy denial, 404 missing, 400 deleting
+an in-use volume, 413 quota exceeded, 204 successful delete.
+
+The boolean switches :attr:`enforce_quota` and :attr:`enforce_status_check`
+and the :attr:`delete_success_code` are the *mutation points* the
+validation campaign rewires (Section VI-D).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..httpsim import Request, Response, path
+from ..rbac import Enforcer, SecurityRequirementsTable
+from .base import ResourceStore, Service
+
+#: Quota applied to projects that have no explicit quota set.
+DEFAULT_VOLUME_QUOTA = 10
+#: Default size (GiB) for volumes created without one.
+DEFAULT_VOLUME_SIZE = 1
+
+
+#: Policy actions for the snapshot feature (the "release 2" extension).
+SNAPSHOT_POLICY = {
+    "snapshot:get": "role:admin or role:member or role:user",
+    "snapshot:post": "role:admin or role:member",
+    "snapshot:delete": "role:admin",
+}
+
+
+def default_cinder_policy() -> Enforcer:
+    """Table-I volume policy plus the snapshot actions."""
+    rules = SecurityRequirementsTable.paper_table().to_policy()
+    rules.update(SNAPSHOT_POLICY)
+    return Enforcer.from_dict(rules)
+
+
+class CinderService(Service):
+    """Block storage with per-project volumes and quota sets."""
+
+    def __init__(self, policy: Optional[Enforcer] = None,
+                 snapshots_enabled: bool = False):
+        super().__init__("cinder", policy or default_cinder_policy())
+        self.volumes = ResourceStore("vol")
+        self.snapshots = ResourceStore("snap")
+        #: Set by the deployment; enables imageRef (bootable) volumes.
+        self.glance = None
+        self.quotas: Dict[str, Dict[str, int]] = {}
+        #: The "release 2" feature switch: snapshot endpoints plus the rule
+        #: that a volume with snapshots cannot be deleted.
+        self.snapshots_enabled = snapshots_enabled
+        # Mutation points (Section VI-D): the campaign flips these.
+        self.enforce_quota = True
+        self.enforce_status_check = True
+        self.enforce_project_scope = True
+        self.enforce_snapshot_check = True
+        self.delete_success_code = 204
+        self._routes()
+
+    def _routes(self) -> None:
+        self.app.add_routes([
+            path("v3/<str:project_id>/volumes", self.volumes_view,
+                 name="volumes", methods=["GET", "POST"]),
+            path("v3/<str:project_id>/volumes/<str:volume_id>",
+                 self.volume_view, name="volume",
+                 methods=["GET", "PUT", "DELETE"]),
+            path("v3/<str:project_id>/volumes/<str:volume_id>/action",
+                 self.volume_action_view, name="volume-action",
+                 methods=["POST"]),
+            path("v3/<str:project_id>/quota_sets", self.quota_view,
+                 name="quota-set", methods=["GET", "PUT"]),
+            path("v3/<str:project_id>/snapshots", self.snapshots_view,
+                 name="snapshots", methods=["GET", "POST"]),
+            path("v3/<str:project_id>/snapshots/<str:snapshot_id>",
+                 self.snapshot_view, name="snapshot",
+                 methods=["GET", "DELETE"]),
+        ])
+
+    # -- quota bookkeeping ------------------------------------------------------
+
+    def quota_for(self, project_id: str) -> Dict[str, int]:
+        """The quota set of *project_id*, defaulting lazily."""
+        return self.quotas.setdefault(
+            project_id, {"volumes": DEFAULT_VOLUME_QUOTA})
+
+    def set_quota(self, project_id: str, volumes: int) -> None:
+        """Administratively fix the volume quota of *project_id*."""
+        self.quota_for(project_id)["volumes"] = volumes
+
+    def volume_count(self, project_id: str) -> int:
+        """Number of volumes currently owned by *project_id*."""
+        return len(self.volumes.where(project_id=project_id))
+
+    # -- shared preamble ----------------------------------------------------------
+
+    def _scoped(self, request: Request, action: str, project_id: str,
+                target: Optional[Dict[str, Any]] = None):
+        """Authorize *action* and require the token scope to match the URL."""
+        credentials, error = self.authorize(request, action, target)
+        if error is not None:
+            return None, error
+        if self.enforce_project_scope and \
+                credentials["project_id"] != project_id:
+            return None, Response.error(
+                403, "token is not scoped to this project")
+        return credentials, None
+
+    # -- views ---------------------------------------------------------------------
+
+    def volumes_view(self, request: Request, project_id: str) -> Response:
+        if request.method == "POST":
+            return self._create_volume(request, project_id)
+        credentials, error = self._scoped(request, "volume:get", project_id)
+        if error is not None:
+            return error
+        rows = self.volumes.where(project_id=project_id)
+        return Response.json_response({"volumes": rows})
+
+    def _create_volume(self, request: Request, project_id: str) -> Response:
+        credentials, error = self._scoped(request, "volume:post", project_id)
+        if error is not None:
+            return error
+        try:
+            payload = request.json() or {}
+        except ValueError:
+            return Response.error(400, "malformed JSON body")
+        spec = payload.get("volume") or {}
+        size = spec.get("size", DEFAULT_VOLUME_SIZE)
+        if not isinstance(size, int) or size <= 0:
+            return Response.error(400, "volume size must be a positive integer")
+        if self.enforce_quota:
+            limit = self.quota_for(project_id)["volumes"]
+            if self.volume_count(project_id) >= limit:
+                return Response.error(
+                    413, f"VolumeLimitExceeded: quota is {limit}")
+        image_ref = spec.get("imageRef")
+        bootable = False
+        if image_ref is not None:
+            if self.glance is None:
+                return Response.error(400, "image service not available")
+            image = self.glance.get_active_image(image_ref)
+            if image is None:
+                return Response.error(
+                    400, f"imageRef {image_ref!r} is not an active image")
+            if size < image["min_disk"]:
+                return Response.error(
+                    400, f"volume size {size} is below the image's "
+                         f"min_disk {image['min_disk']}")
+            bootable = True
+        volume = self.volumes.create({
+            "project_id": project_id,
+            "name": spec.get("name", ""),
+            "description": spec.get("description", ""),
+            "size": size,
+            "status": "available",
+            "bootable": bootable,
+            "attachments": [],
+        })
+        return Response.json_response({"volume": volume}, 202)
+
+    def volume_view(self, request: Request, project_id: str,
+                    volume_id: str) -> Response:
+        action = f"volume:{request.method.lower()}"
+        credentials, error = self._scoped(request, action, project_id)
+        if error is not None:
+            return error
+        volume = self.volumes.get(volume_id)
+        if volume is None or volume["project_id"] != project_id:
+            return Response.error(404, f"no volume {volume_id}")
+        if request.method == "GET":
+            return Response.json_response({"volume": volume})
+        if request.method == "PUT":
+            return self._update_volume(request, volume)
+        return self._delete_volume(volume)
+
+    def _update_volume(self, request: Request,
+                       volume: Dict[str, Any]) -> Response:
+        try:
+            payload = request.json() or {}
+        except ValueError:
+            return Response.error(400, "malformed JSON body")
+        spec = payload.get("volume") or {}
+        changes = {key: spec[key] for key in ("name", "description")
+                   if key in spec}
+        if not changes:
+            return Response.error(400, "nothing to update")
+        self.volumes.update(volume["id"], changes)
+        return Response.json_response({"volume": self.volumes.get(volume["id"])})
+
+    def snapshot_count(self, volume_id: str) -> int:
+        """Number of snapshots taken of *volume_id*."""
+        return len(self.snapshots.where(volume_id=volume_id))
+
+    def _delete_volume(self, volume: Dict[str, Any]) -> Response:
+        if self.enforce_status_check and volume["status"] == "in-use":
+            return Response.error(
+                400, "Invalid volume: volume is in-use and cannot be deleted")
+        if self.snapshots_enabled and self.enforce_snapshot_check and \
+                self.snapshot_count(volume["id"]) > 0:
+            return Response.error(
+                400, "Invalid volume: volume has snapshots and cannot be "
+                     "deleted")
+        self.volumes.delete(volume["id"])
+        return Response(self.delete_success_code)
+
+    # -- snapshots (the "release 2" feature) --------------------------------------
+
+    def snapshots_view(self, request: Request, project_id: str) -> Response:
+        if not self.snapshots_enabled:
+            return Response.error(404, "snapshots are not available in "
+                                       "this release")
+        if request.method == "POST":
+            return self._create_snapshot(request, project_id)
+        credentials, error = self._scoped(request, "snapshot:get", project_id)
+        if error is not None:
+            return error
+        rows = self.snapshots.where(project_id=project_id)
+        volume_filter = request.params.get("volume_id")
+        if volume_filter:
+            rows = [row for row in rows if row["volume_id"] == volume_filter]
+        return Response.json_response({"snapshots": rows})
+
+    def _create_snapshot(self, request: Request, project_id: str) -> Response:
+        credentials, error = self._scoped(request, "snapshot:post",
+                                          project_id)
+        if error is not None:
+            return error
+        try:
+            payload = request.json() or {}
+        except ValueError:
+            return Response.error(400, "malformed JSON body")
+        spec = payload.get("snapshot") or {}
+        volume_id = spec.get("volume_id")
+        volume = self.volumes.get(volume_id) if volume_id else None
+        if volume is None or volume["project_id"] != project_id:
+            return Response.error(404, f"no volume {volume_id}")
+        snapshot = self.snapshots.create({
+            "project_id": project_id,
+            "volume_id": volume_id,
+            "name": spec.get("name", ""),
+            "status": "available",
+        })
+        return Response.json_response({"snapshot": snapshot}, 202)
+
+    def snapshot_view(self, request: Request, project_id: str,
+                      snapshot_id: str) -> Response:
+        if not self.snapshots_enabled:
+            return Response.error(404, "snapshots are not available in "
+                                       "this release")
+        action = f"snapshot:{request.method.lower()}"
+        credentials, error = self._scoped(request, action, project_id)
+        if error is not None:
+            return error
+        snapshot = self.snapshots.get(snapshot_id)
+        if snapshot is None or snapshot["project_id"] != project_id:
+            return Response.error(404, f"no snapshot {snapshot_id}")
+        if request.method == "GET":
+            return Response.json_response({"snapshot": snapshot})
+        self.snapshots.delete(snapshot_id)
+        return Response(204)
+
+    def volume_action_view(self, request: Request, project_id: str,
+                           volume_id: str) -> Response:
+        credentials, error = self._scoped(request, "volume:put", project_id)
+        if error is not None:
+            return error
+        volume = self.volumes.get(volume_id)
+        if volume is None or volume["project_id"] != project_id:
+            return Response.error(404, f"no volume {volume_id}")
+        try:
+            payload = request.json() or {}
+        except ValueError:
+            return Response.error(400, "malformed JSON body")
+        if "os-attach" in payload:
+            server_id = (payload["os-attach"] or {}).get("server_id", "")
+            return self.attach(volume, server_id)
+        if "os-detach" in payload:
+            return self.detach(volume)
+        return Response.error(400, "unknown volume action")
+
+    def attach(self, volume: Dict[str, Any], server_id: str) -> Response:
+        """Attach *volume* to a server, making it ``in-use``."""
+        if volume["status"] == "in-use":
+            return Response.error(400, "volume is already attached")
+        self.volumes.update(volume["id"], {
+            "status": "in-use",
+            "attachments": [{"server_id": server_id}],
+        })
+        return Response.json_response(
+            {"volume": self.volumes.get(volume["id"])}, 202)
+
+    def detach(self, volume: Dict[str, Any]) -> Response:
+        """Detach *volume*, making it ``available`` again."""
+        if volume["status"] != "in-use":
+            return Response.error(400, "volume is not attached")
+        self.volumes.update(volume["id"], {
+            "status": "available",
+            "attachments": [],
+        })
+        return Response.json_response(
+            {"volume": self.volumes.get(volume["id"])}, 202)
+
+    def quota_view(self, request: Request, project_id: str) -> Response:
+        if request.method == "PUT":
+            credentials, error = self._scoped(
+                request, "volume:delete", project_id)  # admin-only action
+            if error is not None:
+                return error
+            try:
+                payload = request.json() or {}
+            except ValueError:
+                return Response.error(400, "malformed JSON body")
+            volumes = (payload.get("quota_set") or {}).get("volumes")
+            if not isinstance(volumes, int) or volumes < 0:
+                return Response.error(400, "quota volumes must be >= 0")
+            self.set_quota(project_id, volumes)
+        else:
+            credentials, error = self._scoped(
+                request, "volume:get", project_id)
+            if error is not None:
+                return error
+        quota = dict(self.quota_for(project_id))
+        quota["id"] = project_id
+        quota["in_use"] = {"volumes": self.volume_count(project_id)}
+        return Response.json_response({"quota_set": quota})

@@ -1,0 +1,105 @@
+"""Assembling a private cloud: services, network, bootstrap.
+
+The paper's testbed is a two-node OpenStack Newton deployment (controller +
+compute) reached from the developer's machine (Section VI-D).  Here the
+same topology is a :class:`~repro.httpsim.Network` with one virtual host
+per service; :meth:`PrivateCloud.paper_setup` reproduces the ``myProject``
+configuration with its three user groups and roles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import CloudError
+from ..httpsim import Client, Network
+from ..rbac import RBACModel
+from .cinder import CinderService
+from .glance import GlanceService
+from .keystone import KeystoneService
+from .nova import NovaService
+
+#: Virtual host names for the service endpoints.
+KEYSTONE_HOST = "keystone"
+CINDER_HOST = "cinder"
+NOVA_HOST = "nova"
+GLANCE_HOST = "glance"
+
+
+class PrivateCloud:
+    """A fully assembled simulated private cloud."""
+
+    def __init__(self, rbac: Optional[RBACModel] = None,
+                 network: Optional[Network] = None):
+        self.network = network or Network()
+        self.keystone = KeystoneService(rbac)
+        self.cinder = CinderService()
+        self.nova = NovaService(self.cinder)
+        self.glance = GlanceService()
+        self.cinder.glance = self.glance
+        for service in (self.cinder, self.nova, self.glance):
+            service.identity = self.keystone
+        self.network.register(KEYSTONE_HOST, self.keystone.app)
+        self.network.register(CINDER_HOST, self.cinder.app)
+        self.network.register(NOVA_HOST, self.nova.app)
+        self.network.register(GLANCE_HOST, self.glance.app)
+
+    # -- convenience -----------------------------------------------------------
+
+    def client(self, token: Optional[str] = None) -> Client:
+        """A network client, optionally pre-authenticated with *token*."""
+        client = Client(self.network)
+        if token is not None:
+            client.authenticate(token)
+        return client
+
+    def login(self, user_id: str, password: str, project_id: str) -> Client:
+        """Authenticate against Keystone and return a token-bearing client."""
+        token = self.keystone.issue_token(user_id, password, project_id)
+        return self.client(token)
+
+    def url(self, host: str, path: str) -> str:
+        """Absolute URL for *path* on the virtual *host*."""
+        return f"http://{host}{path}"
+
+    def cinder_url(self, path: str) -> str:
+        """Absolute URL on the Cinder endpoint."""
+        return self.url(CINDER_HOST, path)
+
+    # -- bootstrap ---------------------------------------------------------------
+
+    @classmethod
+    def paper_setup(cls, project_id: str = "myProject",
+                    volume_quota: int = 5,
+                    release2: bool = False) -> "PrivateCloud":
+        """The Section VI-D configuration.
+
+        One project (``myProject``), three user groups mapped to the roles
+        *admin*, *member*, and *user* (Table I), one user per group
+        (alice/bob/carol), and a finite volume quota so the full-quota state
+        of the behavioral model is reachable.
+
+        ``release2=True`` deploys the upgraded cloud whose Cinder exposes
+        volume snapshots (and refuses to delete snapshotted volumes) --
+        the frequent-release situation the paper motivates monitoring for.
+        """
+        cloud = cls(RBACModel.paper_example(project_id))
+        cloud.keystone.create_project("myProject", project_id=project_id)
+        for user_id in ("alice", "bob", "carol"):
+            cloud.keystone.passwords[user_id] = f"{user_id}-secret"
+        cloud.cinder.set_quota(project_id, volume_quota)
+        cloud.cinder.snapshots_enabled = release2
+        return cloud
+
+    def paper_tokens(self, project_id: str = "myProject") -> Dict[str, str]:
+        """Tokens for the three bootstrap users, keyed by user id."""
+        tokens = {}
+        for user_id in ("alice", "bob", "carol"):
+            password = self.keystone.passwords.get(user_id)
+            if password is None:
+                raise CloudError(
+                    f"user {user_id!r} is not bootstrapped; "
+                    f"use PrivateCloud.paper_setup()")
+            tokens[user_id] = self.keystone.issue_token(
+                user_id, password, project_id)
+        return tokens

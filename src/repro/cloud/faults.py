@@ -1,0 +1,198 @@
+"""Mutation operators for the validation campaign (Section VI-D).
+
+The paper validates the monitor by "systematically introducing" three
+authorization errors into the cloud implementation and checking that the
+monitor detects ("kills") each one.  A :class:`Mutant` rewires one aspect
+of the running cloud; the campaign applies it, replays a request battery
+through the monitor, and reverts it.
+
+:func:`paper_mutants` returns the three mutants of the paper -- all
+authorization faults.  :func:`extended_mutants` adds functional faults
+(quota bypass, status-check bypass, wrong status code) used by the
+extended kill-matrix bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ValidationError
+from .deployment import PrivateCloud
+
+
+class Mutant:
+    """Base class: a revertible fault injected into the running cloud."""
+
+    #: Identifier used in kill matrices, e.g. ``M1``.
+    mutant_id = "M?"
+    #: Human-readable description of the seeded error.
+    description = ""
+    #: The fault class: ``authorization`` or ``functional``.
+    category = "authorization"
+
+    def __init__(self):
+        self._applied = False
+
+    def apply(self, cloud: PrivateCloud) -> None:
+        """Inject the fault; applying twice is an error."""
+        if self._applied:
+            raise ValidationError(f"mutant {self.mutant_id} already applied")
+        self._inject(cloud)
+        self._applied = True
+
+    def revert(self, cloud: PrivateCloud) -> None:
+        """Undo the fault; reverting an unapplied mutant is an error."""
+        if not self._applied:
+            raise ValidationError(f"mutant {self.mutant_id} not applied")
+        self._restore(cloud)
+        self._applied = False
+
+    def _inject(self, cloud: PrivateCloud) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _restore(self, cloud: PrivateCloud) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Mutant {self.mutant_id}: {self.description}>"
+
+
+class PolicyMutant(Mutant):
+    """Rewrites one Cinder policy rule -- the paper's authorization faults."""
+
+    category = "authorization"
+
+    def __init__(self, mutant_id: str, description: str, action: str,
+                 mutated_rule: str):
+        super().__init__()
+        self.mutant_id = mutant_id
+        self.description = description
+        self.action = action
+        self.mutated_rule = mutated_rule
+        self._original: Optional[str] = None
+
+    def _inject(self, cloud: PrivateCloud) -> None:
+        original = cloud.cinder.policy.rules.get(self.action)
+        self._original = original.source if original is not None else None
+        cloud.cinder.policy.set_rule(self.action, self.mutated_rule)
+
+    def _restore(self, cloud: PrivateCloud) -> None:
+        if self._original is None:
+            cloud.cinder.policy.rules.pop(self.action, None)
+        else:
+            cloud.cinder.policy.set_rule(self.action, self._original)
+
+
+class FunctionalMutant(Mutant):
+    """Flips one behavioral switch on the Cinder service."""
+
+    category = "functional"
+
+    def __init__(self, mutant_id: str, description: str, attribute: str,
+                 mutated_value):
+        super().__init__()
+        self.mutant_id = mutant_id
+        self.description = description
+        self.attribute = attribute
+        self.mutated_value = mutated_value
+        self._original = None
+
+    def _inject(self, cloud: PrivateCloud) -> None:
+        self._original = getattr(cloud.cinder, self.attribute)
+        setattr(cloud.cinder, self.attribute, self.mutated_value)
+
+    def _restore(self, cloud: PrivateCloud) -> None:
+        setattr(cloud.cinder, self.attribute, self._original)
+
+
+class ScopeLeakMutant(FunctionalMutant):
+    """Cinder stops checking that the token is scoped to the URL's project.
+
+    An authorization fault *outside* the modelled guards: the paper's
+    behavioral model constrains roles and resource state but does not
+    model token/project scope, so a monitor generated from it cannot kill
+    this mutant -- the modelling-coverage boundary the extended campaign
+    demonstrates.
+    """
+
+    category = "authorization"
+
+    def __init__(self, mutant_id: str = "M7"):
+        super().__init__(
+            mutant_id,
+            "cross-project access: token scope not checked",
+            "enforce_project_scope", False)
+
+
+class QuotaBypassMutant(FunctionalMutant):
+    """Cinder stops enforcing the project volume quota."""
+
+    def __init__(self, mutant_id: str = "M4"):
+        super().__init__(
+            mutant_id,
+            "volume creation ignores the project quota",
+            "enforce_quota", False)
+
+
+class StatusCheckBypassMutant(FunctionalMutant):
+    """Cinder deletes volumes even while they are in-use."""
+
+    def __init__(self, mutant_id: str = "M5"):
+        super().__init__(
+            mutant_id,
+            "volume deletion ignores the in-use status check",
+            "enforce_status_check", False)
+
+
+class SnapshotCheckBypassMutant(FunctionalMutant):
+    """Release 2: Cinder deletes volumes even while snapshots exist."""
+
+    def __init__(self, mutant_id: str = "M8"):
+        super().__init__(
+            mutant_id,
+            "volume deletion ignores existing snapshots (release 2)",
+            "enforce_snapshot_check", False)
+
+
+class StatusCodeMutant(FunctionalMutant):
+    """Cinder answers DELETE with 200 instead of 204."""
+
+    def __init__(self, mutant_id: str = "M6"):
+        super().__init__(
+            mutant_id,
+            "volume deletion returns 200 instead of 204",
+            "delete_success_code", 200)
+
+
+def paper_mutants() -> List[Mutant]:
+    """The three authorization mutants of the paper's validation.
+
+    Each represents one class of "wrong authorization on resources":
+
+    * **M1 privilege escalation** -- DELETE opened up to the *member* role
+      (the paper's Table I restricts it to *admin*),
+    * **M2 missing check** -- POST allowed for everyone (the policy check
+      was forgotten),
+    * **M3 privilege loss** -- GET restricted to *admin* only, locking out
+      the authorized *member* and *user* roles.
+    """
+    return [
+        PolicyMutant(
+            "M1", "privilege escalation: member may DELETE volumes",
+            "volume:delete", "role:admin or role:member"),
+        PolicyMutant(
+            "M2", "missing check: anyone may POST volumes",
+            "volume:post", "@"),
+        PolicyMutant(
+            "M3", "privilege loss: only admin may GET volumes",
+            "volume:get", "role:admin"),
+    ]
+
+
+def extended_mutants() -> List[Mutant]:
+    """The paper's three mutants plus functional faults (ablation bench)."""
+    return paper_mutants() + [
+        QuotaBypassMutant("M4"),
+        StatusCheckBypassMutant("M5"),
+        StatusCodeMutant("M6"),
+    ]

@@ -1,0 +1,106 @@
+"""The image service: a Glance-lite for bootable-volume scenarios.
+
+Images follow the two-step Glance lifecycle: ``POST /v2/images`` registers
+a *queued* image, ``PUT /v2/images/{id}/file`` uploads the bits and makes
+it *active*.  Cinder consults Glance when a volume is created with an
+``imageRef``: the image must exist and be active, and the volume must be
+at least ``min_disk`` GiB -- another functional rule a behavioral model
+can guard and a mutant can bypass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..httpsim import Request, Response, path
+from ..rbac import Enforcer
+from .base import ResourceStore, Service
+
+GLANCE_POLICY = {
+    "image:get": "role:admin or role:member or role:user",
+    "image:post": "role:admin or role:member",
+    "image:upload": "role:admin or role:member",
+    "image:delete": "role:admin",
+}
+
+#: Default minimum disk size (GiB) for images created without one.
+DEFAULT_MIN_DISK = 1
+
+
+class GlanceService(Service):
+    """Images with the queued -> active upload lifecycle."""
+
+    def __init__(self, policy: Optional[Enforcer] = None):
+        super().__init__("glance", policy or Enforcer.from_dict(GLANCE_POLICY))
+        self.images = ResourceStore("img")
+        self._routes()
+
+    def _routes(self) -> None:
+        self.app.add_routes([
+            path("v2/images", self.images_view, name="images",
+                 methods=["GET", "POST"]),
+            path("v2/images/<str:image_id>", self.image_view, name="image",
+                 methods=["GET", "DELETE"]),
+            path("v2/images/<str:image_id>/file", self.upload_view,
+                 name="image-file", methods=["PUT"]),
+        ])
+
+    # -- queries used by Cinder ---------------------------------------------------
+
+    def get_active_image(self, image_id: str) -> Optional[Dict[str, Any]]:
+        """The image if it exists *and* is active, else ``None``."""
+        image = self.images.get(image_id)
+        if image is None or image["status"] != "active":
+            return None
+        return image
+
+    # -- views ---------------------------------------------------------------------
+
+    def images_view(self, request: Request) -> Response:
+        if request.method == "POST":
+            credentials, error = self.authorize(request, "image:post")
+            if error is not None:
+                return error
+            try:
+                payload = request.json() or {}
+            except ValueError:
+                return Response.error(400, "malformed JSON body")
+            min_disk = payload.get("min_disk", DEFAULT_MIN_DISK)
+            if not isinstance(min_disk, int) or min_disk < 0:
+                return Response.error(400, "min_disk must be >= 0")
+            image = self.images.create({
+                "name": payload.get("name", ""),
+                "status": "queued",
+                "visibility": payload.get("visibility", "private"),
+                "min_disk": min_disk,
+            })
+            return Response.json_response(image, 201)
+        credentials, error = self.authorize(request, "image:get")
+        if error is not None:
+            return error
+        return Response.json_response({"images": self.images.all()})
+
+    def image_view(self, request: Request, image_id: str) -> Response:
+        action = "image:get" if request.method == "GET" else "image:delete"
+        credentials, error = self.authorize(request, action)
+        if error is not None:
+            return error
+        image = self.images.get(image_id)
+        if image is None:
+            return Response.error(404, f"no image {image_id}")
+        if request.method == "GET":
+            return Response.json_response(image)
+        self.images.delete(image_id)
+        return Response.no_content()
+
+    def upload_view(self, request: Request, image_id: str) -> Response:
+        credentials, error = self.authorize(request, "image:upload")
+        if error is not None:
+            return error
+        image = self.images.get(image_id)
+        if image is None:
+            return Response.error(404, f"no image {image_id}")
+        if image["status"] != "queued":
+            return Response.error(409, "image data already uploaded")
+        self.images.update(image_id, {"status": "active"})
+        return Response(204)

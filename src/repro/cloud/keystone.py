@@ -1,0 +1,195 @@
+"""The identity service: users, projects, tokens, role assignments.
+
+A faithful-to-shape subset of Keystone v3: password authentication scoped
+to a project returns a token (``POST /v3/auth/tokens``); other services
+validate tokens against Keystone and receive the user's effective roles in
+the scoped project -- the credential dict the policy engine evaluates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from ..errors import CloudError
+from ..httpsim import Request, Response, path
+from ..rbac import Enforcer, RBACModel
+from .base import ResourceStore, Service
+
+#: Default policy for identity operations.
+KEYSTONE_POLICY = {
+    "identity:list_projects": "role:admin or role:member or role:user",
+    "identity:get_project": "role:admin or role:member or role:user",
+    "identity:create_project": "role:admin",
+    "identity:delete_project": "role:admin",
+    "identity:list_users": "role:admin",
+}
+
+
+class KeystoneService(Service):
+    """Identity: authentication, token validation, project catalogue."""
+
+    def __init__(self, rbac: Optional[RBACModel] = None):
+        super().__init__("keystone", Enforcer.from_dict(KEYSTONE_POLICY))
+        self.rbac = rbac or RBACModel()
+        self.projects = ResourceStore("project")
+        self.passwords: Dict[str, str] = {}
+        self._tokens: Dict[str, Dict[str, str]] = {}
+        self._token_counter = itertools.count(1)
+        self.identity = self
+        self._routes()
+
+    def _routes(self) -> None:
+        self.app.add_routes([
+            path("v3/auth/tokens", self.issue_token_view, name="auth",
+                 methods=["POST"]),
+            path("v3/auth/tokens", self.introspect_token_view,
+                 name="introspect", methods=["GET"]),
+            path("v3/projects", self.projects_view, name="projects",
+                 methods=["GET", "POST"]),
+            path("v3/projects/<str:project_id>", self.project_view,
+                 name="project", methods=["GET", "DELETE"]),
+            path("v3/users", self.users_view, name="users", methods=["GET"]),
+        ])
+
+    # -- administration (in-process, not HTTP) --------------------------------
+
+    def create_project(self, name: str, project_id: Optional[str] = None,
+                       enabled: bool = True) -> Dict[str, Any]:
+        """Register a project (the cloud administrator's Keystone action)."""
+        if self.projects.where(name=name):
+            raise CloudError(f"project name {name!r} already exists")
+        return self.projects.create(
+            {"name": name, "enabled": enabled}, resource_id=project_id)
+
+    def create_user(self, user_id: str, name: str, password: str,
+                    groups=None) -> None:
+        """Register a user with a password for token authentication."""
+        self.rbac.add_user(user_id, name, groups)
+        self.passwords[user_id] = password
+
+    def issue_token(self, user_id: str, password: str,
+                    project_id: str) -> str:
+        """Authenticate and return a project-scoped token."""
+        if self.passwords.get(user_id) != password:
+            raise CloudError(f"bad credentials for user {user_id!r}")
+        project = self.projects.get(project_id)
+        if project is None or not project.get("enabled", True):
+            raise CloudError(f"no enabled project {project_id!r}")
+        token = f"token-{next(self._token_counter)}"
+        self._tokens[token] = {"user_id": user_id, "project_id": project_id}
+        return token
+
+    def revoke_token(self, token: str) -> None:
+        """Invalidate *token*; unknown tokens are ignored."""
+        self._tokens.pop(token, None)
+
+    def validate_token(self, token: str) -> Optional[Dict[str, Any]]:
+        """Resolve *token* to the credential dict, or ``None`` if invalid."""
+        scope = self._tokens.get(token)
+        if scope is None:
+            return None
+        credentials = self.rbac.credentials_for(
+            scope["user_id"], scope["project_id"])
+        return credentials
+
+    # -- HTTP views ------------------------------------------------------------
+
+    def issue_token_view(self, request: Request) -> Response:
+        """``POST /v3/auth/tokens`` with the Keystone v3 password payload."""
+        try:
+            payload = request.json() or {}
+            identity = payload["auth"]["identity"]["password"]["user"]
+            scope = payload["auth"]["scope"]["project"]["id"]
+            user_id = identity["id"]
+            password = identity["password"]
+        except (KeyError, TypeError, ValueError):
+            return Response.error(400, "malformed authentication request")
+        try:
+            token = self.issue_token(user_id, password, scope)
+        except CloudError as exc:
+            return Response.error(401, str(exc))
+        body = {
+            "token": {
+                "user": {"id": user_id},
+                "project": {"id": scope},
+                "roles": [{"name": role} for role
+                          in sorted(self.rbac.roles_for(user_id, scope))],
+            }
+        }
+        response = Response.json_response(body, 201)
+        response.headers.set("X-Subject-Token", token)
+        return response
+
+    def introspect_token_view(self, request: Request) -> Response:
+        """``GET /v3/auth/tokens`` with ``X-Subject-Token``: token introspection.
+
+        This is how the cloud monitor resolves the requesting user's roles
+        and groups through the REST surface alone (Keystone v3 offers the
+        same call).  The caller authenticates with its own valid token.
+        """
+        if self.credentials_from(request) is None:
+            return Response.error(401, "authentication required")
+        subject = request.headers.get("X-Subject-Token")
+        if subject is None:
+            return Response.error(400, "X-Subject-Token header required")
+        credentials = self.validate_token(subject)
+        if credentials is None:
+            return Response.error(404, "token not found or expired")
+        body = {
+            "token": {
+                "user": {"id": credentials["user_id"],
+                         "name": credentials["user_name"]},
+                "project": {"id": credentials["project_id"]},
+                "roles": [{"name": role} for role in credentials["roles"]],
+                "groups": [{"name": group} for group in credentials["groups"]],
+            }
+        }
+        return Response.json_response(body)
+
+    def projects_view(self, request: Request) -> Response:
+        if request.method == "POST":
+            credentials, error = self.authorize(
+                request, "identity:create_project")
+            if error is not None:
+                return error
+            payload = request.json() or {}
+            name = (payload.get("project") or {}).get("name")
+            if not name:
+                return Response.error(400, "project name required")
+            try:
+                project = self.create_project(name)
+            except CloudError as exc:
+                return Response.error(409, str(exc))
+            return Response.json_response({"project": project}, 201)
+        credentials, error = self.authorize(request, "identity:list_projects")
+        if error is not None:
+            return error
+        return Response.json_response({"projects": self.projects.all()})
+
+    def project_view(self, request: Request, project_id: str) -> Response:
+        if request.method == "DELETE":
+            credentials, error = self.authorize(
+                request, "identity:delete_project")
+            if error is not None:
+                return error
+            if not self.projects.delete(project_id):
+                return Response.error(404, f"no project {project_id}")
+            return Response.no_content()
+        credentials, error = self.authorize(request, "identity:get_project")
+        if error is not None:
+            return error
+        project = self.projects.get(project_id)
+        if project is None:
+            return Response.error(404, f"no project {project_id}")
+        return Response.json_response({"project": project})
+
+    def users_view(self, request: Request) -> Response:
+        credentials, error = self.authorize(request, "identity:list_users")
+        if error is not None:
+            return error
+        users = [
+            {"id": user.user_id, "name": user.name, "groups": user.groups}
+            for user in self.rbac.users.values()
+        ]
+        return Response.json_response({"users": users})

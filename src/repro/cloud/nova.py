@@ -1,0 +1,164 @@
+"""The compute-lite service: servers and volume attachments.
+
+Only the slice of Nova the monitored scenarios need: create/list/delete
+servers, and attach/detach Cinder volumes to them.  Attaching is what
+drives a volume into the ``in-use`` status that blocks DELETE in the
+paper's behavioral model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..httpsim import Request, Response, path
+from ..rbac import Enforcer
+from .base import ResourceStore, Service
+from .cinder import CinderService
+
+NOVA_POLICY = {
+    "server:get": "role:admin or role:member or role:user",
+    "server:post": "role:admin or role:member",
+    "server:delete": "role:admin",
+    "server:attach_volume": "role:admin or role:member",
+    "server:detach_volume": "role:admin or role:member",
+}
+
+
+class NovaService(Service):
+    """Compute: servers plus the volume-attachment workflow."""
+
+    def __init__(self, cinder: CinderService,
+                 policy: Optional[Enforcer] = None):
+        super().__init__("nova", policy or Enforcer.from_dict(NOVA_POLICY))
+        self.cinder = cinder
+        self.servers = ResourceStore("srv")
+        self._routes()
+
+    def _routes(self) -> None:
+        self.app.add_routes([
+            path("v3/<str:project_id>/servers", self.servers_view,
+                 name="servers", methods=["GET", "POST"]),
+            path("v3/<str:project_id>/servers/<str:server_id>",
+                 self.server_view, name="server", methods=["GET", "DELETE"]),
+            path("v3/<str:project_id>/servers/<str:server_id>/volume_attachments",
+                 self.attachments_view, name="attachments",
+                 methods=["GET", "POST"]),
+            path("v3/<str:project_id>/servers/<str:server_id>"
+                 "/volume_attachments/<str:volume_id>",
+                 self.attachment_view, name="attachment", methods=["DELETE"]),
+        ])
+
+    def _scoped(self, request: Request, action: str, project_id: str):
+        credentials, error = self.authorize(request, action)
+        if error is not None:
+            return None, error
+        if credentials["project_id"] != project_id:
+            return None, Response.error(
+                403, "token is not scoped to this project")
+        return credentials, None
+
+    def _find_server(self, project_id: str,
+                     server_id: str) -> Optional[Dict[str, Any]]:
+        server = self.servers.get(server_id)
+        if server is None or server["project_id"] != project_id:
+            return None
+        return server
+
+    # -- views ---------------------------------------------------------------
+
+    def servers_view(self, request: Request, project_id: str) -> Response:
+        if request.method == "POST":
+            credentials, error = self._scoped(
+                request, "server:post", project_id)
+            if error is not None:
+                return error
+            try:
+                payload = request.json() or {}
+            except ValueError:
+                return Response.error(400, "malformed JSON body")
+            spec = payload.get("server") or {}
+            server = self.servers.create({
+                "project_id": project_id,
+                "name": spec.get("name", ""),
+                "status": "ACTIVE",
+                "attached_volumes": [],
+            })
+            return Response.json_response({"server": server}, 202)
+        credentials, error = self._scoped(request, "server:get", project_id)
+        if error is not None:
+            return error
+        return Response.json_response(
+            {"servers": self.servers.where(project_id=project_id)})
+
+    def server_view(self, request: Request, project_id: str,
+                    server_id: str) -> Response:
+        action = "server:get" if request.method == "GET" else "server:delete"
+        credentials, error = self._scoped(request, action, project_id)
+        if error is not None:
+            return error
+        server = self._find_server(project_id, server_id)
+        if server is None:
+            return Response.error(404, f"no server {server_id}")
+        if request.method == "GET":
+            return Response.json_response({"server": server})
+        # Detach all volumes before deleting, as Nova does on instance delete.
+        for volume_id in list(server["attached_volumes"]):
+            volume = self.cinder.volumes.get(volume_id)
+            if volume is not None and volume["status"] == "in-use":
+                self.cinder.detach(volume)
+        self.servers.delete(server_id)
+        return Response.no_content()
+
+    def attachments_view(self, request: Request, project_id: str,
+                         server_id: str) -> Response:
+        if request.method == "GET":
+            credentials, error = self._scoped(
+                request, "server:get", project_id)
+            if error is not None:
+                return error
+            server = self._find_server(project_id, server_id)
+            if server is None:
+                return Response.error(404, f"no server {server_id}")
+            return Response.json_response(
+                {"volume_attachments": server["attached_volumes"]})
+        credentials, error = self._scoped(
+            request, "server:attach_volume", project_id)
+        if error is not None:
+            return error
+        server = self._find_server(project_id, server_id)
+        if server is None:
+            return Response.error(404, f"no server {server_id}")
+        try:
+            payload = request.json() or {}
+        except ValueError:
+            return Response.error(400, "malformed JSON body")
+        volume_id = (payload.get("volumeAttachment") or {}).get("volumeId")
+        if not volume_id:
+            return Response.error(400, "volumeAttachment.volumeId required")
+        volume = self.cinder.volumes.get(volume_id)
+        if volume is None or volume["project_id"] != project_id:
+            return Response.error(404, f"no volume {volume_id}")
+        result = self.cinder.attach(volume, server_id)
+        if not result.ok:
+            return result
+        server["attached_volumes"].append(volume_id)
+        return Response.json_response(
+            {"volumeAttachment": {"serverId": server_id,
+                                  "volumeId": volume_id}}, 202)
+
+    def attachment_view(self, request: Request, project_id: str,
+                        server_id: str, volume_id: str) -> Response:
+        credentials, error = self._scoped(
+            request, "server:detach_volume", project_id)
+        if error is not None:
+            return error
+        server = self._find_server(project_id, server_id)
+        if server is None:
+            return Response.error(404, f"no server {server_id}")
+        if volume_id not in server["attached_volumes"]:
+            return Response.error(404, f"volume {volume_id} is not attached")
+        volume = self.cinder.volumes.get(volume_id)
+        if volume is not None:
+            self.cinder.detach(volume)
+        server["attached_volumes"].remove(volume_id)
+        return Response.no_content()

@@ -1,0 +1,49 @@
+"""The paper's contribution: models -> contracts -> monitor -> code.
+
+* :mod:`repro.core.resource_model` / :mod:`repro.core.behavior_model` --
+  REST-aware builders for the two design models, including the complete
+  Cinder example of Figure 3,
+* :mod:`repro.core.contracts` -- the Section V contract generator: combine
+  all transitions fired by a method into one pre/post-condition pair with
+  ``pre()`` old values,
+* :mod:`repro.core.monitor` -- the runtime cloud monitor of Figure 2:
+  pre-check, forward, post-check, verdict, traceability,
+* :mod:`repro.core.codegen` -- ``uml2django``: emit the Django-style
+  project files (models.py / urls.py / views.py) and a runnable monitor,
+* :mod:`repro.core.coverage` -- security-requirement coverage tracking.
+"""
+
+from .auditlog import read_log, write_log
+from .behavior_model import BehaviorModelBuilder, cinder_behavior_model
+from .composite import CompositeMonitor
+from .consistency import Overlap, check_consistency
+from .contracts import ContractCase, ContractGenerator, MethodContract
+from .coverage import CoverageTracker
+from .mirror import MirrorDatabase, MirrorTable
+from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
+from .resource_model import ResourceModelBuilder, cinder_resource_model
+from .typecheck import check_expression, check_models
+
+__all__ = [
+    "BehaviorModelBuilder",
+    "CloudMonitor",
+    "CloudStateProvider",
+    "CompositeMonitor",
+    "ContractCase",
+    "ContractGenerator",
+    "CoverageTracker",
+    "MethodContract",
+    "MirrorDatabase",
+    "MirrorTable",
+    "MonitorVerdict",
+    "ResourceModelBuilder",
+    "Verdict",
+    "Overlap",
+    "check_consistency",
+    "check_expression",
+    "check_models",
+    "cinder_behavior_model",
+    "cinder_resource_model",
+    "read_log",
+    "write_log",
+]

@@ -1,0 +1,74 @@
+"""Persisting and reloading the monitor's verdict log.
+
+Section III-B: "the invocation results can be logged for further fault
+localization."  The writer emits one JSON object per line (JSONL) so logs
+from long validation sessions stream and append cleanly; the reader
+reconstructs :class:`~repro.core.monitor.MonitorVerdict` records that the
+fault localizer (:mod:`repro.validation.localization`) accepts directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Union
+
+from ..errors import ModelError, MonitorError
+from ..uml import Trigger
+from .monitor import MonitorVerdict
+
+
+def verdict_to_json(verdict: MonitorVerdict) -> str:
+    """One JSONL line for *verdict*."""
+    record = verdict.to_dict()
+    record["snapshot_bytes"] = verdict.snapshot_bytes
+    return json.dumps(record, sort_keys=True)
+
+
+def verdict_from_json(line: str) -> MonitorVerdict:
+    """Parse one JSONL line back into a verdict record."""
+    try:
+        record = json.loads(line)
+        trigger = Trigger.parse(record["operation"])
+        return MonitorVerdict(
+            trigger=trigger,
+            verdict=record["verdict"],
+            pre_holds=record["pre_holds"],
+            forwarded=record["forwarded"],
+            response_status=record["response_status"],
+            post_holds=record["post_holds"],
+            message=record["message"],
+            security_requirements=list(record["security_requirements"]),
+            snapshot_bytes=record.get("snapshot_bytes", 0),
+        )
+    except (ValueError, KeyError, TypeError, ModelError) as exc:
+        raise MonitorError(f"malformed audit-log line: {exc}") from exc
+
+
+def write_log(verdicts: Iterable[MonitorVerdict],
+              destination: Union[str, IO[str]]) -> int:
+    """Write *verdicts* as JSONL to a path or open text file.
+
+    Returns the number of records written.  Writing to a path truncates;
+    pass a file object opened in append mode to accumulate sessions.
+    """
+    count = 0
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_log(verdicts, handle)
+    for verdict in verdicts:
+        destination.write(verdict_to_json(verdict) + "\n")
+        count += 1
+    return count
+
+
+def read_log(source: Union[str, IO[str]]) -> List[MonitorVerdict]:
+    """Read a JSONL audit log from a path or open text file."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_log(handle)
+    verdicts = []
+    for line in source:
+        line = line.strip()
+        if line:
+            verdicts.append(verdict_from_json(line))
+    return verdicts

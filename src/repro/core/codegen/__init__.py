@@ -1,0 +1,31 @@
+"""``uml2django``: generate the Django-style monitor project (Section VI).
+
+The tool "gathers the necessary information from the input models and
+creates appropriate data structures" and emits the three Django files plus
+the project scaffolding:
+
+* :mod:`repro.core.codegen.django_models` -- ``models.py``: one table per
+  resource, associations as foreign keys ("a local copy of the resource
+  structures as required by our monitor"),
+* :mod:`repro.core.codegen.django_urls` -- ``urls.py``: the relative URL
+  of each resource, composed from the association role names (Listing 3),
+* :mod:`repro.core.codegen.django_views` -- ``views.py``: per-method view
+  skeletons with the contracts, the authorization guards, and the SecReq
+  traceability variables (Listing 2),
+* :mod:`repro.core.codegen.project` -- assembles the file tree,
+* :mod:`repro.core.codegen.cli` -- the ``uml2django ProjectName
+  DiagramsFileinXML`` command line.
+"""
+
+from .django_models import generate_models
+from .django_urls import generate_urls
+from .django_views import generate_views
+from .project import GeneratedProject, generate_project
+
+__all__ = [
+    "GeneratedProject",
+    "generate_models",
+    "generate_project",
+    "generate_urls",
+    "generate_views",
+]

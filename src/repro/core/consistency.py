@@ -1,0 +1,132 @@
+"""Semantic consistency analysis of behavioral models.
+
+The contract construction of Section V (and the underlying [33], "From
+Nondeterministic UML Protocol Statemachines to Class Contracts") assumes a
+well-formed protocol machine: state invariants should describe *disjoint*
+situations, and the transitions a trigger fires from one state should have
+*non-overlapping* guards -- otherwise the post-condition conjoins
+implications whose antecedents hold simultaneously, demanding two
+different target invariants at once.
+
+Exhaustive disjointness checking over OCL is undecidable in general; this
+analyzer does what a working tool can: it evaluates the expressions over a
+user-supplied sample of concrete states and reports every witnessed
+overlap.  Findings are therefore *sound* (each comes with a concrete
+witness binding); absence of findings means "no overlap in the sampled
+space", not a proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..ocl import Context, Evaluator
+from ..uml import StateMachine
+
+Bindings = Dict[str, Any]
+
+
+class Overlap:
+    """One witnessed consistency problem."""
+
+    def __init__(self, kind: str, first: str, second: str,
+                 witness: Bindings):
+        self.kind = kind            # "state-invariants" | "guards"
+        self.first = first
+        self.second = second
+        self.witness = witness
+
+    def __repr__(self) -> str:
+        return (f"<Overlap {self.kind}: {self.first} / {self.second} "
+                f"witness={self.witness}>")
+
+
+def cinder_state_space(max_quota: int = 3) -> List[Bindings]:
+    """A systematic sample of the Cinder scenario's concrete states.
+
+    Every combination of volume count (0..quota+1), quota (1..max_quota),
+    item status, and requester role -- small but covering every guard atom
+    of the Figure-3 model.
+    """
+    space: List[Bindings] = []
+    for quota in range(1, max_quota + 1):
+        for count in range(0, quota + 2):
+            for status in ("available", "in-use"):
+                for roles in (["admin"], ["member"], ["user"], []):
+                    space.append({
+                        "project": {
+                            "id": "p",
+                            "volumes": [{"id": f"v{i}", "status": "available"}
+                                        for i in range(count)],
+                        },
+                        "quota_sets": {"volumes": quota},
+                        "volume": {"id": "v0", "status": status,
+                                   "snapshots": []},
+                        "user": {"roles": roles},
+                    })
+    return space
+
+
+def check_state_disjointness(machine: StateMachine,
+                             states_sample: Iterable[Bindings],
+                             ) -> List[Overlap]:
+    """Witness pairs of state invariants that hold simultaneously."""
+    overlaps: List[Overlap] = []
+    states = list(machine.iter_states())
+    samples = list(states_sample)
+    for first, second in itertools.combinations(states, 2):
+        for bindings in samples:
+            evaluator = Evaluator(Context(bindings, strict=False))
+            if evaluator.evaluate_bool(first.invariant) and \
+                    evaluator.evaluate_bool(second.invariant):
+                overlaps.append(Overlap(
+                    "state-invariants", first.name, second.name, bindings))
+                break  # one witness per pair is enough
+    return overlaps
+
+
+def check_guard_determinism(machine: StateMachine,
+                            states_sample: Iterable[Bindings],
+                            ) -> List[Overlap]:
+    """Witness same-trigger, same-source transitions with overlapping guards.
+
+    Overlap is only a problem when the transitions lead to different
+    targets or have different effects -- two identical transitions are
+    merely redundant, and a self-loop plus an identical self-loop cannot
+    disagree.
+    """
+    overlaps: List[Overlap] = []
+    samples = list(states_sample)
+    by_key: Dict[tuple, List] = {}
+    for transition in machine.transitions:
+        by_key.setdefault((transition.source, transition.trigger),
+                          []).append(transition)
+    for (source, trigger), transitions in by_key.items():
+        for first, second in itertools.combinations(transitions, 2):
+            if (first.target, first.effect) == (second.target, second.effect):
+                continue
+            invariant = machine.get_state(source).invariant
+            for bindings in samples:
+                evaluator = Evaluator(Context(bindings, strict=False))
+                if not evaluator.evaluate_bool(invariant):
+                    continue
+                if evaluator.evaluate_bool(first.guard) and \
+                        evaluator.evaluate_bool(second.guard):
+                    overlaps.append(Overlap(
+                        "guards",
+                        f"{source} --{trigger}--> {first.target}",
+                        f"{source} --{trigger}--> {second.target}",
+                        bindings))
+                    break
+    return overlaps
+
+
+def check_consistency(machine: StateMachine,
+                      states_sample: Optional[Iterable[Bindings]] = None,
+                      ) -> List[Overlap]:
+    """Run both analyses; defaults to the Cinder state space."""
+    samples = list(states_sample) if states_sample is not None \
+        else cinder_state_space()
+    return (check_state_disjointness(machine, samples)
+            + check_guard_determinism(machine, samples))

@@ -1,0 +1,201 @@
+"""Contract generation from behavioral models (paper Section V).
+
+For a method *m* triggering transitions ``t1..tn``:
+
+* the pre-condition of each case is ``inv(source(ti)) and guard(ti)``;
+* ``Pre(m)`` is the disjunction of the case pre-conditions ("we need to
+  combine the information stated in all the transitions triggered by a
+  method");
+* ``Post(m)`` is the conjunction of implications
+  ``pre(case_pre_i) implies inv(target(ti)) and effect(ti)`` -- each
+  antecedent is evaluated in the state *before* the method executed, which
+  is why it is wrapped in a ``pre()`` old-value node (the paper's Listing 2
+  stores the antecedent variables in ``pre_*`` locals).
+
+The generated :class:`MethodContract` renders to the Listing-1 text format
+and knows which state must be snapshotted before forwarding a request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GenerationError
+from ..ocl import Context, Evaluator, Snapshot, parse, to_text
+from ..ocl.nodes import Binary, Expression, Pre, conjoin, disjoin
+from ..ocl.simplify import simplify as simplify_ocl
+from ..uml import ClassDiagram, StateMachine, Transition, Trigger
+
+
+class ContractCase:
+    """One transition's contribution to a method contract.
+
+    With ``simplify=True`` the combined expressions are normalized (unit
+    ``true`` terms dropped, duplicates collapsed) -- the readable form the
+    paper's Listing 1 presents; the default keeps the mechanical
+    conjunction for full traceability to the model elements.
+    """
+
+    def __init__(self, transition: Transition, machine: StateMachine,
+                 simplify: bool = False):
+        self.transition = transition
+        self.source_state = machine.get_state(transition.source)
+        self.target_state = machine.get_state(transition.target)
+        #: inv(source) and guard  -- this case applies when it holds.
+        self.precondition: Expression = Binary(
+            "and",
+            parse(self.source_state.invariant),
+            parse(transition.guard),
+        )
+        #: inv(target) and effect -- must hold afterwards if the case applied.
+        self.postcondition: Expression = Binary(
+            "and",
+            parse(self.target_state.invariant),
+            parse(transition.effect),
+        )
+        if simplify:
+            self.precondition = simplify_ocl(self.precondition)
+            self.postcondition = simplify_ocl(self.postcondition)
+        #: pre(case_pre) implies post -- the Listing 1 implication.
+        self.implication: Expression = Binary(
+            "implies", Pre(self.precondition), self.postcondition)
+        self.security_requirements: Tuple[str, ...] = (
+            transition.security_requirements)
+
+    def __repr__(self) -> str:
+        return (f"<ContractCase {self.transition.source} -> "
+                f"{self.transition.target}>")
+
+
+class MethodContract:
+    """The combined pre/post-condition of one method on one resource."""
+
+    def __init__(self, trigger: Trigger, cases: List[ContractCase],
+                 uri: Optional[str] = None):
+        if not cases:
+            raise GenerationError(
+                f"no transitions are triggered by {trigger}; "
+                f"cannot generate a contract")
+        self.trigger = trigger
+        self.cases = cases
+        self.uri = uri or f"/{trigger.resource}"
+        self.precondition: Expression = disjoin(
+            [case.precondition for case in cases])
+        self.postcondition: Expression = conjoin(
+            [case.implication for case in cases])
+        self._compiled_pre = None
+        self._compiled_post = None
+
+    @property
+    def security_requirements(self) -> List[str]:
+        """All requirement ids realized by this method, in case order."""
+        seen: Dict[str, None] = {}
+        for case in self.cases:
+            for requirement in case.security_requirements:
+                seen.setdefault(requirement, None)
+        return list(seen)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def compile(self) -> "MethodContract":
+        """Compile both conditions to closures (see :mod:`repro.ocl.compile`).
+
+        The monitor evaluates contracts on every request; compiled
+        contracts skip the interpreter's per-node dispatch.  Returns self
+        for chaining; calling twice is a no-op.
+        """
+        from ..ocl.compile import compile_bool
+
+        if self._compiled_pre is None:
+            self._compiled_pre = compile_bool(self.precondition)
+            self._compiled_post = compile_bool(self.postcondition)
+        return self
+
+    @property
+    def is_compiled(self) -> bool:
+        """True once :meth:`compile` has run."""
+        return self._compiled_pre is not None
+
+    def check_pre(self, context: Context) -> bool:
+        """Evaluate the pre-condition in the current (pre-call) state."""
+        if self._compiled_pre is not None:
+            return self._compiled_pre(context)
+        return Evaluator(context).evaluate_bool(self.precondition)
+
+    def snapshot(self, context: Context) -> Snapshot:
+        """Capture every ``pre()`` value the post-condition will need."""
+        return Snapshot().capture(self.postcondition, context)
+
+    def check_post(self, context: Context, snapshot: Snapshot) -> bool:
+        """Evaluate the post-condition in the post-call state."""
+        if self._compiled_post is not None:
+            return self._compiled_post(context, snapshot)
+        return Evaluator(context, snapshot).evaluate_bool(self.postcondition)
+
+    def applicable_cases(self, context: Context) -> List[ContractCase]:
+        """The cases whose pre-condition holds in *context* (pre-state)."""
+        evaluator = Evaluator(context)
+        return [case for case in self.cases
+                if evaluator.evaluate_bool(case.precondition)]
+
+    # -- rendering ----------------------------------------------------------------
+
+    def precondition_text(self) -> str:
+        """The pre-condition as canonical OCL."""
+        return to_text(self.precondition)
+
+    def postcondition_text(self) -> str:
+        """The post-condition as canonical OCL."""
+        return to_text(self.postcondition)
+
+    def render(self) -> str:
+        """The Listing-1 layout: labelled pre and post blocks."""
+        header = f"{self.trigger.method}({self.uri})"
+        pre_terms = " or\n ".join(
+            f"({to_text(case.precondition)})" for case in self.cases)
+        post_terms = " and\n ".join(
+            f"(pre({to_text(case.precondition)}) => "
+            f"{to_text(case.postcondition)})"
+            for case in self.cases)
+        return (
+            f"PreCondition({header}):\n[{pre_terms}]\n\n"
+            f"PostCondition({header}):\n[{post_terms}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"<MethodContract {self.trigger} cases={len(self.cases)}>"
+
+
+class ContractGenerator:
+    """Generates method contracts for every trigger of a behavioral model."""
+
+    def __init__(self, machine: StateMachine,
+                 diagram: Optional[ClassDiagram] = None,
+                 simplify: bool = False):
+        self.machine = machine
+        self.diagram = diagram
+        self.simplify = simplify
+
+    def _uri_for(self, trigger: Trigger) -> Optional[str]:
+        if self.diagram is None:
+            return None
+        cls = self.diagram.find_class(trigger.resource)
+        if cls is None:
+            return None
+        if cls.is_collection:
+            return self.diagram.uri_paths().get(cls.name)
+        return self.diagram.item_uri(cls.name)
+
+    def for_trigger(self, trigger) -> MethodContract:
+        """The contract of one trigger (``Trigger`` or ``"METHOD(res)"``)."""
+        if not isinstance(trigger, Trigger):
+            trigger = Trigger.parse(trigger)
+        transitions = self.machine.transitions_triggered_by(trigger)
+        cases = [ContractCase(t, self.machine, simplify=self.simplify)
+                 for t in transitions]
+        return MethodContract(trigger, cases, uri=self._uri_for(trigger))
+
+    def all_contracts(self) -> Dict[Trigger, MethodContract]:
+        """Contracts for every distinct trigger, in model order."""
+        return {trigger: self.for_trigger(trigger)
+                for trigger in self.machine.triggers()}

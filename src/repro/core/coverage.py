@@ -1,0 +1,85 @@
+"""Security-requirement coverage tracking.
+
+The paper: "This also allows the security experts to observe the coverage
+of the security requirements during the testing phase" (Section I) and
+"when a state or transition with the requirement annotation is traversed,
+we get an indication which security requirement is met" (Section IV-C).
+
+The tracker records, per requirement id, how often it was exercised and how
+the checks went; the report is the COVERAGE bench's output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class RequirementRecord:
+    """Exercise counters for one security requirement."""
+
+    def __init__(self, requirement_id: str):
+        self.requirement_id = requirement_id
+        self.exercised = 0
+        self.passed = 0
+        self.failed = 0
+
+    @property
+    def covered(self) -> bool:
+        """True once the requirement has been exercised at least once."""
+        return self.exercised > 0
+
+    def __repr__(self) -> str:
+        return (f"<RequirementRecord {self.requirement_id}: "
+                f"{self.exercised} exercised, {self.failed} failed>")
+
+
+class CoverageTracker:
+    """Aggregates which requirements the validation traffic has exercised."""
+
+    def __init__(self, requirement_ids: Optional[Iterable[str]] = None):
+        self.records: Dict[str, RequirementRecord] = {}
+        for requirement_id in requirement_ids or ():
+            self.records[requirement_id] = RequirementRecord(requirement_id)
+
+    def record(self, requirement_ids: Iterable[str], passed: bool) -> None:
+        """Mark *requirement_ids* as exercised by one monitored request."""
+        for requirement_id in requirement_ids:
+            entry = self.records.setdefault(
+                requirement_id, RequirementRecord(requirement_id))
+            entry.exercised += 1
+            if passed:
+                entry.passed += 1
+            else:
+                entry.failed += 1
+
+    def covered_ids(self) -> List[str]:
+        """Requirement ids exercised at least once."""
+        return [rid for rid, record in self.records.items() if record.covered]
+
+    def uncovered_ids(self) -> List[str]:
+        """Declared requirement ids never exercised -- the testing gap."""
+        return [rid for rid, record in self.records.items()
+                if not record.covered]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of declared requirements exercised (1.0 when none declared)."""
+        if not self.records:
+            return 1.0
+        return len(self.covered_ids()) / len(self.records)
+
+    def report(self) -> str:
+        """A small text table: requirement, exercised, passed, failed."""
+        lines = ["SecReq  Exercised  Passed  Failed"]
+        for rid in sorted(self.records):
+            record = self.records[rid]
+            lines.append(
+                f"{rid:<7} {record.exercised:>9}  {record.passed:>6}  "
+                f"{record.failed:>6}")
+        lines.append(f"coverage: {self.coverage:.0%}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every counter but keep the declared requirement ids."""
+        for rid in list(self.records):
+            self.records[rid] = RequirementRecord(rid)

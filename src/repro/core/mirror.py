@@ -1,0 +1,136 @@
+"""The monitor's local mirror of the monitored resources.
+
+Section VI: "for each resource we create a table in the database ... this
+creates a local copy of the resource structures as required by our
+monitor" -- the generated ``models.py``.  At runtime, the mirror ingests
+the resource representations flowing through the monitor, giving the
+security analyst a queryable local snapshot of what the cloud has claimed,
+without extra probes.
+
+Only modelled attributes are stored: the mirror schema comes from the
+resource model, so unmodelled fields in responses are dropped (the paper's
+models deliberately cover only the critical slice).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..uml import ClassDiagram, Trigger
+
+
+class MirrorTable:
+    """One resource definition's rows, keyed by the resource id."""
+
+    def __init__(self, resource_name: str, columns: List[str]):
+        self.resource_name = resource_name
+        self.columns = list(columns)
+        self.rows: Dict[str, Dict[str, Any]] = {}
+
+    def upsert(self, document: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Insert or update a row from *document*; needs an ``id`` field."""
+        resource_id = document.get("id")
+        if resource_id is None:
+            return None
+        row = {column: document.get(column) for column in self.columns}
+        row["id"] = resource_id
+        self.rows[str(resource_id)] = row
+        return row
+
+    def remove(self, resource_id: str) -> bool:
+        """Drop the row with *resource_id*; returns whether it existed."""
+        return self.rows.pop(str(resource_id), None) is not None
+
+    def get(self, resource_id: str) -> Optional[Dict[str, Any]]:
+        """The mirrored row, or ``None``."""
+        return self.rows.get(str(resource_id))
+
+    def all(self) -> List[Dict[str, Any]]:
+        """All mirrored rows."""
+        return list(self.rows.values())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<MirrorTable {self.resource_name}: {len(self.rows)} rows>"
+
+
+class MirrorDatabase:
+    """Per-resource mirror tables derived from the resource model."""
+
+    def __init__(self, diagram: ClassDiagram):
+        self.diagram = diagram
+        self.tables: Dict[str, MirrorTable] = {}
+        for cls in diagram.iter_classes():
+            if not cls.is_collection:
+                self.tables[cls.name] = MirrorTable(
+                    cls.name, [attribute.name for attribute in cls.attributes])
+
+    def table(self, resource_name: str) -> Optional[MirrorTable]:
+        """The table for *resource_name* (case-insensitive), or ``None``."""
+        cls = self.diagram.find_class(resource_name)
+        if cls is None:
+            return None
+        return self.tables.get(cls.name)
+
+    def _member_table(self, collection_name: str) -> Optional[MirrorTable]:
+        """The table of a collection's member class."""
+        cls = self.diagram.find_class(collection_name)
+        if cls is None or not cls.is_collection:
+            return None
+        outgoing = self.diagram.outgoing(cls.name)
+        if not outgoing:
+            return None
+        return self.tables.get(outgoing[0].target)
+
+    def observe(self, trigger: Trigger, body: Any,
+                item_id: Optional[str] = None) -> None:
+        """Ingest one monitored response.
+
+        * GET/POST/PUT whose body contains item documents upserts them,
+        * DELETE removes the addressed row.
+
+        OpenStack wraps payloads (``{"volume": {...}}`` /
+        ``{"volumes": [...]}``); both wrapped and bare forms are accepted.
+        """
+        cls = self.diagram.find_class(trigger.resource)
+        if cls is None:
+            return
+        if cls.is_collection:
+            table = self._member_table(cls.name)
+        else:
+            table = self.tables.get(cls.name)
+        if table is None:
+            return
+
+        if trigger.method == "DELETE":
+            if item_id is not None:
+                table.remove(item_id)
+            return
+
+        documents = self._extract_documents(body)
+        for document in documents:
+            table.upsert(document)
+
+    @staticmethod
+    def _extract_documents(body: Any) -> List[Dict[str, Any]]:
+        if isinstance(body, dict):
+            # Unwrap {"volume": {...}} / {"volumes": [...]} single-key
+            # envelopes; a bare resource document is used as-is.
+            if len(body) == 1:
+                inner = next(iter(body.values()))
+                if isinstance(inner, dict):
+                    return [inner]
+                if isinstance(inner, list):
+                    return [item for item in inner if isinstance(item, dict)]
+            if "id" in body:
+                return [body]
+            return []
+        if isinstance(body, list):
+            return [item for item in body if isinstance(item, dict)]
+        return []
+
+    def __repr__(self) -> str:
+        sizes = {name: len(table) for name, table in self.tables.items()}
+        return f"<MirrorDatabase {sizes}>"

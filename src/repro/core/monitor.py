@@ -1,0 +1,522 @@
+"""The runtime cloud monitor: the Figure 2 workflow as a proxy wrapper.
+
+Per monitored request the monitor:
+
+1. **probes** the addressable state of the private cloud with GET requests
+   (carrying the requesting user's own token -- exactly what the paper's
+   wrapper does with urllib2) and binds the OCL roots ``project``,
+   ``volume``, ``quota_sets``, ``user``;
+2. **checks the pre-condition** of the method contract; in enforcing mode
+   a failing pre-condition blocks the request with 412 ("the HTTP method
+   request from CM user is forwarded to the private cloud if the
+   pre-condition is satisfied"), in audit mode (the automated-testing-script
+   user of Section III-B) the request is forwarded anyway and a success
+   response despite a false pre-condition is reported as a violation --
+   that is how privilege-escalation mutants are killed;
+3. **snapshots** the ``pre()`` old values the post-condition references
+   ("we save the resource state before the method execution in the local
+   variables of the monitor");
+4. **forwards** the request to the private cloud;
+5. **checks the response code** against the method's expected success codes
+   and **re-probes** to evaluate the post-condition;
+6. returns the cloud's response when everything holds, otherwise "an
+   invalid response specifying the faulty behavior".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import MonitorError
+from ..httpsim import Application, Network, Request, Response, path, status
+from ..ocl import Context
+from ..ocl.values import UNDEFINED
+from ..uml import ClassDiagram, StateMachine, Trigger
+from .contracts import ContractGenerator, MethodContract
+from .coverage import CoverageTracker
+from .mirror import MirrorDatabase
+
+#: Success codes the monitor accepts per HTTP method (Cinder conventions;
+#: Listing 2 checks ``response.code == 204`` for DELETE).
+EXPECTED_SUCCESS_CODES: Dict[str, Tuple[int, ...]] = {
+    "GET": (200,),
+    "PUT": (200,),
+    "POST": (200, 201, 202),
+    "DELETE": (204,),
+}
+
+
+class Verdict:
+    """The possible outcomes of one monitored request."""
+
+    VALID = "valid"
+    #: Enforcing mode: pre-condition failed, request not forwarded.
+    PRE_BLOCKED = "pre-blocked"
+    #: Audit mode: pre-condition failed but the cloud accepted the request
+    #: (privilege escalation / missing check in the implementation).
+    PRE_VIOLATION = "pre-violation"
+    #: Pre-condition held but the cloud rejected the request
+    #: (privilege loss: an authorized user was denied).
+    REJECTED_VALID = "rejected-valid-request"
+    #: Pre held, response accepted, but the post-condition failed
+    #: (wrong effect or wrong status code).
+    POST_VIOLATION = "post-violation"
+    #: Audit mode: pre-condition failed and the cloud also rejected --
+    #: both sides agree the request is invalid.
+    INVALID_AGREED = "invalid-agreed"
+
+    VIOLATIONS = (PRE_VIOLATION, REJECTED_VALID, POST_VIOLATION)
+
+
+class MonitorVerdict:
+    """The full record of one monitored request (the traceability log row)."""
+
+    def __init__(self, trigger: Trigger, verdict: str, pre_holds: bool,
+                 forwarded: bool, response_status: Optional[int],
+                 post_holds: Optional[bool], message: str,
+                 security_requirements: List[str],
+                 snapshot_bytes: int = 0):
+        self.trigger = trigger
+        self.verdict = verdict
+        self.pre_holds = pre_holds
+        self.forwarded = forwarded
+        self.response_status = response_status
+        self.post_holds = post_holds
+        self.message = message
+        self.security_requirements = security_requirements
+        self.snapshot_bytes = snapshot_bytes
+
+    @property
+    def violation(self) -> bool:
+        """True when the cloud implementation contradicted the contract."""
+        return self.verdict in Verdict.VIOLATIONS
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, embedded in invalid responses."""
+        return {
+            "operation": str(self.trigger),
+            "verdict": self.verdict,
+            "pre_holds": self.pre_holds,
+            "forwarded": self.forwarded,
+            "response_status": self.response_status,
+            "post_holds": self.post_holds,
+            "message": self.message,
+            "security_requirements": self.security_requirements,
+        }
+
+    def __repr__(self) -> str:
+        return f"<MonitorVerdict {self.trigger} {self.verdict}>"
+
+
+class CloudStateProvider:
+    """Binds the OCL roots by probing the cloud's REST surface.
+
+    The paper defines state invariants "as a boolean expression over the
+    addressable resources" (Section IV-B): a resource exists iff GET on its
+    URI returns 200.  Every probe uses the requesting user's token.
+    """
+
+    def __init__(self, network: Network, project_id: str,
+                 keystone_host: str = "keystone",
+                 cinder_host: str = "cinder",
+                 cache_identity: bool = False):
+        self.network = network
+        self.project_id = project_id
+        self.keystone_host = keystone_host
+        self.cinder_host = cinder_host
+        #: Probe counter for the OVERHEAD bench.
+        self.probe_count = 0
+        #: When enabled, token introspection results are cached per token:
+        #: a token's identity is immutable for its lifetime, so the probe
+        #: can be paid once instead of twice per monitored request.  Role
+        #: *assignments* may still change; call
+        #: :meth:`invalidate_identity_cache` after RBAC changes.
+        self.cache_identity = cache_identity
+        self._identity_cache: Dict[str, Dict[str, Any]] = {}
+
+    def _get(self, token: str, url: str,
+             extra_headers: Optional[Dict[str, str]] = None) -> Response:
+        headers = {"X-Auth-Token": token}
+        if extra_headers:
+            headers.update(extra_headers)
+        self.probe_count += 1
+        return self.network.send(Request("GET", url, headers=headers))
+
+    @staticmethod
+    def probe_body(response: Response) -> Optional[Dict[str, Any]]:
+        """The probe's JSON object, or ``None`` when unusable.
+
+        A 2xx response with a malformed or non-object body (a mangling
+        proxy, a half-written release) is treated like an unreachable
+        resource: the binding stays undefined instead of crashing the
+        monitor -- the addressable-state semantics degrade gracefully.
+        """
+        if not status.indicates_existence(response.status_code):
+            return None
+        try:
+            body = response.json()
+        except ValueError:
+            return None
+        return body if isinstance(body, dict) else None
+
+    def bindings(self, token: str,
+                 item_id: Optional[str] = None) -> Dict[str, Any]:
+        """Probe and return the OCL root bindings for one evaluation.
+
+        *item_id* is the id captured from the monitored item URI (for the
+        Cinder scenario, the volume id).
+        """
+        volume_id = item_id
+        project: Dict[str, Any] = {}
+        response = self._get(
+            token,
+            f"http://{self.keystone_host}/v3/projects/{self.project_id}")
+        if self.probe_body(response) is not None:
+            project["id"] = self.project_id
+        volumes_body = self.probe_body(self._get(
+            token,
+            f"http://{self.cinder_host}/v3/{self.project_id}/volumes"))
+        if volumes_body is not None:
+            project["volumes"] = volumes_body.get("volumes", [])
+
+        quota: Any = UNDEFINED
+        quota_body = self.probe_body(self._get(
+            token,
+            f"http://{self.cinder_host}/v3/{self.project_id}/quota_sets"))
+        if quota_body is not None:
+            quota = quota_body.get("quota_set", {})
+
+        volume: Dict[str, Any] = {}
+        if volume_id is not None:
+            item_body = self.probe_body(self._get(
+                token,
+                f"http://{self.cinder_host}/v3/{self.project_id}"
+                f"/volumes/{volume_id}"))
+            if item_body is not None:
+                volume = dict(item_body.get("volume", {}))
+                # Release-2 clouds expose snapshots; on older releases the
+                # probe 404s and the binding stays undefined (size 0).
+                snaps_body = self.probe_body(self._get(
+                    token,
+                    f"http://{self.cinder_host}/v3/{self.project_id}"
+                    f"/snapshots?volume_id={volume_id}"))
+                if snaps_body is not None:
+                    volume["snapshots"] = snaps_body.get("snapshots", [])
+
+        user = self._identity(token)
+
+        return {
+            "project": project,
+            "quota_sets": quota,
+            "volume": volume,
+            "user": user,
+        }
+
+    def _identity(self, token: str) -> Dict[str, Any]:
+        """Resolve the requesting user via token introspection (cachable)."""
+        if self.cache_identity and token in self._identity_cache:
+            return dict(self._identity_cache[token])
+        user: Dict[str, Any] = {}
+        whoami_body = self.probe_body(self._get(
+            token, f"http://{self.keystone_host}/v3/auth/tokens",
+            extra_headers={"X-Subject-Token": token}))
+        if whoami_body is not None:
+            info = whoami_body.get("token", {})
+            user = {
+                "id": info.get("user", {}).get("id"),
+                "roles": [r["name"] for r in info.get("roles", [])],
+                "groups": [g["name"] for g in info.get("groups", [])],
+            }
+            if self.cache_identity:
+                self._identity_cache[token] = dict(user)
+        return user
+
+    def invalidate_identity_cache(self) -> None:
+        """Drop cached identities (after role-assignment changes)."""
+        self._identity_cache.clear()
+
+    def context(self, token: str,
+                item_id: Optional[str] = None) -> Context:
+        """A lenient OCL context over freshly probed state."""
+        return Context(self.bindings(token, item_id), strict=False)
+
+
+class MonitoredOperation:
+    """One monitor route: trigger + forward target + expected codes."""
+
+    def __init__(self, trigger: Trigger, monitor_path: str,
+                 cloud_url_template: str,
+                 expected_codes: Optional[Tuple[int, ...]] = None):
+        self.trigger = trigger
+        self.monitor_path = monitor_path
+        self.cloud_url_template = cloud_url_template
+        self.expected_codes = (expected_codes or
+                               EXPECTED_SUCCESS_CODES[trigger.method])
+
+    def cloud_url(self, path_args: Dict[str, str]) -> str:
+        """Fill the forward-URL template with the request's path captures."""
+        url = self.cloud_url_template
+        for key, value in path_args.items():
+            url = url.replace("{" + key + "}", str(value))
+        return url
+
+    def __repr__(self) -> str:
+        return f"<MonitoredOperation {self.trigger} at {self.monitor_path}>"
+
+
+def operations_from_models(machine: StateMachine, diagram: ClassDiagram,
+                           cloud_base: str, mount: str = "cmonitor",
+                           scope_var: str = "project_id",
+                           ) -> List[MonitoredOperation]:
+    """Derive the monitor's routes from the design models.
+
+    Each trigger of the behavioral model maps to the URI the resource model
+    derives for its resource.  The monitor is scoped to one project
+    (Listing 2 forwards to a fixed project URL), so the leading
+    ``/{project_id}`` template segment is dropped from the monitor-side
+    path and baked into *cloud_base* instead.  Remaining ``{x}`` template
+    segments become ``<str:x>`` route captures.
+    """
+    paths = diagram.uri_paths()
+    operations: List[MonitoredOperation] = []
+    scope_prefix = "/{" + scope_var + "}"
+    for trigger in machine.triggers():
+        cls = diagram.find_class(trigger.resource)
+        if cls is None:
+            continue
+        if cls.is_collection:
+            uri = paths.get(cls.name)
+        else:
+            uri = diagram.item_uri(cls.name)
+        if uri is None:
+            continue
+        # Strip the project-scope segment only when it is a *prefix* of a
+        # longer path -- when the whole URI is "/{project_id}" the template
+        # addresses the item itself (e.g. Keystone's project resource).
+        if uri.startswith(scope_prefix) and len(uri) > len(scope_prefix):
+            uri = uri[len(scope_prefix):]
+        monitor_path = (mount + re.sub(r"\{(\w+)\}", r"<str:\1>", uri)
+                        ).rstrip("/")
+        cloud_url = cloud_base + uri
+        operations.append(MonitoredOperation(trigger, monitor_path, cloud_url))
+    return operations
+
+
+class CloudMonitor:
+    """The generated monitor: contracts + state provider + forwarding."""
+
+    def __init__(self, contracts: Dict[Trigger, MethodContract],
+                 provider: CloudStateProvider,
+                 operations: Iterable[MonitoredOperation],
+                 enforcing: bool = True,
+                 coverage: Optional[CoverageTracker] = None,
+                 mirror: Optional["MirrorDatabase"] = None):
+        self.contracts = contracts
+        self.provider = provider
+        self.operations = list(operations)
+        self.enforcing = enforcing
+        self.coverage = coverage
+        #: Optional local copy of the monitored resources (the runtime
+        #: analogue of the generated models.py tables).
+        self.mirror = mirror
+        #: Every verdict, in arrival order -- the validation log
+        #: ("the invocation results can be logged for further fault
+        #: localization", Section III-B).
+        self.log: List[MonitorVerdict] = []
+        self.app = Application("cmonitor")
+        self._install_routes()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def for_cinder(cls, network: Network, project_id: str,
+                   machine: Optional[StateMachine] = None,
+                   diagram: Optional[ClassDiagram] = None,
+                   enforcing: bool = True,
+                   coverage: Optional[CoverageTracker] = None,
+                   cinder_host: str = "cinder",
+                   with_mirror: bool = False,
+                   compiled: bool = False) -> "CloudMonitor":
+        """Assemble the paper's monitor for the Cinder volume scenario.
+
+        Builds the Figure-3 models (unless given), generates the contracts,
+        and mounts the ``/cmonitor/volumes`` routes that forward to
+        ``/v3/{project_id}/volumes`` on the Cinder endpoint -- the layout of
+        Listings 2 and 3.
+        """
+        from .behavior_model import cinder_behavior_model
+        from .resource_model import cinder_resource_model
+
+        machine = machine or cinder_behavior_model()
+        diagram = diagram or cinder_resource_model()
+        generator = ContractGenerator(machine, diagram)
+        contracts = generator.all_contracts()
+        if compiled:
+            for contract in contracts.values():
+                contract.compile()
+        base = f"http://{cinder_host}/v3/{project_id}"
+        operations = operations_from_models(machine, diagram, base)
+        provider = CloudStateProvider(network, project_id,
+                                      cinder_host=cinder_host)
+        if coverage is None:
+            coverage = CoverageTracker(machine.security_requirement_ids())
+        mirror = MirrorDatabase(diagram) if with_mirror else None
+        return cls(contracts, provider, operations,
+                   enforcing=enforcing, coverage=coverage, mirror=mirror)
+
+    def _install_routes(self) -> None:
+        by_path: Dict[str, List[MonitoredOperation]] = {}
+        for operation in self.operations:
+            by_path.setdefault(operation.monitor_path, []).append(operation)
+        for monitor_path, operations in by_path.items():
+            self.app.add_route(path(
+                monitor_path,
+                self._make_view({op.trigger.method: op for op in operations}),
+                name=monitor_path,
+            ))
+
+    def _make_view(self, by_method: Dict[str, "MonitoredOperation"]):
+        def view(request: Request, **kwargs) -> Response:
+            operation = by_method.get(request.method)
+            if operation is None:
+                return Response.method_not_allowed(tuple(by_method))
+            response, _ = self.monitor_request(operation, request)
+            return response
+
+        return view
+
+    # -- the Figure 2 workflow ---------------------------------------------------
+
+    def monitor_request(self, operation: MonitoredOperation,
+                        request: Request) -> Tuple[Response, MonitorVerdict]:
+        """Run one request through pre-check, forward, post-check."""
+        token = request.auth_token or ""
+        contract = self.contracts.get(operation.trigger)
+        if contract is None:
+            raise MonitorError(
+                f"no contract generated for {operation.trigger}")
+        item_id = next(iter(request.path_args.values()), None)
+
+        # (1)-(2) probe pre-state and check the pre-condition.
+        pre_context = self.provider.context(token, item_id)
+        pre_holds = contract.check_pre(pre_context)
+        applicable = contract.applicable_cases(pre_context)
+        requirements = self._requirements(contract, applicable)
+
+        if not pre_holds and self.enforcing:
+            verdict = self._finish(
+                MonitorVerdict(
+                    operation.trigger, Verdict.PRE_BLOCKED, False, False,
+                    None, None,
+                    "pre-condition failed; request not forwarded",
+                    requirements))
+            return self._invalid_response(412, verdict), verdict
+
+        # (3) snapshot the old values the post-condition references.
+        snapshot = contract.snapshot(pre_context)
+
+        # (4) forward to the private cloud.
+        forwarded = request.copy()
+        forwarded_url = operation.cloud_url(request.path_args)
+        forward_request = Request(request.method, forwarded_url,
+                                  body=request.body)
+        forward_request.headers = request.headers.copy()
+        cloud_response = self.provider.network.send(forward_request)
+        accepted = cloud_response.status_code in operation.expected_codes
+        succeeded = status.is_success(cloud_response.status_code)
+
+        # (5) check the outcome against the contract.
+        if not pre_holds:
+            if succeeded:
+                verdict = self._finish(MonitorVerdict(
+                    operation.trigger, Verdict.PRE_VIOLATION, False, True,
+                    cloud_response.status_code, None,
+                    "cloud accepted a request whose pre-condition is false "
+                    "(privilege escalation or missing check)",
+                    requirements))
+                return self._invalid_response(502, verdict), verdict
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.INVALID_AGREED, False, True,
+                cloud_response.status_code, None,
+                "pre-condition false and cloud rejected the request",
+                requirements))
+            return cloud_response, verdict
+
+        if not succeeded:
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.REJECTED_VALID, True, True,
+                cloud_response.status_code, None,
+                "cloud rejected a request whose pre-condition holds "
+                "(authorized user denied or wrong functional check)",
+                requirements))
+            return self._invalid_response(502, verdict), verdict
+
+        post_context = self.provider.context(token, item_id)
+        post_holds = contract.check_post(post_context, snapshot)
+        if not accepted:
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.POST_VIOLATION, True, True,
+                cloud_response.status_code, post_holds,
+                f"unexpected status code {cloud_response.status_code}; "
+                f"expected one of {operation.expected_codes}",
+                requirements, snapshot_bytes=snapshot.storage_bytes))
+            return self._invalid_response(502, verdict), verdict
+        if not post_holds:
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.POST_VIOLATION, True, True,
+                cloud_response.status_code, False,
+                "post-condition failed after a successful request",
+                requirements, snapshot_bytes=snapshot.storage_bytes))
+            return self._invalid_response(502, verdict), verdict
+
+        verdict = self._finish(MonitorVerdict(
+            operation.trigger, Verdict.VALID, True, True,
+            cloud_response.status_code, True,
+            "pre- and post-conditions hold",
+            requirements, snapshot_bytes=snapshot.storage_bytes))
+        if self.mirror is not None:
+            try:
+                body = cloud_response.json()
+            except ValueError:
+                body = None
+            self.mirror.observe(operation.trigger, body, item_id=item_id)
+        return cloud_response, verdict
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    @staticmethod
+    def _requirements(contract: MethodContract, applicable) -> List[str]:
+        if applicable:
+            seen: Dict[str, None] = {}
+            for case in applicable:
+                for requirement in case.security_requirements:
+                    seen.setdefault(requirement, None)
+            return list(seen)
+        return contract.security_requirements
+
+    def _finish(self, verdict: MonitorVerdict) -> MonitorVerdict:
+        self.log.append(verdict)
+        if self.coverage is not None:
+            self.coverage.record(verdict.security_requirements,
+                                 passed=not verdict.violation)
+        return verdict
+
+    @staticmethod
+    def _invalid_response(code: int, verdict: MonitorVerdict) -> Response:
+        return Response.json_response({"monitor": verdict.to_dict()}, code)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def violations(self) -> List[MonitorVerdict]:
+        """All violation verdicts recorded so far."""
+        return [verdict for verdict in self.log if verdict.violation]
+
+    def clear_log(self) -> None:
+        """Forget recorded verdicts (coverage counters are kept)."""
+        self.log.clear()
+
+    def __repr__(self) -> str:
+        mode = "enforcing" if self.enforcing else "audit"
+        return (f"<CloudMonitor {mode} operations={len(self.operations)} "
+                f"log={len(self.log)}>")

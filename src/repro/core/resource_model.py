@@ -1,0 +1,114 @@
+"""A fluent, REST-aware builder for resource models.
+
+Wraps :class:`repro.uml.ClassDiagram` with the idioms of Section IV-A:
+``collection()`` declares a collection resource definition, ``resource()``
+a normal one, ``contains()`` the 0..* membership association, and
+``references()`` a to-one association.  :func:`cinder_resource_model`
+reproduces Figure 3 (left).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..uml import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+)
+from ..uml.validation import errors_only, validate_class_diagram
+from ..errors import ModelError
+
+
+class ResourceModelBuilder:
+    """Builds a validated resource model step by step."""
+
+    def __init__(self, name: str):
+        self.diagram = ClassDiagram(name)
+
+    def collection(self, name: str) -> "ResourceModelBuilder":
+        """Declare a collection resource definition (a class w/o attributes)."""
+        self.diagram.add_class(ResourceClass(name))
+        return self
+
+    def resource(self, name: str,
+                 attributes: Sequence[Tuple[str, str]]) -> "ResourceModelBuilder":
+        """Declare a normal resource definition with ``(name, type)`` attributes."""
+        attrs = [Attribute(attr_name, type_name)
+                 for attr_name, type_name in attributes]
+        if not attrs:
+            raise ModelError(
+                f"normal resource {name!r} needs at least one attribute; "
+                f"use collection() for attribute-less resources")
+        self.diagram.add_class(ResourceClass(name, attrs))
+        return self
+
+    def contains(self, parent: str, child: str,
+                 role_name: Optional[str] = None) -> "ResourceModelBuilder":
+        """Add 0..* membership: *parent* (a collection) contains *child*."""
+        self.diagram.add_association(Association(
+            parent, child, role_name or child, Multiplicity(0, MANY)))
+        return self
+
+    def references(self, source: str, target: str, role_name: str,
+                   lower: int = 1,
+                   upper: Optional[int] = 1) -> "ResourceModelBuilder":
+        """Add an association from *source* to *target*; ``upper=MANY`` for 0..*."""
+        self.diagram.add_association(Association(
+            source, target, role_name, Multiplicity(lower, upper)))
+        return self
+
+    def build(self, validate: bool = True) -> ClassDiagram:
+        """Return the diagram, raising on blocking well-formedness errors."""
+        if validate:
+            problems = errors_only(validate_class_diagram(self.diagram))
+            if problems:
+                raise ModelError(
+                    "resource model is not well-formed: "
+                    + "; ".join(str(problem) for problem in problems))
+        return self.diagram
+
+
+def cinder_resource_model(with_snapshots: bool = False) -> ClassDiagram:
+    """The Figure 3 (left) resource model of the Cinder API.
+
+    Two collections (*Projects*, *Volumes*) and three normal resources
+    (*project*, *volume*, *quota_sets*); the derived URIs match the paper's
+    ``/{project_id}/volumes/`` layout.
+
+    ``with_snapshots=True`` is the release-2 revision: volumes gain a
+    contained *Snapshots* collection of *snapshot* resources (the feature
+    the upgraded cloud exposes).
+    """
+    builder = ResourceModelBuilder(
+        "Cinder_v2" if with_snapshots else "Cinder")
+    builder.collection("Projects")
+    builder.resource("project", [("id", "String"), ("name", "String")])
+    builder.collection("Volumes")
+    builder.resource("volume", [
+        ("id", "String"),
+        ("name", "String"),
+        ("status", "String"),
+        ("size", "Integer"),
+    ])
+    builder.resource("quota_sets", [("volumes", "Integer")])
+    builder.resource("usergroup", [("name", "String")])
+    builder.contains("Projects", "project", "projects")
+    builder.references("project", "Volumes", "volumes")
+    builder.contains("Volumes", "volume", "volumes")
+    builder.references("project", "quota_sets", "quota_sets")
+    builder.references("project", "usergroup", "usergroups", lower=0, upper=MANY)
+    if with_snapshots:
+        builder.collection("Snapshots")
+        builder.resource("snapshot", [
+            ("id", "String"),
+            ("name", "String"),
+            ("status", "String"),
+            ("volume_id", "String"),
+        ])
+        builder.references("volume", "Snapshots", "snapshots")
+        builder.contains("Snapshots", "snapshot", "snapshots")
+    return builder.build()

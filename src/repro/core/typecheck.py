@@ -1,0 +1,121 @@
+"""Static cross-checking of OCL text against the resource model.
+
+A typo in an invariant (``volume.statu``) or a guard referencing a
+resource the class diagram does not define would otherwise surface only
+at monitoring time, as an undefined binding silently making guards false.
+This checker walks every OCL expression of a behavioral model and reports
+navigations that the resource model cannot justify.
+
+The check is necessarily heuristic: OCL root names are matched to
+resource classes by (case-insensitive) name, and an attribute step is
+accepted if it is a modelled attribute, an association role name, or one
+of the well-known runtime bindings (``user`` fields, ``id``).  Unknown
+roots are reported once; unknown steps per occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from ..ocl import parse
+from ..ocl.nodes import Expression, IteratorCall, Let, Name, Navigation
+from ..uml import ClassDiagram, StateMachine
+from ..uml.validation import WARNING, Violation
+
+#: Root names the monitor binds that are not resource classes.
+RUNTIME_ROOTS = {"user", "self"}
+#: Attribute steps always accepted (runtime bindings / identity fields).
+RUNTIME_STEPS = {"id", "roles", "groups", "project"}
+
+
+class _ModelIndex:
+    """Attribute and role-name lookup tables for a class diagram."""
+
+    def __init__(self, diagram: ClassDiagram):
+        self.diagram = diagram
+        self.attributes: Dict[str, Set[str]] = {}
+        self.roles: Dict[str, Set[str]] = {}
+        for cls in diagram.iter_classes():
+            key = cls.name.lower()
+            self.attributes[key] = {a.name for a in cls.attributes}
+            self.roles[key] = {
+                association.role_name
+                for association in diagram.outgoing(cls.name)}
+
+    def knows_root(self, name: str) -> bool:
+        return name.lower() in self.attributes or name in RUNTIME_ROOTS
+
+    def step_ok(self, root: str, step: str) -> bool:
+        if step in RUNTIME_STEPS:
+            return True
+        key = root.lower()
+        return (step in self.attributes.get(key, set())
+                or step in self.roles.get(key, set()))
+
+
+def _navigation_chains(node: Expression) -> Iterator[List[str]]:
+    """Yield ``[root, step1, step2, ...]`` for every navigation chain."""
+    if isinstance(node, Navigation):
+        chain: List[str] = [node.attribute]
+        source = node.source
+        while isinstance(source, Navigation):
+            chain.append(source.attribute)
+            source = source.source
+        if isinstance(source, Name):
+            chain.append(source.identifier)
+            yield list(reversed(chain))
+        # Non-name bases (call results) are not statically checkable.
+        yield from _navigation_chains(node.source)
+        return
+    for child in node.children():
+        yield from _navigation_chains(child)
+
+
+def _iterator_variables(node: Expression) -> Set[str]:
+    return {descendant.variable for descendant in node.walk()
+            if isinstance(descendant, (IteratorCall, Let))}
+
+
+def check_expression(text: str, diagram: ClassDiagram,
+                     element: str) -> List[Violation]:
+    """Check one OCL expression; returns warning-level violations."""
+    violations: List[Violation] = []
+    node = parse(text)
+    bound_variables = _iterator_variables(node) | RUNTIME_ROOTS
+    index = _ModelIndex(diagram)
+    reported_roots: Set[str] = set()
+    for chain in _navigation_chains(node):
+        root, steps = chain[0], chain[1:]
+        if root in bound_variables:
+            continue
+        if not index.knows_root(root):
+            if root not in reported_roots:
+                reported_roots.add(root)
+                violations.append(Violation(
+                    WARNING, element,
+                    f"OCL navigates from {root!r}, which is not a class "
+                    f"of the resource model"))
+            continue
+        if steps and not index.step_ok(root, steps[0]):
+            violations.append(Violation(
+                WARNING, element,
+                f"OCL navigation {root}.{steps[0]!r} matches no attribute "
+                f"or association role of {root!r}"))
+    return violations
+
+
+def check_models(diagram: ClassDiagram,
+                 machine: StateMachine) -> List[Violation]:
+    """Cross-check every invariant, guard, and effect of *machine*."""
+    violations: List[Violation] = []
+    for state in machine.iter_states():
+        violations.extend(check_expression(
+            state.invariant, diagram, f"state {state.name}"))
+    for position, transition in enumerate(machine.transitions):
+        element = (f"transition {transition.source}->"
+                   f"{transition.target}#{position}")
+        violations.extend(check_expression(
+            transition.guard, diagram, element))
+        violations.extend(check_expression(
+            transition.effect, diagram, element))
+    return violations

@@ -1,0 +1,82 @@
+"""Exception hierarchy shared across the reproduction packages.
+
+Every subsystem defines its errors as subclasses of :class:`ReproError` so
+callers can catch either the narrow or the broad class.  The split mirrors
+the pipeline stages of the paper: modelling errors, OCL errors, generation
+errors, and runtime monitoring errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ModelError(ReproError):
+    """A UML model is malformed or violates a REST well-formedness rule."""
+
+
+class XMIError(ModelError):
+    """An XMI document could not be parsed or serialized."""
+
+
+class OCLError(ReproError):
+    """Base class for OCL lexing, parsing, or evaluation failures."""
+
+
+class OCLSyntaxError(OCLError):
+    """The OCL source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1, line: int = 1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class OCLTypeError(OCLError):
+    """An OCL expression applied an operation to an incompatible value."""
+
+
+class OCLEvaluationError(OCLError):
+    """An OCL expression could not be evaluated in the given context."""
+
+
+class OCLNameError(OCLEvaluationError):
+    """A navigation step or variable name is not bound in the context."""
+
+
+class GenerationError(ReproError):
+    """Contract or code generation failed."""
+
+
+class MonitorError(ReproError):
+    """The runtime cloud monitor hit an unrecoverable condition."""
+
+
+class HTTPSimError(ReproError):
+    """Base class for the in-process HTTP substrate."""
+
+
+class RoutingError(HTTPSimError):
+    """No route matched, or a route pattern is invalid."""
+
+
+class HostNotFound(HTTPSimError):
+    """The virtual network has no application bound to the requested host."""
+
+
+class PolicyError(ReproError):
+    """An RBAC policy file or rule is malformed."""
+
+
+class CloudError(ReproError):
+    """The cloud simulator was driven into an invalid configuration."""
+
+
+class QuotaExceeded(CloudError):
+    """A project attempted to exceed its resource quota."""
+
+
+class ValidationError(ReproError):
+    """The mutation-validation campaign was misconfigured."""

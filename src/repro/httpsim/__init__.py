@@ -1,0 +1,53 @@
+"""In-process HTTP substrate: the reproduction's Django + urllib2 + cURL.
+
+The paper implements its cloud monitor in the Django web framework and
+forwards requests to OpenStack with urllib2, driving everything with cURL.
+This package provides the equivalent, fully in-process:
+
+* :class:`Request` / :class:`Response` messages with JSON bodies and
+  OpenStack-style ``X-Auth-Token`` headers,
+* a :class:`Router` with Django-style URL patterns (``urls.py``),
+* :class:`Application` objects with middleware (a deployed project),
+* a :class:`Network` of virtual hosts so the monitor can forward to the
+  cloud by absolute URL,
+* :class:`Client` / :class:`AppClient` (urllib2) and :func:`curl`.
+"""
+
+from .app import Application
+from .client import AppClient, Client
+from .curl import CurlError, curl, form_data
+from .message import Headers, Request, Response
+from .middleware import (
+    ContentTypeMiddleware,
+    Middleware,
+    MiddlewareStack,
+    RequestLogMiddleware,
+)
+from .network import Network
+from .routing import Route, Router, path, re_path
+from .server import AppServer, serve
+from . import status
+
+__all__ = [
+    "Application",
+    "AppClient",
+    "AppServer",
+    "serve",
+    "Client",
+    "ContentTypeMiddleware",
+    "CurlError",
+    "Headers",
+    "Middleware",
+    "MiddlewareStack",
+    "Network",
+    "Request",
+    "RequestLogMiddleware",
+    "Response",
+    "Route",
+    "Router",
+    "curl",
+    "form_data",
+    "path",
+    "re_path",
+    "status",
+]

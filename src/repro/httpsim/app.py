@@ -1,0 +1,100 @@
+"""The application object: routing + middleware + view dispatch.
+
+An :class:`Application` is the in-process analogue of a deployed Django
+project.  Both the simulated cloud services (Keystone, Cinder, ...) and the
+generated cloud monitor are Applications; a :class:`~repro.httpsim.network.Network`
+binds them to virtual host names so the monitor can forward requests to the
+cloud by URL, as the paper's wrapper does with urllib2.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, Iterable, Optional
+
+from .message import Request, Response
+from .middleware import Middleware, MiddlewareStack
+from .routing import Route, Router
+
+View = Callable[..., Response]
+
+
+class Application:
+    """A routed, middleware-wrapped request handler.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in logs and error bodies.
+    routes:
+        Initial route table.
+    debug:
+        When true, unhandled view exceptions include the traceback in the
+        500 body (useful in tests); otherwise only the exception text.
+    """
+
+    def __init__(self, name: str = "app", routes: Optional[Iterable[Route]] = None,
+                 debug: bool = False):
+        self.name = name
+        self.router = Router(routes)
+        self.middleware = MiddlewareStack()
+        self.debug = debug
+
+    def add_route(self, route: Route) -> None:
+        """Register a single route."""
+        self.router.add(route)
+
+    def add_routes(self, routes: Iterable[Route]) -> None:
+        """Register several routes in order."""
+        self.router.extend(routes)
+
+    def add_middleware(self, layer: Middleware) -> None:
+        """Push *layer* onto the middleware stack (outermost first)."""
+        self.middleware.add(layer)
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch *request* through middleware, routing, and the view.
+
+        Never raises: routing misses become 404/405 and view exceptions
+        become 500, mirroring how a web server isolates handler faults.
+        """
+        return self.middleware.wrap(self._dispatch)(request)
+
+    # Convenience verbs used heavily in tests and examples. ---------------
+
+    def get(self, url: str, **kwargs) -> Response:
+        """Handle a GET built from *url*."""
+        return self.handle(Request("GET", url, **kwargs))
+
+    def post(self, url: str, payload=None, **kwargs) -> Response:
+        """Handle a POST; *payload* is JSON-serialized when given."""
+        return self._write("POST", url, payload, **kwargs)
+
+    def put(self, url: str, payload=None, **kwargs) -> Response:
+        """Handle a PUT; *payload* is JSON-serialized when given."""
+        return self._write("PUT", url, payload, **kwargs)
+
+    def delete(self, url: str, **kwargs) -> Response:
+        """Handle a DELETE built from *url*."""
+        return self.handle(Request("DELETE", url, **kwargs))
+
+    def _write(self, method: str, url: str, payload, **kwargs) -> Response:
+        if payload is None:
+            return self.handle(Request(method, url, **kwargs))
+        headers = kwargs.pop("headers", None)
+        return self.handle(Request.json_request(method, url, payload, headers=headers))
+
+    def _dispatch(self, request: Request) -> Response:
+        route, error = self.router.resolve(request)
+        if error is not None:
+            return error
+        assert route is not None
+        try:
+            args = request.context.get("route_args", {})
+            return route.view(request, **args)
+        except Exception as exc:  # noqa: BLE001 -- a view fault must become a 500
+            detail = traceback.format_exc() if self.debug else str(exc)
+            return Response.error(500, f"{self.name}: view {route.name!r} failed: {detail}")
+
+    def __repr__(self) -> str:
+        return f"<Application {self.name} routes={len(self.router)}>"

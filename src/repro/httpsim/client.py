@@ -1,0 +1,100 @@
+"""HTTP clients for the virtual network -- the urllib2 of this reproduction.
+
+:class:`Client` talks to a whole :class:`~repro.httpsim.network.Network`
+using absolute URLs; :class:`AppClient` is bound to a single application and
+accepts bare paths (like Django's test client).  Both keep a small request
+history so tests can assert on the traffic the monitor generated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .app import Application
+from .message import Request, Response
+from .network import Network
+
+
+class BaseClient:
+    """Shared verb helpers and default-header handling."""
+
+    def __init__(self, default_headers: Optional[Mapping[str, str]] = None):
+        self.default_headers: Dict[str, str] = dict(default_headers or {})
+        self.history: List[Tuple[Request, Response]] = []
+
+    def _send(self, request: Request) -> Response:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        payload: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+        params: Optional[Mapping[str, str]] = None,
+    ) -> Response:
+        """Build and send a request; *payload* is JSON-serialized when given."""
+        merged = dict(self.default_headers)
+        if headers:
+            merged.update(headers)
+        if payload is None:
+            request = Request(method, url, headers=merged)
+        else:
+            request = Request.json_request(method, url, payload, headers=merged)
+        if params:
+            request.params.update({k: str(v) for k, v in params.items()})
+        response = self._send(request)
+        self.history.append((request, response))
+        return response
+
+    def get(self, url: str, **kwargs) -> Response:
+        """Send a GET."""
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, payload: Any = None, **kwargs) -> Response:
+        """Send a POST."""
+        return self.request("POST", url, payload=payload, **kwargs)
+
+    def put(self, url: str, payload: Any = None, **kwargs) -> Response:
+        """Send a PUT."""
+        return self.request("PUT", url, payload=payload, **kwargs)
+
+    def patch(self, url: str, payload: Any = None, **kwargs) -> Response:
+        """Send a PATCH."""
+        return self.request("PATCH", url, payload=payload, **kwargs)
+
+    def delete(self, url: str, **kwargs) -> Response:
+        """Send a DELETE."""
+        return self.request("DELETE", url, **kwargs)
+
+    def authenticate(self, token: str) -> None:
+        """Attach an OpenStack-style token to every subsequent request."""
+        self.default_headers["X-Auth-Token"] = token
+
+    def clear_history(self) -> None:
+        """Forget the request/response history."""
+        self.history.clear()
+
+
+class Client(BaseClient):
+    """A client that resolves absolute URLs through a :class:`Network`."""
+
+    def __init__(self, network: Network,
+                 default_headers: Optional[Mapping[str, str]] = None):
+        super().__init__(default_headers)
+        self.network = network
+
+    def _send(self, request: Request) -> Response:
+        return self.network.send(request)
+
+
+class AppClient(BaseClient):
+    """A client bound to one application; URLs may be bare paths."""
+
+    def __init__(self, app: Application,
+                 default_headers: Optional[Mapping[str, str]] = None):
+        super().__init__(default_headers)
+        self.app = app
+
+    def _send(self, request: Request) -> Response:
+        return self.app.handle(request)

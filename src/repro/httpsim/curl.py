@@ -1,0 +1,110 @@
+"""A cURL-flavoured command interface for the virtual network.
+
+The paper drives the monitor with cURL commands such as::
+
+    curl -X DELETE -d id=4 http://127.0.0.1:8000/cmonitor/volumes/4
+
+:func:`curl` accepts the same argument style and executes the request
+against a :class:`~repro.httpsim.network.Network`, so examples and the
+validation scripts read like the paper's Section VI.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl
+
+from ..errors import HTTPSimError
+from .message import Request, Response
+from .network import Network
+
+
+class CurlError(HTTPSimError):
+    """The curl command line could not be parsed."""
+
+
+def _parse_args(argv: List[str]) -> Tuple[str, str, Dict[str, str], List[str]]:
+    """Extract (method, url, headers, data_items) from curl-style argv."""
+    method: Optional[str] = None
+    url: Optional[str] = None
+    headers: Dict[str, str] = {}
+    data_items: List[str] = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-X", "--request"):
+            index += 1
+            if index >= len(argv):
+                raise CurlError(f"{arg} requires a method argument")
+            method = argv[index].upper()
+        elif arg in ("-d", "--data", "--data-raw"):
+            index += 1
+            if index >= len(argv):
+                raise CurlError(f"{arg} requires a data argument")
+            data_items.append(argv[index])
+        elif arg in ("-H", "--header"):
+            index += 1
+            if index >= len(argv):
+                raise CurlError(f"{arg} requires a header argument")
+            name, _, value = argv[index].partition(":")
+            headers[name.strip()] = value.strip()
+        elif arg in ("-s", "--silent", "-i", "--include", "-v", "--verbose"):
+            pass  # accepted and ignored, as in real curl usage for scripts
+        elif arg.startswith("-"):
+            raise CurlError(f"unsupported curl option {arg!r}")
+        else:
+            if url is not None:
+                raise CurlError(f"multiple URLs given: {url!r} and {arg!r}")
+            url = arg
+        index += 1
+    if url is None:
+        raise CurlError("no URL given")
+    if method is None:
+        method = "POST" if data_items else "GET"
+    return method, url, headers, data_items
+
+
+def _build_body(data_items: List[str], headers: Dict[str, str]) -> bytes:
+    """Join -d items the way curl does and default the content type."""
+    if not data_items:
+        return b""
+    joined = "&".join(data_items)
+    content_type = headers.get("Content-Type")
+    if content_type is None:
+        stripped = joined.lstrip()
+        if stripped.startswith("{") or stripped.startswith("["):
+            headers["Content-Type"] = "application/json"
+        else:
+            headers["Content-Type"] = "application/x-www-form-urlencoded"
+    return joined.encode()
+
+
+def curl(network: Network, command: str) -> Response:
+    """Execute a curl-style *command* string against *network*.
+
+    The leading ``curl`` word is optional.  Supported options: ``-X``,
+    ``-d``, ``-H`` and the no-op display flags (``-s``, ``-i``, ``-v``).
+    """
+    try:
+        argv = shlex.split(command)
+    except ValueError as exc:  # unbalanced quotes etc.
+        raise CurlError(f"cannot parse command line: {exc}") from exc
+    if argv and argv[0] == "curl":
+        argv = argv[1:]
+    method, url, headers, data_items = _parse_args(argv)
+    body = _build_body(data_items, headers)
+    request = Request(method, url, headers=headers, body=body)
+    return network.send(request)
+
+
+def form_data(request: Request) -> Dict[str, str]:
+    """Decode an ``application/x-www-form-urlencoded`` body (curl ``-d id=4``)."""
+    content_type = request.headers.get("Content-Type", "")
+    if "json" in content_type and request.body:
+        decoded = json.loads(request.body)
+        if isinstance(decoded, dict):
+            return {str(k): str(v) for k, v in decoded.items()}
+        return {}
+    return dict(parse_qsl(request.text))

@@ -1,0 +1,262 @@
+"""HTTP request and response messages for the in-process substrate.
+
+These classes carry everything the cloud monitor and the simulated cloud
+exchange: method, path, headers, query string, JSON bodies, and the status
+code the monitor interprets.  They deliberately mirror the surface a Django
+view sees (``request.method``, ``request.GET`` -> :attr:`Request.params`,
+JSON body) so the generated views read like the paper's Listing 2.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlencode, urlsplit
+
+from . import status as st
+
+#: Methods the REST style of the paper uses (Section II).
+SAFE_METHODS = ("GET", "HEAD", "OPTIONS")
+KNOWN_METHODS = ("GET", "HEAD", "OPTIONS", "POST", "PUT", "PATCH", "DELETE")
+
+
+class Headers:
+    """A case-insensitive multimap of HTTP headers.
+
+    Header lookup in HTTP is case-insensitive; the class stores the original
+    casing for rendering but matches keys case-insensitively, like every real
+    HTTP stack does.
+    """
+
+    def __init__(self, items: Optional[Mapping[str, str]] = None):
+        self._items: list[Tuple[str, str]] = []
+        if items:
+            for key, value in items.items():
+                self.add(key, value)
+
+    def add(self, key: str, value: str) -> None:
+        """Append a header, keeping any existing values for the same key."""
+        self._items.append((str(key), str(value)))
+
+    def set(self, key: str, value: str) -> None:
+        """Replace all values of *key* with a single *value*."""
+        lowered = key.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+        self._items.append((str(key), str(value)))
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the first value for *key*, or *default*."""
+        lowered = key.lower()
+        for k, v in self._items:
+            if k.lower() == lowered:
+                return v
+        return default
+
+    def get_all(self, key: str) -> list:
+        """Return every value stored for *key*, in insertion order."""
+        lowered = key.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def remove(self, key: str) -> None:
+        """Drop every value for *key*; missing keys are ignored."""
+        lowered = key.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, str):
+            return False
+        return self.get(key) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        ours = sorted((k.lower(), v) for k, v in self._items)
+        theirs = sorted((k.lower(), v) for k, v in other._items)
+        return ours == theirs
+
+    def to_dict(self) -> Dict[str, str]:
+        """Flatten to a plain dict (last value wins for duplicate keys)."""
+        return {k: v for k, v in self._items}
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = list(self._items)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Headers({self.to_dict()!r})"
+
+
+class Request:
+    """An HTTP request travelling through the virtual network.
+
+    Parameters
+    ----------
+    method:
+        HTTP verb, upper-cased automatically.
+    url:
+        Either a bare path (``/v3/p1/volumes``) or an absolute URL
+        (``http://cloud/v3/p1/volumes?limit=5``).  Absolute URLs populate
+        :attr:`host`; the query string populates :attr:`params`.
+    headers:
+        Initial headers.
+    body:
+        Raw bytes; use :meth:`Request.json_request` to send a JSON document.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        url: str,
+        headers: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+    ):
+        self.method = method.upper()
+        split = urlsplit(url)
+        self.host = split.netloc or ""
+        self.path = split.path or "/"
+        self.params: Dict[str, str] = dict(parse_qsl(split.query))
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+        self.body = body
+        #: Populated by the router with named path captures, e.g. volume_id.
+        self.path_args: Dict[str, str] = {}
+        #: Populated by authentication middleware with the token's identity.
+        self.context: Dict[str, Any] = {}
+
+    @classmethod
+    def json_request(
+        cls,
+        method: str,
+        url: str,
+        payload: Any,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> "Request":
+        """Build a request carrying *payload* serialized as JSON."""
+        request = cls(method, url, headers=headers, body=json.dumps(payload).encode())
+        request.headers.set("Content-Type", "application/json")
+        return request
+
+    @property
+    def url(self) -> str:
+        """Reassemble the full URL (host + path + query)."""
+        query = f"?{urlencode(self.params)}" if self.params else ""
+        if self.host:
+            return f"http://{self.host}{self.path}{query}"
+        return f"{self.path}{query}"
+
+    @property
+    def text(self) -> str:
+        """Body decoded as UTF-8."""
+        return self.body.decode("utf-8", errors="replace")
+
+    def json(self) -> Any:
+        """Parse the body as JSON; raises ``ValueError`` on malformed input."""
+        if not self.body:
+            return None
+        return json.loads(self.body)
+
+    @property
+    def auth_token(self) -> Optional[str]:
+        """The OpenStack-style ``X-Auth-Token`` header, if present."""
+        return self.headers.get("X-Auth-Token")
+
+    def is_safe(self) -> bool:
+        """True for methods that must not mutate resource state."""
+        return self.method in SAFE_METHODS
+
+    def copy(self) -> "Request":
+        """Deep-enough copy for forwarding: headers and params are cloned."""
+        clone = Request(self.method, self.url, body=self.body)
+        clone.headers = self.headers.copy()
+        clone.params = dict(self.params)
+        clone.path_args = dict(self.path_args)
+        clone.context = dict(self.context)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Request {self.method} {self.url}>"
+
+
+class Response:
+    """An HTTP response.
+
+    The monitor's verdict logic only needs the status code and the JSON body,
+    but the class models headers too so redirects and content negotiation can
+    be exercised by tests.
+    """
+
+    def __init__(
+        self,
+        status_code: int = st.OK,
+        body: bytes = b"",
+        headers: Optional[Mapping[str, str]] = None,
+    ):
+        self.status_code = int(status_code)
+        self.body = body
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+
+    @classmethod
+    def json_response(
+        cls,
+        payload: Any,
+        status_code: int = st.OK,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> "Response":
+        """Build a response carrying *payload* serialized as JSON."""
+        response = cls(status_code, json.dumps(payload).encode(), headers)
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    @classmethod
+    def error(cls, status_code: int, message: str = "") -> "Response":
+        """Build a JSON error document in the OpenStack fault format."""
+        payload = {
+            "error": {
+                "code": status_code,
+                "title": st.reason_phrase(status_code),
+                "message": message or st.reason_phrase(status_code),
+            }
+        }
+        return cls.json_response(payload, status_code)
+
+    @classmethod
+    def no_content(cls) -> "Response":
+        """A 204 response -- what DELETE returns on success (Listing 2)."""
+        return cls(st.NO_CONTENT)
+
+    @classmethod
+    def method_not_allowed(cls, allowed: Tuple[str, ...]) -> "Response":
+        """A 405 with the ``Allow`` header, like Django's HttpResponseNotAllowed."""
+        response = cls.error(st.METHOD_NOT_ALLOWED, "method not allowed")
+        response.headers.set("Allow", ", ".join(allowed))
+        return response
+
+    @property
+    def reason(self) -> str:
+        """Reason phrase for :attr:`status_code`."""
+        return st.reason_phrase(self.status_code)
+
+    @property
+    def ok(self) -> bool:
+        """True when the status code is 2xx."""
+        return st.is_success(self.status_code)
+
+    @property
+    def text(self) -> str:
+        """Body decoded as UTF-8."""
+        return self.body.decode("utf-8", errors="replace")
+
+    def json(self) -> Any:
+        """Parse the body as JSON; returns ``None`` for an empty body."""
+        if not self.body:
+            return None
+        return json.loads(self.body)
+
+    def __repr__(self) -> str:
+        return f"<Response {self.status_code} {self.reason}>"

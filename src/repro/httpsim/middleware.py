@@ -1,0 +1,102 @@
+"""Middleware for the in-process web framework.
+
+Middleware wraps view dispatch exactly like Django's middleware stack: each
+layer sees the request on the way in and the response on the way out.  The
+cloud simulator uses :class:`AuthenticationMiddleware` to resolve tokens, and
+the benchmarks use :class:`RequestLogMiddleware` to count traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from .message import Request, Response
+
+Handler = Callable[[Request], Response]
+
+
+class Middleware:
+    """Base middleware: override :meth:`process_request` / :meth:`process_response`.
+
+    Returning a :class:`Response` from :meth:`process_request` short-circuits
+    dispatch (the view never runs) -- this is how authentication rejects a
+    request with 401 before it reaches any resource view.
+    """
+
+    def process_request(self, request: Request) -> Optional[Response]:
+        """Inspect or mutate the inbound request; return a Response to short-circuit."""
+        return None
+
+    def process_response(self, request: Request, response: Response) -> Response:
+        """Inspect or replace the outbound response."""
+        return response
+
+
+class MiddlewareStack:
+    """Applies middleware in order on the way in, reversed on the way out."""
+
+    def __init__(self, layers: Optional[List[Middleware]] = None):
+        self.layers: List[Middleware] = list(layers or [])
+
+    def add(self, layer: Middleware) -> None:
+        """Append *layer* to the stack (outermost first)."""
+        self.layers.append(layer)
+
+    def wrap(self, handler: Handler) -> Handler:
+        """Return *handler* wrapped by the whole stack."""
+
+        def wrapped(request: Request) -> Response:
+            for layer in self.layers:
+                short_circuit = layer.process_request(request)
+                if short_circuit is not None:
+                    # Unwind only through the layers that already ran.
+                    response = short_circuit
+                    seen = self.layers[: self.layers.index(layer) + 1]
+                    for outer in reversed(seen):
+                        response = outer.process_response(request, response)
+                    return response
+            response = handler(request)
+            for layer in reversed(self.layers):
+                response = layer.process_response(request, response)
+            return response
+
+        return wrapped
+
+
+class RequestLogMiddleware(Middleware):
+    """Records (method, path, status, elapsed_seconds) for every request."""
+
+    def __init__(self):
+        self.records: List[tuple] = []
+        self._starts: List[float] = []
+
+    def process_request(self, request: Request) -> Optional[Response]:
+        self._starts.append(time.perf_counter())
+        return None
+
+    def process_response(self, request: Request, response: Response) -> Response:
+        started = self._starts.pop() if self._starts else time.perf_counter()
+        elapsed = time.perf_counter() - started
+        self.records.append((request.method, request.path, response.status_code, elapsed))
+        return response
+
+    def clear(self) -> None:
+        """Forget all recorded requests."""
+        self.records.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of requests observed."""
+        return len(self.records)
+
+
+class ContentTypeMiddleware(Middleware):
+    """Rejects write requests whose body is not JSON (415), like OpenStack APIs."""
+
+    def process_request(self, request: Request) -> Optional[Response]:
+        if request.method in ("POST", "PUT", "PATCH") and request.body:
+            content_type = request.headers.get("Content-Type", "")
+            if "json" not in content_type:
+                return Response.error(415, "expected application/json")
+        return None

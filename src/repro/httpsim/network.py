@@ -1,0 +1,77 @@
+"""A virtual network binding host names to applications.
+
+In the paper's deployment, the monitor runs on the developer's laptop and
+forwards to OpenStack in a VirtualBox VM (``http://130.232.85.9/v3/...``).
+Here both sides live in one process: a :class:`Network` maps host names to
+:class:`~repro.httpsim.app.Application` objects, and clients resolve absolute
+URLs through it.  Optional per-host fault hooks simulate an unreachable or
+slow cloud for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import HostNotFound
+from .app import Application
+from .message import Request, Response
+
+FaultHook = Callable[[Request], Optional[Response]]
+
+
+class Network:
+    """Routes absolute-URL requests to registered applications by host."""
+
+    def __init__(self):
+        self._hosts: Dict[str, Application] = {}
+        self._faults: Dict[str, FaultHook] = {}
+
+    def register(self, host: str, app: Application) -> None:
+        """Bind *app* to *host* (e.g. ``"cloud"`` or ``"130.232.85.9"``)."""
+        self._hosts[host] = app
+
+    def unregister(self, host: str) -> None:
+        """Remove the binding for *host*; missing hosts are ignored."""
+        self._hosts.pop(host, None)
+        self._faults.pop(host, None)
+
+    def app_for(self, host: str) -> Application:
+        """Return the application bound to *host* or raise :class:`HostNotFound`."""
+        try:
+            return self._hosts[host]
+        except KeyError:
+            raise HostNotFound(f"no application registered for host {host!r}") from None
+
+    def hosts(self) -> list:
+        """All registered host names."""
+        return sorted(self._hosts)
+
+    def inject_fault(self, host: str, hook: FaultHook) -> None:
+        """Install *hook* for *host*.
+
+        The hook sees every request addressed to the host before the
+        application does; returning a :class:`Response` replaces the real
+        one (e.g. a synthetic 503), returning ``None`` lets it through.
+        """
+        self._faults[host] = hook
+
+    def clear_fault(self, host: str) -> None:
+        """Remove any fault hook installed for *host*."""
+        self._faults.pop(host, None)
+
+    def send(self, request: Request) -> Response:
+        """Deliver *request* to the application its host names.
+
+        An unknown host yields a 502 response rather than an exception so
+        the monitor observes it the way an HTTP client would observe an
+        unreachable server.
+        """
+        host = request.host
+        if host not in self._hosts:
+            return Response.error(502, f"host {host!r} unreachable")
+        hook = self._faults.get(host)
+        if hook is not None:
+            short = hook(request)
+            if short is not None:
+                return short
+        return self._hosts[host].handle(request)

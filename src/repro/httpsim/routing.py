@@ -1,0 +1,170 @@
+"""URL routing for the in-process web framework.
+
+The router plays the role of Django's ``urls.py``: an ordered list of
+patterns mapping URIs to views (paper Listing 3).  Two pattern syntaxes are
+supported, matching what the code generator emits:
+
+* Django-style paths with converters: ``/v3/<str:project_id>/volumes/<int:volume_id>``
+* Raw regular expressions via :func:`re_path`: ``^cmonitor/volumes/(?P<id>\\d+)$``
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import RoutingError
+from .message import Request, Response
+
+View = Callable[..., Response]
+
+#: Converter name -> (regex fragment, python caster).
+_CONVERTERS: Dict[str, Tuple[str, Callable[[str], object]]] = {
+    "str": (r"[^/]+", str),
+    "int": (r"[0-9]+", int),
+    "slug": (r"[-a-zA-Z0-9_]+", str),
+    "uuid": (r"[0-9a-fA-F-]{8,36}", str),
+    "path": (r".+", str),
+}
+
+_PLACEHOLDER = re.compile(r"<(?:(?P<conv>[a-z]+):)?(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile_path(pattern: str) -> Tuple[re.Pattern, Dict[str, Callable[[str], object]]]:
+    """Translate a Django-style path pattern into a compiled regex."""
+    casters: Dict[str, Callable[[str], object]] = {}
+    regex_parts: List[str] = []
+    index = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        literal = pattern[index : match.start()]
+        regex_parts.append(re.escape(literal))
+        conv = match.group("conv") or "str"
+        name = match.group("name")
+        if conv not in _CONVERTERS:
+            raise RoutingError(f"unknown path converter {conv!r} in {pattern!r}")
+        fragment, caster = _CONVERTERS[conv]
+        regex_parts.append(f"(?P<{name}>{fragment})")
+        casters[name] = caster
+        index = match.end()
+    regex_parts.append(re.escape(pattern[index:]))
+    return re.compile("^" + "".join(regex_parts) + "$"), casters
+
+
+class Route:
+    """A single URI pattern bound to a view callable."""
+
+    def __init__(
+        self,
+        pattern: str,
+        view: View,
+        name: Optional[str] = None,
+        methods: Optional[Iterable[str]] = None,
+        is_regex: bool = False,
+    ):
+        self.pattern = pattern
+        self.view = view
+        self.name = name or getattr(view, "__name__", "view")
+        self.methods = tuple(m.upper() for m in methods) if methods else None
+        if is_regex:
+            try:
+                self.regex = re.compile(pattern)
+            except re.error as exc:
+                raise RoutingError(f"invalid route regex {pattern!r}: {exc}") from exc
+            self.casters: Dict[str, Callable[[str], object]] = {}
+        else:
+            self.regex, self.casters = _compile_path(pattern)
+
+    def match(self, path: str) -> Optional[Dict[str, object]]:
+        """Return captured path arguments when *path* matches, else ``None``."""
+        found = self.regex.match(path)
+        if found is None:
+            return None
+        args: Dict[str, object] = {}
+        for name, raw in found.groupdict().items():
+            caster = self.casters.get(name, str)
+            args[name] = caster(raw)
+        return args
+
+    def allows(self, method: str) -> bool:
+        """True when the route accepts *method* (no restriction means all)."""
+        return self.methods is None or method.upper() in self.methods
+
+    def __repr__(self) -> str:
+        return f"<Route {self.pattern!r} -> {self.name}>"
+
+
+def path(pattern: str, view: View, name: Optional[str] = None,
+         methods: Optional[Iterable[str]] = None) -> Route:
+    """Create a Django-style converter route."""
+    return Route(pattern, view, name=name, methods=methods)
+
+
+def re_path(pattern: str, view: View, name: Optional[str] = None,
+            methods: Optional[Iterable[str]] = None) -> Route:
+    """Create a raw-regex route (Django 1.x ``patterns()`` style)."""
+    return Route(pattern, view, name=name, methods=methods, is_regex=True)
+
+
+class Router:
+    """An ordered collection of routes with first-match dispatch.
+
+    Matching follows Django's semantics: routes are tried in registration
+    order, the first pattern that matches the path wins, and a path that
+    matches no pattern is a 404.  A matched route whose method set excludes
+    the request method yields 405 with the ``Allow`` header -- unless a later
+    route also matches the path and allows the method.
+    """
+
+    def __init__(self, routes: Optional[Iterable[Route]] = None):
+        self.routes: List[Route] = list(routes or [])
+
+    def add(self, route: Route) -> None:
+        """Append *route* to the table."""
+        self.routes.append(route)
+
+    def extend(self, routes: Iterable[Route]) -> None:
+        """Append every route in *routes*, preserving order."""
+        self.routes.extend(routes)
+
+    def resolve(self, request: Request) -> Tuple[Optional[Route], Optional[Response]]:
+        """Resolve *request* to ``(route, None)`` or ``(None, error_response)``."""
+        allowed: List[str] = []
+        for route in self.routes:
+            args = route.match(request.path.lstrip("/"))
+            if args is None:
+                args = route.match(request.path)
+            if args is None:
+                continue
+            if not route.allows(request.method):
+                allowed.extend(route.methods or ())
+                continue
+            request.path_args = {k: str(v) for k, v in args.items()}
+            request.context["route_args"] = args
+            return route, None
+        if allowed:
+            return None, Response.method_not_allowed(tuple(dict.fromkeys(allowed)))
+        return None, Response.error(404, f"no route for {request.path}")
+
+    def reverse(self, name: str, **kwargs: object) -> str:
+        """Build the path for the route called *name* (Django's ``reverse``)."""
+        for route in self.routes:
+            if route.name != name:
+                continue
+            built = route.pattern
+            for key, value in kwargs.items():
+                built = _PLACEHOLDER.sub(
+                    lambda m, key=key, value=value: (
+                        str(value) if m.group("name") == key else m.group(0)
+                    ),
+                    built,
+                )
+            if _PLACEHOLDER.search(built):
+                raise RoutingError(f"missing arguments for route {name!r}: {built!r}")
+            return built if built.startswith("/") else "/" + built
+        raise RoutingError(f"no route named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __iter__(self):
+        return iter(self.routes)

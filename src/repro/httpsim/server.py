@@ -1,0 +1,108 @@
+"""Serve an :class:`Application` over real HTTP sockets.
+
+The in-process :class:`~repro.httpsim.network.Network` is what the tests
+and benches use, but the paper's monitor is an actual web service driven
+by cURL (``http://127.0.0.1:8000/cmonitor/volumes/4``).  This adapter
+bridges an Application onto :mod:`http.server` so the generated monitor
+can be exercised by real HTTP clients:
+
+    with serve(monitor.app) as server:
+        requests_like_call(f"http://127.0.0.1:{server.port}/cmonitor/volumes")
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .app import Application
+from .message import Request
+
+
+def _make_handler(app: Application, dispatch_lock: threading.Lock):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            request = Request(self.command, self.path,
+                              headers=dict(self.headers.items()), body=body)
+            # Applications (and the monitor/cloud state behind them) are
+            # written for single-threaded dispatch; serialize handling so
+            # concurrent socket clients cannot interleave state changes.
+            with dispatch_lock:
+                response = app.handle(request)
+            self.send_response(response.status_code)
+            for key, value in response.headers:
+                if key.lower() in ("content-length", "connection"):
+                    continue
+                self.send_header(key, value)
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            if self.command != "HEAD" and response.body:
+                self.wfile.write(response.body)
+
+        do_GET = do_POST = do_PUT = do_PATCH = do_DELETE = do_HEAD = \
+            do_OPTIONS = _dispatch
+
+        def log_message(self, format: str, *args) -> None:
+            pass  # keep test output quiet; the app has its own logging
+
+    return _Handler
+
+
+class AppServer:
+    """A threaded HTTP server wrapping one application.
+
+    Use as a context manager; :attr:`port` is the bound (possibly
+    ephemeral) port and :attr:`base_url` the ready-to-use prefix.
+    """
+
+    def __init__(self, app: Application, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.app = app
+        self._dispatch_lock = threading.Lock()
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(app, self._dispatch_lock))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The port the server is bound to."""
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` for building request URLs."""
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "AppServer":
+        """Start serving on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name=f"httpsim-{self.app.name}")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AppServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(app: Application, host: str = "127.0.0.1",
+          port: int = 0) -> AppServer:
+    """Create (but do not start) an :class:`AppServer` for *app*."""
+    return AppServer(app, host=host, port=port)

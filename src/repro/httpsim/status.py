@@ -1,0 +1,110 @@
+"""HTTP status codes and helpers.
+
+The cloud monitor of the paper "interprets the response codes of different
+resources to analyse how the request went" (Section III-A), so status-code
+semantics are a first-class part of the substrate.  The registry below covers
+every code the OpenStack APIs and the monitor use, plus the standard classes.
+"""
+
+from __future__ import annotations
+
+#: Reason phrases for the status codes used across the simulator and monitor.
+REASON_PHRASES = {
+    100: "Continue",
+    101: "Switching Protocols",
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    203: "Non-Authoritative Information",
+    204: "No Content",
+    205: "Reset Content",
+    206: "Partial Content",
+    300: "Multiple Choices",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    406: "Not Acceptable",
+    408: "Request Timeout",
+    409: "Conflict",
+    410: "Gone",
+    412: "Precondition Failed",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+# Named constants for the codes the monitor reasons about explicitly.
+OK = 200
+CREATED = 201
+ACCEPTED = 202
+NO_CONTENT = 204
+BAD_REQUEST = 400
+UNAUTHORIZED = 401
+FORBIDDEN = 403
+NOT_FOUND = 404
+METHOD_NOT_ALLOWED = 405
+CONFLICT = 409
+PRECONDITION_FAILED = 412
+UNPROCESSABLE = 422
+SERVER_ERROR = 500
+BAD_GATEWAY = 502
+
+
+def reason_phrase(code: int) -> str:
+    """Return the reason phrase for *code*, or ``"Unknown"`` if unregistered."""
+    return REASON_PHRASES.get(code, "Unknown")
+
+
+def is_informational(code: int) -> bool:
+    """True for 1xx codes."""
+    return 100 <= code < 200
+
+
+def is_success(code: int) -> bool:
+    """True for 2xx codes -- the request was processed successfully."""
+    return 200 <= code < 300
+
+
+def is_redirect(code: int) -> bool:
+    """True for 3xx codes."""
+    return 300 <= code < 400
+
+
+def is_client_error(code: int) -> bool:
+    """True for 4xx codes."""
+    return 400 <= code < 500
+
+
+def is_server_error(code: int) -> bool:
+    """True for 5xx codes."""
+    return 500 <= code < 600
+
+
+def is_error(code: int) -> bool:
+    """True for any 4xx or 5xx code."""
+    return is_client_error(code) or is_server_error(code)
+
+
+def indicates_existence(code: int) -> bool:
+    """True when a GET returning *code* proves the resource is addressable.
+
+    The paper's state-invariant semantics (Section IV-B) define resource
+    existence through GET probes: a 200 response means the resource exists;
+    anything else means "the resource does not exist or is not reachable to
+    infer anything about its state".
+    """
+    return is_success(code)

@@ -1,0 +1,81 @@
+"""An OCL expression engine covering the subset the paper's contracts use.
+
+The paper specifies state invariants, transition guards, and generated
+pre/post-conditions in OCL (Section IV-B, Listing 1).  This package provides:
+
+* :mod:`repro.ocl.lexer` / :mod:`repro.ocl.parser` -- text to AST,
+* :mod:`repro.ocl.nodes` -- the AST node classes,
+* :mod:`repro.ocl.values` -- the value domain (including ``Undefined``),
+* :mod:`repro.ocl.context` -- name bindings and pluggable navigation,
+* :mod:`repro.ocl.evaluator` -- evaluation with ``pre()`` old-value
+  snapshots, as required by the post-conditions of Listing 1,
+* :mod:`repro.ocl.pretty` -- canonical rendering used by the contract
+  generator and the code generator.
+
+The supported syntax (a practical OCL subset plus the paper's notation):
+
+``and or xor not implies`` (also ``=>`` / ``==>`` as the paper writes
+implication), comparisons ``= <> < > <= >=``, arithmetic ``+ - * /``,
+navigation ``a.b``, collection operations ``c->size()``, ``c->isEmpty()``,
+``c->notEmpty()``, ``c->includes(x)``, ``c->excludes(x)``, ``c->sum()``,
+``c->count(x)``, ``c->first()``, ``c->last()``, ``c->at(i)``,
+``c->asSet()``, iterator forms ``c->select(v | expr)``, ``reject``,
+``collect``, ``forAll``, ``exists``, ``one``, ``isUnique``, old values
+``pre(expr)`` (paper notation) and ``expr@pre`` (standard OCL), and
+``x.oclIsUndefined()``.
+"""
+
+from .compile import compile_bool, compile_expression
+from .context import Context, DictNavigator, Navigator, ObjectNavigator
+from .evaluator import Evaluator, Snapshot, collect_pre_expressions, evaluate
+from .lexer import tokenize
+from .nodes import (
+    ArrowCall,
+    Binary,
+    Conditional,
+    Expression,
+    IteratorCall,
+    Let,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+)
+from .parser import parse
+from .pretty import to_text
+from .simplify import simplify
+from .values import UNDEFINED, Undefined, is_defined
+
+__all__ = [
+    "ArrowCall",
+    "Binary",
+    "Conditional",
+    "Context",
+    "DictNavigator",
+    "Evaluator",
+    "Expression",
+    "IteratorCall",
+    "Let",
+    "Literal",
+    "MethodCall",
+    "Name",
+    "Navigation",
+    "Navigator",
+    "ObjectNavigator",
+    "Pre",
+    "Snapshot",
+    "UNDEFINED",
+    "Unary",
+    "Undefined",
+    "collect_pre_expressions",
+    "compile_bool",
+    "compile_expression",
+    "evaluate",
+    "is_defined",
+    "parse",
+    "simplify",
+    "to_text",
+    "tokenize",
+]

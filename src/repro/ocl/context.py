@@ -1,0 +1,131 @@
+"""Evaluation contexts and pluggable navigation.
+
+A :class:`Context` binds root names (``project``, ``user``, ``volume`` ...)
+to values and delegates attribute navigation to a :class:`Navigator`.  The
+navigator abstraction is what lets the same contracts run both against plain
+Python dictionaries in tests and against *live REST probes* inside the cloud
+monitor: the monitor installs a navigator whose attribute lookups issue GET
+requests and map "response 200" to existence, exactly as Section IV-B of the
+paper defines state invariants over addressable resources.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..errors import OCLNameError
+from .values import UNDEFINED
+
+
+class Navigator:
+    """Strategy for resolving ``source.attribute`` navigation steps."""
+
+    def navigate(self, value: Any, attribute: str) -> Any:
+        """Return the value of *attribute* on *value*.
+
+        Implementations should return :data:`~repro.ocl.values.UNDEFINED`
+        for unreachable or missing state rather than raising, so contracts
+        can reason about non-existence (the paper's 404 semantics).
+        """
+        raise NotImplementedError
+
+
+class DictNavigator(Navigator):
+    """Navigate dictionaries by key; missing keys are undefined.
+
+    Lists navigate element-wise (OCL collect shorthand): navigating
+    ``volumes.status`` over a list of volume dicts yields the list of their
+    statuses, which is how OCL treats navigation over collections.
+    """
+
+    def navigate(self, value: Any, attribute: str) -> Any:
+        if value is UNDEFINED or value is None:
+            return UNDEFINED
+        if isinstance(value, Mapping):
+            return value.get(attribute, UNDEFINED)
+        if isinstance(value, (list, tuple)):
+            collected = []
+            for item in value:
+                step = self.navigate(item, attribute)
+                if step is UNDEFINED:
+                    continue
+                if isinstance(step, (list, tuple)):
+                    collected.extend(step)
+                else:
+                    collected.append(step)
+            return collected
+        return getattr(value, attribute, UNDEFINED)
+
+
+class ObjectNavigator(DictNavigator):
+    """Like :class:`DictNavigator` but prefers attributes over keys."""
+
+    def navigate(self, value: Any, attribute: str) -> Any:
+        if value is UNDEFINED or value is None:
+            return UNDEFINED
+        if not isinstance(value, (Mapping, list, tuple)) and hasattr(value, attribute):
+            return getattr(value, attribute)
+        return super().navigate(value, attribute)
+
+
+class CallbackNavigator(Navigator):
+    """Delegates navigation to a callable ``(value, attribute) -> value``.
+
+    Used by the cloud monitor's REST prober, where the callable issues GET
+    requests against the private cloud.
+    """
+
+    def __init__(self, callback: Callable[[Any, str], Any]):
+        self.callback = callback
+
+    def navigate(self, value: Any, attribute: str) -> Any:
+        return self.callback(value, attribute)
+
+
+class Context:
+    """Name bindings plus the navigator used for attribute steps.
+
+    Parameters
+    ----------
+    bindings:
+        Root name -> value map.
+    navigator:
+        Attribute resolution strategy; defaults to :class:`DictNavigator`.
+    strict:
+        When true, unknown root names raise :class:`OCLNameError`; when
+        false they evaluate to undefined (useful for partially modelled
+        systems, which the paper explicitly supports).
+    """
+
+    def __init__(
+        self,
+        bindings: Optional[Mapping[str, Any]] = None,
+        navigator: Optional[Navigator] = None,
+        strict: bool = True,
+    ):
+        self.bindings: Dict[str, Any] = dict(bindings or {})
+        self.navigator = navigator or DictNavigator()
+        self.strict = strict
+
+    def lookup(self, name: str) -> Any:
+        """Resolve a root name."""
+        if name in self.bindings:
+            return self.bindings[name]
+        if self.strict:
+            raise OCLNameError(f"unbound name {name!r}")
+        return UNDEFINED
+
+    def bind(self, name: str, value: Any) -> None:
+        """Add or replace a root binding."""
+        self.bindings[name] = value
+
+    def child(self, name: str, value: Any) -> "Context":
+        """A nested scope with *name* bound -- used by iterator variables."""
+        derived = Context(self.bindings, self.navigator, self.strict)
+        derived.bindings = dict(self.bindings)
+        derived.bindings[name] = value
+        return derived
+
+    def navigate(self, value: Any, attribute: str) -> Any:
+        """Resolve an attribute step through the configured navigator."""
+        return self.navigator.navigate(value, attribute)

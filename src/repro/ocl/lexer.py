@@ -1,0 +1,111 @@
+"""Tokenizer for the OCL subset.
+
+Token kinds: ``NAME``, ``INT``, ``REAL``, ``STRING``, ``OP``, ``KEYWORD``,
+``EOF``.  The paper writes implication both as ``implies`` and as ``=>`` /
+``==>`` (Listing 1); all three tokenize to the same ``implies`` operator.
+Standard OCL old values (``@pre``) are tokenized as the ``@pre`` operator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from ..errors import OCLSyntaxError
+
+KEYWORDS = frozenset({
+    "and", "or", "xor", "not", "implies", "true", "false", "null",
+    "if", "then", "else", "endif", "let", "in",
+})
+
+# Longest first so '->' is not read as '-' then '>'.
+_OPERATORS = (
+    "==>", "->", "@pre", "<=", ">=", "<>", "=>", "(", ")", ",", "|",
+    ".", "=", "<", ">", "+", "-", "*", "/",
+)
+
+_OP_ALIASES = {"==>": "implies", "=>": "implies"}
+
+
+class Token(NamedTuple):
+    """A lexical token: kind, text, and source position."""
+
+    kind: str
+    text: str
+    position: int
+    line: int
+
+
+def _name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _name_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def _scan(source: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch.isspace():
+            index += 1
+            continue
+        if _name_start(ch):
+            start = index
+            while index < length and _name_part(source[index]):
+                index += 1
+            text = source[start:index]
+            kind = "KEYWORD" if text in KEYWORDS else "NAME"
+            yield Token(kind, text, start, line)
+            continue
+        if ch.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            if (
+                index + 1 < length
+                and source[index] == "."
+                and source[index + 1].isdigit()
+            ):
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+                yield Token("REAL", source[start:index], start, line)
+            else:
+                yield Token("INT", source[start:index], start, line)
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = index
+            index += 1
+            chars: List[str] = []
+            while index < length and source[index] != quote:
+                if source[index] == "\\" and index + 1 < length:
+                    index += 1
+                chars.append(source[index])
+                index += 1
+            if index >= length:
+                raise OCLSyntaxError("unterminated string literal", start, line)
+            index += 1  # closing quote
+            yield Token("STRING", "".join(chars), start, line)
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                text = _OP_ALIASES.get(op, op)
+                yield Token("OP", text, index, line)
+                index += len(op)
+                break
+        else:
+            raise OCLSyntaxError(f"unexpected character {ch!r}", index, line)
+    yield Token("EOF", "", length, line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, raising :class:`OCLSyntaxError` on bad input."""
+    return list(_scan(source))

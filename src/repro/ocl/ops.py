@@ -1,0 +1,195 @@
+"""Shared operation semantics for the OCL interpreter and compiler.
+
+Both :mod:`repro.ocl.evaluator` (tree-walking interpreter) and
+:mod:`repro.ocl.compile` (closure compiler) delegate here, so there is
+exactly one definition of what each OCL operation means; the
+compiler-vs-interpreter equivalence property tests then check only the
+*dispatch*, not duplicated semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List
+
+from ..errors import OCLEvaluationError, OCLTypeError
+from .values import (
+    UNDEFINED,
+    as_collection,
+    ocl_equal,
+    ocl_truthy,
+    require_number,
+    unique,
+)
+
+
+def compare(op: str, left: Any, right: Any) -> bool:
+    """OCL ordering comparisons with undefined-is-false semantics."""
+    if left is UNDEFINED or right is UNDEFINED:
+        return False
+    comparable = (
+        (isinstance(left, (int, float)) and isinstance(right, (int, float))
+         and not isinstance(left, bool) and not isinstance(right, bool))
+        or (isinstance(left, str) and isinstance(right, str))
+    )
+    if not comparable:
+        raise OCLTypeError(f"cannot order {left!r} and {right!r}")
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def arith(op: str, left: Any, right: Any) -> Any:
+    """OCL arithmetic; division by zero is undefined."""
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    try:
+        lnum = require_number(left, op)
+        rnum = require_number(right, op)
+    except TypeError as exc:
+        raise OCLTypeError(str(exc)) from exc
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if rnum == 0:
+        return UNDEFINED
+    result = lnum / rnum
+    if isinstance(lnum, int) and isinstance(rnum, int) and \
+            result == int(result):
+        return int(result)
+    return result
+
+
+def _need_args(op: str, arguments: List[Any], count: int) -> None:
+    if len(arguments) != count:
+        raise OCLEvaluationError(
+            f"->{op}() takes {count} argument(s), got {len(arguments)}")
+
+
+def collection_op(op: str, source_value: Any, arguments: List[Any]) -> Any:
+    """Apply an arrow (collection) operation."""
+    source = as_collection(source_value)
+    if op == "size":
+        return len(source)
+    if op == "isEmpty":
+        return len(source) == 0
+    if op == "notEmpty":
+        return len(source) > 0
+    if op == "includes":
+        _need_args(op, arguments, 1)
+        return any(ocl_equal(item, arguments[0]) for item in source)
+    if op == "excludes":
+        _need_args(op, arguments, 1)
+        return not any(ocl_equal(item, arguments[0]) for item in source)
+    if op == "including":
+        _need_args(op, arguments, 1)
+        return source + [arguments[0]]
+    if op == "excluding":
+        _need_args(op, arguments, 1)
+        return [item for item in source
+                if not ocl_equal(item, arguments[0])]
+    if op == "count":
+        _need_args(op, arguments, 1)
+        return sum(1 for item in source if ocl_equal(item, arguments[0]))
+    if op == "sum":
+        return sum(require_number(item, "sum") for item in source)
+    if op == "min":
+        return min(source) if source else UNDEFINED
+    if op == "max":
+        return max(source) if source else UNDEFINED
+    if op == "first":
+        return source[0] if source else UNDEFINED
+    if op == "last":
+        return source[-1] if source else UNDEFINED
+    if op == "at":
+        _need_args(op, arguments, 1)
+        index = int(require_number(arguments[0], "at")) - 1  # 1-based
+        if 0 <= index < len(source):
+            return source[index]
+        return UNDEFINED
+    if op == "asSet":
+        return unique(source)
+    if op in ("asBag", "asSequence"):
+        return list(source)
+    if op == "union":
+        _need_args(op, arguments, 1)
+        return source + as_collection(arguments[0])
+    if op == "intersection":
+        _need_args(op, arguments, 1)
+        other = as_collection(arguments[0])
+        return [item for item in source
+                if any(ocl_equal(item, o) for o in other)]
+    raise OCLEvaluationError(f"unknown collection operation ->{op}()")
+
+
+def iterator_op(op: str, source_value: Any,
+                body: Callable[[Any], Any]) -> Any:
+    """Apply an iterator operation; *body* evaluates the per-item expression."""
+    source = as_collection(source_value)
+    if op == "select":
+        return [item for item in source if ocl_truthy(body(item))]
+    if op == "reject":
+        return [item for item in source if not ocl_truthy(body(item))]
+    if op == "collect":
+        collected: List[Any] = []
+        for item in source:
+            value = body(item)
+            if isinstance(value, (list, tuple)):
+                collected.extend(value)  # collect flattens one level
+            else:
+                collected.append(value)
+        return collected
+    if op == "forAll":
+        return all(ocl_truthy(body(item)) for item in source)
+    if op == "exists":
+        return any(ocl_truthy(body(item)) for item in source)
+    if op == "one":
+        return sum(1 for item in source if ocl_truthy(body(item))) == 1
+    if op == "any":
+        for item in source:
+            if ocl_truthy(body(item)):
+                return item
+        return UNDEFINED
+    if op == "isUnique":
+        seen: List[Any] = []
+        for item in source:
+            value = body(item)
+            if any(ocl_equal(value, other) for other in seen):
+                return False
+            seen.append(value)
+        return True
+    raise OCLEvaluationError(f"unknown iterator operation ->{op}()")
+
+
+def method_op(op: str, source: Any, arguments: List[Any]) -> Any:
+    """Apply a dot-call method."""
+    if op == "oclIsUndefined":
+        return source is UNDEFINED or source is None
+    if op == "abs":
+        return abs(require_number(source, "abs"))
+    if op == "floor":
+        return math.floor(require_number(source, "floor"))
+    if op == "round":
+        return round(require_number(source, "round"))
+    if op == "concat":
+        if len(arguments) != 1 or not isinstance(source, str):
+            raise OCLEvaluationError("concat takes one string argument")
+        return source + str(arguments[0])
+    if op == "toUpper":
+        return str(source).upper()
+    if op == "toLower":
+        return str(source).lower()
+    if op == "substring":
+        if len(arguments) != 2:
+            raise OCLEvaluationError("substring takes two arguments")
+        start = int(arguments[0])
+        end = int(arguments[1])
+        return str(source)[start - 1:end]  # 1-based, inclusive
+    raise OCLEvaluationError(f"unknown operation .{op}()")

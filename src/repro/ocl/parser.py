@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the OCL subset.
+
+Grammar (lowest precedence first)::
+
+    expression   := implication
+    implication  := disjunction ( 'implies' disjunction )*      (right-assoc)
+    disjunction  := conjunction ( ('or' | 'xor') conjunction )*
+    conjunction  := comparison ( 'and' comparison )*
+    comparison   := additive ( ('=' | '<>' | '<' | '>' | '<=' | '>=') additive )?
+    additive     := multiplicative ( ('+' | '-') multiplicative )*
+    multiplicative := unary ( ('*' | '/') unary )*
+    unary        := ('not' | '-') unary | postfix
+    postfix      := primary ( '.' NAME [ '(' args ')' ]
+                            | '->' NAME '(' [ NAME '|' ] ... ')'
+                            | '@pre' )*
+    primary      := literal | NAME | 'pre' '(' expression ')'
+                  | '(' expression ')'
+
+``pre`` is only special immediately before ``(``, so resources named
+``pre`` remain usable as plain names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import OCLSyntaxError
+from .lexer import Token, tokenize
+from .nodes import (
+    ArrowCall,
+    Binary,
+    Conditional,
+    Let,
+    Expression,
+    IteratorCall,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+)
+
+#: Arrow operations that take an iterator variable and a body expression.
+ITERATOR_OPERATIONS = frozenset({
+    "select", "reject", "collect", "forAll", "exists", "one", "isUnique",
+    "any",
+})
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = list(tokens)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            wanted = text or kind
+            got = self.current.text or self.current.kind
+            raise OCLSyntaxError(
+                f"expected {wanted!r} but found {got!r}",
+                self.current.position, self.current.line)
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Expression:
+        expression = self.implication()
+        if self.current.kind != "EOF":
+            raise OCLSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                self.current.position, self.current.line)
+        return expression
+
+    def implication(self) -> Expression:
+        if self.check("KEYWORD", "let"):
+            return self.let_expression()
+        left = self.disjunction()
+        if self.accept("KEYWORD", "implies") or self.accept("OP", "implies"):
+            right = self.implication()  # right-associative
+            return Binary("implies", left, right)
+        return left
+
+    def let_expression(self) -> Expression:
+        self.expect("KEYWORD", "let")
+        variable = self.expect("NAME").text
+        self.expect("OP", "=")
+        value = self.implication()
+        self.expect("KEYWORD", "in")
+        body = self.implication()
+        return Let(variable, value, body)
+
+    def disjunction(self) -> Expression:
+        left = self.conjunction()
+        while True:
+            if self.accept("KEYWORD", "or"):
+                left = Binary("or", left, self.conjunction())
+            elif self.accept("KEYWORD", "xor"):
+                left = Binary("xor", left, self.conjunction())
+            else:
+                return left
+
+    def conjunction(self) -> Expression:
+        left = self.comparison()
+        while self.accept("KEYWORD", "and"):
+            left = Binary("and", left, self.comparison())
+        return left
+
+    def comparison(self) -> Expression:
+        left = self.additive()
+        for operator in ("<=", ">=", "<>", "=", "<", ">"):
+            if self.accept("OP", operator):
+                return Binary(operator, left, self.additive())
+        return left
+
+    def additive(self) -> Expression:
+        left = self.multiplicative()
+        while True:
+            if self.accept("OP", "+"):
+                left = Binary("+", left, self.multiplicative())
+            elif self.accept("OP", "-"):
+                left = Binary("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expression:
+        left = self.unary()
+        while True:
+            if self.accept("OP", "*"):
+                left = Binary("*", left, self.unary())
+            elif self.accept("OP", "/"):
+                left = Binary("/", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expression:
+        if self.accept("KEYWORD", "not"):
+            return Unary("not", self.unary())
+        if self.accept("OP", "-"):
+            return Unary("-", self.unary())
+        return self.postfix()
+
+    def postfix(self) -> Expression:
+        expression = self.primary()
+        while True:
+            if self.accept("OP", "."):
+                name = self.expect("NAME").text
+                if self.accept("OP", "("):
+                    arguments = self.argument_list()
+                    expression = MethodCall(expression, name, arguments)
+                else:
+                    expression = Navigation(expression, name)
+            elif self.accept("OP", "->"):
+                expression = self.arrow_call(expression)
+            elif self.accept("OP", "@pre"):
+                expression = Pre(expression)
+            else:
+                return expression
+
+    def arrow_call(self, source: Expression) -> Expression:
+        operation = self.expect("NAME").text
+        self.expect("OP", "(")
+        if operation in ITERATOR_OPERATIONS:
+            return self.iterator_body(source, operation)
+        arguments = self.argument_list()
+        return ArrowCall(source, operation, arguments)
+
+    def iterator_body(self, source: Expression, operation: str) -> Expression:
+        # Optional explicit iterator variable: ->select(v | body).
+        variable = "self"
+        if (
+            self.current.kind == "NAME"
+            and self.index + 1 < len(self.tokens)
+            and self.tokens[self.index + 1].kind == "OP"
+            and self.tokens[self.index + 1].text == "|"
+        ):
+            variable = self.advance().text
+            self.advance()  # the '|'
+        body = self.implication()
+        self.expect("OP", ")")
+        return IteratorCall(source, operation, variable, body)
+
+    def argument_list(self) -> List[Expression]:
+        arguments: List[Expression] = []
+        if self.accept("OP", ")"):
+            return arguments
+        arguments.append(self.implication())
+        while self.accept("OP", ","):
+            arguments.append(self.implication())
+        self.expect("OP", ")")
+        return arguments
+
+    def primary(self) -> Expression:
+        token = self.current
+        if token.kind == "INT":
+            self.advance()
+            return Literal(int(token.text))
+        if token.kind == "REAL":
+            self.advance()
+            return Literal(float(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "KEYWORD" and token.text in ("true", "false"):
+            self.advance()
+            return Literal(token.text == "true")
+        if token.kind == "KEYWORD" and token.text == "null":
+            self.advance()
+            return Literal(None)
+        if token.kind == "KEYWORD" and token.text == "if":
+            self.advance()
+            condition = self.implication()
+            self.expect("KEYWORD", "then")
+            then_branch = self.implication()
+            self.expect("KEYWORD", "else")
+            else_branch = self.implication()
+            self.expect("KEYWORD", "endif")
+            return Conditional(condition, then_branch, else_branch)
+        if token.kind == "NAME":
+            # 'pre(' is the paper's old-value operator; a bare 'pre' is a name.
+            if (
+                token.text == "pre"
+                and self.index + 1 < len(self.tokens)
+                and self.tokens[self.index + 1].kind == "OP"
+                and self.tokens[self.index + 1].text == "("
+            ):
+                self.advance()
+                self.advance()  # the '('
+                inner = self.implication()
+                self.expect("OP", ")")
+                return Pre(inner)
+            self.advance()
+            return Name(token.text)
+        if self.accept("OP", "("):
+            inner = self.implication()
+            self.expect("OP", ")")
+            return inner
+        raise OCLSyntaxError(
+            f"unexpected token {token.text or token.kind!r}",
+            token.position, token.line)
+
+
+def parse(source) -> Expression:
+    """Parse OCL *source* (text or an already-built AST) to an expression."""
+    if isinstance(source, Expression):
+        return source
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,116 @@
+"""Canonical text rendering of OCL ASTs.
+
+``parse(to_text(ast))`` always yields a structurally equal AST; the contract
+generator relies on this when it emits Listing-1-style contract text, and
+the property-based tests verify the round trip.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    ArrowCall,
+    Binary,
+    Conditional,
+    Let,
+    Expression,
+    IteratorCall,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+)
+
+#: Binding strength, loosest first; postfix forms are tightest.
+_PRECEDENCE = {
+    "implies": 1,
+    "or": 2,
+    "xor": 2,
+    "and": 3,
+    "=": 4, "<>": 4, "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6,
+}
+_UNARY_PRECEDENCE = 7
+_POSTFIX_PRECEDENCE = 8
+
+
+def _render(node: Expression) -> tuple:
+    """Return (text, precedence) for *node*."""
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "null", _POSTFIX_PRECEDENCE
+        if isinstance(node.value, bool):
+            return ("true" if node.value else "false"), _POSTFIX_PRECEDENCE
+        if isinstance(node.value, str):
+            escaped = node.value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'", _POSTFIX_PRECEDENCE
+        return str(node.value), _POSTFIX_PRECEDENCE
+    if isinstance(node, Name):
+        return node.identifier, _POSTFIX_PRECEDENCE
+    if isinstance(node, Navigation):
+        source = _child(node.source, _POSTFIX_PRECEDENCE)
+        return f"{source}.{node.attribute}", _POSTFIX_PRECEDENCE
+    if isinstance(node, MethodCall):
+        source = _child(node.source, _POSTFIX_PRECEDENCE)
+        args = ", ".join(_child(a, 0) for a in node.arguments)
+        return f"{source}.{node.operation}({args})", _POSTFIX_PRECEDENCE
+    if isinstance(node, ArrowCall):
+        source = _child(node.source, _POSTFIX_PRECEDENCE)
+        args = ", ".join(_child(a, 0) for a in node.arguments)
+        return f"{source}->{node.operation}({args})", _POSTFIX_PRECEDENCE
+    if isinstance(node, IteratorCall):
+        source = _child(node.source, _POSTFIX_PRECEDENCE)
+        body = _child(node.body, 0)
+        if node.variable == "self":
+            return f"{source}->{node.operation}({body})", _POSTFIX_PRECEDENCE
+        return (
+            f"{source}->{node.operation}({node.variable} | {body})",
+            _POSTFIX_PRECEDENCE,
+        )
+    if isinstance(node, Pre):
+        return f"pre({_child(node.operand, 0)})", _POSTFIX_PRECEDENCE
+    if isinstance(node, Let):
+        value = _child(node.value, 0)
+        body = _child(node.body, 0)
+        return f"let {node.variable} = {value} in {body}", 0
+    if isinstance(node, Conditional):
+        condition = _child(node.condition, 0)
+        then_branch = _child(node.then_branch, 0)
+        else_branch = _child(node.else_branch, 0)
+        return (f"if {condition} then {then_branch} "
+                f"else {else_branch} endif", _POSTFIX_PRECEDENCE)
+    if isinstance(node, Unary):
+        operand = _child(node.operand, _UNARY_PRECEDENCE)
+        if node.operator == "not":
+            return f"not {operand}", _UNARY_PRECEDENCE
+        return f"-{operand}", _UNARY_PRECEDENCE
+    if isinstance(node, Binary):
+        precedence = _PRECEDENCE[node.operator]
+        # implies is right-associative, comparisons are non-associative,
+        # everything else is left-associative.
+        if node.operator == "implies":
+            left = _child(node.left, precedence + 1)
+            right = _child(node.right, precedence)
+        elif node.operator in Binary.COMPARISONS:
+            left = _child(node.left, precedence + 1)
+            right = _child(node.right, precedence + 1)
+        else:
+            left = _child(node.left, precedence)
+            right = _child(node.right, precedence + 1)
+        return f"{left} {node.operator} {right}", precedence
+    raise TypeError(f"cannot render node {node!r}")
+
+
+def _child(node: Expression, minimum: int) -> str:
+    text, precedence = _render(node)
+    if precedence < minimum:
+        return f"({text})"
+    return text
+
+
+def to_text(node: Expression) -> str:
+    """Render *node* as canonical OCL text."""
+    text, _ = _render(node)
+    return text

@@ -1,0 +1,185 @@
+"""Boolean simplification of OCL expressions.
+
+The generated contracts conjoin invariants, guards, and table-derived
+authorization terms mechanically, which leaves ``true`` units, duplicate
+conjuncts, and constant-foldable comparisons in the text (compare the
+hand-polished Listing 1 with raw generator output).  :func:`simplify`
+normalizes an expression without changing its meaning:
+
+* constant folding of connectives, ``not``, comparisons and arithmetic on
+  literals,
+* unit/absorbing elimination (``x and true -> x``, ``x or true -> true``),
+* duplicate-operand collapse (``x and x -> x``),
+* double-negation removal,
+* ``implies`` with constant sides (``true implies x -> x``,
+  ``false implies x -> true``),
+* conditional folding (``if true then a else b endif -> a``).
+
+The equivalence ``simplify(e) === e`` (for defined two-valued inputs) is
+checked by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .nodes import (
+    ArrowCall,
+    Binary,
+    Conditional,
+    Let,
+    Expression,
+    IteratorCall,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+)
+from .parser import parse
+
+
+def _is_literal(node: Expression, value: object) -> bool:
+    return isinstance(node, Literal) and node.value is value
+
+
+def _flatten(operator: str, node: Expression) -> List[Expression]:
+    """Flatten an and/or chain into its operand list."""
+    if isinstance(node, Binary) and node.operator == operator:
+        return _flatten(operator, node.left) + _flatten(operator, node.right)
+    return [node]
+
+
+def _rebuild(operator: str, operands: List[Expression],
+             empty: bool) -> Expression:
+    if not operands:
+        return Literal(empty)
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Binary(operator, result, operand)
+    return result
+
+
+def _simplify_connective(node: Binary) -> Expression:
+    operator = node.operator
+    if operator in ("and", "or"):
+        unit = operator == "and"          # and: true is unit, false absorbs
+        operands: List[Expression] = []
+        for operand in _flatten(operator, node):
+            if _is_literal(operand, unit):
+                continue
+            if _is_literal(operand, not unit):
+                return Literal(not unit)
+            if any(operand == seen for seen in operands):
+                continue
+            operands.append(operand)
+        return _rebuild(operator, operands, empty=unit)
+    if operator == "implies":
+        if _is_literal(node.left, False):
+            return Literal(True)
+        if _is_literal(node.left, True):
+            return node.right
+        if _is_literal(node.right, True):
+            return Literal(True)
+        return node
+    if operator == "xor":
+        if isinstance(node.left, Literal) and isinstance(node.right, Literal):
+            return Literal(bool(node.left.value) != bool(node.right.value))
+        if node.left == node.right:
+            return Literal(False)
+        return node
+    return node
+
+
+def _fold_comparison(node: Binary) -> Expression:
+    left, right = node.left, node.right
+    if not (isinstance(left, Literal) and isinstance(right, Literal)):
+        if node.operator == "=" and left == right and _is_pure(left):
+            return Literal(True)
+        if node.operator == "<>" and left == right and _is_pure(left):
+            return Literal(False)
+        return node
+    lv, rv = left.value, right.value
+    try:
+        if node.operator == "=":
+            return Literal(lv == rv and type(lv) is type(rv))
+        if node.operator == "<>":
+            return Literal(not (lv == rv and type(lv) is type(rv)))
+        if lv is None or rv is None or isinstance(lv, bool) or \
+                isinstance(rv, bool):
+            return node
+        if node.operator == "<":
+            return Literal(lv < rv)
+        if node.operator == ">":
+            return Literal(lv > rv)
+        if node.operator == "<=":
+            return Literal(lv <= rv)
+        if node.operator == ">=":
+            return Literal(lv >= rv)
+    except TypeError:
+        return node
+    return node
+
+
+def _is_pure(node: Expression) -> bool:
+    """True when re-evaluating *node* twice cannot differ (no navigation)."""
+    return all(isinstance(descendant, (Literal, Binary, Unary, Name))
+               for descendant in node.walk())
+
+
+def simplify(expression: Union[str, Expression]) -> Expression:
+    """Return a semantics-preserving simplification of *expression*."""
+    node = parse(expression)
+    return _simplify(node)
+
+
+def _simplify(node: Expression) -> Expression:
+    if isinstance(node, Literal) or isinstance(node, Name):
+        return node
+    if isinstance(node, Navigation):
+        return Navigation(_simplify(node.source), node.attribute)
+    if isinstance(node, Pre):
+        inner = _simplify(node.operand)
+        if isinstance(inner, Literal):
+            return inner  # old value of a constant is the constant
+        return Pre(inner)
+    if isinstance(node, Unary):
+        operand = _simplify(node.operand)
+        if node.operator == "not":
+            if isinstance(operand, Literal) and isinstance(operand.value, bool):
+                return Literal(not operand.value)
+            if isinstance(operand, Unary) and operand.operator == "not":
+                return operand.operand
+        return Unary(node.operator, operand)
+    if isinstance(node, Binary):
+        left = _simplify(node.left)
+        right = _simplify(node.right)
+        rebuilt = Binary(node.operator, left, right)
+        if node.operator in Binary.CONNECTIVES:
+            return _simplify_connective(rebuilt)
+        if node.operator in Binary.COMPARISONS:
+            return _fold_comparison(rebuilt)
+        return rebuilt
+    if isinstance(node, Let):
+        return Let(node.variable, _simplify(node.value),
+                   _simplify(node.body))
+    if isinstance(node, Conditional):
+        condition = _simplify(node.condition)
+        then_branch = _simplify(node.then_branch)
+        else_branch = _simplify(node.else_branch)
+        if _is_literal(condition, True):
+            return then_branch
+        if _is_literal(condition, False):
+            return else_branch
+        return Conditional(condition, then_branch, else_branch)
+    if isinstance(node, ArrowCall):
+        return ArrowCall(_simplify(node.source), node.operation,
+                         [_simplify(argument) for argument in node.arguments])
+    if isinstance(node, IteratorCall):
+        return IteratorCall(_simplify(node.source), node.operation,
+                            node.variable, _simplify(node.body))
+    if isinstance(node, MethodCall):
+        return MethodCall(_simplify(node.source), node.operation,
+                          [_simplify(argument) for argument in node.arguments])
+    return node

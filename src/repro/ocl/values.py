@@ -1,0 +1,97 @@
+"""The OCL value domain used by the evaluator.
+
+Values are ordinary Python objects: ``bool``, ``int``, ``float``, ``str``,
+``list`` (OCL Bag/Sequence), ``set``-like via ``asSet``, plus the
+:data:`UNDEFINED` sentinel for OCL's *undefined* value.
+
+Undefined semantics (documented, deliberately simple -- the subset the
+paper's contracts need):
+
+* navigating from an undefined value yields undefined,
+* ``undefined->size()`` is 0 (an undefined resource is an empty collection
+  of addressable state, matching the paper's "GET did not return 200"
+  reading of ``project.volumes->size()=0``),
+* any comparison involving undefined is ``False`` except
+  ``undefined = undefined`` which is ``True``,
+* ``x.oclIsUndefined()`` reports it,
+* boolean connectives treat undefined operands as ``False`` (two-valued
+  logic; OCL's three-valued Kleene logic is not needed by the contracts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+
+class Undefined:
+    """Singleton sentinel for OCL's undefined value."""
+
+    _instance = None
+
+    def __new__(cls) -> "Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+
+#: The unique undefined value.
+UNDEFINED = Undefined()
+
+
+def is_defined(value: Any) -> bool:
+    """True unless *value* is the :data:`UNDEFINED` sentinel."""
+    return value is not UNDEFINED
+
+
+def as_collection(value: Any) -> List[Any]:
+    """Coerce *value* to an OCL collection.
+
+    OCL implicitly treats a single object as a bag of one element when a
+    collection operation is applied with ``->``.  ``None`` and undefined
+    coerce to the empty collection -- this is exactly how the paper reads
+    ``project.id->size()=1`` as "the project exists".
+    """
+    if value is UNDEFINED or value is None:
+        return []
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return list(value)
+    return [value]
+
+
+def ocl_equal(left: Any, right: Any) -> bool:
+    """OCL ``=`` with the documented undefined semantics."""
+    if left is UNDEFINED or right is UNDEFINED:
+        return left is right
+    if isinstance(left, bool) != isinstance(right, bool):
+        # Avoid Python's bool/int conflation: 1 = true is not OCL-true.
+        return False
+    return left == right
+
+
+def ocl_truthy(value: Any) -> bool:
+    """Coerce a value to a boolean for the connectives (undefined -> False)."""
+    if value is UNDEFINED or value is None:
+        return False
+    return bool(value)
+
+
+def require_number(value: Any, operation: str) -> float:
+    """Return *value* as a number or raise ``TypeError`` with context."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{operation} requires a number, got {value!r}")
+    return value
+
+
+def unique(items: Iterable[Any]) -> List[Any]:
+    """Stable de-duplication used by ``asSet`` (works for unhashable items)."""
+    seen: List[Any] = []
+    for item in items:
+        if not any(ocl_equal(item, other) for other in seen):
+            seen.append(item)
+    return seen

@@ -1,0 +1,30 @@
+"""Role-Based Access Control: the authorization substrate (Section IV-C).
+
+OpenStack authorization follows RBAC: users (or user groups) are assigned
+roles within projects, and each service decides requests against rules in
+its ``policy.json``.  This package models all three layers:
+
+* :mod:`repro.rbac.model` -- roles, user groups, users, and per-project
+  role assignments,
+* :mod:`repro.rbac.policy` -- an OpenStack-style policy rule language and
+  enforcement engine (``"volume:delete": "role:admin"``),
+* :mod:`repro.rbac.table` -- the security-requirements table of the paper
+  (Table I) with renderers to text, policy rules, and OCL guards.
+"""
+
+from .model import RBACModel, Role, RoleAssignment, User, UserGroup
+from .policy import Enforcer, PolicyRule, parse_policy
+from .table import SecurityRequirement, SecurityRequirementsTable
+
+__all__ = [
+    "Enforcer",
+    "PolicyRule",
+    "RBACModel",
+    "Role",
+    "RoleAssignment",
+    "SecurityRequirement",
+    "SecurityRequirementsTable",
+    "User",
+    "UserGroup",
+    "parse_policy",
+]

@@ -1,0 +1,206 @@
+"""The RBAC data model: roles, user groups, users, assignments.
+
+Mirrors the paper's example setup (Table I): three roles -- *admin*,
+*member*, *user* -- realized by the user groups *proj_administrator*,
+*service_architect* and *business_analyst* inside one project.  Users
+belong to groups; groups (or users directly) are assigned roles per
+project; a user's effective roles in a project are the union of direct and
+group-mediated assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import PolicyError
+
+
+class Role:
+    """A named role (RBAC permission bundle)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise PolicyError("role needs a non-empty name")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Role):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("role", self.name))
+
+    def __repr__(self) -> str:
+        return f"Role({self.name!r})"
+
+
+class UserGroup:
+    """A named group of users (e.g. ``proj_administrator``)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise PolicyError("user group needs a non-empty name")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UserGroup):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("group", self.name))
+
+    def __repr__(self) -> str:
+        return f"UserGroup({self.name!r})"
+
+
+class User:
+    """A cloud user with an id, a name, and group memberships."""
+
+    def __init__(self, user_id: str, name: str,
+                 groups: Optional[Iterable[str]] = None):
+        self.user_id = user_id
+        self.name = name
+        self.groups: List[str] = list(groups or [])
+
+    def in_group(self, group_name: str) -> bool:
+        """True when the user belongs to *group_name*."""
+        return group_name in self.groups
+
+    def __repr__(self) -> str:
+        return f"User({self.user_id!r}, groups={self.groups})"
+
+
+class RoleAssignment:
+    """A role granted to a user or a group within one project."""
+
+    def __init__(self, role: str, project_id: str,
+                 user_id: Optional[str] = None,
+                 group: Optional[str] = None):
+        if (user_id is None) == (group is None):
+            raise PolicyError(
+                "assignment needs exactly one of user_id or group")
+        self.role = role
+        self.project_id = project_id
+        self.user_id = user_id
+        self.group = group
+
+    def __repr__(self) -> str:
+        subject = self.user_id if self.user_id else f"group:{self.group}"
+        return f"<RoleAssignment {subject} -> {self.role} @ {self.project_id}>"
+
+
+class RBACModel:
+    """The complete RBAC configuration of one private cloud."""
+
+    def __init__(self):
+        self.roles: Dict[str, Role] = {}
+        self.groups: Dict[str, UserGroup] = {}
+        self.users: Dict[str, User] = {}
+        self.assignments: List[RoleAssignment] = []
+
+    # -- population ---------------------------------------------------------
+
+    def add_role(self, name: str) -> Role:
+        """Register a role (idempotent)."""
+        if name not in self.roles:
+            self.roles[name] = Role(name)
+        return self.roles[name]
+
+    def add_group(self, name: str) -> UserGroup:
+        """Register a user group (idempotent)."""
+        if name not in self.groups:
+            self.groups[name] = UserGroup(name)
+        return self.groups[name]
+
+    def add_user(self, user_id: str, name: str,
+                 groups: Optional[Iterable[str]] = None) -> User:
+        """Register a user; unknown groups are an error."""
+        groups = list(groups or [])
+        for group in groups:
+            if group not in self.groups:
+                raise PolicyError(f"unknown group {group!r} for user {name!r}")
+        if user_id in self.users:
+            raise PolicyError(f"duplicate user id {user_id!r}")
+        user = User(user_id, name, groups)
+        self.users[user_id] = user
+        return user
+
+    def assign(self, role: str, project_id: str,
+               user_id: Optional[str] = None,
+               group: Optional[str] = None) -> RoleAssignment:
+        """Grant *role* in *project_id* to a user or a group."""
+        if role not in self.roles:
+            raise PolicyError(f"unknown role {role!r}")
+        if group is not None and group not in self.groups:
+            raise PolicyError(f"unknown group {group!r}")
+        if user_id is not None and user_id not in self.users:
+            raise PolicyError(f"unknown user {user_id!r}")
+        assignment = RoleAssignment(role, project_id, user_id=user_id,
+                                    group=group)
+        self.assignments.append(assignment)
+        return assignment
+
+    # -- queries --------------------------------------------------------------
+
+    def get_user(self, user_id: str) -> User:
+        """Return the user with *user_id* or raise :class:`PolicyError`."""
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise PolicyError(f"unknown user {user_id!r}") from None
+
+    def roles_for(self, user_id: str, project_id: str) -> Set[str]:
+        """Effective roles of the user in the project (direct + via groups)."""
+        user = self.get_user(user_id)
+        effective: Set[str] = set()
+        for assignment in self.assignments:
+            if assignment.project_id != project_id:
+                continue
+            if assignment.user_id == user_id:
+                effective.add(assignment.role)
+            elif assignment.group is not None and user.in_group(assignment.group):
+                effective.add(assignment.role)
+        return effective
+
+    def users_with_role(self, role: str, project_id: str) -> List[str]:
+        """User ids holding *role* in *project_id*."""
+        return sorted(
+            user_id for user_id in self.users
+            if role in self.roles_for(user_id, project_id))
+
+    def credentials_for(self, user_id: str, project_id: str) -> Dict[str, object]:
+        """Build the credential dict the policy engine evaluates against."""
+        user = self.get_user(user_id)
+        return {
+            "user_id": user.user_id,
+            "user_name": user.name,
+            "project_id": project_id,
+            "roles": sorted(self.roles_for(user_id, project_id)),
+            "groups": list(user.groups),
+        }
+
+    @classmethod
+    def paper_example(cls, project_id: str = "myProject") -> "RBACModel":
+        """The Table-I / Section VI-D configuration of the paper.
+
+        Three roles mapped to three user groups, one user per group, inside
+        the project ``myProject``.
+        """
+        model = cls()
+        for role in ("admin", "member", "user"):
+            model.add_role(role)
+        pairs: Tuple[Tuple[str, str], ...] = (
+            ("proj_administrator", "admin"),
+            ("service_architect", "member"),
+            ("business_analyst", "user"),
+        )
+        for group, role in pairs:
+            model.add_group(group)
+        model.add_user("alice", "alice", ["proj_administrator"])
+        model.add_user("bob", "bob", ["service_architect"])
+        model.add_user("carol", "carol", ["business_analyst"])
+        for group, role in pairs:
+            model.assign(role, project_id, group=group)
+        return model

@@ -1,0 +1,220 @@
+"""An OpenStack-style ``policy.json`` rule language and enforcer.
+
+OpenStack services decide each API request against named rules such as::
+
+    {
+        "admin_required": "role:admin",
+        "admin_or_member": "rule:admin_required or role:member",
+        "volume:get": "role:admin or role:member or role:user",
+        "volume:delete": "rule:admin_required",
+        "always_deny": "!",
+        "always_allow": "@"
+    }
+
+Supported atoms: ``role:<name>``, ``group:<name>``, ``rule:<name>``,
+``user_id:%(user_id)s``-style target matches, ``@`` (allow), ``!`` (deny).
+Connectives: ``and``, ``or``, ``not``, and parentheses.  This covers the
+fragment OpenStack's oslo.policy engine uses in the Cinder/Keystone
+policies the paper monitors.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..errors import PolicyError
+
+_TOKEN = re.compile(
+    r"\s*(\(|\)|\band\b|\bor\b|\bnot\b|@|!"
+    r"|[A-Za-z_][\w.]*:(?:%\(\w+\)s|[^\s()]+))")
+
+
+class PolicyRule:
+    """One parsed rule expression, evaluable against credentials."""
+
+    def __init__(self, name: str, source: str):
+        self.name = name
+        self.source = source.strip()
+        self._ast = _parse_rule(self.source)
+
+    def check(self, credentials: Mapping[str, Any],
+              target: Optional[Mapping[str, Any]] = None,
+              rules: Optional[Mapping[str, "PolicyRule"]] = None,
+              _depth: int = 0) -> bool:
+        """Evaluate the rule; *rules* resolves ``rule:`` references."""
+        if _depth > 32:
+            raise PolicyError(
+                f"rule recursion too deep evaluating {self.name!r} "
+                f"(circular rule references?)")
+        return _eval_node(self._ast, credentials, target or {},
+                          rules or {}, _depth)
+
+    def __repr__(self) -> str:
+        return f"PolicyRule({self.name!r}: {self.source!r})"
+
+
+# -- rule expression parsing ---------------------------------------------------
+
+def _tokenize_rule(source: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN.match(source, index)
+        if match is None:
+            if source[index:].strip():
+                raise PolicyError(
+                    f"cannot tokenize policy rule at {source[index:]!r}")
+            break
+        tokens.append(match.group(1))
+        index = match.end()
+    return tokens
+
+
+def _parse_rule(source: str):
+    source = source.strip()
+    if not source:
+        return ("allow",)  # OpenStack: empty rule means always allowed
+    tokens = _tokenize_rule(source)
+    ast, rest = _parse_or(tokens)
+    if rest:
+        raise PolicyError(f"trailing tokens in policy rule: {rest!r}")
+    return ast
+
+
+def _parse_or(tokens: List[str]):
+    left, tokens = _parse_and(tokens)
+    while tokens and tokens[0] == "or":
+        right, tokens = _parse_and(tokens[1:])
+        left = ("or", left, right)
+    return left, tokens
+
+
+def _parse_and(tokens: List[str]):
+    left, tokens = _parse_not(tokens)
+    while tokens and tokens[0] == "and":
+        right, tokens = _parse_not(tokens[1:])
+        left = ("and", left, right)
+    return left, tokens
+
+
+def _parse_not(tokens: List[str]):
+    if tokens and tokens[0] == "not":
+        inner, tokens = _parse_not(tokens[1:])
+        return ("not", inner), tokens
+    return _parse_atom(tokens)
+
+
+def _parse_atom(tokens: List[str]):
+    if not tokens:
+        raise PolicyError("unexpected end of policy rule")
+    token = tokens[0]
+    if token == "(":
+        inner, rest = _parse_or(tokens[1:])
+        if not rest or rest[0] != ")":
+            raise PolicyError("unbalanced parentheses in policy rule")
+        return inner, rest[1:]
+    if token == "@":
+        return ("allow",), tokens[1:]
+    if token == "!":
+        return ("deny",), tokens[1:]
+    if ":" in token:
+        kind, _, value = token.partition(":")
+        return ("check", kind, value), tokens[1:]
+    raise PolicyError(f"unexpected token {token!r} in policy rule")
+
+
+def _eval_node(node, credentials: Mapping[str, Any],
+               target: Mapping[str, Any],
+               rules: Mapping[str, PolicyRule], depth: int) -> bool:
+    kind = node[0]
+    if kind == "allow":
+        return True
+    if kind == "deny":
+        return False
+    if kind == "and":
+        return (_eval_node(node[1], credentials, target, rules, depth)
+                and _eval_node(node[2], credentials, target, rules, depth))
+    if kind == "or":
+        return (_eval_node(node[1], credentials, target, rules, depth)
+                or _eval_node(node[2], credentials, target, rules, depth))
+    if kind == "not":
+        return not _eval_node(node[1], credentials, target, rules, depth)
+    if kind == "check":
+        return _eval_check(node[1], node[2], credentials, target, rules, depth)
+    raise PolicyError(f"unknown policy AST node {node!r}")
+
+
+def _eval_check(check_kind: str, value: str,
+                credentials: Mapping[str, Any],
+                target: Mapping[str, Any],
+                rules: Mapping[str, PolicyRule], depth: int) -> bool:
+    if check_kind == "role":
+        return value in credentials.get("roles", [])
+    if check_kind == "group":
+        return value in credentials.get("groups", [])
+    if check_kind == "rule":
+        rule = rules.get(value)
+        if rule is None:
+            raise PolicyError(f"reference to unknown rule {value!r}")
+        return rule.check(credentials, target, rules, depth + 1)
+    # Generic credential-vs-target check: "user_id:%(user_id)s" compares the
+    # credential user_id with the target's user_id; a plain value compares
+    # the credential field with the literal.
+    credential_value = credentials.get(check_kind)
+    template = re.fullmatch(r"%\((\w+)\)s", value)
+    if template:
+        return credential_value == target.get(template.group(1))
+    return credential_value == value
+
+
+class Enforcer:
+    """Evaluates named policy actions against credentials and targets.
+
+    The simulated cloud services call :meth:`enforce` on every request,
+    exactly where OpenStack calls oslo.policy.  Mutation operators of the
+    validation campaign (Section VI-D) rewrite entries in :attr:`rules`.
+    """
+
+    def __init__(self, rules: Optional[Dict[str, PolicyRule]] = None):
+        self.rules: Dict[str, PolicyRule] = dict(rules or {})
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, str]) -> "Enforcer":
+        """Build an enforcer from a ``{action: rule_text}`` mapping."""
+        rules = {name: PolicyRule(name, text) for name, text in mapping.items()}
+        return cls(rules)
+
+    @classmethod
+    def from_json(cls, document: str) -> "Enforcer":
+        """Build an enforcer from a ``policy.json`` document string."""
+        try:
+            mapping = json.loads(document)
+        except ValueError as exc:
+            raise PolicyError(f"malformed policy.json: {exc}") from exc
+        if not isinstance(mapping, dict):
+            raise PolicyError("policy.json must contain a JSON object")
+        return cls.from_dict(mapping)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Dump the current rules back to ``{action: rule_text}``."""
+        return {name: rule.source for name, rule in self.rules.items()}
+
+    def set_rule(self, action: str, source: str) -> None:
+        """Add or replace the rule for *action* (used by fault injection)."""
+        self.rules[action] = PolicyRule(action, source)
+
+    def enforce(self, action: str, credentials: Mapping[str, Any],
+                target: Optional[Mapping[str, Any]] = None,
+                default: bool = False) -> bool:
+        """Decide *action*; unknown actions fall back to *default*."""
+        rule = self.rules.get(action)
+        if rule is None:
+            return default
+        return rule.check(credentials, target, self.rules)
+
+
+def parse_policy(document: str) -> Enforcer:
+    """Convenience alias for :meth:`Enforcer.from_json`."""
+    return Enforcer.from_json(document)

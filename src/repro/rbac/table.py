@@ -1,0 +1,202 @@
+"""The security-requirements table (paper Table I).
+
+"In the current industrial practice, this information is usually given in a
+tabular format" (Section IV-C).  The table lists, per resource and HTTP
+method, the roles (and the user groups realizing them) that may invoke the
+method, each row group identified by a requirement id such as ``1.4``.
+
+The class renders three downstream artifacts:
+
+* :meth:`SecurityRequirementsTable.render` -- the human-readable table
+  (the TABLE-I bench compares this against the paper's rows),
+* :meth:`SecurityRequirementsTable.to_policy` -- OpenStack policy rules,
+* :meth:`SecurityRequirementsTable.to_guard` -- the OCL authorization
+  guard injected into transition guards and method contracts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PolicyError
+
+
+class SecurityRequirement:
+    """One requirement: who may invoke *method* on *resource*.
+
+    ``roles`` maps each permitted role to the user groups realizing it
+    (Table I pairs e.g. role *admin* with group *proj_administrator*).
+    """
+
+    def __init__(self, requirement_id: str, resource: str, method: str,
+                 roles: Dict[str, Sequence[str]]):
+        if not requirement_id:
+            raise PolicyError("security requirement needs an id")
+        if not roles:
+            raise PolicyError(
+                f"requirement {requirement_id!r} permits no roles; "
+                f"use an explicit deny-all policy instead")
+        self.requirement_id = requirement_id
+        self.resource = resource
+        self.method = method.upper()
+        self.roles: Dict[str, Tuple[str, ...]] = {
+            role: tuple(groups) for role, groups in roles.items()}
+
+    @property
+    def role_names(self) -> List[str]:
+        """Permitted roles, in declaration order."""
+        return list(self.roles)
+
+    @property
+    def group_names(self) -> List[str]:
+        """All user groups across the permitted roles."""
+        groups: List[str] = []
+        for role_groups in self.roles.values():
+            for group in role_groups:
+                if group not in groups:
+                    groups.append(group)
+        return groups
+
+    def permits_role(self, role: str) -> bool:
+        """True when *role* may invoke the method."""
+        return role in self.roles
+
+    def to_policy_rule(self) -> str:
+        """OpenStack rule text, e.g. ``"role:admin or role:member"``."""
+        return " or ".join(f"role:{role}" for role in self.roles)
+
+    def to_guard(self, subject: str = "user") -> str:
+        """OCL guard over the requesting user's effective roles."""
+        terms = [f"{subject}.roles->includes('{role}')" for role in self.roles]
+        return " or ".join(terms)
+
+    def __repr__(self) -> str:
+        return (f"<SecReq {self.requirement_id} {self.method} "
+                f"{self.resource} roles={self.role_names}>")
+
+
+class SecurityRequirementsTable:
+    """All security requirements of one modelled cloud."""
+
+    def __init__(self, requirements: Optional[Iterable[SecurityRequirement]] = None):
+        self.requirements: List[SecurityRequirement] = []
+        self._by_id: Dict[str, SecurityRequirement] = {}
+        for requirement in requirements or ():
+            self.add(requirement)
+
+    def add(self, requirement: SecurityRequirement) -> SecurityRequirement:
+        """Register a requirement; duplicate ids or (resource, method) clash."""
+        if requirement.requirement_id in self._by_id:
+            raise PolicyError(
+                f"duplicate requirement id {requirement.requirement_id!r}")
+        if self.lookup(requirement.resource, requirement.method) is not None:
+            raise PolicyError(
+                f"requirement for {requirement.method} on "
+                f"{requirement.resource!r} already defined")
+        self.requirements.append(requirement)
+        self._by_id[requirement.requirement_id] = requirement
+        return requirement
+
+    def get(self, requirement_id: str) -> SecurityRequirement:
+        """Return the requirement with *requirement_id*."""
+        try:
+            return self._by_id[requirement_id]
+        except KeyError:
+            raise PolicyError(
+                f"no security requirement {requirement_id!r}") from None
+
+    def lookup(self, resource: str, method: str) -> Optional[SecurityRequirement]:
+        """The requirement governing *method* on *resource*, or ``None``."""
+        method = method.upper()
+        for requirement in self.requirements:
+            if requirement.resource == resource and requirement.method == method:
+                return requirement
+        return None
+
+    def ids(self) -> List[str]:
+        """All requirement ids in declaration order."""
+        return [r.requirement_id for r in self.requirements]
+
+    # -- derived artifacts -----------------------------------------------------
+
+    def to_policy(self) -> Dict[str, str]:
+        """OpenStack policy mapping ``resource:method_lower -> rule text``."""
+        return {
+            f"{r.resource}:{r.method.lower()}": r.to_policy_rule()
+            for r in self.requirements
+        }
+
+    def to_guard(self, resource: str, method: str, subject: str = "user") -> str:
+        """OCL authorization guard for *method* on *resource*.
+
+        Methods without a requirement are denied by construction: the guard
+        is ``false``, which surfaces the modelling gap during validation
+        instead of silently allowing the call.
+        """
+        requirement = self.lookup(resource, method)
+        if requirement is None:
+            return "false"
+        return requirement.to_guard(subject)
+
+    def render(self) -> str:
+        """Render the table in the layout of the paper's Table I."""
+        headers = ("Resource", "SecReq", "Request", "Role", "UserGroup")
+        rows: List[Tuple[str, str, str, str, str]] = []
+        previous_resource = None
+        for requirement in self.requirements:
+            resource_cell = (requirement.resource
+                             if requirement.resource != previous_resource else "")
+            previous_resource = requirement.resource
+            first = True
+            for role, groups in requirement.roles.items():
+                rows.append((
+                    resource_cell if first else "",
+                    requirement.requirement_id if first else "",
+                    requirement.method if first else "",
+                    role,
+                    ", ".join(groups),
+                ))
+                first = False
+                resource_cell = ""
+        widths = [
+            max(len(headers[i]), max((len(row[i]) for row in rows), default=0))
+            for i in range(len(headers))
+        ]
+
+        def format_row(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+        separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = [separator, format_row(headers), separator]
+        lines.extend(format_row(row) for row in rows)
+        lines.append(separator)
+        return "\n".join(lines)
+
+    @classmethod
+    def paper_table(cls) -> "SecurityRequirementsTable":
+        """Table I of the paper: the volume resource of the Cinder API."""
+        table = cls()
+        table.add(SecurityRequirement("1.1", "volume", "GET", {
+            "admin": ["proj_administrator"],
+            "member": ["service_architect"],
+            "user": ["business_analyst"],
+        }))
+        table.add(SecurityRequirement("1.2", "volume", "PUT", {
+            "admin": ["proj_administrator"],
+            "member": ["service_architect"],
+        }))
+        table.add(SecurityRequirement("1.3", "volume", "POST", {
+            "admin": ["proj_administrator"],
+            "member": ["service_architect"],
+        }))
+        table.add(SecurityRequirement("1.4", "volume", "DELETE", {
+            "admin": ["proj_administrator"],
+        }))
+        return table
+
+    def __len__(self) -> int:
+        return len(self.requirements)
+
+    def __iter__(self):
+        return iter(self.requirements)

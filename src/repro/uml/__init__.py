@@ -1,0 +1,64 @@
+"""UML metamodel for the paper's design models (Section IV).
+
+Two diagram kinds are modelled:
+
+* :mod:`repro.uml.classdiagram` -- the **resource model**: resource
+  definitions (classes), typed public attributes, and named associations
+  with multiplicities.  URIs are derived from association role names.
+* :mod:`repro.uml.statemachine` -- the **behavioral model**: a protocol
+  state machine whose states carry OCL invariants and whose transitions are
+  triggered by HTTP methods on resources, guarded by OCL expressions, and
+  annotated with security-requirement comments.
+
+:mod:`repro.uml.validation` checks the REST well-formedness rules the paper
+imposes, and :mod:`repro.uml.xmi_writer` / :mod:`repro.uml.xmi_reader`
+serialize both models to the XMI interchange format the tool consumes
+("The XMI files are given as the input to CM", Section VI).
+"""
+
+from .classdiagram import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+)
+from .dot import class_diagram_to_dot, state_machine_to_dot
+from .slicing import (
+    merge_class_diagrams,
+    merge_models,
+    merge_state_machines,
+    slice_class_diagram,
+    slice_models,
+    slice_state_machine,
+)
+from .statemachine import State, StateMachine, Transition, Trigger
+from .validation import Violation, validate_class_diagram, validate_state_machine
+from .xmi_reader import read_xmi, read_xmi_file
+from .xmi_writer import write_xmi, write_xmi_file
+
+__all__ = [
+    "MANY",
+    "Association",
+    "Attribute",
+    "ClassDiagram",
+    "Multiplicity",
+    "ResourceClass",
+    "State",
+    "StateMachine",
+    "Transition",
+    "Trigger",
+    "Violation",
+    "class_diagram_to_dot",
+    "read_xmi",
+    "state_machine_to_dot",
+    "read_xmi_file",
+    "slice_class_diagram",
+    "slice_models",
+    "slice_state_machine",
+    "validate_class_diagram",
+    "validate_state_machine",
+    "write_xmi",
+    "write_xmi_file",
+]

@@ -1,0 +1,308 @@
+"""The resource model: a UML class diagram with REST design constraints.
+
+Section IV-A of the paper: a *collection* resource definition is a class
+with no attributes that contains other resources through a ``0..*``
+association; a *normal* resource definition has one or more typed public
+attributes.  Every association carries a role name, and URI paths are formed
+by traversing the role names, always starting from the corresponding
+collection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ModelError
+
+#: Sentinel for an unbounded upper multiplicity (``*``).
+MANY: Optional[int] = None
+
+
+class Multiplicity:
+    """A UML multiplicity ``lower..upper`` where upper may be ``*`` (MANY)."""
+
+    def __init__(self, lower: int = 0, upper: Optional[int] = MANY):
+        if lower < 0:
+            raise ModelError(f"multiplicity lower bound must be >= 0, got {lower}")
+        if upper is not MANY and upper < lower:
+            raise ModelError(
+                f"multiplicity upper bound {upper} below lower bound {lower}")
+        self.lower = lower
+        self.upper = upper
+
+    @property
+    def is_many(self) -> bool:
+        """True when more than one target resource may participate."""
+        return self.upper is MANY or self.upper > 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiplicity):
+            return NotImplemented
+        return (self.lower, self.upper) == (other.lower, other.upper)
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper))
+
+    def __str__(self) -> str:
+        upper = "*" if self.upper is MANY else str(self.upper)
+        return f"{self.lower}..{upper}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Multiplicity":
+        """Parse ``"0..*"``, ``"1..1"``, ``"1"``, or ``"*"``."""
+        text = text.strip()
+        if ".." in text:
+            low_text, _, high_text = text.partition("..")
+            lower = int(low_text)
+            upper = MANY if high_text.strip() == "*" else int(high_text)
+            return cls(lower, upper)
+        if text == "*":
+            return cls(0, MANY)
+        value = int(text)
+        return cls(value, value)
+
+    def __repr__(self) -> str:
+        return f"Multiplicity({self})"
+
+
+class Attribute:
+    """A typed public attribute of a normal resource definition.
+
+    The paper requires resource attributes to be public and typed, because
+    they represent the serialized document of the resource (Section IV-A).
+    """
+
+    def __init__(self, name: str, type_name: str = "String",
+                 visibility: str = "public"):
+        self.name = name
+        self.type_name = type_name
+        self.visibility = visibility
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (self.name, self.type_name, self.visibility) == (
+            other.name, other.type_name, other.visibility)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type_name, self.visibility))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name}: {self.type_name})"
+
+
+class ResourceClass:
+    """A resource definition: a class whose instances are resources."""
+
+    def __init__(self, name: str, attributes: Optional[List[Attribute]] = None):
+        if not name:
+            raise ModelError("resource class needs a non-empty name")
+        self.name = name
+        self.attributes: List[Attribute] = list(attributes or [])
+
+    @property
+    def is_collection(self) -> bool:
+        """A collection resource definition has no attributes (Section IV-A)."""
+        return not self.attributes
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called *name* or raise :class:`ModelError`."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise ModelError(f"class {self.name!r} has no attribute {name!r}")
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        """Append an attribute (turns a collection into a normal resource)."""
+        self.attributes.append(attribute)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceClass):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self.attributes)))
+
+    def __repr__(self) -> str:
+        kind = "collection" if self.is_collection else "resource"
+        return f"<ResourceClass {self.name} ({kind})>"
+
+
+class Association:
+    """A directed, role-named association between two resource definitions.
+
+    ``source`` contains or references ``target``; ``role_name`` is the URI
+    segment contributed by traversing this association.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        role_name: str,
+        multiplicity: Optional[Multiplicity] = None,
+        name: str = "",
+    ):
+        self.source = source
+        self.target = target
+        self.role_name = role_name
+        self.multiplicity = multiplicity or Multiplicity(0, MANY)
+        self.name = name or f"{source}_{role_name}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Association):
+            return NotImplemented
+        return (
+            self.source, self.target, self.role_name,
+            self.multiplicity, self.name,
+        ) == (
+            other.source, other.target, other.role_name,
+            other.multiplicity, other.name,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.target, self.role_name,
+                     self.multiplicity, self.name))
+
+    def __repr__(self) -> str:
+        return (f"<Association {self.source} --{self.role_name}"
+                f"[{self.multiplicity}]--> {self.target}>")
+
+
+class ClassDiagram:
+    """The complete resource model of one private-cloud API."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.classes: Dict[str, ResourceClass] = {}
+        self.associations: List[Association] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_class(self, cls: ResourceClass) -> ResourceClass:
+        """Register a resource definition; duplicate names are an error."""
+        if cls.name in self.classes:
+            raise ModelError(f"duplicate class name {cls.name!r}")
+        self.classes[cls.name] = cls
+        return cls
+
+    def add_association(self, association: Association) -> Association:
+        """Register an association between two already-added classes."""
+        for endpoint in (association.source, association.target):
+            if endpoint not in self.classes:
+                raise ModelError(
+                    f"association endpoint {endpoint!r} is not a class "
+                    f"in diagram {self.name!r}")
+        self.associations.append(association)
+        return association
+
+    # -- queries -----------------------------------------------------------
+
+    def get_class(self, name: str) -> ResourceClass:
+        """Return the class called *name* or raise :class:`ModelError`."""
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise ModelError(f"no class named {name!r} in {self.name!r}") from None
+
+    def find_class(self, name: str) -> Optional[ResourceClass]:
+        """Like :meth:`get_class` but case-insensitive and non-raising.
+
+        Behavioral-model triggers conventionally name resources in lower
+        case (``POST(volumes)``) while the resource model capitalizes
+        collections (``Volumes``); this lookup bridges the two.
+        """
+        if name in self.classes:
+            return self.classes[name]
+        lowered = name.lower()
+        for class_name, cls in self.classes.items():
+            if class_name.lower() == lowered:
+                return cls
+        return None
+
+    def outgoing(self, class_name: str) -> List[Association]:
+        """Associations whose source is *class_name*."""
+        return [a for a in self.associations if a.source == class_name]
+
+    def incoming(self, class_name: str) -> List[Association]:
+        """Associations whose target is *class_name*."""
+        return [a for a in self.associations if a.target == class_name]
+
+    def roots(self) -> List[ResourceClass]:
+        """Classes with no incoming association -- the URI traversal starts here."""
+        targets = {a.target for a in self.associations}
+        return [cls for name, cls in self.classes.items() if name not in targets]
+
+    # -- URI derivation ------------------------------------------------------
+
+    def uri_paths(self) -> Dict[str, str]:
+        """Derive the URI template of every class from association role names.
+
+        Traversal starts at the roots.  Each association step appends its
+        role name; when the traversed association is to-many, addressing an
+        *item* of the target appends an ``{<singular>_id}`` template segment
+        (the paper's ``/{project_id}/volumes/`` style).  The returned map is
+        class name -> URI template for the class itself (the collection URI
+        for to-many targets).
+        """
+        paths: Dict[str, str] = {}
+        for root in self.roots():
+            self._walk_uris(root.name, "", paths, visited=set())
+        return paths
+
+    def item_uri(self, class_name: str) -> str:
+        """URI template addressing one item of *class_name*."""
+        paths = self.uri_paths()
+        if class_name not in paths:
+            raise ModelError(f"no URI derivable for class {class_name!r}")
+        base = paths[class_name]
+        incoming = self.incoming(class_name)
+        if incoming and incoming[0].multiplicity.is_many:
+            return f"{base.rstrip('/')}/{{{_singular(class_name)}_id}}"
+        return base
+
+    def _walk_uris(self, class_name: str, prefix: str,
+                   paths: Dict[str, str], visited: set) -> None:
+        if class_name in visited:
+            return  # cycles contribute no further URI segments
+        visited.add(class_name)
+        if class_name not in paths or len(prefix) < len(paths[class_name]):
+            paths[class_name] = prefix or "/"
+        source_is_collection = self.get_class(class_name).is_collection
+        for association in self.outgoing(class_name):
+            if source_is_collection and association.multiplicity.is_many:
+                # Members of a collection live directly under the collection
+                # URI, addressed by id: /{project_id}/volumes/{volume_id}.
+                segment = prefix or "/"
+                item_prefix = f"{prefix}/{{{_singular(association.target)}_id}}"
+            else:
+                segment = f"{prefix}/{association.role_name}"
+                if association.multiplicity.is_many:
+                    item_prefix = f"{segment}/{{{_singular(association.target)}_id}}"
+                else:
+                    item_prefix = segment
+            paths.setdefault(association.target, segment)
+            if len(segment) < len(paths[association.target]):
+                paths[association.target] = segment
+            self._walk_uris(association.target, item_prefix, paths,
+                            visited=set(visited))
+
+    def iter_classes(self) -> Iterator[ResourceClass]:
+        """Iterate classes in insertion order."""
+        return iter(self.classes.values())
+
+    def __repr__(self) -> str:
+        return (f"<ClassDiagram {self.name}: {len(self.classes)} classes, "
+                f"{len(self.associations)} associations>")
+
+
+def _singular(name: str) -> str:
+    """Best-effort singular form used for ``{..._id}`` URI templates."""
+    if name.endswith("ies"):
+        return name[:-3] + "y"
+    if name.endswith("ses"):
+        return name[:-2]
+    if name.endswith("s") and not name.endswith("ss"):
+        return name[:-1]
+    return name

@@ -1,0 +1,106 @@
+"""Graphviz DOT export of the design models.
+
+The paper presents its models graphically (Figure 3) -- "the models
+provide a graphical representation of the expected behavior of the system
+with the contracts, which can be communicated with a relative ease"
+(Section III).  These exporters render both models to DOT text so any
+Graphviz toolchain can reproduce the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .classdiagram import MANY, ClassDiagram
+from .statemachine import StateMachine
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _wrap(text: str, width: int = 40) -> str:
+    """Soft-wrap long OCL labels at conjunction boundaries."""
+    parts = text.split(" and ")
+    lines: List[str] = []
+    current = ""
+    for index, part in enumerate(parts):
+        piece = part if index == len(parts) - 1 else part + " and"
+        if current and len(current) + len(piece) > width:
+            lines.append(current.strip())
+            current = piece
+        else:
+            current = f"{current} {piece}" if current else piece
+    if current:
+        lines.append(current.strip())
+    return "\\n".join(_escape(line) for line in lines)
+
+
+def class_diagram_to_dot(diagram: ClassDiagram) -> str:
+    """Render the resource model as a DOT digraph with record nodes."""
+    lines = [
+        f'digraph "{_escape(diagram.name)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=record, fontsize=10];',
+    ]
+    for cls in diagram.iter_classes():
+        stereotype = "\\<\\<collection\\>\\>" if cls.is_collection else ""
+        attributes = "\\l".join(
+            f"+ {attribute.name}: {attribute.type_name}"
+            for attribute in cls.attributes)
+        label_parts = [part for part in (stereotype, _escape(cls.name),
+                                         attributes + "\\l" if attributes
+                                         else "") if part]
+        label = "{" + "|".join(label_parts) + "}"
+        lines.append(f'  "{_escape(cls.name)}" [label="{label}"];')
+    for association in diagram.associations:
+        upper = "*" if association.multiplicity.upper is MANY \
+            else str(association.multiplicity.upper)
+        label = (f"{association.role_name}\\n"
+                 f"{association.multiplicity.lower}..{upper}")
+        lines.append(
+            f'  "{_escape(association.source)}" -> '
+            f'"{_escape(association.target)}" [label="{label}", '
+            f"fontsize=9];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def state_machine_to_dot(machine: StateMachine,
+                         show_invariants: bool = True,
+                         show_guards: bool = True) -> str:
+    """Render the behavioral model as a DOT digraph.
+
+    State invariants appear inside the state nodes and guards on the
+    transition edges, matching the Figure 3 (right) presentation; both can
+    be suppressed for an overview rendering of a large model.
+    """
+    lines = [
+        f'digraph "{_escape(machine.name)}" {{',
+        "  rankdir=LR;",
+        "  node [shape=Mrecord, fontsize=10];",
+        '  __initial [shape=point, width=0.15, label=""];',
+    ]
+    for state in machine.iter_states():
+        if show_invariants and state.invariant != "true":
+            label = f"{{{_escape(state.name)}|{_wrap(state.invariant)}}}"
+        else:
+            label = _escape(state.name)
+        lines.append(f'  "{_escape(state.name)}" [label="{label}"];')
+    initial = machine.initial_state()
+    if initial is not None:
+        lines.append(f'  __initial -> "{_escape(initial.name)}";')
+    for transition in machine.transitions:
+        pieces = [str(transition.trigger)]
+        if show_guards and transition.guard != "true":
+            pieces.append(f"[{_wrap(transition.guard)}]")
+        if transition.security_requirements:
+            pieces.append(
+                "SecReq: " + ", ".join(transition.security_requirements))
+        label = "\\n".join(_escape(piece) if "\\n" not in piece else piece
+                           for piece in pieces)
+        lines.append(
+            f'  "{_escape(transition.source)}" -> '
+            f'"{_escape(transition.target)}" [label="{label}", fontsize=9];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Model slicing: monitor only the critical scenarios.
+
+Section VI-B: "our approach can be used to represent and validate only
+those scenarios that are considered to be critical by the experts ...  We
+are planning to address these limitations in our future work by proposing
+a support for splitting the models into several parts via slicing."
+
+This module implements that future-work feature:
+
+* :func:`slice_state_machine` keeps only the transitions selected by
+  resource and/or method, plus every state they touch,
+* :func:`slice_class_diagram` keeps the selected resource classes plus
+  every class on a path from a root to them (so URI derivation still
+  works),
+* :func:`slice_models` combines both, pairing collections with their
+  members automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..errors import ModelError
+from .classdiagram import ClassDiagram, ResourceClass
+from .statemachine import State, StateMachine, Transition
+
+
+def _normalize(names: Iterable[str]) -> Set[str]:
+    return {name.lower() for name in names}
+
+
+def slice_state_machine(machine: StateMachine,
+                        resources: Optional[Iterable[str]] = None,
+                        methods: Optional[Iterable[str]] = None,
+                        name: Optional[str] = None) -> StateMachine:
+    """A sub-machine containing only the selected transitions.
+
+    *resources* and *methods* filter the triggers (case-insensitive; both
+    ``None`` means keep everything).  States touched by a kept transition
+    survive; the original initial state survives too when it is among
+    them, otherwise the slice starts at the earliest surviving source
+    state (the scenario's entry point).
+    """
+    wanted_resources = _normalize(resources) if resources is not None else None
+    wanted_methods = _normalize(methods) if methods is not None else None
+
+    kept: List[Transition] = []
+    for transition in machine.transitions:
+        trigger = transition.trigger
+        if wanted_resources is not None and \
+                trigger.resource.lower() not in wanted_resources:
+            continue
+        if wanted_methods is not None and \
+                trigger.method.lower() not in wanted_methods:
+            continue
+        kept.append(transition)
+    if not kept:
+        raise ModelError(
+            "slice selects no transitions; check the resource/method filter")
+
+    touched: List[str] = []
+    for transition in kept:
+        for endpoint in (transition.source, transition.target):
+            if endpoint not in touched:
+                touched.append(endpoint)
+
+    original_initial = machine.initial_state()
+    initial_name = None
+    if original_initial is not None and original_initial.name in touched:
+        initial_name = original_initial.name
+    else:
+        initial_name = kept[0].source
+
+    sliced = StateMachine(name or f"{machine.name}_slice")
+    for state_name in touched:
+        state = machine.get_state(state_name)
+        sliced.add_state(State(state.name, state.invariant,
+                               is_initial=(state.name == initial_name)))
+    for transition in kept:
+        sliced.add_transition(Transition(
+            transition.source, transition.target, transition.trigger,
+            transition.guard, transition.effect,
+            transition.security_requirements))
+    return sliced
+
+
+def _ancestors(diagram: ClassDiagram, targets: Set[str]) -> Set[str]:
+    """All classes on incoming paths to *targets* (names, original case)."""
+    keep: Set[str] = set(targets)
+    frontier = list(targets)
+    while frontier:
+        current = frontier.pop()
+        for association in diagram.incoming(current):
+            if association.source not in keep:
+                keep.add(association.source)
+                frontier.append(association.source)
+    return keep
+
+
+def slice_class_diagram(diagram: ClassDiagram,
+                        resources: Iterable[str],
+                        name: Optional[str] = None) -> ClassDiagram:
+    """A sub-diagram of the selected classes plus their URI ancestors."""
+    selected: Set[str] = set()
+    for resource in resources:
+        cls = diagram.find_class(resource)
+        if cls is None:
+            raise ModelError(f"cannot slice: no class matches {resource!r}")
+        selected.add(cls.name)
+    keep = _ancestors(diagram, selected)
+
+    sliced = ClassDiagram(name or f"{diagram.name}_slice")
+    for cls in diagram.iter_classes():
+        if cls.name in keep:
+            sliced.add_class(ResourceClass(cls.name, list(cls.attributes)))
+    for association in diagram.associations:
+        if association.source in keep and association.target in keep:
+            sliced.add_association(association)
+    return sliced
+
+
+def _with_companions(diagram: ClassDiagram,
+                     resources: Iterable[str]) -> Set[str]:
+    """Expand a resource selection with collection/member companions.
+
+    Selecting ``volume`` also keeps its containing collection ``Volumes``
+    (the collection URI addresses the members) and vice versa.
+    """
+    expanded: Set[str] = set()
+    for resource in resources:
+        cls = diagram.find_class(resource)
+        if cls is None:
+            continue
+        expanded.add(cls.name)
+        if cls.is_collection:
+            for association in diagram.outgoing(cls.name):
+                if association.multiplicity.is_many:
+                    expanded.add(association.target)
+        else:
+            for association in diagram.incoming(cls.name):
+                source = diagram.get_class(association.source)
+                if source.is_collection:
+                    expanded.add(source.name)
+    return expanded or set(resources)
+
+
+def slice_models(diagram: ClassDiagram, machine: StateMachine,
+                 resources: Iterable[str],
+                 methods: Optional[Iterable[str]] = None,
+                 ) -> Tuple[ClassDiagram, StateMachine]:
+    """Slice both models to the given resources (and optionally methods)."""
+    expanded = _with_companions(diagram, resources)
+    sliced_diagram = slice_class_diagram(diagram, expanded)
+    sliced_machine = slice_state_machine(machine, resources=expanded,
+                                         methods=methods)
+    return sliced_diagram, sliced_machine
+
+
+# -- merging (the inverse direction) --------------------------------------------
+
+def merge_class_diagrams(diagrams: Iterable[ClassDiagram],
+                         name: str = "merged") -> ClassDiagram:
+    """Union several resource-model parts into one diagram.
+
+    Classes with the same name must be *identical* across parts (same
+    attributes); associations are deduplicated structurally.  This is the
+    recombination half of the paper's "splitting the models into several
+    parts" workflow: different analysts model different scenarios, the
+    tool merges them before generation.
+    """
+    merged = ClassDiagram(name)
+    for diagram in diagrams:
+        for cls in diagram.iter_classes():
+            existing = merged.classes.get(cls.name)
+            if existing is None:
+                merged.add_class(ResourceClass(cls.name,
+                                               list(cls.attributes)))
+            elif existing != cls:
+                raise ModelError(
+                    f"cannot merge: class {cls.name!r} is defined "
+                    f"differently in two parts")
+        for association in diagram.associations:
+            if association not in merged.associations:
+                merged.add_association(association)
+    return merged
+
+
+def merge_state_machines(machines: Iterable[StateMachine],
+                         name: str = "merged",
+                         initial: Optional[str] = None) -> StateMachine:
+    """Union several behavioral-model parts into one machine.
+
+    States with the same name must carry the same invariant; transitions
+    are deduplicated structurally.  The merged machine's initial state is
+    *initial* when given, otherwise the first part's initial state.
+    """
+    machines = list(machines)
+    merged = StateMachine(name)
+    chosen_initial = initial
+    if chosen_initial is None:
+        for machine in machines:
+            first_initial = machine.initial_state()
+            if first_initial is not None:
+                chosen_initial = first_initial.name
+                break
+    for machine in machines:
+        for state in machine.iter_states():
+            existing = merged.states.get(state.name)
+            if existing is None:
+                merged.add_state(State(
+                    state.name, state.invariant,
+                    is_initial=(state.name == chosen_initial)))
+            elif existing.invariant != state.invariant:
+                raise ModelError(
+                    f"cannot merge: state {state.name!r} carries two "
+                    f"different invariants")
+        for transition in machine.transitions:
+            if transition not in merged.transitions:
+                merged.add_transition(Transition(
+                    transition.source, transition.target,
+                    transition.trigger, transition.guard,
+                    transition.effect, transition.security_requirements))
+    if chosen_initial is not None and chosen_initial not in merged.states:
+        raise ModelError(
+            f"requested initial state {chosen_initial!r} is not in any "
+            f"merged part")
+    return merged
+
+
+def merge_models(parts: Iterable[Tuple[ClassDiagram, StateMachine]],
+                 name: str = "merged",
+                 initial: Optional[str] = None,
+                 ) -> Tuple[ClassDiagram, StateMachine]:
+    """Merge (diagram, machine) pairs produced by :func:`slice_models`."""
+    parts = list(parts)
+    diagram = merge_class_diagrams(
+        (diagram for diagram, _ in parts), name=name)
+    machine = merge_state_machines(
+        (machine for _, machine in parts), name=f"{name}_behavior",
+        initial=initial)
+    return diagram, machine

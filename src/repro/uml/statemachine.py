@@ -1,0 +1,232 @@
+"""The behavioral model: a UML protocol state machine over REST resources.
+
+Section IV-B of the paper: states carry OCL invariants over the addressable
+resources, transitions are triggered by HTTP methods on resources
+(``POST(volumes)``, ``DELETE(volume)``), guarded by OCL expressions that
+include the authorization conditions, and annotated with the security
+requirements they realize (comments like ``SecReq: 1.4``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+
+_HTTP_METHODS = ("GET", "HEAD", "OPTIONS", "POST", "PUT", "PATCH", "DELETE")
+
+
+class Trigger:
+    """An HTTP method invoked on a resource: the event firing a transition."""
+
+    def __init__(self, method: str, resource: str):
+        method = method.upper()
+        if method not in _HTTP_METHODS:
+            raise ModelError(f"unknown HTTP method {method!r} in trigger")
+        if not resource:
+            raise ModelError("trigger needs a resource name")
+        self.method = method
+        self.resource = resource
+
+    @classmethod
+    def parse(cls, text: str) -> "Trigger":
+        """Parse the paper's ``METHOD(resource)`` notation."""
+        match = re.fullmatch(r"\s*([A-Za-z]+)\s*\(\s*([\w./{}-]+)\s*\)\s*", text)
+        if not match:
+            raise ModelError(f"cannot parse trigger {text!r}; "
+                             f"expected METHOD(resource)")
+        return cls(match.group(1), match.group(2))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trigger):
+            return NotImplemented
+        return (self.method, self.resource) == (other.method, other.resource)
+
+    def __hash__(self) -> int:
+        return hash((self.method, self.resource))
+
+    def __str__(self) -> str:
+        return f"{self.method}({self.resource})"
+
+    def __repr__(self) -> str:
+        return f"Trigger({self})"
+
+
+class State:
+    """A state with an OCL invariant over addressable resources."""
+
+    def __init__(self, name: str, invariant: str = "true",
+                 is_initial: bool = False):
+        if not name:
+            raise ModelError("state needs a non-empty name")
+        self.name = name
+        self.invariant = invariant
+        self.is_initial = is_initial
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return (self.name, self.invariant, self.is_initial) == (
+            other.name, other.invariant, other.is_initial)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.invariant, self.is_initial))
+
+    def __repr__(self) -> str:
+        marker = "*" if self.is_initial else ""
+        return f"<State {marker}{self.name}>"
+
+
+class Transition:
+    """A guarded transition triggered by an HTTP method on a resource.
+
+    Parameters
+    ----------
+    source, target:
+        State names.
+    trigger:
+        A :class:`Trigger` or ``"METHOD(resource)"`` text.
+    guard:
+        OCL boolean expression (functional + authorization conditions).
+    effect:
+        OCL expression describing the effect, evaluated in the post-state;
+        may use ``pre(...)`` for old values.
+    security_requirements:
+        Identifiers from the security-requirements table realized by this
+        transition (the paper's comment annotations, e.g. ``["1.4"]``).
+    """
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        trigger,
+        guard: str = "true",
+        effect: str = "true",
+        security_requirements: Optional[Sequence[str]] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.trigger = trigger if isinstance(trigger, Trigger) else Trigger.parse(trigger)
+        self.guard = guard
+        self.effect = effect
+        self.security_requirements: Tuple[str, ...] = tuple(security_requirements or ())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return (
+            self.source, self.target, self.trigger, self.guard,
+            self.effect, self.security_requirements,
+        ) == (
+            other.source, other.target, other.trigger, other.guard,
+            other.effect, other.security_requirements,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.target, self.trigger, self.guard,
+                     self.effect, self.security_requirements))
+
+    def __repr__(self) -> str:
+        return (f"<Transition {self.source} --{self.trigger}"
+                f"[{self.guard}]--> {self.target}>")
+
+
+class StateMachine:
+    """The behavioral interface of one modelled scenario (e.g. a project)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.states: Dict[str, State] = {}
+        self.transitions: List[Transition] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, state: State) -> State:
+        """Register a state; duplicate names and second initials are errors."""
+        if state.name in self.states:
+            raise ModelError(f"duplicate state name {state.name!r}")
+        if state.is_initial and self.initial_state() is not None:
+            raise ModelError(
+                f"state machine {self.name!r} already has an initial state")
+        self.states[state.name] = state
+        return state
+
+    def add_transition(self, transition: Transition) -> Transition:
+        """Register a transition between two already-added states."""
+        for endpoint in (transition.source, transition.target):
+            if endpoint not in self.states:
+                raise ModelError(
+                    f"transition endpoint {endpoint!r} is not a state "
+                    f"of {self.name!r}")
+        self.transitions.append(transition)
+        return transition
+
+    # -- queries -----------------------------------------------------------
+
+    def get_state(self, name: str) -> State:
+        """Return the state called *name* or raise :class:`ModelError`."""
+        try:
+            return self.states[name]
+        except KeyError:
+            raise ModelError(f"no state named {name!r} in {self.name!r}") from None
+
+    def initial_state(self) -> Optional[State]:
+        """The initial state, or ``None`` when not yet added."""
+        for state in self.states.values():
+            if state.is_initial:
+                return state
+        return None
+
+    def triggers(self) -> List[Trigger]:
+        """Distinct triggers, in first-appearance order."""
+        seen: Dict[Trigger, None] = {}
+        for transition in self.transitions:
+            seen.setdefault(transition.trigger, None)
+        return list(seen)
+
+    def transitions_triggered_by(self, trigger) -> List[Transition]:
+        """All transitions fired by *trigger* (a Trigger or its text form).
+
+        Section V: "we need to combine the information stated in all the
+        transitions triggered by a method" -- this is the collection step.
+        """
+        if not isinstance(trigger, Trigger):
+            trigger = Trigger.parse(trigger)
+        return [t for t in self.transitions if t.trigger == trigger]
+
+    def outgoing(self, state_name: str) -> List[Transition]:
+        """Transitions leaving *state_name*."""
+        return [t for t in self.transitions if t.source == state_name]
+
+    def reachable_states(self) -> List[str]:
+        """State names reachable from the initial state."""
+        initial = self.initial_state()
+        if initial is None:
+            return []
+        seen = [initial.name]
+        frontier = [initial.name]
+        while frontier:
+            current = frontier.pop()
+            for transition in self.outgoing(current):
+                if transition.target not in seen:
+                    seen.append(transition.target)
+                    frontier.append(transition.target)
+        return seen
+
+    def security_requirement_ids(self) -> List[str]:
+        """All SecReq identifiers annotated anywhere in the machine."""
+        seen: Dict[str, None] = {}
+        for transition in self.transitions:
+            for req in transition.security_requirements:
+                seen.setdefault(req, None)
+        return list(seen)
+
+    def iter_states(self) -> Iterator[State]:
+        """Iterate states in insertion order."""
+        return iter(self.states.values())
+
+    def __repr__(self) -> str:
+        return (f"<StateMachine {self.name}: {len(self.states)} states, "
+                f"{len(self.transitions)} transitions>")

@@ -1,0 +1,166 @@
+"""Well-formedness checks for resource and behavioral models.
+
+These are the REST design constraints from Section IV of the paper plus
+structural sanity.  Violations come back as a list rather than an exception
+so a modelling tool can show all problems at once; ``errors_only`` filters
+to the blocking ones.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import OCLSyntaxError
+from ..ocl import parse as parse_ocl
+from .classdiagram import ClassDiagram
+from .statemachine import StateMachine
+
+ERROR = "error"
+WARNING = "warning"
+
+
+class Violation:
+    """One well-formedness finding: level, element, message."""
+
+    def __init__(self, level: str, element: str, message: str):
+        self.level = level
+        self.element = element
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"<{self.level.upper()} {self.element}: {self.message}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Violation):
+            return NotImplemented
+        return (self.level, self.element, self.message) == (
+            other.level, other.element, other.message)
+
+
+def errors_only(violations: List[Violation]) -> List[Violation]:
+    """Keep only blocking (error-level) violations."""
+    return [v for v in violations if v.level == ERROR]
+
+
+def validate_class_diagram(diagram: ClassDiagram) -> List[Violation]:
+    """Check the resource-model rules of Section IV-A."""
+    violations: List[Violation] = []
+
+    if not diagram.classes:
+        violations.append(Violation(ERROR, diagram.name, "diagram has no classes"))
+        return violations
+
+    for cls in diagram.iter_classes():
+        # Attributes must be public and typed: they represent the resource
+        # document available for manipulation.
+        for attribute in cls.attributes:
+            if attribute.visibility != "public":
+                violations.append(Violation(
+                    ERROR, f"{cls.name}.{attribute.name}",
+                    "resource attributes must be public"))
+            if not attribute.type_name:
+                violations.append(Violation(
+                    ERROR, f"{cls.name}.{attribute.name}",
+                    "resource attributes must be typed"))
+        names = [a.name for a in cls.attributes]
+        for name in set(names):
+            if names.count(name) > 1:
+                violations.append(Violation(
+                    ERROR, cls.name, f"duplicate attribute name {name!r}"))
+
+    role_pairs = set()
+    for association in diagram.associations:
+        if not association.role_name:
+            violations.append(Violation(
+                ERROR, association.name,
+                "every association needs a role name to form URIs"))
+        pair = (association.source, association.role_name)
+        if pair in role_pairs:
+            violations.append(Violation(
+                ERROR, association.name,
+                f"role name {association.role_name!r} reused on "
+                f"{association.source!r}; URI segments would clash"))
+        role_pairs.add(pair)
+        # A collection must contain its members with a to-many multiplicity.
+        source_cls = diagram.get_class(association.source)
+        if source_cls.is_collection and not association.multiplicity.is_many:
+            violations.append(Violation(
+                WARNING, association.name,
+                "collection resource should contain members with 0..* "
+                "multiplicity"))
+
+    if not diagram.roots():
+        violations.append(Violation(
+            ERROR, diagram.name,
+            "no root class: URI derivation needs at least one class "
+            "without incoming associations"))
+
+    orphaned = [
+        cls.name for cls in diagram.iter_classes()
+        if not diagram.incoming(cls.name) and not diagram.outgoing(cls.name)
+        and len(diagram.classes) > 1
+    ]
+    for name in orphaned:
+        violations.append(Violation(
+            WARNING, name, "class participates in no association; "
+            "it contributes no URI"))
+
+    return violations
+
+
+def validate_state_machine(machine: StateMachine,
+                           diagram: ClassDiagram = None) -> List[Violation]:
+    """Check the behavioral-model rules of Section IV-B.
+
+    When *diagram* is given, transition triggers must name resources that
+    exist in the resource model (cross-model consistency).
+    """
+    violations: List[Violation] = []
+
+    if not machine.states:
+        violations.append(Violation(ERROR, machine.name, "machine has no states"))
+        return violations
+
+    if machine.initial_state() is None:
+        violations.append(Violation(
+            ERROR, machine.name, "machine has no initial state"))
+
+    for state in machine.iter_states():
+        try:
+            parse_ocl(state.invariant)
+        except OCLSyntaxError as exc:
+            violations.append(Violation(
+                ERROR, state.name, f"invariant does not parse: {exc}"))
+
+    for index, transition in enumerate(machine.transitions):
+        element = f"{transition.source}->{transition.target}#{index}"
+        for label, text in (("guard", transition.guard),
+                            ("effect", transition.effect)):
+            try:
+                parse_ocl(text)
+            except OCLSyntaxError as exc:
+                violations.append(Violation(
+                    ERROR, element, f"{label} does not parse: {exc}"))
+        if diagram is not None:
+            resource = transition.trigger.resource
+            if diagram.find_class(resource) is None:
+                violations.append(Violation(
+                    ERROR, element,
+                    f"trigger resource {resource!r} is not in the "
+                    f"resource model"))
+        if not transition.security_requirements and \
+                transition.trigger.method != "GET":
+            violations.append(Violation(
+                WARNING, element,
+                "mutating transition carries no security-requirement "
+                "annotation; traceability will have a gap"))
+
+    if machine.initial_state() is not None:
+        reachable = set(machine.reachable_states())
+        for state in machine.iter_states():
+            if state.name not in reachable:
+                violations.append(Violation(
+                    WARNING, state.name, "state is unreachable from the "
+                    "initial state"))
+
+    return violations

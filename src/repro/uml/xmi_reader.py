@@ -1,0 +1,188 @@
+"""XMI parsing back into resource and behavioral models.
+
+Accepts the documents produced by :mod:`repro.uml.xmi_writer` (XMI 2.1-style
+with UML 2.0 element kinds) and reconstructs :class:`ClassDiagram` and
+:class:`StateMachine` objects.  This is the entry point of the paper's tool
+chain: ``uml2django ProjectName DiagramsFileinXML``.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import XMIError
+from .classdiagram import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+)
+from .statemachine import State, StateMachine, Transition, Trigger
+from .xmi_writer import UML_NS, XMI_NS
+
+_SECREQ_COMMENT = re.compile(r"SecReq:\s*(.+)")
+
+
+def _q(tag: str) -> str:
+    return f"{{{XMI_NS}}}{tag}"
+
+
+def read_xmi(document: str) -> Tuple[Optional[ClassDiagram], Optional[StateMachine]]:
+    """Parse an XMI *document* string to ``(class_diagram, state_machine)``.
+
+    Either element of the pair is ``None`` when the document does not
+    contain that model kind.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise XMIError(f"malformed XMI document: {exc}") from exc
+    model = root.find(f"{{{UML_NS}}}Model")
+    if model is None:
+        raise XMIError("document has no uml:Model element")
+
+    diagram: Optional[ClassDiagram] = None
+    machine: Optional[StateMachine] = None
+    for element in model.findall("packagedElement"):
+        kind = element.get(_q("type"), "")
+        if kind == "uml:Package" and element.get("kind") == "resource-model":
+            diagram = _read_class_diagram(element)
+        elif kind == "uml:StateMachine":
+            machine = _read_state_machine(element)
+    return diagram, machine
+
+
+def read_xmi_file(path: str) -> Tuple[Optional[ClassDiagram], Optional[StateMachine]]:
+    """Read and parse the XMI file at *path*."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return read_xmi(handle.read())
+    except OSError as exc:
+        raise XMIError(f"cannot read XMI file {path!r}: {exc}") from exc
+
+
+def _read_class_diagram(package: ET.Element) -> ClassDiagram:
+    diagram = ClassDiagram(package.get("name", "resources"))
+    associations: List[ET.Element] = []
+    for element in package.findall("packagedElement"):
+        kind = element.get(_q("type"), "")
+        if kind == "uml:Class":
+            diagram.add_class(_read_class(element))
+        elif kind == "uml:Association":
+            associations.append(element)
+    # Associations second, so endpoints are always resolvable.
+    for element in associations:
+        diagram.add_association(_read_association(element))
+    return diagram
+
+
+def _read_class(element: ET.Element) -> ResourceClass:
+    name = element.get("name")
+    if not name:
+        raise XMIError("uml:Class without a name")
+    attributes = []
+    for owned in element.findall("ownedAttribute"):
+        attr_name = owned.get("name")
+        if not attr_name:
+            raise XMIError(f"class {name!r} has an unnamed ownedAttribute")
+        type_element = owned.find("type")
+        type_name = type_element.get("name") if type_element is not None else "String"
+        attributes.append(Attribute(
+            attr_name, type_name, owned.get("visibility", "public")))
+    return ResourceClass(name, attributes)
+
+
+def _read_association(element: ET.Element) -> Association:
+    ends = element.findall("ownedEnd")
+    source_name = target_name = None
+    role_name = ""
+    multiplicity = Multiplicity(0, MANY)
+    for end in ends:
+        if end.get("role") == "source":
+            source_name = end.get("type")
+        elif end.get("role") == "target":
+            target_name = end.get("type")
+            role_name = end.get("roleName", "")
+            lower = int(end.get("lower", "0"))
+            upper_text = end.get("upper", "*")
+            upper = MANY if upper_text == "*" else int(upper_text)
+            multiplicity = Multiplicity(lower, upper)
+    if source_name is None or target_name is None:
+        raise XMIError(
+            f"association {element.get('name')!r} lacks source/target ends")
+    return Association(source_name, target_name, role_name, multiplicity,
+                       element.get("name", ""))
+
+
+def _read_state_machine(element: ET.Element) -> StateMachine:
+    machine = StateMachine(element.get("name", "behavior"))
+    region = element.find("region")
+    if region is None:
+        raise XMIError(f"state machine {machine.name!r} has no region")
+
+    id_to_name: Dict[str, str] = {}
+    initial_pseudo_ids = set()
+    for vertex in region.findall("subvertex"):
+        kind = vertex.get(_q("type"), "")
+        vertex_id = vertex.get(_q("id"), "")
+        if kind == "uml:Pseudostate" and vertex.get("kind") == "initial":
+            initial_pseudo_ids.add(vertex_id)
+            continue
+        if kind != "uml:State":
+            continue
+        name = vertex.get("name")
+        if not name:
+            raise XMIError("uml:State without a name")
+        invariant = "true"
+        rule = vertex.find("ownedRule")
+        if rule is not None:
+            spec = rule.find("specification")
+            if spec is not None:
+                invariant = spec.get("body", "true")
+        id_to_name[vertex_id] = name
+        machine.add_state(State(name, invariant))
+
+    # First pass: find which state the initial pseudostate points at.
+    initial_target: Optional[str] = None
+    for transition in region.findall("transition"):
+        if transition.get("kind") == "initial" or \
+                transition.get("source") in initial_pseudo_ids:
+            initial_target = id_to_name.get(transition.get("target", ""))
+    if initial_target is not None:
+        state = machine.get_state(initial_target)
+        replacement = State(state.name, state.invariant, is_initial=True)
+        machine.states[state.name] = replacement
+
+    for transition in region.findall("transition"):
+        if transition.get("kind") == "initial" or \
+                transition.get("source") in initial_pseudo_ids:
+            continue
+        source = id_to_name.get(transition.get("source", ""))
+        target = id_to_name.get(transition.get("target", ""))
+        if source is None or target is None:
+            raise XMIError("transition references unknown state ids")
+        trigger_element = transition.find("trigger")
+        if trigger_element is None or not trigger_element.get("name"):
+            raise XMIError(
+                f"transition {source!r}->{target!r} has no trigger")
+        trigger = Trigger.parse(trigger_element.get("name"))
+        guard = "true"
+        guard_element = transition.find("guard")
+        if guard_element is not None:
+            spec = guard_element.find("specification")
+            if spec is not None:
+                guard = spec.get("body", "true")
+        effect_element = transition.find("effect")
+        effect = effect_element.get("body", "true") if effect_element is not None else "true"
+        requirements = []
+        for comment in transition.findall("ownedComment"):
+            match = _SECREQ_COMMENT.match(comment.get("body", ""))
+            if match:
+                requirements.append(match.group(1).strip())
+        machine.add_transition(Transition(
+            source, target, trigger, guard, effect, requirements))
+    return machine

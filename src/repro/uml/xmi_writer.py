@@ -1,0 +1,185 @@
+"""XMI serialization of resource and behavioral models.
+
+The paper exports its MagicDraw diagrams as XMI and feeds the files to the
+tool ("We generate XML Metadata Interchange (XMI) of the behavioral model
+from this tool and save it into a file.  The XMI files are given as the
+input to CM", Section VI).  This writer produces a compact XMI 2.1-style
+document with UML 2.0 element kinds, which :mod:`repro.uml.xmi_reader`
+parses back; the pair round-trips both models losslessly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from .classdiagram import MANY, ClassDiagram
+from .statemachine import StateMachine
+
+XMI_NS = "http://schema.omg.org/spec/XMI/2.1"
+UML_NS = "http://schema.omg.org/spec/UML/2.0"
+
+
+def _q(tag: str) -> str:
+    """Qualify *tag* with the XMI namespace."""
+    return f"{{{XMI_NS}}}{tag}"
+
+
+def write_xmi(diagram: Optional[ClassDiagram] = None,
+              machine: Optional[StateMachine] = None,
+              model_name: str = "CloudModel") -> str:
+    """Serialize the given models into one XMI document string."""
+    ET.register_namespace("xmi", XMI_NS)
+    ET.register_namespace("uml", UML_NS)
+    root = ET.Element(_q("XMI"))
+    model = ET.SubElement(root, f"{{{UML_NS}}}Model", {"name": model_name})
+
+    counter = _IdCounter()
+    if diagram is not None:
+        _write_class_diagram(model, diagram, counter)
+    if machine is not None:
+        _write_state_machine(model, machine, counter)
+
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_xmi_file(path: str, diagram: Optional[ClassDiagram] = None,
+                   machine: Optional[StateMachine] = None,
+                   model_name: str = "CloudModel") -> None:
+    """Serialize models and write the document to *path*."""
+    document = write_xmi(diagram, machine, model_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+
+
+class _IdCounter:
+    """Deterministic xmi:id generator."""
+
+    def __init__(self):
+        self.next_id = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.next_id += 1
+        return f"{prefix}_{self.next_id}"
+
+
+def _write_class_diagram(model: ET.Element, diagram: ClassDiagram,
+                         counter: _IdCounter) -> None:
+    package = ET.SubElement(model, "packagedElement", {
+        _q("type"): "uml:Package",
+        _q("id"): counter.fresh("pkg"),
+        "name": diagram.name,
+        "kind": "resource-model",
+    })
+    class_ids = {}
+    for cls in diagram.iter_classes():
+        element = ET.SubElement(package, "packagedElement", {
+            _q("type"): "uml:Class",
+            _q("id"): counter.fresh("class"),
+            "name": cls.name,
+        })
+        class_ids[cls.name] = element.get(_q("id"))
+        for attribute in cls.attributes:
+            owned = ET.SubElement(element, "ownedAttribute", {
+                _q("id"): counter.fresh("attr"),
+                "name": attribute.name,
+                "visibility": attribute.visibility,
+            })
+            ET.SubElement(owned, "type", {
+                _q("type"): "uml:PrimitiveType",
+                "name": attribute.type_name,
+            })
+    for association in diagram.associations:
+        element = ET.SubElement(package, "packagedElement", {
+            _q("type"): "uml:Association",
+            _q("id"): counter.fresh("assoc"),
+            "name": association.name,
+        })
+        ET.SubElement(element, "ownedEnd", {
+            _q("id"): counter.fresh("end"),
+            "role": "source",
+            "type": association.source,
+        })
+        upper = "*" if association.multiplicity.upper is MANY else str(
+            association.multiplicity.upper)
+        ET.SubElement(element, "ownedEnd", {
+            _q("id"): counter.fresh("end"),
+            "role": "target",
+            "type": association.target,
+            "roleName": association.role_name,
+            "lower": str(association.multiplicity.lower),
+            "upper": upper,
+        })
+
+
+def _write_state_machine(model: ET.Element, machine: StateMachine,
+                         counter: _IdCounter) -> None:
+    element = ET.SubElement(model, "packagedElement", {
+        _q("type"): "uml:StateMachine",
+        _q("id"): counter.fresh("sm"),
+        "name": machine.name,
+    })
+    region = ET.SubElement(element, "region", {
+        _q("id"): counter.fresh("region"),
+        "name": f"{machine.name}_region",
+    })
+    state_ids = {}
+    for state in machine.iter_states():
+        vertex = ET.SubElement(region, "subvertex", {
+            _q("type"): "uml:State",
+            _q("id"): counter.fresh("state"),
+            "name": state.name,
+        })
+        state_ids[state.name] = vertex.get(_q("id"))
+        rule = ET.SubElement(vertex, "ownedRule", {
+            _q("type"): "uml:Constraint",
+            _q("id"): counter.fresh("inv"),
+            "name": "invariant",
+        })
+        ET.SubElement(rule, "specification", {
+            _q("type"): "uml:OpaqueExpression",
+            "language": "OCL",
+            "body": state.invariant,
+        })
+    initial = machine.initial_state()
+    if initial is not None:
+        pseudo = ET.SubElement(region, "subvertex", {
+            _q("type"): "uml:Pseudostate",
+            _q("id"): counter.fresh("init"),
+            "kind": "initial",
+        })
+        ET.SubElement(region, "transition", {
+            _q("id"): counter.fresh("t"),
+            "source": pseudo.get(_q("id")),
+            "target": state_ids[initial.name],
+            "kind": "initial",
+        })
+    for transition in machine.transitions:
+        t_element = ET.SubElement(region, "transition", {
+            _q("id"): counter.fresh("t"),
+            "source": state_ids[transition.source],
+            "target": state_ids[transition.target],
+        })
+        ET.SubElement(t_element, "trigger", {
+            _q("id"): counter.fresh("trig"),
+            "name": str(transition.trigger),
+        })
+        guard = ET.SubElement(t_element, "guard", {
+            _q("id"): counter.fresh("g"),
+        })
+        ET.SubElement(guard, "specification", {
+            _q("type"): "uml:OpaqueExpression",
+            "language": "OCL",
+            "body": transition.guard,
+        })
+        effect = ET.SubElement(t_element, "effect", {
+            _q("id"): counter.fresh("e"),
+            "language": "OCL",
+        })
+        effect.set("body", transition.effect)
+        # SecReq annotations are comments on the transition (Section IV-C).
+        for requirement in transition.security_requirements:
+            ET.SubElement(t_element, "ownedComment", {
+                _q("id"): counter.fresh("c"),
+                "body": f"SecReq: {requirement}",
+            })

@@ -1,0 +1,46 @@
+"""The validation campaign of Section VI-D.
+
+The paper validates the monitor by seeding three authorization mutants into
+the cloud implementation and checking the monitor detects each one.  This
+package automates that experiment:
+
+* :mod:`repro.validation.oracle` -- the automated testing script of
+  Section III-B (user 4): a request battery driven through the monitor,
+  used as a test oracle,
+* :mod:`repro.validation.campaign` -- applies each mutant to a fresh
+  cloud, replays the battery, and assembles the kill matrix.
+"""
+
+from .campaign import (
+    CampaignResult,
+    KillRecord,
+    MutationCampaign,
+    default_setup,
+    release2_setup,
+)
+from .localization import Diagnosis, localize, render_report
+from .reporting import session_report
+from .oracle import (
+    BatteryStep,
+    TestOracle,
+    extended_battery,
+    release2_battery,
+    standard_battery,
+)
+
+__all__ = [
+    "BatteryStep",
+    "CampaignResult",
+    "Diagnosis",
+    "KillRecord",
+    "MutationCampaign",
+    "TestOracle",
+    "default_setup",
+    "extended_battery",
+    "localize",
+    "release2_battery",
+    "release2_setup",
+    "render_report",
+    "session_report",
+    "standard_battery",
+]

@@ -1,0 +1,23 @@
+"""Workload generation for the benchmark harness.
+
+* :mod:`repro.workloads.generator` -- seeded random request mixes driven
+  either directly at the cloud or through the monitor (the OVERHEAD
+  experiment's traffic),
+* :mod:`repro.workloads.scaling` -- synthetic model families of growing
+  size (the SCALE experiment: contract generation and codegen cost as the
+  models grow).
+"""
+
+from .generator import RequestMix, WorkloadRunner, make_workload
+from .scaling import synthetic_models
+from .trace import RecordingClient, Trace, TraceEntry
+
+__all__ = [
+    "RecordingClient",
+    "RequestMix",
+    "Trace",
+    "TraceEntry",
+    "WorkloadRunner",
+    "make_workload",
+    "synthetic_models",
+]

@@ -1,0 +1,143 @@
+"""Recording and replaying request traces.
+
+The automated-testing-script user of Section III-B runs the same request
+sequence against every build.  A :class:`Trace` is that script in data
+form: an ordered list of (user, method, path, payload) entries that can be
+saved as JSONL, loaded, and replayed against any deployment -- the
+regression-testing workflow for new cloud releases.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Union
+
+from ..errors import ValidationError
+from ..httpsim import Client, Response
+
+
+class TraceEntry:
+    """One recorded request."""
+
+    def __init__(self, user: str, method: str, path: str,
+                 payload: Optional[dict] = None):
+        self.user = user
+        self.method = method.upper()
+        self.path = path
+        self.payload = payload
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "user": self.user,
+            "method": self.method,
+            "path": self.path,
+            "payload": self.payload,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        try:
+            record = json.loads(line)
+            return cls(record["user"], record["method"], record["path"],
+                       record.get("payload"))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed trace line: {exc}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEntry):
+            return NotImplemented
+        return (self.user, self.method, self.path, self.payload) == (
+            other.user, other.method, other.path, other.payload)
+
+    def __repr__(self) -> str:
+        return f"<TraceEntry {self.user} {self.method} {self.path}>"
+
+
+class Trace:
+    """An ordered, persistable request script."""
+
+    def __init__(self, entries: Optional[List[TraceEntry]] = None):
+        self.entries: List[TraceEntry] = list(entries or [])
+
+    def record(self, user: str, method: str, path: str,
+               payload: Optional[dict] = None) -> TraceEntry:
+        """Append one request to the script."""
+        entry = TraceEntry(user, method, path, payload)
+        self.entries.append(entry)
+        return entry
+
+    def save(self, destination: Union[str, IO[str]]) -> int:
+        """Write the trace as JSONL; returns the entry count."""
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.save(handle)
+        for entry in self.entries:
+            destination.write(entry.to_json() + "\n")
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, source: Union[str, IO[str]]) -> "Trace":
+        """Read a JSONL trace from a path or open text file."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.load(handle)
+        entries = [TraceEntry.from_json(line) for line in source
+                   if line.strip()]
+        return cls(entries)
+
+    def replay(self, clients: dict, host: str) -> List[Response]:
+        """Execute every entry via the per-user *clients* against *host*.
+
+        Unknown users are an error: a trace is a contract about who calls
+        what, so a missing client means the deployment under test is not
+        the one the trace was written for.
+        """
+        responses: List[Response] = []
+        for entry in self.entries:
+            client = clients.get(entry.user)
+            if client is None:
+                raise ValidationError(
+                    f"trace references unknown user {entry.user!r}")
+            url = f"http://{host}{entry.path}"
+            responses.append(client.request(entry.method, url,
+                                            payload=entry.payload))
+        return responses
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+
+class RecordingClient:
+    """Wraps a :class:`Client`, recording every request into a trace.
+
+    Paths are recorded relative to the host, so a trace captured against
+    one deployment replays against another.
+    """
+
+    def __init__(self, client: Client, user: str, trace: Trace):
+        self.client = client
+        self.user = user
+        self.trace = trace
+
+    def request(self, method: str, url: str, payload=None,
+                **kwargs) -> Response:
+        response = self.client.request(method, url, payload=payload, **kwargs)
+        path = url.split("://", 1)[-1]
+        path = "/" + path.split("/", 1)[1] if "/" in path else "/"
+        self.trace.record(self.user, method, path, payload)
+        return response
+
+    def get(self, url: str, **kwargs) -> Response:
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, payload=None, **kwargs) -> Response:
+        return self.request("POST", url, payload=payload, **kwargs)
+
+    def put(self, url: str, payload=None, **kwargs) -> Response:
+        return self.request("PUT", url, payload=payload, **kwargs)
+
+    def delete(self, url: str, **kwargs) -> Response:
+        return self.request("DELETE", url, **kwargs)

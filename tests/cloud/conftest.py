@@ -1,0 +1,34 @@
+"""Shared fixtures: the paper's myProject cloud with three users."""
+
+import pytest
+
+from repro.cloud import PrivateCloud
+
+
+@pytest.fixture()
+def cloud():
+    """The Section VI-D setup: myProject, quota 5, alice/bob/carol."""
+    return PrivateCloud.paper_setup()
+
+
+@pytest.fixture()
+def tokens(cloud):
+    return cloud.paper_tokens()
+
+
+@pytest.fixture()
+def admin(cloud, tokens):
+    """alice: role admin via group proj_administrator."""
+    return cloud.client(tokens["alice"])
+
+
+@pytest.fixture()
+def member(cloud, tokens):
+    """bob: role member via group service_architect."""
+    return cloud.client(tokens["bob"])
+
+
+@pytest.fixture()
+def user(cloud, tokens):
+    """carol: role user via group business_analyst."""
+    return cloud.client(tokens["carol"])

@@ -1,0 +1,109 @@
+"""Tests for ResourceStore and Service plumbing."""
+
+from repro.cloud import ResourceStore, Service
+from repro.httpsim import Request
+from repro.rbac import Enforcer
+
+
+class TestResourceStore:
+    def test_create_assigns_id(self):
+        store = ResourceStore("vol")
+        row = store.create({"name": "a"})
+        assert row["id"] == "vol-1"
+        assert store.create({"name": "b"})["id"] == "vol-2"
+
+    def test_create_explicit_id(self):
+        store = ResourceStore("p")
+        row = store.create({"name": "x"}, resource_id="myProject")
+        assert row["id"] == "myProject"
+        assert store.get("myProject") == row
+
+    def test_get_missing(self):
+        assert ResourceStore("x").get("nope") is None
+
+    def test_update_merges(self):
+        store = ResourceStore("v")
+        row = store.create({"name": "a", "size": 1})
+        updated = store.update(row["id"], {"size": 5})
+        assert updated["size"] == 5
+        assert updated["name"] == "a"
+
+    def test_update_cannot_change_id(self):
+        store = ResourceStore("v")
+        row = store.create({})
+        updated = store.update(row["id"], {"id": "hijack"})
+        assert updated["id"] == row["id"]
+        assert "hijack" not in store
+
+    def test_update_missing(self):
+        assert ResourceStore("v").update("ghost", {}) is None
+
+    def test_delete(self):
+        store = ResourceStore("v")
+        row = store.create({})
+        assert store.delete(row["id"]) is True
+        assert store.delete(row["id"]) is False
+        assert len(store) == 0
+
+    def test_where(self):
+        store = ResourceStore("v")
+        store.create({"project_id": "p1", "status": "available"})
+        store.create({"project_id": "p1", "status": "in-use"})
+        store.create({"project_id": "p2", "status": "available"})
+        assert len(store.where(project_id="p1")) == 2
+        assert len(store.where(project_id="p1", status="in-use")) == 1
+        assert store.where(project_id="p9") == []
+
+    def test_contains_and_iter(self):
+        store = ResourceStore("v")
+        row = store.create({})
+        assert row["id"] in store
+        assert list(store) == [row]
+
+
+class TestServiceAuth:
+    def make_service(self):
+        service = Service("svc", Enforcer.from_dict({"do": "role:admin"}))
+
+        class FakeIdentity:
+            def validate_token(self, token):
+                if token == "good":
+                    return {"roles": ["admin"], "groups": [],
+                            "project_id": "p1", "user_id": "u1"}
+                if token == "weak":
+                    return {"roles": [], "groups": [],
+                            "project_id": "p1", "user_id": "u2"}
+                return None
+
+        service.identity = FakeIdentity()
+        return service
+
+    def test_missing_token_is_401(self):
+        service = self.make_service()
+        _, error = service.authorize(Request("GET", "/x"), "do")
+        assert error.status_code == 401
+
+    def test_invalid_token_is_401(self):
+        service = self.make_service()
+        request = Request("GET", "/x", headers={"X-Auth-Token": "bad"})
+        _, error = service.authorize(request, "do")
+        assert error.status_code == 401
+
+    def test_policy_denial_is_403(self):
+        service = self.make_service()
+        request = Request("GET", "/x", headers={"X-Auth-Token": "weak"})
+        _, error = service.authorize(request, "do")
+        assert error.status_code == 403
+
+    def test_success_returns_credentials(self):
+        service = self.make_service()
+        request = Request("GET", "/x", headers={"X-Auth-Token": "good"})
+        credentials, error = service.authorize(request, "do")
+        assert error is None
+        assert credentials["roles"] == ["admin"]
+
+    def test_no_identity_configured_is_401(self):
+        service = Service("svc")
+        request = Request("GET", "/x", headers={"X-Auth-Token": "good"})
+        _, error = service.authorize(request, "anything")
+        assert error.status_code == 401

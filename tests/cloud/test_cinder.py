@@ -1,0 +1,207 @@
+"""Tests for the Cinder block-storage service."""
+
+
+VOLUMES = "http://cinder/v3/myProject/volumes"
+QUOTA = "http://cinder/v3/myProject/quota_sets"
+
+
+def create_volume(client, name="v", size=1):
+    return client.post(VOLUMES, {"volume": {"name": name, "size": size}})
+
+
+class TestAuthorizationMatrix:
+    """The Table-I matrix enforced by the real service."""
+
+    def test_get_allowed_for_all_roles(self, admin, member, user):
+        for client in (admin, member, user):
+            assert client.get(VOLUMES).status_code == 200
+
+    def test_post_allowed_admin_member_only(self, admin, member, user):
+        assert create_volume(admin).status_code == 202
+        assert create_volume(member).status_code == 202
+        assert create_volume(user).status_code == 403
+
+    def test_put_allowed_admin_member_only(self, admin, member, user):
+        vid = create_volume(admin).json()["volume"]["id"]
+        url = f"{VOLUMES}/{vid}"
+        assert admin.put(url, {"volume": {"name": "a"}}).status_code == 200
+        assert member.put(url, {"volume": {"name": "b"}}).status_code == 200
+        assert user.put(url, {"volume": {"name": "c"}}).status_code == 403
+
+    def test_delete_admin_only(self, admin, member, user):
+        vid = create_volume(admin).json()["volume"]["id"]
+        url = f"{VOLUMES}/{vid}"
+        assert user.delete(url).status_code == 403
+        assert member.delete(url).status_code == 403
+        assert admin.delete(url).status_code == 204
+
+    def test_no_token_is_401(self, cloud):
+        assert cloud.client().get(VOLUMES).status_code == 401
+
+    def test_foreign_project_scope_is_403(self, cloud, admin):
+        cloud.keystone.create_project("other", project_id="other")
+        response = admin.get("http://cinder/v3/other/volumes")
+        assert response.status_code == 403
+
+
+class TestVolumeLifecycle:
+    def test_create_defaults(self, member):
+        response = create_volume(member, name="data")
+        volume = response.json()["volume"]
+        assert volume["status"] == "available"
+        assert volume["size"] == 1
+        assert volume["attachments"] == []
+        assert volume["project_id"] == "myProject"
+
+    def test_create_bad_size(self, member):
+        response = member.post(VOLUMES, {"volume": {"size": -3}})
+        assert response.status_code == 400
+        response = member.post(VOLUMES, {"volume": {"size": "big"}})
+        assert response.status_code == 400
+
+    def test_list_scoped_to_project(self, cloud, admin, member):
+        create_volume(member)
+        cloud.keystone.create_project("other", project_id="other")
+        cloud.keystone.rbac.assign("admin", "other",
+                                   group="proj_administrator")
+        other_token = cloud.keystone.issue_token(
+            "alice", "alice-secret", "other")
+        other_client = cloud.client(other_token)
+        assert other_client.get(
+            "http://cinder/v3/other/volumes").json()["volumes"] == []
+
+    def test_get_item(self, member):
+        vid = create_volume(member, name="x").json()["volume"]["id"]
+        response = member.get(f"{VOLUMES}/{vid}")
+        assert response.status_code == 200
+        assert response.json()["volume"]["name"] == "x"
+
+    def test_get_missing_item(self, member):
+        assert member.get(f"{VOLUMES}/ghost").status_code == 404
+
+    def test_get_item_from_other_project_hidden(self, cloud, admin, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        cloud.keystone.create_project("other", project_id="other")
+        cloud.keystone.rbac.assign("admin", "other",
+                                   group="proj_administrator")
+        token = cloud.keystone.issue_token("alice", "alice-secret", "other")
+        response = cloud.client(token).get(
+            f"http://cinder/v3/other/volumes/{vid}")
+        assert response.status_code == 404
+
+    def test_update_name_description(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        response = member.put(f"{VOLUMES}/{vid}", {
+            "volume": {"name": "renamed", "description": "d"}})
+        volume = response.json()["volume"]
+        assert volume["name"] == "renamed"
+        assert volume["description"] == "d"
+
+    def test_update_nothing_is_400(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert member.put(f"{VOLUMES}/{vid}",
+                          {"volume": {"status": "hacked"}}).status_code == 400
+
+    def test_update_cannot_change_status(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        member.put(f"{VOLUMES}/{vid}",
+                   {"volume": {"name": "n", "status": "in-use"}})
+        assert member.get(
+            f"{VOLUMES}/{vid}").json()["volume"]["status"] == "available"
+
+    def test_delete_returns_204_and_removes(self, admin, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 204
+        assert admin.get(f"{VOLUMES}/{vid}").status_code == 404
+
+    def test_delete_missing_is_404(self, admin):
+        assert admin.delete(f"{VOLUMES}/ghost").status_code == 404
+
+
+class TestQuota:
+    def test_quota_enforced(self, cloud, member):
+        cloud.cinder.set_quota("myProject", 2)
+        assert create_volume(member).status_code == 202
+        assert create_volume(member).status_code == 202
+        assert create_volume(member).status_code == 413
+
+    def test_quota_frees_on_delete(self, cloud, admin, member):
+        cloud.cinder.set_quota("myProject", 1)
+        vid = create_volume(member).json()["volume"]["id"]
+        assert create_volume(member).status_code == 413
+        admin.delete(f"{VOLUMES}/{vid}")
+        assert create_volume(member).status_code == 202
+
+    def test_quota_view(self, cloud, member):
+        create_volume(member)
+        response = member.get(QUOTA)
+        quota = response.json()["quota_set"]
+        assert quota["volumes"] == 5
+        assert quota["in_use"]["volumes"] == 1
+
+    def test_quota_update_admin_only(self, admin, member):
+        assert member.put(QUOTA, {"quota_set": {"volumes": 9}}).status_code == 403
+        response = admin.put(QUOTA, {"quota_set": {"volumes": 9}})
+        assert response.status_code == 200
+        assert response.json()["quota_set"]["volumes"] == 9
+
+    def test_quota_update_validation(self, admin):
+        assert admin.put(QUOTA, {"quota_set": {"volumes": -1}}).status_code == 400
+        assert admin.put(QUOTA, {"quota_set": {}}).status_code == 400
+
+    def test_quota_bypass_switch(self, cloud, member):
+        cloud.cinder.set_quota("myProject", 0)
+        assert create_volume(member).status_code == 413
+        cloud.cinder.enforce_quota = False
+        assert create_volume(member).status_code == 202
+
+
+class TestAttachmentActions:
+    def attach(self, client, vid, server_id="srv-1"):
+        return client.post(f"{VOLUMES}/{vid}/action",
+                           {"os-attach": {"server_id": server_id}})
+
+    def test_attach_makes_in_use(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        response = self.attach(member, vid)
+        assert response.status_code == 202
+        assert response.json()["volume"]["status"] == "in-use"
+
+    def test_double_attach_rejected(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        self.attach(member, vid)
+        assert self.attach(member, vid).status_code == 400
+
+    def test_detach(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        self.attach(member, vid)
+        response = member.post(f"{VOLUMES}/{vid}/action", {"os-detach": {}})
+        assert response.status_code == 202
+        assert response.json()["volume"]["status"] == "available"
+
+    def test_detach_unattached_rejected(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert member.post(f"{VOLUMES}/{vid}/action",
+                           {"os-detach": {}}).status_code == 400
+
+    def test_unknown_action(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert member.post(f"{VOLUMES}/{vid}/action",
+                           {"os-resize": {}}).status_code == 400
+
+    def test_action_user_denied(self, member, user):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert self.attach(user, vid).status_code == 403
+
+    def test_delete_in_use_volume_rejected(self, admin, member):
+        # The functional rule of the behavioral model: DELETE is ignored
+        # while the volume is attached (paper Section II).
+        vid = create_volume(member).json()["volume"]["id"]
+        self.attach(member, vid)
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 400
+
+    def test_status_check_bypass_switch(self, cloud, admin, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        self.attach(member, vid)
+        cloud.cinder.enforce_status_check = False
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 204

@@ -1,0 +1,130 @@
+"""Stateful property tests: the cloud simulator never violates its rules.
+
+A hypothesis rule-based machine drives random volume operations (create,
+delete, attach, detach, by random users) and checks the Cinder invariants
+after every step: quota respected, statuses consistent with attachments,
+in-use volumes undeletable, authorization matrix enforced.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cloud import PrivateCloud
+
+QUOTA = 4
+USERS = ("alice", "bob", "carol")
+ROLE = {"alice": "admin", "bob": "member", "carol": "user"}
+
+
+class CinderMachine(RuleBasedStateMachine):
+    volumes = Bundle("volumes")
+
+    @initialize()
+    def boot(self):
+        self.cloud = PrivateCloud.paper_setup(volume_quota=QUOTA)
+        tokens = self.cloud.paper_tokens()
+        self.clients = {user: self.cloud.client(token)
+                        for user, token in tokens.items()}
+        self.base = "http://cinder/v3/myProject/volumes"
+
+    # -- operations ----------------------------------------------------------
+
+    @rule(target=volumes, user=st.sampled_from(USERS))
+    def create(self, user):
+        before = self.cloud.cinder.volume_count("myProject")
+        response = self.clients[user].post(self.base, {"volume": {}})
+        if ROLE[user] == "user":
+            assert response.status_code == 403
+            return None
+        if before >= QUOTA:
+            assert response.status_code == 413
+            return None
+        assert response.status_code == 202
+        return response.json()["volume"]["id"]
+
+    @rule(user=st.sampled_from(USERS), volume_id=volumes)
+    def delete(self, user, volume_id):
+        if volume_id is None:
+            return
+        volume = self.cloud.cinder.volumes.get(volume_id)
+        pre_status = volume["status"] if volume else None
+        response = self.clients[user].delete(f"{self.base}/{volume_id}")
+        if ROLE[user] != "admin":
+            assert response.status_code == 403
+        elif volume is None:
+            assert response.status_code == 404
+        elif pre_status == "in-use":
+            assert response.status_code == 400
+            assert self.cloud.cinder.volumes.get(volume_id) is not None
+        else:
+            assert response.status_code == 204
+            assert self.cloud.cinder.volumes.get(volume_id) is None
+
+    @rule(user=st.sampled_from(("alice", "bob")), volume_id=volumes)
+    def attach(self, user, volume_id):
+        if volume_id is None:
+            return
+        volume = self.cloud.cinder.volumes.get(volume_id)
+        pre_status = volume["status"] if volume else None
+        response = self.clients[user].post(
+            f"{self.base}/{volume_id}/action",
+            {"os-attach": {"server_id": "s1"}})
+        if volume is None:
+            assert response.status_code == 404
+        elif pre_status == "in-use":
+            assert response.status_code == 400
+        else:
+            assert response.status_code == 202
+
+    @rule(user=st.sampled_from(("alice", "bob")), volume_id=volumes)
+    def detach(self, user, volume_id):
+        if volume_id is None:
+            return
+        volume = self.cloud.cinder.volumes.get(volume_id)
+        pre_status = volume["status"] if volume else None
+        response = self.clients[user].post(
+            f"{self.base}/{volume_id}/action", {"os-detach": {}})
+        if volume is None:
+            assert response.status_code == 404
+        elif pre_status != "in-use":
+            assert response.status_code == 400
+        else:
+            assert response.status_code == 202
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def quota_respected(self):
+        if not hasattr(self, "cloud"):
+            return
+        assert self.cloud.cinder.volume_count("myProject") <= QUOTA
+
+    @invariant()
+    def statuses_consistent(self):
+        if not hasattr(self, "cloud"):
+            return
+        for volume in self.cloud.cinder.volumes:
+            assert volume["status"] in ("available", "in-use")
+            if volume["status"] == "in-use":
+                assert volume["attachments"]
+            else:
+                assert volume["attachments"] == []
+
+    @invariant()
+    def listing_matches_store(self):
+        if not hasattr(self, "cloud"):
+            return
+        listed = self.clients["alice"].get(self.base).json()["volumes"]
+        assert len(listed) == self.cloud.cinder.volume_count("myProject")
+
+
+CinderMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestCinderStateful = CinderMachine.TestCase

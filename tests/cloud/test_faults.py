@@ -1,0 +1,117 @@
+"""Tests for the mutation operators (Section VI-D)."""
+
+import pytest
+
+from repro.cloud import (
+    PolicyMutant,
+    QuotaBypassMutant,
+    StatusCheckBypassMutant,
+    StatusCodeMutant,
+    extended_mutants,
+    paper_mutants,
+)
+from repro.errors import ValidationError
+
+VOLUMES = "http://cinder/v3/myProject/volumes"
+
+
+def create_volume(client):
+    return client.post(VOLUMES, {"volume": {"name": "v"}})
+
+
+class TestPaperMutants:
+    def test_three_mutants(self):
+        mutants = paper_mutants()
+        assert [m.mutant_id for m in mutants] == ["M1", "M2", "M3"]
+        assert all(m.category == "authorization" for m in mutants)
+
+    def test_m1_privilege_escalation(self, cloud, admin, member):
+        vid = create_volume(admin).json()["volume"]["id"]
+        mutant = paper_mutants()[0]
+        assert member.delete(f"{VOLUMES}/{vid}").status_code == 403
+        mutant.apply(cloud)
+        assert member.delete(f"{VOLUMES}/{vid}").status_code == 204
+        mutant.revert(cloud)
+        vid2 = create_volume(admin).json()["volume"]["id"]
+        assert member.delete(f"{VOLUMES}/{vid2}").status_code == 403
+
+    def test_m2_missing_check(self, cloud, user):
+        mutant = paper_mutants()[1]
+        assert create_volume(user).status_code == 403
+        mutant.apply(cloud)
+        assert create_volume(user).status_code == 202
+        mutant.revert(cloud)
+        assert create_volume(user).status_code == 403
+
+    def test_m3_privilege_loss(self, cloud, admin, member, user):
+        mutant = paper_mutants()[2]
+        mutant.apply(cloud)
+        assert admin.get(VOLUMES).status_code == 200
+        assert member.get(VOLUMES).status_code == 403
+        assert user.get(VOLUMES).status_code == 403
+        mutant.revert(cloud)
+        assert user.get(VOLUMES).status_code == 200
+
+
+class TestFunctionalMutants:
+    def test_quota_bypass(self, cloud, member):
+        cloud.cinder.set_quota("myProject", 0)
+        mutant = QuotaBypassMutant()
+        assert create_volume(member).status_code == 413
+        mutant.apply(cloud)
+        assert create_volume(member).status_code == 202
+        mutant.revert(cloud)
+        assert create_volume(member).status_code == 413
+
+    def test_status_check_bypass(self, cloud, admin, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        member.post(f"{VOLUMES}/{vid}/action",
+                    {"os-attach": {"server_id": "s1"}})
+        mutant = StatusCheckBypassMutant()
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 400
+        mutant.apply(cloud)
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 204
+        mutant.revert(cloud)
+
+    def test_status_code_mutant(self, cloud, admin, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        mutant = StatusCodeMutant()
+        mutant.apply(cloud)
+        assert admin.delete(f"{VOLUMES}/{vid}").status_code == 200
+        mutant.revert(cloud)
+        vid2 = create_volume(member).json()["volume"]["id"]
+        assert admin.delete(f"{VOLUMES}/{vid2}").status_code == 204
+
+
+class TestMutantDiscipline:
+    def test_double_apply_rejected(self, cloud):
+        mutant = paper_mutants()[0]
+        mutant.apply(cloud)
+        with pytest.raises(ValidationError):
+            mutant.apply(cloud)
+
+    def test_revert_before_apply_rejected(self, cloud):
+        with pytest.raises(ValidationError):
+            paper_mutants()[0].revert(cloud)
+
+    def test_apply_revert_apply_cycle(self, cloud):
+        mutant = paper_mutants()[0]
+        mutant.apply(cloud)
+        mutant.revert(cloud)
+        mutant.apply(cloud)
+        mutant.revert(cloud)
+
+    def test_policy_mutant_on_missing_action_reverts_cleanly(self, cloud):
+        mutant = PolicyMutant("MX", "adds a brand-new action",
+                              "volume:brandnew", "@")
+        mutant.apply(cloud)
+        assert "volume:brandnew" in cloud.cinder.policy.rules
+        mutant.revert(cloud)
+        assert "volume:brandnew" not in cloud.cinder.policy.rules
+
+    def test_extended_set_is_superset(self):
+        extended = extended_mutants()
+        assert [m.mutant_id for m in extended] == [
+            "M1", "M2", "M3", "M4", "M5", "M6"]
+        categories = {m.mutant_id: m.category for m in extended}
+        assert categories["M4"] == "functional"

@@ -1,0 +1,149 @@
+"""Tests for the Keystone identity service."""
+
+import pytest
+
+from repro.errors import CloudError
+
+
+def auth_payload(user_id, password, project_id):
+    return {
+        "auth": {
+            "identity": {"password": {"user": {
+                "id": user_id, "password": password}}},
+            "scope": {"project": {"id": project_id}},
+        }
+    }
+
+
+class TestTokenLifecycle:
+    def test_issue_and_validate(self, cloud):
+        token = cloud.keystone.issue_token("alice", "alice-secret", "myProject")
+        credentials = cloud.keystone.validate_token(token)
+        assert credentials["user_id"] == "alice"
+        assert credentials["roles"] == ["admin"]
+        assert credentials["project_id"] == "myProject"
+
+    def test_bad_password(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.keystone.issue_token("alice", "wrong", "myProject")
+
+    def test_unknown_project(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.keystone.issue_token("alice", "alice-secret", "ghost")
+
+    def test_validate_unknown_token(self, cloud):
+        assert cloud.keystone.validate_token("nope") is None
+
+    def test_revoke(self, cloud):
+        token = cloud.keystone.issue_token("alice", "alice-secret", "myProject")
+        cloud.keystone.revoke_token(token)
+        assert cloud.keystone.validate_token(token) is None
+
+    def test_revoke_unknown_is_noop(self, cloud):
+        cloud.keystone.revoke_token("ghost")
+
+    def test_tokens_are_unique(self, cloud):
+        first = cloud.keystone.issue_token("alice", "alice-secret", "myProject")
+        second = cloud.keystone.issue_token("alice", "alice-secret", "myProject")
+        assert first != second
+
+
+class TestProjects:
+    def test_duplicate_project_name(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.keystone.create_project("myProject")
+
+    def test_create_user_registers_password(self, cloud):
+        cloud.keystone.create_user("dave", "dave", "pw", [])
+        cloud.keystone.rbac.assign("user", "myProject", user_id="dave")
+        token = cloud.keystone.issue_token("dave", "pw", "myProject")
+        assert cloud.keystone.validate_token(token)["roles"] == ["user"]
+
+    def test_disabled_project_rejects_tokens(self, cloud):
+        cloud.keystone.create_project("off", project_id="off", enabled=False)
+        with pytest.raises(CloudError):
+            cloud.keystone.issue_token("alice", "alice-secret", "off")
+
+
+class TestHTTPSurface:
+    def test_token_endpoint(self, cloud):
+        client = cloud.client()
+        response = client.post(
+            "http://keystone/v3/auth/tokens",
+            auth_payload("alice", "alice-secret", "myProject"))
+        assert response.status_code == 201
+        assert response.headers.get("X-Subject-Token")
+        assert response.json()["token"]["roles"] == [{"name": "admin"}]
+
+    def test_token_endpoint_bad_credentials(self, cloud):
+        response = cloud.client().post(
+            "http://keystone/v3/auth/tokens",
+            auth_payload("alice", "wrong", "myProject"))
+        assert response.status_code == 401
+
+    def test_token_endpoint_malformed(self, cloud):
+        response = cloud.client().post(
+            "http://keystone/v3/auth/tokens", {"nope": 1})
+        assert response.status_code == 400
+
+    def test_issued_token_works_against_cinder(self, cloud):
+        response = cloud.client().post(
+            "http://keystone/v3/auth/tokens",
+            auth_payload("bob", "bob-secret", "myProject"))
+        token = response.headers.get("X-Subject-Token")
+        client = cloud.client(token)
+        assert client.get(
+            cloud.cinder_url("/v3/myProject/volumes")).status_code == 200
+
+    def test_list_projects_requires_token(self, cloud):
+        assert cloud.client().get(
+            "http://keystone/v3/projects").status_code == 401
+
+    def test_list_projects(self, cloud, admin):
+        response = admin.get("http://keystone/v3/projects")
+        assert response.status_code == 200
+        names = [p["name"] for p in response.json()["projects"]]
+        assert "myProject" in names
+
+    def test_get_project(self, cloud, user):
+        response = user.get("http://keystone/v3/projects/myProject")
+        assert response.status_code == 200
+        assert response.json()["project"]["name"] == "myProject"
+
+    def test_get_project_missing(self, cloud, user):
+        assert user.get("http://keystone/v3/projects/ghost").status_code == 404
+
+    def test_create_project_admin_only(self, cloud, admin, member):
+        denied = member.post("http://keystone/v3/projects",
+                             {"project": {"name": "new"}})
+        assert denied.status_code == 403
+        created = admin.post("http://keystone/v3/projects",
+                             {"project": {"name": "new"}})
+        assert created.status_code == 201
+
+    def test_create_project_requires_name(self, cloud, admin):
+        assert admin.post("http://keystone/v3/projects",
+                          {"project": {}}).status_code == 400
+
+    def test_create_duplicate_project_conflict(self, cloud, admin):
+        response = admin.post("http://keystone/v3/projects",
+                              {"project": {"name": "myProject"}})
+        assert response.status_code == 409
+
+    def test_delete_project(self, cloud, admin):
+        admin.post("http://keystone/v3/projects", {"project": {"name": "tmp"}})
+        projects = admin.get("http://keystone/v3/projects").json()["projects"]
+        tmp_id = next(p["id"] for p in projects if p["name"] == "tmp")
+        assert admin.delete(
+            f"http://keystone/v3/projects/{tmp_id}").status_code == 204
+
+    def test_delete_project_member_denied(self, cloud, member):
+        assert member.delete(
+            "http://keystone/v3/projects/myProject").status_code == 403
+
+    def test_list_users_admin_only(self, cloud, admin, user):
+        assert user.get("http://keystone/v3/users").status_code == 403
+        response = admin.get("http://keystone/v3/users")
+        assert response.status_code == 200
+        ids = [u["id"] for u in response.json()["users"]]
+        assert ids == ["alice", "bob", "carol"]

@@ -1,0 +1,116 @@
+"""Tests for the Nova compute-lite service."""
+
+SERVERS = "http://nova/v3/myProject/servers"
+VOLUMES = "http://cinder/v3/myProject/volumes"
+
+
+def create_server(client, name="s"):
+    return client.post(SERVERS, {"server": {"name": name}})
+
+
+def create_volume(client, name="v"):
+    return client.post(VOLUMES, {"volume": {"name": name}})
+
+
+class TestServers:
+    def test_create_and_list(self, member):
+        response = create_server(member, "web")
+        assert response.status_code == 202
+        server = response.json()["server"]
+        assert server["status"] == "ACTIVE"
+        listing = member.get(SERVERS).json()["servers"]
+        assert [s["name"] for s in listing] == ["web"]
+
+    def test_user_cannot_create(self, user):
+        assert create_server(user).status_code == 403
+
+    def test_get_item(self, member):
+        sid = create_server(member).json()["server"]["id"]
+        assert member.get(f"{SERVERS}/{sid}").status_code == 200
+
+    def test_get_missing(self, member):
+        assert member.get(f"{SERVERS}/ghost").status_code == 404
+
+    def test_delete_admin_only(self, admin, member):
+        sid = create_server(member).json()["server"]["id"]
+        assert member.delete(f"{SERVERS}/{sid}").status_code == 403
+        assert admin.delete(f"{SERVERS}/{sid}").status_code == 204
+
+    def test_no_token_401(self, cloud):
+        assert cloud.client().get(SERVERS).status_code == 401
+
+    def test_foreign_project_scope_403(self, cloud, admin):
+        cloud.keystone.create_project("other", project_id="other")
+        assert admin.get("http://nova/v3/other/servers").status_code == 403
+
+
+class TestVolumeAttachments:
+    def setup_pair(self, client):
+        sid = create_server(client).json()["server"]["id"]
+        vid = create_volume(client).json()["volume"]["id"]
+        return sid, vid
+
+    def attach(self, client, sid, vid):
+        return client.post(f"{SERVERS}/{sid}/volume_attachments",
+                           {"volumeAttachment": {"volumeId": vid}})
+
+    def test_attach_drives_volume_in_use(self, member):
+        sid, vid = self.setup_pair(member)
+        response = self.attach(member, sid, vid)
+        assert response.status_code == 202
+        volume = member.get(f"{VOLUMES}/{vid}").json()["volume"]
+        assert volume["status"] == "in-use"
+        assert volume["attachments"] == [{"server_id": sid}]
+
+    def test_attachments_listing(self, member):
+        sid, vid = self.setup_pair(member)
+        self.attach(member, sid, vid)
+        listing = member.get(
+            f"{SERVERS}/{sid}/volume_attachments").json()
+        assert listing["volume_attachments"] == [vid]
+
+    def test_attach_missing_volume(self, member):
+        sid = create_server(member).json()["server"]["id"]
+        assert self.attach(member, sid, "ghost").status_code == 404
+
+    def test_attach_missing_server(self, member):
+        vid = create_volume(member).json()["volume"]["id"]
+        assert self.attach(member, "ghost", vid).status_code == 404
+
+    def test_attach_requires_volume_id(self, member):
+        sid = create_server(member).json()["server"]["id"]
+        response = member.post(f"{SERVERS}/{sid}/volume_attachments",
+                               {"volumeAttachment": {}})
+        assert response.status_code == 400
+
+    def test_attach_already_attached_volume(self, member):
+        sid, vid = self.setup_pair(member)
+        self.attach(member, sid, vid)
+        other_sid = create_server(member).json()["server"]["id"]
+        assert self.attach(member, other_sid, vid).status_code == 400
+
+    def test_user_cannot_attach(self, member, user):
+        sid, vid = self.setup_pair(member)
+        assert self.attach(user, sid, vid).status_code == 403
+
+    def test_detach_restores_available(self, member):
+        sid, vid = self.setup_pair(member)
+        self.attach(member, sid, vid)
+        response = member.delete(
+            f"{SERVERS}/{sid}/volume_attachments/{vid}")
+        assert response.status_code == 204
+        volume = member.get(f"{VOLUMES}/{vid}").json()["volume"]
+        assert volume["status"] == "available"
+
+    def test_detach_not_attached(self, member):
+        sid, vid = self.setup_pair(member)
+        response = member.delete(
+            f"{SERVERS}/{sid}/volume_attachments/{vid}")
+        assert response.status_code == 404
+
+    def test_server_delete_detaches_volumes(self, admin, member):
+        sid, vid = self.setup_pair(member)
+        self.attach(member, sid, vid)
+        assert admin.delete(f"{SERVERS}/{sid}").status_code == 204
+        volume = member.get(f"{VOLUMES}/{vid}").json()["volume"]
+        assert volume["status"] == "available"

@@ -1,0 +1,138 @@
+"""Unit tests for the release-2 snapshot feature of the Cinder simulator."""
+
+import pytest
+
+from repro.cloud import PrivateCloud
+
+VOLUMES = "http://cinder/v3/myProject/volumes"
+SNAPSHOTS = "http://cinder/v3/myProject/snapshots"
+
+
+@pytest.fixture()
+def cloud():
+    return PrivateCloud.paper_setup(release2=True)
+
+
+@pytest.fixture()
+def clients(cloud):
+    tokens = cloud.paper_tokens()
+    return {name: cloud.client(token) for name, token in tokens.items()}
+
+
+def create_volume(client):
+    return client.post(VOLUMES, {"volume": {"name": "v"}})
+
+
+def create_snapshot(client, volume_id, name="s"):
+    return client.post(SNAPSHOTS,
+                       {"snapshot": {"volume_id": volume_id, "name": name}})
+
+
+class TestFeatureSwitch:
+    def test_disabled_by_default(self):
+        cloud = PrivateCloud.paper_setup()
+        token = cloud.paper_tokens()["bob"]
+        client = cloud.client(token)
+        assert client.get(SNAPSHOTS).status_code == 404
+        assert client.post(SNAPSHOTS, {"snapshot": {}}).status_code == 404
+        assert client.get(f"{SNAPSHOTS}/any").status_code == 404
+
+    def test_enabled_in_release2(self, clients):
+        assert clients["bob"].get(SNAPSHOTS).status_code == 200
+
+
+class TestSnapshotCrud:
+    def test_create_and_get(self, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        response = create_snapshot(clients["bob"], vid, name="backup")
+        assert response.status_code == 202
+        snapshot = response.json()["snapshot"]
+        assert snapshot["volume_id"] == vid
+        assert snapshot["status"] == "available"
+        fetched = clients["carol"].get(f"{SNAPSHOTS}/{snapshot['id']}")
+        assert fetched.status_code == 200
+        assert fetched.json()["snapshot"]["name"] == "backup"
+
+    def test_list_with_volume_filter(self, clients):
+        vid_a = create_volume(clients["bob"]).json()["volume"]["id"]
+        vid_b = create_volume(clients["bob"]).json()["volume"]["id"]
+        create_snapshot(clients["bob"], vid_a)
+        create_snapshot(clients["bob"], vid_b)
+        create_snapshot(clients["bob"], vid_b)
+        all_rows = clients["bob"].get(SNAPSHOTS).json()["snapshots"]
+        assert len(all_rows) == 3
+        filtered = clients["bob"].get(
+            SNAPSHOTS, params={"volume_id": vid_b}).json()["snapshots"]
+        assert len(filtered) == 2
+
+    def test_create_for_missing_volume(self, clients):
+        assert create_snapshot(clients["bob"], "ghost").status_code == 404
+
+    def test_create_requires_volume_id(self, clients):
+        assert clients["bob"].post(
+            SNAPSHOTS, {"snapshot": {}}).status_code == 404
+
+    def test_delete(self, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        sid = create_snapshot(clients["bob"], vid).json()["snapshot"]["id"]
+        assert clients["alice"].delete(f"{SNAPSHOTS}/{sid}").status_code == 204
+        assert clients["bob"].get(f"{SNAPSHOTS}/{sid}").status_code == 404
+
+    def test_get_missing(self, clients):
+        assert clients["bob"].get(f"{SNAPSHOTS}/ghost").status_code == 404
+
+
+class TestSnapshotAuthorization:
+    def test_user_cannot_create(self, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        assert create_snapshot(clients["carol"], vid).status_code == 403
+
+    def test_all_roles_can_read(self, clients):
+        for name in ("alice", "bob", "carol"):
+            assert clients[name].get(SNAPSHOTS).status_code == 200
+
+    def test_only_admin_deletes(self, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        sid = create_snapshot(clients["bob"], vid).json()["snapshot"]["id"]
+        assert clients["bob"].delete(f"{SNAPSHOTS}/{sid}").status_code == 403
+        assert clients["carol"].delete(f"{SNAPSHOTS}/{sid}").status_code == 403
+        assert clients["alice"].delete(f"{SNAPSHOTS}/{sid}").status_code == 204
+
+    def test_no_token_401(self, cloud):
+        assert cloud.client().get(SNAPSHOTS).status_code == 401
+
+
+class TestVolumeDeletionRule:
+    def test_snapshotted_volume_undeletable(self, cloud, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        create_snapshot(clients["bob"], vid)
+        assert clients["alice"].delete(f"{VOLUMES}/{vid}").status_code == 400
+        assert cloud.cinder.volumes.get(vid) is not None
+
+    def test_deletable_after_snapshots_removed(self, cloud, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        sid = create_snapshot(clients["bob"], vid).json()["snapshot"]["id"]
+        clients["alice"].delete(f"{SNAPSHOTS}/{sid}")
+        assert clients["alice"].delete(f"{VOLUMES}/{vid}").status_code == 204
+
+    def test_bypass_switch(self, cloud, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        create_snapshot(clients["bob"], vid)
+        cloud.cinder.enforce_snapshot_check = False
+        assert clients["alice"].delete(f"{VOLUMES}/{vid}").status_code == 204
+
+    def test_rule_inactive_on_release1(self):
+        # Without the feature there are no snapshots to block deletion.
+        cloud = PrivateCloud.paper_setup()
+        tokens = cloud.paper_tokens()
+        bob = cloud.client(tokens["bob"])
+        alice = cloud.client(tokens["alice"])
+        vid = create_volume(bob).json()["volume"]["id"]
+        assert alice.delete(f"{VOLUMES}/{vid}").status_code == 204
+
+    def test_snapshot_count_helper(self, cloud, clients):
+        vid = create_volume(clients["bob"]).json()["volume"]["id"]
+        assert cloud.cinder.snapshot_count(vid) == 0
+        create_snapshot(clients["bob"], vid)
+        create_snapshot(clients["bob"], vid)
+        assert cloud.cinder.snapshot_count(vid) == 2

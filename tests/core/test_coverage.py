@@ -1,0 +1,61 @@
+"""Tests for security-requirement coverage tracking."""
+
+from repro.core import CoverageTracker
+
+
+class TestCoverageTracker:
+    def test_empty_tracker_full_coverage(self):
+        assert CoverageTracker().coverage == 1.0
+
+    def test_declared_but_unexercised(self):
+        tracker = CoverageTracker(["1.1", "1.2"])
+        assert tracker.coverage == 0.0
+        assert tracker.uncovered_ids() == ["1.1", "1.2"]
+
+    def test_record_marks_covered(self):
+        tracker = CoverageTracker(["1.1", "1.2"])
+        tracker.record(["1.1"], passed=True)
+        assert tracker.covered_ids() == ["1.1"]
+        assert tracker.uncovered_ids() == ["1.2"]
+        assert tracker.coverage == 0.5
+
+    def test_record_counts(self):
+        tracker = CoverageTracker(["1.4"])
+        tracker.record(["1.4"], passed=True)
+        tracker.record(["1.4"], passed=False)
+        tracker.record(["1.4"], passed=True)
+        record = tracker.records["1.4"]
+        assert record.exercised == 3
+        assert record.passed == 2
+        assert record.failed == 1
+
+    def test_record_undeclared_requirement(self):
+        tracker = CoverageTracker(["1.1"])
+        tracker.record(["9.9"], passed=True)
+        assert "9.9" in tracker.records
+        assert tracker.coverage == 0.5  # 1 of 2 now covered
+
+    def test_record_multiple_at_once(self):
+        tracker = CoverageTracker(["1.1", "1.2", "1.3"])
+        tracker.record(["1.1", "1.3"], passed=True)
+        assert tracker.covered_ids() == ["1.1", "1.3"]
+
+    def test_report_contains_rows(self):
+        tracker = CoverageTracker(["1.1"])
+        tracker.record(["1.1"], passed=False)
+        report = tracker.report()
+        assert "1.1" in report
+        assert "coverage: 100%" in report
+
+    def test_reset_keeps_declared_ids(self):
+        tracker = CoverageTracker(["1.1"])
+        tracker.record(["1.1"], passed=True)
+        tracker.reset()
+        assert tracker.coverage == 0.0
+        assert "1.1" in tracker.records
+
+    def test_full_coverage_percentage(self):
+        tracker = CoverageTracker(["a", "b"])
+        tracker.record(["a"], passed=True)
+        tracker.record(["b"], passed=True)
+        assert tracker.coverage == 1.0

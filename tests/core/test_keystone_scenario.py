@@ -1,0 +1,115 @@
+"""Tests for the identity (Keystone project administration) scenario."""
+
+import pytest
+
+from repro.cloud import PrivateCloud
+from repro.core import ContractGenerator, Verdict, check_models
+from repro.core.keystone_scenario import (
+    MULTIPLE,
+    SINGLE,
+    keystone_behavior_model,
+    keystone_resource_model,
+    keystone_table,
+    monitor_for_keystone,
+)
+from repro.uml.validation import errors_only, validate_state_machine
+
+MONITOR = "http://imonitor/imonitor/projects"
+
+
+@pytest.fixture()
+def setup():
+    cloud = PrivateCloud.paper_setup()
+    tokens = cloud.paper_tokens()
+    monitor = monitor_for_keystone(cloud.network, "myProject",
+                                   enforcing=True)
+    cloud.network.register("imonitor", monitor.app)
+    clients = {name: cloud.client(token) for name, token in tokens.items()}
+    return cloud, monitor, clients
+
+
+class TestKeystoneModels:
+    def test_well_formed(self):
+        machine = keystone_behavior_model()
+        diagram = keystone_resource_model()
+        assert errors_only(validate_state_machine(machine, diagram)) == []
+        assert check_models(diagram, machine) == []
+
+    def test_states(self):
+        machine = keystone_behavior_model()
+        assert set(machine.states) == {SINGLE, MULTIPLE}
+        assert machine.initial_state().name == SINGLE
+
+    def test_no_delete_out_of_single_state(self):
+        # The functional rule: the last project cannot be deleted.
+        machine = keystone_behavior_model()
+        deletes = machine.transitions_triggered_by("DELETE(project)")
+        assert all(transition.source == MULTIPLE for transition in deletes)
+
+    def test_requirements(self):
+        machine = keystone_behavior_model()
+        assert set(machine.security_requirement_ids()) == {
+            "3.1", "3.2", "3.3"}
+
+    def test_table_matches_keystone_policy(self):
+        policy = keystone_table().to_policy()
+        assert policy["project:post"] == "role:admin"
+        assert policy["project:delete"] == "role:admin"
+
+
+class TestKeystoneMonitor:
+    def test_get_projects_all_roles(self, setup):
+        cloud, monitor, clients = setup
+        for name in ("alice", "bob", "carol"):
+            assert clients[name].get(MONITOR).status_code == 200
+        assert monitor.violations() == []
+
+    def test_member_blocked_from_create(self, setup):
+        cloud, monitor, clients = setup
+        response = clients["bob"].post(MONITOR, {"project": {"name": "x"}})
+        assert response.status_code == 412
+        assert monitor.log[-1].verdict == Verdict.PRE_BLOCKED
+
+    def test_admin_creates_and_deletes(self, setup):
+        cloud, monitor, clients = setup
+        created = clients["alice"].post(MONITOR, {"project": {"name": "x"}})
+        assert created.status_code == 201
+        project_id = created.json()["project"]["id"]
+        deleted = clients["alice"].delete(f"{MONITOR}/{project_id}")
+        assert deleted.status_code == 204
+        assert monitor.violations() == []
+
+    def test_last_project_delete_blocked(self, setup):
+        # Only myProject exists: the model has no DELETE from SINGLE, so
+        # the monitor blocks before Keystone could even comply.
+        cloud, monitor, clients = setup
+        response = clients["alice"].delete(f"{MONITOR}/myProject")
+        assert response.status_code == 412
+
+    def test_coverage(self, setup):
+        cloud, monitor, clients = setup
+        clients["carol"].get(MONITOR)
+        clients["alice"].post(MONITOR, {"project": {"name": "x"}})
+        assert set(monitor.coverage.covered_ids()) == {"3.1", "3.2"}
+
+    def test_escalation_mutant_killed(self):
+        cloud = PrivateCloud.paper_setup()
+        tokens = cloud.paper_tokens()
+        monitor = monitor_for_keystone(cloud.network, "myProject",
+                                       enforcing=False)
+        cloud.network.register("imonitor", monitor.app)
+        cloud.keystone.policy.set_rule("identity:create_project",
+                                       "role:admin or role:member")
+        bob = cloud.client(tokens["bob"])
+        response = bob.post(MONITOR, {"project": {"name": "sneaky"}})
+        assert response.status_code == 502
+        assert monitor.log[-1].verdict == Verdict.PRE_VIOLATION
+        assert monitor.log[-1].security_requirements == ["3.2"]
+
+    def test_contract_shapes(self):
+        generator = ContractGenerator(keystone_behavior_model(),
+                                      keystone_resource_model())
+        delete = generator.for_trigger("DELETE(project)")
+        assert len(delete.cases) == 2
+        post = generator.for_trigger("POST(projects)")
+        assert len(post.cases) == 2

@@ -1,0 +1,186 @@
+"""Tests for the resource/behavior model builders and the Cinder models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core import (
+    BehaviorModelBuilder,
+    ResourceModelBuilder,
+    cinder_behavior_model,
+    cinder_resource_model,
+)
+from repro.core.behavior_model import FULL, NO_VOLUME, NOT_FULL
+from repro.rbac import SecurityRequirementsTable
+from repro.uml import validate_class_diagram, validate_state_machine
+from repro.uml.validation import errors_only
+
+
+class TestResourceModelBuilder:
+    def test_collection_and_resource(self):
+        diagram = (ResourceModelBuilder("d")
+                   .collection("Things")
+                   .resource("thing", [("id", "String")])
+                   .contains("Things", "thing")
+                   .build())
+        assert diagram.get_class("Things").is_collection
+        assert not diagram.get_class("thing").is_collection
+
+    def test_resource_requires_attributes(self):
+        with pytest.raises(ModelError):
+            ResourceModelBuilder("d").resource("thing", [])
+
+    def test_contains_default_role_name(self):
+        diagram = (ResourceModelBuilder("d")
+                   .collection("Things")
+                   .resource("thing", [("id", "String")])
+                   .contains("Things", "thing")
+                   .build())
+        assert diagram.associations[0].role_name == "thing"
+
+    def test_build_validates(self):
+        builder = ResourceModelBuilder("d")
+        builder.collection("OnlyCollection")
+        builder.resource("a", [("id", "String")])
+        builder.resource("b", [("id", "String")])
+        builder.references("a", "b", "bs")
+        builder.references("b", "a", "as_")
+        # a/b cycle leaves OnlyCollection as the only root but a and b
+        # unreachable -- actually the cycle makes no root for a/b; builder
+        # still has OnlyCollection as root, so only warnings arise.
+        diagram = builder.build()
+        assert diagram.name == "d"
+
+    def test_build_raises_on_errors(self):
+        builder = ResourceModelBuilder("d")
+        builder.resource("a", [("id", "String")])
+        builder.resource("b", [("id", "String")])
+        builder.references("a", "b", "")
+        with pytest.raises(ModelError):
+            builder.build()
+
+
+class TestBehaviorModelBuilder:
+    def test_guard_fold_with_table(self):
+        builder = BehaviorModelBuilder(
+            "m", SecurityRequirementsTable.paper_table())
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "DELETE(volume)",
+                           guard="volume.status <> 'in-use'")
+        transition = builder.machine.transitions[0]
+        assert "user.roles->includes('admin')" in transition.guard
+        assert "volume.status" in transition.guard
+        assert transition.security_requirements == ("1.4",)
+
+    def test_guard_fold_trivial_guard(self):
+        builder = BehaviorModelBuilder(
+            "m", SecurityRequirementsTable.paper_table())
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "GET(volume)")
+        assert builder.machine.transitions[0].guard == (
+            "user.roles->includes('admin') or "
+            "user.roles->includes('member') or "
+            "user.roles->includes('user')")
+
+    def test_collection_trigger_uses_singular_table_row(self):
+        builder = BehaviorModelBuilder(
+            "m", SecurityRequirementsTable.paper_table())
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "POST(volumes)")
+        transition = builder.machine.transitions[0]
+        assert transition.security_requirements == ("1.3",)
+        assert "includes('member')" in transition.guard
+
+    def test_explicit_requirements_win(self):
+        builder = BehaviorModelBuilder(
+            "m", SecurityRequirementsTable.paper_table())
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "GET(volume)",
+                           security_requirements=["9.9"])
+        assert builder.machine.transitions[0].security_requirements == ("9.9",)
+
+    def test_no_table_leaves_guard_alone(self):
+        builder = BehaviorModelBuilder("m")
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "DELETE(volume)", guard="x = 1")
+        assert builder.machine.transitions[0].guard == "x = 1"
+
+    def test_build_raises_on_bad_ocl(self):
+        builder = BehaviorModelBuilder("m")
+        builder.state("s", "((broken", initial=True)
+        with pytest.raises(ModelError):
+            builder.build()
+
+
+class TestCinderResourceModel:
+    def test_well_formed(self):
+        diagram = cinder_resource_model()
+        assert errors_only(validate_class_diagram(diagram)) == []
+
+    def test_classes_match_figure3(self):
+        diagram = cinder_resource_model()
+        assert set(diagram.classes) == {
+            "Projects", "project", "Volumes", "volume", "quota_sets",
+            "usergroup"}
+
+    def test_collections(self):
+        diagram = cinder_resource_model()
+        assert diagram.get_class("Projects").is_collection
+        assert diagram.get_class("Volumes").is_collection
+        assert not diagram.get_class("volume").is_collection
+
+    def test_paper_uri_layout(self):
+        diagram = cinder_resource_model()
+        assert diagram.uri_paths()["Volumes"] == "/{project_id}/volumes"
+        assert diagram.item_uri("volume") == \
+            "/{project_id}/volumes/{volume_id}"
+
+    def test_volume_attributes(self):
+        volume = cinder_resource_model().get_class("volume")
+        names = [a.name for a in volume.attributes]
+        assert "status" in names
+        assert "id" in names
+
+
+class TestCinderBehaviorModel:
+    def test_well_formed(self):
+        machine = cinder_behavior_model()
+        diagram = cinder_resource_model()
+        assert errors_only(validate_state_machine(machine, diagram)) == []
+
+    def test_three_states(self):
+        machine = cinder_behavior_model()
+        assert set(machine.states) == {NO_VOLUME, NOT_FULL, FULL}
+        assert machine.initial_state().name == NO_VOLUME
+
+    def test_delete_fires_three_transitions(self):
+        # Section V: "there are three different transitions triggered by
+        # DELETE(volume)".
+        machine = cinder_behavior_model()
+        assert len(machine.transitions_triggered_by("DELETE(volume)")) == 3
+
+    def test_post_transitions_cover_quota_edge(self):
+        machine = cinder_behavior_model()
+        posts = machine.transitions_triggered_by("POST(volumes)")
+        targets = {(t.source, t.target) for t in posts}
+        assert (NO_VOLUME, NOT_FULL) in targets
+        assert (NOT_FULL, FULL) in targets
+
+    def test_all_states_reachable(self):
+        machine = cinder_behavior_model()
+        assert set(machine.reachable_states()) == set(machine.states)
+
+    def test_security_requirements_complete(self):
+        machine = cinder_behavior_model()
+        assert set(machine.security_requirement_ids()) == {
+            "1.1", "1.2", "1.3", "1.4"}
+
+    def test_initial_invariant_matches_paper(self):
+        machine = cinder_behavior_model()
+        assert machine.get_state(NO_VOLUME).invariant == (
+            "project.id->size()=1 and project.volumes->size()=0")
+
+    def test_delete_guard_requires_detached_and_admin(self):
+        machine = cinder_behavior_model()
+        for transition in machine.transitions_triggered_by("DELETE(volume)"):
+            assert "volume.status <> 'in-use'" in transition.guard
+            assert "user.roles->includes('admin')" in transition.guard

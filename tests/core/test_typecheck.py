@@ -1,0 +1,128 @@
+"""Tests for the OCL-vs-resource-model cross-checker."""
+
+import pytest
+
+from repro.core import (
+    BehaviorModelBuilder,
+    check_expression,
+    check_models,
+    cinder_behavior_model,
+    cinder_resource_model,
+)
+from repro.core.nova_scenario import nova_behavior_model, nova_resource_model
+
+
+@pytest.fixture(scope="module")
+def diagram():
+    return cinder_resource_model()
+
+
+class TestCheckExpression:
+    def test_clean_expression(self, diagram):
+        assert check_expression(
+            "project.id->size()=1 and project.volumes->size()=0",
+            diagram, "x") == []
+
+    def test_attribute_typo_flagged(self, diagram):
+        violations = check_expression(
+            "volume.statu <> 'in-use'", diagram, "x")
+        assert len(violations) == 1
+        assert "statu" in violations[0].message
+
+    def test_unknown_root_flagged_once(self, diagram):
+        violations = check_expression(
+            "ghost.id->size() = ghost.name->size()", diagram, "x")
+        assert len(violations) == 1
+        assert "ghost" in violations[0].message
+
+    def test_association_role_accepted(self, diagram):
+        # project.volumes is a role name, not an attribute.
+        assert check_expression(
+            "project.volumes->size() < quota_sets.volumes",
+            diagram, "x") == []
+
+    def test_runtime_user_bindings_accepted(self, diagram):
+        assert check_expression(
+            "user.roles->includes('admin') and user.groups->size() > 0",
+            diagram, "x") == []
+
+    def test_iterator_variable_not_flagged(self, diagram):
+        assert check_expression(
+            "project.volumes->select(v | v.status = 'in-use')->size() = 0",
+            diagram, "x") == []
+
+    def test_case_insensitive_root_match(self, diagram):
+        assert check_expression("volumes.id->size() >= 0", diagram, "x") == []
+
+    def test_deep_chain_checks_first_step_only(self, diagram):
+        # user.id.groups: 'id' is a runtime step; deeper steps are dynamic.
+        assert check_expression("user.id.groups = 'admin'", diagram, "x") == []
+
+    def test_let_variable_not_flagged(self, diagram):
+        assert check_expression(
+            "let n = project.volumes->size() in n >= 0", diagram, "x") == []
+
+    def test_element_recorded(self, diagram):
+        violations = check_expression("ghost.x", diagram, "state s1")
+        assert violations[0].element == "state s1"
+
+
+class TestCheckModels:
+    def test_cinder_models_clean(self):
+        assert check_models(cinder_resource_model(),
+                            cinder_behavior_model()) == []
+
+    def test_cinder_release2_models_clean(self):
+        assert check_models(
+            cinder_resource_model(with_snapshots=True),
+            cinder_behavior_model(with_snapshots=True)) == []
+
+    def test_release2_machine_vs_release1_diagram_flagged(self):
+        # The snapshot guard navigates volume.snapshots, which the old
+        # resource model cannot justify: the checker catches exactly the
+        # model-revision gap.
+        violations = check_models(cinder_resource_model(),
+                                  cinder_behavior_model(with_snapshots=True))
+        assert violations
+        assert all("snapshots" in violation.message
+                   for violation in violations)
+
+    def test_nova_models_clean(self):
+        assert check_models(nova_resource_model(), nova_behavior_model()) == []
+
+    def test_typo_in_invariant_located(self, diagram):
+        builder = BehaviorModelBuilder("m")
+        builder.state("bad", "volume.stauts = 'x'", initial=True)
+        violations = check_models(diagram, builder.machine)
+        assert len(violations) == 1
+        assert violations[0].element == "state bad"
+
+    def test_typo_in_guard_located(self, diagram):
+        builder = BehaviorModelBuilder("m")
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "GET(volume)",
+                           guard="volume.sizee > 1")
+        violations = check_models(diagram, builder.machine)
+        assert len(violations) == 1
+        assert "transition s->s#0" == violations[0].element
+
+    def test_typo_in_effect_located(self, diagram):
+        builder = BehaviorModelBuilder("m")
+        builder.state("s", "true", initial=True)
+        builder.transition("s", "s", "GET(volume)",
+                           effect="project.volums->size() = 0")
+        violations = check_models(diagram, builder.machine)
+        assert any("volums" in violation.message
+                   for violation in violations)
+
+    def test_synthetic_models_have_expected_unknowns(self):
+        # The synthetic scaling models deliberately use free roots
+        # (root/quota) that are not resource classes; the checker reports
+        # them rather than guessing.
+        from repro.workloads import synthetic_models
+
+        diagram, machine = synthetic_models(1)
+        violations = check_models(diagram, machine)
+        roots = {violation.message.split("'")[1]
+                 for violation in violations}
+        assert roots <= {"root", "quota"}

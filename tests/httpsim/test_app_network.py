@@ -1,0 +1,238 @@
+"""Tests for Application dispatch, middleware, Network, and clients."""
+
+from repro.httpsim import (
+    Application,
+    AppClient,
+    Client,
+    ContentTypeMiddleware,
+    Middleware,
+    Network,
+    Request,
+    RequestLogMiddleware,
+    Response,
+    path,
+)
+
+
+def ok_view(request, **kwargs):
+    return Response.json_response({"args": kwargs})
+
+
+def boom_view(request, **kwargs):
+    raise RuntimeError("exploded")
+
+
+def make_app(debug=False):
+    app = Application("svc", debug=debug)
+    app.add_routes([
+        path("items", ok_view, name="items"),
+        path("items/<int:item_id>", ok_view, name="item"),
+        path("boom", boom_view, name="boom"),
+    ])
+    return app
+
+
+class TestApplicationDispatch:
+    def test_basic_dispatch(self):
+        response = make_app().get("/items/3")
+        assert response.status_code == 200
+        assert response.json() == {"args": {"item_id": 3}}
+
+    def test_404(self):
+        assert make_app().get("/nothing").status_code == 404
+
+    def test_view_exception_becomes_500(self):
+        response = make_app().get("/boom")
+        assert response.status_code == 500
+        assert "exploded" in response.text
+
+    def test_debug_mode_includes_traceback(self):
+        response = make_app(debug=True).get("/boom")
+        assert "Traceback" in response.text
+
+    def test_post_serializes_payload(self):
+        app = Application("svc")
+        app.add_route(path("echo", lambda req: Response(200, req.body)))
+        response = app.post("/echo", {"k": "v"})
+        assert response.json() == {"k": "v"}
+
+    def test_put_and_delete_helpers(self):
+        app = make_app()
+        assert app.put("/items/1", {"x": 1}).status_code == 200
+        assert app.delete("/items/1").status_code == 200
+
+
+class TestMiddleware:
+    def test_short_circuit_skips_view(self):
+        class Deny(Middleware):
+            def process_request(self, request):
+                return Response.error(401, "no token")
+
+        app = make_app()
+        app.add_middleware(Deny())
+        assert app.get("/items").status_code == 401
+
+    def test_response_processing_order_is_reversed(self):
+        order = []
+
+        class Tag(Middleware):
+            def __init__(self, label):
+                self.label = label
+
+            def process_request(self, request):
+                order.append(("in", self.label))
+                return None
+
+            def process_response(self, request, response):
+                order.append(("out", self.label))
+                return response
+
+        app = make_app()
+        app.add_middleware(Tag("outer"))
+        app.add_middleware(Tag("inner"))
+        app.get("/items")
+        assert order == [("in", "outer"), ("in", "inner"),
+                         ("out", "inner"), ("out", "outer")]
+
+    def test_short_circuit_unwinds_through_entered_layers_only(self):
+        seen = []
+
+        class Outer(Middleware):
+            def process_response(self, request, response):
+                seen.append("outer")
+                return response
+
+        class Blocker(Middleware):
+            def process_request(self, request):
+                return Response.error(403)
+
+        class Inner(Middleware):
+            def process_response(self, request, response):
+                seen.append("inner")
+                return response
+
+        app = make_app()
+        app.add_middleware(Outer())
+        app.add_middleware(Blocker())
+        app.add_middleware(Inner())
+        response = app.get("/items")
+        assert response.status_code == 403
+        assert seen == ["outer"]
+
+    def test_request_log_middleware_records(self):
+        log = RequestLogMiddleware()
+        app = make_app()
+        app.add_middleware(log)
+        app.get("/items")
+        app.get("/missing")
+        assert log.count == 2
+        methods = [record[0] for record in log.records]
+        statuses = [record[2] for record in log.records]
+        assert methods == ["GET", "GET"]
+        assert statuses == [200, 404]
+        log.clear()
+        assert log.count == 0
+
+    def test_content_type_middleware_rejects_non_json_write(self):
+        app = make_app()
+        app.add_middleware(ContentTypeMiddleware())
+        request = Request("POST", "/items", body=b"id=4")
+        assert app.handle(request).status_code == 415
+
+    def test_content_type_middleware_allows_json(self):
+        app = make_app()
+        app.add_middleware(ContentTypeMiddleware())
+        assert app.post("/items", {"a": 1}).status_code == 200
+
+    def test_content_type_middleware_ignores_get(self):
+        app = make_app()
+        app.add_middleware(ContentTypeMiddleware())
+        assert app.get("/items").status_code == 200
+
+
+class TestNetwork:
+    def test_send_routes_by_host(self):
+        network = Network()
+        network.register("cloud", make_app())
+        response = network.send(Request("GET", "http://cloud/items"))
+        assert response.status_code == 200
+
+    def test_unknown_host_is_502(self):
+        response = Network().send(Request("GET", "http://nowhere/items"))
+        assert response.status_code == 502
+
+    def test_fault_hook_replaces_response(self):
+        network = Network()
+        network.register("cloud", make_app())
+        network.inject_fault("cloud", lambda request: Response.error(503, "maintenance"))
+        response = network.send(Request("GET", "http://cloud/items"))
+        assert response.status_code == 503
+
+    def test_fault_hook_passthrough(self):
+        network = Network()
+        network.register("cloud", make_app())
+        network.inject_fault("cloud", lambda request: None)
+        assert network.send(Request("GET", "http://cloud/items")).status_code == 200
+
+    def test_clear_fault(self):
+        network = Network()
+        network.register("cloud", make_app())
+        network.inject_fault("cloud", lambda request: Response.error(503))
+        network.clear_fault("cloud")
+        assert network.send(Request("GET", "http://cloud/items")).status_code == 200
+
+    def test_unregister(self):
+        network = Network()
+        network.register("cloud", make_app())
+        network.unregister("cloud")
+        assert network.send(Request("GET", "http://cloud/items")).status_code == 502
+
+    def test_hosts_listing(self):
+        network = Network()
+        network.register("b", make_app())
+        network.register("a", make_app())
+        assert network.hosts() == ["a", "b"]
+
+
+class TestClients:
+    def test_network_client(self):
+        network = Network()
+        network.register("cloud", make_app())
+        client = Client(network)
+        assert client.get("http://cloud/items").status_code == 200
+        assert len(client.history) == 1
+
+    def test_app_client_accepts_bare_paths(self):
+        client = AppClient(make_app())
+        assert client.get("/items/9").json() == {"args": {"item_id": 9}}
+
+    def test_authenticate_sets_token_header(self):
+        app = Application("svc")
+        app.add_route(path(
+            "whoami", lambda req: Response.json_response({"token": req.auth_token})))
+        client = AppClient(app)
+        client.authenticate("tok-42")
+        assert client.get("/whoami").json() == {"token": "tok-42"}
+
+    def test_per_request_headers_override_defaults(self):
+        app = Application("svc")
+        app.add_route(path(
+            "whoami", lambda req: Response.json_response({"token": req.auth_token})))
+        client = AppClient(app, default_headers={"X-Auth-Token": "default"})
+        response = client.get("/whoami", headers={"X-Auth-Token": "special"})
+        assert response.json() == {"token": "special"}
+
+    def test_params_merged(self):
+        app = Application("svc")
+        app.add_route(path(
+            "search", lambda req: Response.json_response(req.params)))
+        client = AppClient(app)
+        assert client.get("/search", params={"limit": 5}).json() == {"limit": "5"}
+
+    def test_history_and_clear(self):
+        client = AppClient(make_app())
+        client.get("/items")
+        client.delete("/items/1")
+        assert [req.method for req, _ in client.history] == ["GET", "DELETE"]
+        client.clear_history()
+        assert client.history == []

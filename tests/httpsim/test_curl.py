@@ -1,0 +1,121 @@
+"""Tests for the cURL-style command interface."""
+
+import pytest
+
+from repro.httpsim import Application, CurlError, Network, Request, Response, curl, form_data, path
+
+
+def echo_view(request, **kwargs):
+    return Response.json_response({
+        "method": request.method,
+        "path": request.path,
+        "body": request.text,
+        "content_type": request.headers.get("Content-Type"),
+        "token": request.auth_token,
+        "args": {k: str(v) for k, v in kwargs.items()},
+    })
+
+
+@pytest.fixture()
+def network():
+    app = Application("cmonitor")
+    app.add_route(path("cmonitor/volumes/<int:vid>", echo_view))
+    app.add_route(path("cmonitor/volumes", echo_view))
+    net = Network()
+    net.register("127.0.0.1:8000", app)
+    return net
+
+
+class TestCurlParsing:
+    def test_paper_command(self, network):
+        # The exact invocation from Section VI of the paper.
+        response = curl(
+            network,
+            "curl -X DELETE -d id=4 http://127.0.0.1:8000/cmonitor/volumes/4",
+        )
+        body = response.json()
+        assert body["method"] == "DELETE"
+        assert body["args"] == {"vid": "4"}
+        assert body["body"] == "id=4"
+
+    def test_leading_curl_word_optional(self, network):
+        response = curl(network, "-X GET http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.json()["method"] == "GET"
+
+    def test_default_method_get(self, network):
+        response = curl(network, "http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.json()["method"] == "GET"
+
+    def test_data_defaults_to_post(self, network):
+        response = curl(network, "-d id=4 http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.json()["method"] == "POST"
+
+    def test_multiple_data_items_joined(self, network):
+        response = curl(
+            network, "-d a=1 -d b=2 http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.json()["body"] == "a=1&b=2"
+
+    def test_json_body_content_type_detected(self, network):
+        response = curl(
+            network,
+            "curl -X POST -d '{\"size\": 10}' http://127.0.0.1:8000/cmonitor/volumes",
+        )
+        assert response.json()["content_type"] == "application/json"
+
+    def test_form_content_type_default(self, network):
+        response = curl(network, "-d id=4 http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.json()["content_type"] == "application/x-www-form-urlencoded"
+
+    def test_header_option(self, network):
+        response = curl(
+            network,
+            "-H 'X-Auth-Token: tok-9' http://127.0.0.1:8000/cmonitor/volumes",
+        )
+        assert response.json()["token"] == "tok-9"
+
+    def test_silent_flags_ignored(self, network):
+        response = curl(network, "-s -i http://127.0.0.1:8000/cmonitor/volumes")
+        assert response.status_code == 200
+
+
+class TestCurlErrors:
+    def test_no_url(self, network):
+        with pytest.raises(CurlError):
+            curl(network, "curl -X GET")
+
+    def test_two_urls(self, network):
+        with pytest.raises(CurlError):
+            curl(network, "http://a/x http://b/y")
+
+    def test_unsupported_option(self, network):
+        with pytest.raises(CurlError):
+            curl(network, "--compressed http://127.0.0.1:8000/cmonitor/volumes")
+
+    def test_dangling_x(self, network):
+        with pytest.raises(CurlError):
+            curl(network, "curl -X")
+
+    def test_dangling_header(self, network):
+        with pytest.raises(CurlError):
+            curl(network, "curl -H")
+
+    def test_unknown_host_gives_502(self, network):
+        assert curl(network, "http://other/x").status_code == 502
+
+
+class TestFormData:
+    def test_urlencoded(self):
+        request = Request(
+            "POST", "/x",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body=b"id=4&name=vol",
+        )
+        assert form_data(request) == {"id": "4", "name": "vol"}
+
+    def test_json_dict(self):
+        request = Request.json_request("POST", "/x", {"id": 4})
+        assert form_data(request) == {"id": "4"}
+
+    def test_json_non_dict_is_empty(self):
+        request = Request.json_request("POST", "/x", [1, 2])
+        assert form_data(request) == {}

@@ -1,0 +1,76 @@
+"""Fuzzing the HTTP substrate: router paths and curl command lines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.httpsim import (
+    Application,
+    CurlError,
+    Network,
+    Request,
+    Response,
+    curl,
+    path,
+)
+
+
+def make_network():
+    app = Application("svc")
+    app.add_routes([
+        path("items", lambda request: Response.json_response({"ok": 1})),
+        path("items/<int:item_id>",
+             lambda request, item_id: Response.json_response(
+                 {"id": item_id})),
+    ])
+    network = Network()
+    network.register("h", app)
+    return network
+
+
+class TestRouterFuzz:
+    @given(st.text(max_size=100))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_paths_yield_http_responses(self, raw_path):
+        network = make_network()
+        response = network.send(Request("GET", f"http://h/{raw_path}"))
+        assert 200 <= response.status_code < 600
+        # A routing miss is a 404, never a crash-500.
+        assert response.status_code != 500
+
+    @given(st.sampled_from(["GET", "POST", "PUT", "DELETE", "PATCH",
+                            "OPTIONS", "HEAD"]),
+           st.text(max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_any_method_any_path(self, method, raw_path):
+        network = make_network()
+        response = network.send(Request(method, f"http://h/{raw_path}"))
+        assert response.status_code != 500
+
+
+class TestCurlFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_command_lines(self, command):
+        network = make_network()
+        try:
+            response = curl(network, command)
+            assert 200 <= response.status_code < 600
+        except CurlError:
+            pass
+
+    def test_unbalanced_quote_is_curl_error(self):
+        import pytest
+
+        with pytest.raises(CurlError):
+            curl(make_network(), "curl 'http://h/items")
+
+    @given(st.lists(st.sampled_from(
+        ["-X", "GET", "POST", "-d", "a=1", "-H", "K: v", "http://h/items",
+         "-s", "--bogus", "'", '"']), max_size=8).map(" ".join))
+    @settings(max_examples=300, deadline=None)
+    def test_option_soup(self, command):
+        network = make_network()
+        try:
+            curl(network, command)
+        except CurlError:
+            pass

@@ -1,0 +1,158 @@
+"""Tests for Request/Response/Headers."""
+
+import pytest
+
+from repro.httpsim import Headers, Request, Response
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"Content-Type": "application/json"})
+        assert headers.get("content-type") == "application/json"
+        assert headers.get("CONTENT-TYPE") == "application/json"
+
+    def test_get_default(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+
+    def test_add_keeps_duplicates(self):
+        headers = Headers()
+        headers.add("Via", "a")
+        headers.add("Via", "b")
+        assert headers.get_all("via") == ["a", "b"]
+
+    def test_set_replaces_all(self):
+        headers = Headers()
+        headers.add("Via", "a")
+        headers.add("Via", "b")
+        headers.set("Via", "c")
+        assert headers.get_all("Via") == ["c"]
+
+    def test_remove(self):
+        headers = Headers({"X-Auth-Token": "t"})
+        headers.remove("x-auth-token")
+        assert "X-Auth-Token" not in headers
+
+    def test_remove_missing_is_noop(self):
+        headers = Headers()
+        headers.remove("nothing")
+        assert len(headers) == 0
+
+    def test_contains(self):
+        headers = Headers({"Allow": "GET"})
+        assert "allow" in headers
+        assert "deny" not in headers
+        assert 42 not in headers
+
+    def test_equality_ignores_case_and_order(self):
+        left = Headers()
+        left.add("A", "1")
+        left.add("B", "2")
+        right = Headers()
+        right.add("b", "2")
+        right.add("a", "1")
+        assert left == right
+
+    def test_copy_is_independent(self):
+        original = Headers({"K": "v"})
+        clone = original.copy()
+        clone.set("K", "other")
+        assert original.get("K") == "v"
+
+
+class TestRequest:
+    def test_method_uppercased(self):
+        assert Request("delete", "/x").method == "DELETE"
+
+    def test_absolute_url_parsed(self):
+        request = Request("GET", "http://cloud/v3/p1/volumes?limit=5")
+        assert request.host == "cloud"
+        assert request.path == "/v3/p1/volumes"
+        assert request.params == {"limit": "5"}
+
+    def test_bare_path(self):
+        request = Request("GET", "/volumes")
+        assert request.host == ""
+        assert request.path == "/volumes"
+
+    def test_url_roundtrip(self):
+        request = Request("GET", "http://cloud/a/b?x=1")
+        assert request.url == "http://cloud/a/b?x=1"
+
+    def test_json_request(self):
+        request = Request.json_request("POST", "/volumes", {"size": 10})
+        assert request.json() == {"size": 10}
+        assert request.headers.get("Content-Type") == "application/json"
+
+    def test_json_empty_body_is_none(self):
+        assert Request("GET", "/x").json() is None
+
+    def test_auth_token(self):
+        request = Request("GET", "/x", headers={"X-Auth-Token": "tok-1"})
+        assert request.auth_token == "tok-1"
+        assert Request("GET", "/x").auth_token is None
+
+    def test_is_safe(self):
+        assert Request("GET", "/x").is_safe()
+        assert Request("HEAD", "/x").is_safe()
+        assert not Request("POST", "/x").is_safe()
+        assert not Request("DELETE", "/x").is_safe()
+
+    def test_copy_is_deep_enough(self):
+        request = Request.json_request("POST", "http://h/p", {"a": 1})
+        request.path_args["id"] = "4"
+        clone = request.copy()
+        clone.headers.set("X-Extra", "1")
+        clone.path_args["id"] = "9"
+        assert "X-Extra" not in request.headers
+        assert request.path_args["id"] == "4"
+        assert clone.json() == {"a": 1}
+
+    def test_repr_mentions_method_and_url(self):
+        assert "GET" in repr(Request("get", "http://h/p"))
+
+
+class TestResponse:
+    def test_defaults(self):
+        response = Response()
+        assert response.status_code == 200
+        assert response.ok
+        assert response.json() is None
+
+    def test_json_response(self):
+        response = Response.json_response({"volumes": []}, 200)
+        assert response.json() == {"volumes": []}
+        assert response.headers.get("Content-Type") == "application/json"
+
+    def test_error_format_is_openstack_fault(self):
+        response = Response.error(403, "policy forbids")
+        body = response.json()
+        assert body["error"]["code"] == 403
+        assert body["error"]["title"] == "Forbidden"
+        assert body["error"]["message"] == "policy forbids"
+
+    def test_error_default_message(self):
+        assert Response.error(404).json()["error"]["message"] == "Not Found"
+
+    def test_no_content(self):
+        response = Response.no_content()
+        assert response.status_code == 204
+        assert response.body == b""
+
+    def test_method_not_allowed_sets_allow_header(self):
+        response = Response.method_not_allowed(("GET", "POST"))
+        assert response.status_code == 405
+        assert response.headers.get("Allow") == "GET, POST"
+
+    def test_ok_flag(self):
+        assert Response(204).ok
+        assert not Response(403).ok
+
+    def test_text_decodes(self):
+        assert Response(200, b"hello").text == "hello"
+
+    def test_reason(self):
+        assert Response(409).reason == "Conflict"
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ValueError):
+            Response(200, b"{not json").json()

@@ -1,0 +1,139 @@
+"""Tests for the URL router."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.httpsim import Request, Response, Router, path, re_path
+
+
+def view(request, **kwargs):
+    return Response.json_response(kwargs)
+
+
+class TestPathPatterns:
+    def test_static_path(self):
+        route = path("volumes", view)
+        assert route.match("volumes") == {}
+        assert route.match("volumes/4") is None
+
+    def test_str_converter_default(self):
+        route = path("projects/<project_id>", view)
+        assert route.match("projects/p1") == {"project_id": "p1"}
+
+    def test_int_converter_casts(self):
+        route = path("volumes/<int:vid>", view)
+        assert route.match("volumes/42") == {"vid": 42}
+        assert route.match("volumes/abc") is None
+
+    def test_multiple_captures(self):
+        route = path("v3/<str:pid>/volumes/<int:vid>", view)
+        assert route.match("v3/myProject/volumes/4") == {"pid": "myProject", "vid": 4}
+
+    def test_str_does_not_cross_slash(self):
+        route = path("projects/<str:pid>", view)
+        assert route.match("projects/a/b") is None
+
+    def test_path_converter_crosses_slash(self):
+        route = path("files/<path:rest>", view)
+        assert route.match("files/a/b/c") == {"rest": "a/b/c"}
+
+    def test_unknown_converter_rejected(self):
+        with pytest.raises(RoutingError):
+            path("x/<float:y>", view)
+
+    def test_uuid_converter(self):
+        route = path("v/<uuid:u>", view)
+        assert route.match("v/123e4567-e89b-12d3-a456-426614174000") is not None
+
+
+class TestRePath:
+    def test_regex_route(self):
+        route = re_path(r"^cmonitor/volumes/(?P<id>\d+)$", view)
+        assert route.match("cmonitor/volumes/4") == {"id": "4"}
+        assert route.match("cmonitor/volumes/") is None
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(RoutingError):
+            re_path(r"([unclosed", view)
+
+
+class TestRouterResolve:
+    def make_router(self):
+        return Router([
+            path("volumes", view, name="volumes", methods=["GET", "POST"]),
+            path("volumes/<int:vid>", view, name="volume"),
+        ])
+
+    def test_first_match_wins(self):
+        router = Router([
+            path("volumes", lambda r: Response(200, b"first"), name="a"),
+            path("volumes", lambda r: Response(200, b"second"), name="b"),
+        ])
+        route, error = router.resolve(Request("GET", "/volumes"))
+        assert error is None
+        assert route.name == "a"
+
+    def test_resolve_populates_path_args(self):
+        router = self.make_router()
+        request = Request("GET", "/volumes/7")
+        route, error = router.resolve(request)
+        assert error is None
+        assert request.path_args == {"vid": "7"}
+        assert request.context["route_args"] == {"vid": 7}
+
+    def test_no_match_is_404(self):
+        router = self.make_router()
+        _, error = router.resolve(Request("GET", "/servers"))
+        assert error.status_code == 404
+
+    def test_method_restriction_is_405_with_allow(self):
+        router = self.make_router()
+        _, error = router.resolve(Request("DELETE", "/volumes"))
+        assert error.status_code == 405
+        assert "GET" in error.headers.get("Allow")
+
+    def test_later_route_can_allow_method(self):
+        router = Router([
+            path("volumes", view, methods=["GET"]),
+            path("volumes", view, name="writer", methods=["POST"]),
+        ])
+        route, error = router.resolve(Request("POST", "/volumes"))
+        assert error is None
+        assert route.name == "writer"
+
+    def test_leading_slash_optional_in_patterns(self):
+        router = Router([path("/volumes", view, name="abs")])
+        route, error = router.resolve(Request("GET", "/volumes"))
+        assert error is None
+        assert route.name == "abs"
+
+
+class TestReverse:
+    def test_reverse_static(self):
+        router = Router([path("volumes", view, name="volumes")])
+        assert router.reverse("volumes") == "/volumes"
+
+    def test_reverse_with_args(self):
+        router = Router([path("v3/<str:pid>/volumes/<int:vid>", view, name="volume")])
+        assert router.reverse("volume", pid="p1", vid=4) == "/v3/p1/volumes/4"
+
+    def test_reverse_missing_arg_raises(self):
+        router = Router([path("volumes/<int:vid>", view, name="volume")])
+        with pytest.raises(RoutingError):
+            router.reverse("volume")
+
+    def test_reverse_unknown_name_raises(self):
+        with pytest.raises(RoutingError):
+            Router().reverse("nothing")
+
+
+class TestRouterContainer:
+    def test_len_and_iter(self):
+        router = Router([path("a", view), path("b", view)])
+        assert len(router) == 2
+        assert [r.pattern for r in router] == ["a", "b"]
+
+    def test_extend(self):
+        router = Router()
+        router.extend([path("a", view), path("b", view)])
+        assert len(router) == 2

@@ -1,0 +1,129 @@
+"""Tests for the real-socket server adapter (http.server bridge)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.httpsim import Application, Response, path, serve
+
+
+def echo_view(request, **kwargs):
+    return Response.json_response({
+        "method": request.method,
+        "path": request.path,
+        "token": request.auth_token,
+        "body": request.text,
+        "args": {k: str(v) for k, v in kwargs.items()},
+    })
+
+
+@pytest.fixture(scope="module")
+def server():
+    app = Application("real")
+    app.add_route(path("items", echo_view))
+    app.add_route(path("items/<int:item_id>", echo_view))
+    with serve(app) as running:
+        yield running
+
+
+def http(method, url, body=None, headers=None):
+    request = urllib.request.Request(url, data=body, method=method,
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestRealHTTP:
+    def test_get(self, server):
+        code, body = http("GET", f"{server.base_url}/items")
+        assert code == 200
+        assert json.loads(body)["method"] == "GET"
+
+    def test_path_args(self, server):
+        code, body = http("GET", f"{server.base_url}/items/42")
+        assert json.loads(body)["args"] == {"item_id": "42"}
+
+    def test_post_body(self, server):
+        code, body = http("POST", f"{server.base_url}/items",
+                          body=b'{"size": 3}',
+                          headers={"Content-Type": "application/json"})
+        assert code == 200
+        assert json.loads(body)["body"] == '{"size": 3}'
+
+    def test_delete(self, server):
+        code, body = http("DELETE", f"{server.base_url}/items/4")
+        assert json.loads(body)["method"] == "DELETE"
+
+    def test_headers_forwarded(self, server):
+        code, body = http("GET", f"{server.base_url}/items",
+                          headers={"X-Auth-Token": "tok-real"})
+        assert json.loads(body)["token"] == "tok-real"
+
+    def test_404_status(self, server):
+        code, _ = http("GET", f"{server.base_url}/nothing")
+        assert code == 404
+
+    def test_sequential_requests(self, server):
+        for _ in range(5):
+            code, _ = http("GET", f"{server.base_url}/items")
+            assert code == 200
+
+
+class TestConcurrentClients:
+    def test_parallel_requests_serialized_correctly(self):
+        # A counter app with a read-modify-write race window; the server's
+        # dispatch lock must keep concurrent clients consistent.
+        import threading as _threading
+
+        state = {"count": 0}
+
+        def bump(request):
+            current = state["count"]
+            state["count"] = current + 1
+            return Response.json_response({"count": state["count"]})
+
+        app = Application("counter")
+        app.add_route(path("bump", bump))
+        with serve(app) as running:
+            errors = []
+
+            def worker():
+                try:
+                    for _ in range(10):
+                        code, _body = http("POST",
+                                           f"{running.base_url}/bump")
+                        assert code == 200
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [_threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert state["count"] == 80
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_assigned(self):
+        app = Application("x")
+        with serve(app) as running:
+            assert running.port > 0
+            assert str(running.port) in running.base_url
+
+    def test_stop_releases(self):
+        app = Application("x")
+        app.add_route(path("ping", lambda request: Response(200, b"pong")))
+        running = serve(app).start()
+        url = f"{running.base_url}/ping"
+        code, body = http("GET", url)
+        assert body == b"pong"
+        running.stop()
+        with pytest.raises(Exception):
+            http("GET", url)

@@ -1,0 +1,57 @@
+"""Tests for the HTTP status registry."""
+
+from repro.httpsim import status as st
+
+
+class TestReasonPhrases:
+    def test_ok(self):
+        assert st.reason_phrase(200) == "OK"
+
+    def test_no_content(self):
+        assert st.reason_phrase(204) == "No Content"
+
+    def test_forbidden(self):
+        assert st.reason_phrase(403) == "Forbidden"
+
+    def test_unknown_code(self):
+        assert st.reason_phrase(299) == "Unknown"
+
+    def test_constants_match_registry(self):
+        assert st.OK == 200
+        assert st.NO_CONTENT == 204
+        assert st.FORBIDDEN == 403
+        assert st.NOT_FOUND == 404
+        assert st.METHOD_NOT_ALLOWED == 405
+
+
+class TestClassPredicates:
+    def test_success_range(self):
+        assert st.is_success(200)
+        assert st.is_success(204)
+        assert not st.is_success(199)
+        assert not st.is_success(300)
+
+    def test_client_error_range(self):
+        assert st.is_client_error(400)
+        assert st.is_client_error(499)
+        assert not st.is_client_error(500)
+
+    def test_server_error_range(self):
+        assert st.is_server_error(500)
+        assert not st.is_server_error(400)
+
+    def test_is_error_covers_both(self):
+        assert st.is_error(404)
+        assert st.is_error(503)
+        assert not st.is_error(201)
+
+    def test_redirect_and_informational(self):
+        assert st.is_redirect(302)
+        assert st.is_informational(100)
+        assert not st.is_redirect(200)
+
+    def test_indicates_existence_follows_paper_semantics(self):
+        # Paper IV-B: GET 200 => resource exists; 404/403 => cannot infer.
+        assert st.indicates_existence(200)
+        assert not st.indicates_existence(404)
+        assert not st.indicates_existence(403)

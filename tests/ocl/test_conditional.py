@@ -1,0 +1,76 @@
+"""Tests for OCL if-then-else-endif expressions."""
+
+import pytest
+
+from repro.errors import OCLSyntaxError
+from repro.ocl import Conditional, evaluate, parse, to_text
+
+
+class TestParsing:
+    def test_basic(self):
+        node = parse("if a then 1 else 2 endif")
+        assert isinstance(node, Conditional)
+
+    def test_nested(self):
+        node = parse("if a then if b then 1 else 2 endif else 3 endif")
+        assert isinstance(node.then_branch, Conditional)
+
+    def test_conditional_in_operand(self):
+        node = parse("1 + if a then 1 else 2 endif")
+        assert node.operator == "+"
+        assert isinstance(node.right, Conditional)
+
+    def test_branch_can_be_implication(self):
+        node = parse("if a then b implies c else d endif")
+        assert node.then_branch.operator == "implies"
+
+    @pytest.mark.parametrize("source", [
+        "if a then 1 endif",
+        "if a then 1 else 2",
+        "if a 1 else 2 endif",
+        "if then 1 else 2 endif",
+    ])
+    def test_malformed(self, source):
+        with pytest.raises(OCLSyntaxError):
+            parse(source)
+
+    def test_if_is_reserved(self):
+        with pytest.raises(OCLSyntaxError):
+            parse("x.if")
+
+
+class TestEvaluation:
+    def test_then_branch(self):
+        assert evaluate("if true then 1 else 2 endif", {}) == 1
+
+    def test_else_branch(self):
+        assert evaluate("if false then 1 else 2 endif", {}) == 2
+
+    def test_undefined_condition_takes_else(self):
+        assert evaluate("if p.nope then 1 else 2 endif", {"p": {}}) == 2
+
+    def test_lazy_branches(self):
+        # The untaken branch must not be evaluated (1/0 is undefined, but
+        # unbound names raise in strict mode).
+        assert evaluate("if true then 1 else missing endif", {"x": 0}) == 1
+
+    def test_quota_style_usage(self):
+        expression = ("if project.volumes->size() < quota then 'ok' "
+                      "else 'full' endif")
+        assert evaluate(expression, {
+            "project": {"volumes": [1]}, "quota": 5}) == "ok"
+        assert evaluate(expression, {
+            "project": {"volumes": [1, 2]}, "quota": 2}) == "full"
+
+
+class TestPrinting:
+    def test_round_trip(self):
+        text = "if a > 1 then a else 1 endif"
+        assert to_text(parse(text)) == text
+        assert parse(to_text(parse(text))) == parse(text)
+
+    def test_structural_equality(self):
+        assert parse("if a then b else c endif") == \
+            parse("if  a  then  b  else  c  endif")
+        assert parse("if a then b else c endif") != \
+            parse("if a then c else b endif")

@@ -1,0 +1,367 @@
+"""Tests for OCL evaluation, undefined semantics, and snapshots."""
+
+import pytest
+
+from repro.errors import OCLEvaluationError, OCLNameError, OCLTypeError
+from repro.ocl import (
+    UNDEFINED,
+    Context,
+    Evaluator,
+    Snapshot,
+    collect_pre_expressions,
+    evaluate,
+    is_defined,
+    parse,
+)
+
+
+class TestLiteralsAndNames:
+    def test_literal(self):
+        assert evaluate("42", {}) == 42
+
+    def test_name_lookup(self):
+        assert evaluate("x", {"x": 7}) == 7
+
+    def test_unbound_name_strict(self):
+        with pytest.raises(OCLNameError):
+            evaluate("missing", {})
+
+    def test_unbound_name_lenient(self):
+        context = Context({}, strict=False)
+        assert evaluate("missing", context=context) is UNDEFINED
+
+
+class TestNavigation:
+    def test_dict_navigation(self):
+        assert evaluate("project.id", {"project": {"id": "p1"}}) == "p1"
+
+    def test_missing_key_is_undefined(self):
+        assert evaluate("project.nope", {"project": {}}) is UNDEFINED
+
+    def test_navigation_from_undefined_is_undefined(self):
+        assert evaluate("project.a.b.c", {"project": {}}) is UNDEFINED
+
+    def test_chained(self):
+        bindings = {"user": {"id": {"groups": "admin"}}}
+        assert evaluate("user.id.groups", bindings) == "admin"
+
+    def test_navigation_over_list_collects(self):
+        bindings = {"volumes": [{"status": "in-use"}, {"status": "available"}]}
+        assert evaluate("volumes.status", bindings) == ["in-use", "available"]
+
+    def test_navigation_over_list_skips_undefined(self):
+        bindings = {"volumes": [{"status": "in-use"}, {}]}
+        assert evaluate("volumes.status", bindings) == ["in-use"]
+
+
+class TestConnectives:
+    def test_and(self):
+        assert evaluate("true and true", {}) is True
+        assert evaluate("true and false", {}) is False
+
+    def test_or(self):
+        assert evaluate("false or true", {}) is True
+        assert evaluate("false or false", {}) is False
+
+    def test_xor(self):
+        assert evaluate("true xor false", {}) is True
+        assert evaluate("true xor true", {}) is False
+
+    def test_implies_truth_table(self):
+        assert evaluate("false implies false", {}) is True
+        assert evaluate("false implies true", {}) is True
+        assert evaluate("true implies false", {}) is False
+        assert evaluate("true implies true", {}) is True
+
+    def test_not(self):
+        assert evaluate("not false", {}) is True
+
+    def test_undefined_operand_counts_as_false(self):
+        assert evaluate("project.nope and true", {"project": {}}) is False
+        assert evaluate("project.nope or true", {"project": {}}) is True
+        assert evaluate("not project.nope", {"project": {}}) is True
+
+    def test_paper_implication_operator(self):
+        assert evaluate("1 = 2 => 3 = 4", {}) is True
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert evaluate("1 = 1", {}) is True
+        assert evaluate("'a' = 'a'", {}) is True
+        assert evaluate("1 = 2", {}) is False
+
+    def test_inequality(self):
+        assert evaluate("volume.status <> 'in-use'",
+                        {"volume": {"status": "available"}}) is True
+
+    def test_bool_int_not_conflated(self):
+        assert evaluate("x = 1", {"x": True}) is False
+
+    def test_ordering(self):
+        assert evaluate("2 < 3", {}) is True
+        assert evaluate("3 <= 3", {}) is True
+        assert evaluate("'a' < 'b'", {}) is True
+
+    def test_undefined_comparison_is_false(self):
+        assert evaluate("project.nope < 3", {"project": {}}) is False
+        assert evaluate("project.nope = 3", {"project": {}}) is False
+
+    def test_undefined_equals_undefined(self):
+        assert evaluate("project.a = project.b", {"project": {}}) is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(OCLTypeError):
+            evaluate("'a' < 1", {})
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3", {}) == 7
+        assert evaluate("10 - 4", {}) == 6
+
+    def test_division_integral_result(self):
+        assert evaluate("10 / 2", {}) == 5
+        assert isinstance(evaluate("10 / 2", {}), int)
+
+    def test_division_fractional(self):
+        assert evaluate("7 / 2", {}) == 3.5
+
+    def test_division_by_zero_is_undefined(self):
+        assert evaluate("1 / 0", {}) is UNDEFINED
+
+    def test_string_concat_with_plus(self):
+        assert evaluate("'a' + 'b'", {}) == "ab"
+
+    def test_unary_minus(self):
+        assert evaluate("-x", {"x": 5}) == -5
+
+    def test_type_error(self):
+        with pytest.raises(OCLTypeError):
+            evaluate("1 + 'a'", {})
+
+
+class TestCollectionOps:
+    BINDINGS = {"xs": [1, 2, 2, 3], "empty": [], "scalar": 5}
+
+    def test_size(self):
+        assert evaluate("xs->size()", self.BINDINGS) == 4
+
+    def test_size_of_scalar_is_one(self):
+        # OCL coerces a single object to a bag of one: project.id->size()=1.
+        assert evaluate("scalar->size()", self.BINDINGS) == 1
+
+    def test_size_of_undefined_is_zero(self):
+        assert evaluate("p.nope->size()", {"p": {}}) == 0
+
+    def test_is_empty_not_empty(self):
+        assert evaluate("empty->isEmpty()", self.BINDINGS) is True
+        assert evaluate("xs->notEmpty()", self.BINDINGS) is True
+
+    def test_includes_excludes(self):
+        assert evaluate("xs->includes(2)", self.BINDINGS) is True
+        assert evaluate("xs->excludes(9)", self.BINDINGS) is True
+
+    def test_including_excluding(self):
+        assert evaluate("xs->including(9)->size()", self.BINDINGS) == 5
+        assert evaluate("xs->excluding(2)->size()", self.BINDINGS) == 2
+
+    def test_count(self):
+        assert evaluate("xs->count(2)", self.BINDINGS) == 2
+
+    def test_sum_min_max(self):
+        assert evaluate("xs->sum()", self.BINDINGS) == 8
+        assert evaluate("xs->min()", self.BINDINGS) == 1
+        assert evaluate("xs->max()", self.BINDINGS) == 3
+
+    def test_min_of_empty_is_undefined(self):
+        assert evaluate("empty->min()", self.BINDINGS) is UNDEFINED
+
+    def test_first_last_at(self):
+        assert evaluate("xs->first()", self.BINDINGS) == 1
+        assert evaluate("xs->last()", self.BINDINGS) == 3
+        assert evaluate("xs->at(2)", self.BINDINGS) == 2  # 1-based
+
+    def test_at_out_of_range(self):
+        assert evaluate("xs->at(99)", self.BINDINGS) is UNDEFINED
+
+    def test_as_set(self):
+        assert evaluate("xs->asSet()->size()", self.BINDINGS) == 3
+
+    def test_union_intersection(self):
+        bindings = {"a": [1, 2], "b": [2, 3]}
+        assert evaluate("a->union(b)->size()", bindings) == 4
+        assert evaluate("a->intersection(b)", bindings) == [2]
+
+    def test_unknown_operation(self):
+        with pytest.raises(OCLEvaluationError):
+            evaluate("xs->frobnicate()", self.BINDINGS)
+
+    def test_wrong_arity(self):
+        with pytest.raises(OCLEvaluationError):
+            evaluate("xs->includes()", self.BINDINGS)
+
+
+class TestIterators:
+    USERS = {"users": [
+        {"name": "ann", "role": "admin"},
+        {"name": "bob", "role": "member"},
+        {"name": "cat", "role": "admin"},
+    ]}
+
+    def test_select(self):
+        result = evaluate("users->select(u | u.role = 'admin')", self.USERS)
+        assert [u["name"] for u in result] == ["ann", "cat"]
+
+    def test_reject(self):
+        result = evaluate("users->reject(u | u.role = 'admin')", self.USERS)
+        assert [u["name"] for u in result] == ["bob"]
+
+    def test_collect(self):
+        assert evaluate("users->collect(u | u.name)", self.USERS) == [
+            "ann", "bob", "cat"]
+
+    def test_for_all(self):
+        assert evaluate("users->forAll(u | u.role <> 'guest')", self.USERS) is True
+        assert evaluate("users->forAll(u | u.role = 'admin')", self.USERS) is False
+
+    def test_exists(self):
+        assert evaluate("users->exists(u | u.name = 'bob')", self.USERS) is True
+
+    def test_one(self):
+        assert evaluate("users->one(u | u.role = 'member')", self.USERS) is True
+        assert evaluate("users->one(u | u.role = 'admin')", self.USERS) is False
+
+    def test_any(self):
+        result = evaluate("users->any(u | u.role = 'admin')", self.USERS)
+        assert result["name"] == "ann"
+
+    def test_any_no_match_is_undefined(self):
+        assert evaluate("users->any(u | u.role = 'x')", self.USERS) is UNDEFINED
+
+    def test_is_unique(self):
+        assert evaluate("users->isUnique(u | u.name)", self.USERS) is True
+        assert evaluate("users->isUnique(u | u.role)", self.USERS) is False
+
+    def test_iterator_scoping_restores_outer(self):
+        bindings = {"u": "outer", "xs": [1, 2]}
+        assert evaluate("xs->collect(u | u)->size() = 2 and u = 'outer'",
+                        bindings) is True
+
+
+class TestMethodCalls:
+    def test_ocl_is_undefined(self):
+        assert evaluate("p.nope.oclIsUndefined()", {"p": {}}) is True
+        assert evaluate("p.id.oclIsUndefined()", {"p": {"id": 1}}) is False
+
+    def test_abs_floor_round(self):
+        assert evaluate("x.abs()", {"x": -3}) == 3
+        assert evaluate("x.floor()", {"x": 2.9}) == 2
+        assert evaluate("x.round()", {"x": 2.5}) == 2
+
+    def test_string_methods(self):
+        assert evaluate("'ab'.concat('cd')", {}) == "abcd"
+        assert evaluate("'ab'.toUpper()", {}) == "AB"
+        assert evaluate("'AB'.toLower()", {}) == "ab"
+        assert evaluate("'hello'.substring(2, 4)", {}) == "ell"
+
+    def test_unknown_method(self):
+        with pytest.raises(OCLEvaluationError):
+            evaluate("x.nothing()", {"x": 1})
+
+
+class TestSnapshots:
+    def test_collect_pre_expressions(self):
+        expression = "a < pre(b) and pre(b) = pre(c)"
+        pres = collect_pre_expressions(expression)
+        assert len(pres) == 3
+
+    def test_capture_deduplicates_structurally(self):
+        context = Context({"b": 1, "c": 2, "a": 0})
+        snapshot = Snapshot().capture("a < pre(b) and pre(b) = pre(c)", context)
+        assert len(snapshot) == 2
+
+    def test_post_state_evaluation_uses_old_values(self):
+        post = "project.volumes->size() < pre(project.volumes->size())"
+        before = Context({"project": {"volumes": ["v1", "v2"]}})
+        snapshot = Snapshot().capture(post, before)
+        after = Context({"project": {"volumes": ["v1"]}})
+        assert Evaluator(after, snapshot).evaluate_bool(post) is True
+
+    def test_post_state_detects_no_change(self):
+        post = "project.volumes->size() < pre(project.volumes->size())"
+        before = Context({"project": {"volumes": ["v1"]}})
+        snapshot = Snapshot().capture(post, before)
+        assert Evaluator(before, snapshot).evaluate_bool(post) is False
+
+    def test_pre_without_snapshot_evaluates_current(self):
+        assert evaluate("pre(x) = x", {"x": 3}) is True
+
+    def test_missing_snapshot_value_raises(self):
+        snapshot = Snapshot()
+        node = parse("pre(x)")
+        with pytest.raises(OCLEvaluationError):
+            Evaluator(Context({"x": 1}), snapshot).evaluate(node)
+
+    def test_at_pre_equivalent_to_pre_function(self):
+        before = Context({"x": 10})
+        snapshot = Snapshot().capture("x@pre - x", before)
+        after = Context({"x": 4})
+        assert Evaluator(after, snapshot).evaluate("x@pre - x") == 6
+
+    def test_storage_bytes_small(self):
+        # Paper Section V: snapshots should cost a handful of bytes.
+        context = Context({"project": {"volumes": [1, 2, 3]}})
+        snapshot = Snapshot().capture(
+            "project.volumes->size() < pre(project.volumes->size())", context)
+        assert 0 < snapshot.storage_bytes <= 16
+
+    def test_nested_pre_collapses(self):
+        pres = collect_pre_expressions("pre(pre(x))")
+        assert len(pres) == 1
+
+
+class TestIsDefined:
+    def test_defined(self):
+        assert is_defined(0)
+        assert is_defined(None)  # None is a value; UNDEFINED is not
+
+    def test_undefined(self):
+        assert not is_defined(UNDEFINED)
+
+
+class TestPaperInvariants:
+    """Evaluate the paper's Figure-3 state invariants against concrete state."""
+
+    def test_project_with_no_volume(self):
+        invariant = "project.id->size()=1 and project.volumes->size()=0"
+        state = {"project": {"id": "p1", "volumes": []}}
+        assert evaluate(invariant, state) is True
+
+    def test_project_with_volume_not_full_quota(self):
+        invariant = ("project.id->size()=1 and project.volumes->size()>=1 "
+                     "and project.volumes->size() < quota_sets.volumes")
+        state = {
+            "project": {"id": "p1", "volumes": ["v1"]},
+            "quota_sets": {"volumes": 10},
+        }
+        assert evaluate(invariant, state) is True
+
+    def test_project_with_volume_full_quota(self):
+        invariant = ("project.id->size()=1 and "
+                     "project.volumes->size() = quota_sets.volumes")
+        state = {
+            "project": {"id": "p1", "volumes": ["v1", "v2"]},
+            "quota_sets": {"volumes": 2},
+        }
+        assert evaluate(invariant, state) is True
+
+    def test_delete_guard(self):
+        guard = "volume.status <> 'in-use' and user.groups->includes('admin')"
+        state = {
+            "volume": {"status": "available"},
+            "user": {"groups": ["admin"]},
+        }
+        assert evaluate(guard, state) is True
+        state["volume"]["status"] = "in-use"
+        assert evaluate(guard, state) is False

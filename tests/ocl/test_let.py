@@ -1,0 +1,85 @@
+"""Tests for OCL let expressions."""
+
+import pytest
+
+from repro.errors import OCLNameError, OCLSyntaxError
+from repro.ocl import Let, evaluate, parse, simplify, to_text
+
+
+class TestParsing:
+    def test_basic(self):
+        node = parse("let n = 3 in n + 1")
+        assert isinstance(node, Let)
+        assert node.variable == "n"
+
+    def test_nested(self):
+        node = parse("let a = 1 in let b = 2 in a + b")
+        assert isinstance(node.body, Let)
+
+    def test_let_in_then_branch(self):
+        node = parse("if c then let n = 1 in n else 2 endif")
+        assert isinstance(node.then_branch, Let)
+
+    def test_let_value_can_be_complex(self):
+        node = parse("let n = xs->select(v | v > 1)->size() in n = 2")
+        assert node.variable == "n"
+
+    @pytest.mark.parametrize("source", [
+        "let = 1 in x",
+        "let n 1 in x",
+        "let n = 1 x",
+        "let n = in x",
+        "let n = 1 in",
+    ])
+    def test_malformed(self, source):
+        with pytest.raises(OCLSyntaxError):
+            parse(source)
+
+    def test_let_is_reserved_as_name(self):
+        with pytest.raises(OCLSyntaxError):
+            parse("let.x")
+
+
+class TestEvaluation:
+    def test_binding_used_in_body(self):
+        assert evaluate("let n = xs->size() in n * n", {"xs": [1, 2, 3]}) == 9
+
+    def test_binding_shadows_outer(self):
+        assert evaluate("let x = 2 in x + 1", {"x": 10}) == 3
+
+    def test_binding_scoped_to_body(self):
+        with pytest.raises(OCLNameError):
+            evaluate("(let n = 1 in n) + n", {})
+
+    def test_nested_lets(self):
+        assert evaluate("let a = 2 in let b = a * 3 in a + b", {}) == 8
+
+    def test_avoids_recomputation_semantics(self):
+        # One binding, many uses: classic OCL readability pattern.
+        expression = ("let count = project.volumes->size() in "
+                      "count >= 1 and count < quota")
+        bindings = {"project": {"volumes": [1, 2]}, "quota": 5}
+        assert evaluate(expression, bindings) is True
+
+    def test_iterator_variable_shadows_let(self):
+        assert evaluate("let v = 100 in xs->collect(v | v)->sum()",
+                        {"xs": [1, 2]}) == 3
+
+
+class TestPrintingAndSimplify:
+    def test_round_trip(self):
+        text = "let n = xs->size() in n > 1"
+        assert to_text(parse(text)) == text
+        assert parse(to_text(parse(text))) == parse(text)
+
+    def test_structural_equality(self):
+        assert parse("let n = 1 in n") == parse("let  n = 1  in n")
+        assert parse("let n = 1 in n") != parse("let m = 1 in m")
+
+    def test_simplify_recurses_into_let(self):
+        node = simplify("let n = (1 and true) in (n or false)")
+        assert to_text(node) == "let n = 1 in n"
+
+    def test_let_as_operand_parenthesized(self):
+        text = to_text(parse("(let n = 1 in n) + 2"))
+        assert parse(text) == parse("(let n = 1 in n) + 2")

@@ -1,0 +1,107 @@
+"""Tests for the OCL tokenizer."""
+
+import pytest
+
+from repro.errors import OCLSyntaxError
+from repro.ocl import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_name(self):
+        assert texts("project") == ["project"]
+        assert kinds("project") == ["NAME", "EOF"]
+
+    def test_keywords(self):
+        assert kinds("and or not implies true false null xor") == [
+            "KEYWORD"] * 8 + ["EOF"]
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "INT"
+        assert tokens[0].text == "42"
+
+    def test_real(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].kind == "REAL"
+        assert tokens[0].text == "3.14"
+
+    def test_int_dot_name_is_not_real(self):
+        # '1.volumes' must lex as INT '.' NAME, not a malformed real.
+        assert [t.kind for t in tokenize("1.volumes")] == [
+            "INT", "OP", "NAME", "EOF"]
+
+    def test_single_quoted_string(self):
+        tokens = tokenize("'in-use'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "in-use"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"admin"')[0].text == "admin"
+
+    def test_string_escape(self):
+        assert tokenize(r"'it\'s'")[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(OCLSyntaxError):
+            tokenize("'oops")
+
+    def test_underscore_names(self):
+        assert texts("quota_sets project_id") == ["quota_sets", "project_id"]
+
+
+class TestOperators:
+    def test_arrow_is_single_token(self):
+        assert texts("a->size") == ["a", "->", "size"]
+
+    def test_comparison_operators(self):
+        assert texts("a <= b >= c <> d = e") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "=", "e"]
+
+    def test_implication_aliases(self):
+        # The paper writes => and ==> for implication (Listing 1).
+        assert texts("a => b") == ["a", "implies", "b"]
+        assert texts("a ==> b") == ["a", "implies", "b"]
+
+    def test_at_pre(self):
+        assert texts("x@pre") == ["x", "@pre"]
+
+    def test_arithmetic(self):
+        assert texts("a + b * c / d - e") == [
+            "a", "+", "b", "*", "c", "/", "d", "-", "e"]
+
+    def test_parens_comma_pipe(self):
+        assert texts("f(a, b | c)") == ["f", "(", "a", ",", "b", "|", "c", ")"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(OCLSyntaxError):
+            tokenize("a # b")
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nand\nb")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == ["EOF"]
+
+    def test_paper_listing_fragment(self):
+        source = ("project.id->size()=1 and project.volumes->size()>=1 and "
+                  "volume.status <> 'in-use' and user.id.groups='admin'")
+        token_texts = texts(source)
+        assert "in-use" in token_texts
+        assert "->" in token_texts
+        assert token_texts.count("and") == 3

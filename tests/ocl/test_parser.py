@@ -1,0 +1,229 @@
+"""Tests for the OCL parser."""
+
+import pytest
+
+from repro.errors import OCLSyntaxError
+from repro.ocl import (
+    ArrowCall,
+    Binary,
+    IteratorCall,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+    parse,
+    to_text,
+)
+
+
+class TestPrimaries:
+    def test_int_literal(self):
+        node = parse("42")
+        assert isinstance(node, Literal)
+        assert node.value == 42
+
+    def test_real_literal(self):
+        assert parse("2.5").value == 2.5
+
+    def test_string_literal(self):
+        assert parse("'in-use'").value == "in-use"
+
+    def test_booleans_and_null(self):
+        assert parse("true").value is True
+        assert parse("false").value is False
+        assert parse("null").value is None
+
+    def test_name(self):
+        node = parse("project")
+        assert isinstance(node, Name)
+        assert node.identifier == "project"
+
+    def test_parenthesized(self):
+        assert parse("(1)") == Literal(1)
+
+    def test_parse_accepts_ast_passthrough(self):
+        node = parse("a and b")
+        assert parse(node) is node
+
+
+class TestNavigationAndCalls:
+    def test_dot_navigation(self):
+        node = parse("project.volumes")
+        assert isinstance(node, Navigation)
+        assert node.attribute == "volumes"
+
+    def test_chained_navigation(self):
+        node = parse("user.id.groups")
+        assert isinstance(node, Navigation)
+        assert node.attribute == "groups"
+        assert isinstance(node.source, Navigation)
+
+    def test_arrow_call(self):
+        node = parse("project.volumes->size()")
+        assert isinstance(node, ArrowCall)
+        assert node.operation == "size"
+        assert node.arguments == ()
+
+    def test_arrow_call_with_argument(self):
+        node = parse("xs->includes(3)")
+        assert node.arguments == (Literal(3),)
+
+    def test_method_call(self):
+        node = parse("x.oclIsUndefined()")
+        assert isinstance(node, MethodCall)
+        assert node.operation == "oclIsUndefined"
+
+    def test_iterator_with_variable(self):
+        node = parse("users->select(u | u.role = 'admin')")
+        assert isinstance(node, IteratorCall)
+        assert node.variable == "u"
+        assert isinstance(node.body, Binary)
+
+    def test_iterator_without_variable(self):
+        node = parse("xs->exists(self = 1)")
+        assert isinstance(node, IteratorCall)
+        assert node.variable == "self"
+
+    def test_pre_function_form(self):
+        node = parse("pre(project.volumes->size())")
+        assert isinstance(node, Pre)
+        assert isinstance(node.operand, ArrowCall)
+
+    def test_at_pre_form(self):
+        node = parse("project.volumes->size()@pre")
+        assert isinstance(node, Pre)
+
+    def test_bare_pre_is_a_name(self):
+        node = parse("pre")
+        assert isinstance(node, Name)
+        assert node.identifier == "pre"
+
+    def test_pre_attribute_navigation(self):
+        node = parse("pre.value")
+        assert isinstance(node, Navigation)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        node = parse("a or b and c")
+        assert node.operator == "or"
+        assert node.right.operator == "and"
+
+    def test_or_binds_tighter_than_implies(self):
+        node = parse("a or b implies c")
+        assert node.operator == "implies"
+        assert node.left.operator == "or"
+
+    def test_implies_right_associative(self):
+        node = parse("a implies b implies c")
+        assert node.operator == "implies"
+        assert isinstance(node.left, Name)
+        assert node.right.operator == "implies"
+
+    def test_comparison_binds_tighter_than_and(self):
+        node = parse("x = 1 and y = 2")
+        assert node.operator == "and"
+        assert node.left.operator == "="
+
+    def test_arithmetic_precedence(self):
+        node = parse("1 + 2 * 3")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_not_precedence(self):
+        node = parse("not a and b")
+        assert node.operator == "and"
+        assert isinstance(node.left, Unary)
+
+    def test_parens_override(self):
+        node = parse("(a or b) and c")
+        assert node.operator == "and"
+        assert node.left.operator == "or"
+
+    def test_double_arrow_alias(self):
+        assert parse("a => b") == parse("a implies b")
+        assert parse("a ==> b") == parse("a implies b")
+
+    def test_unary_minus(self):
+        node = parse("-x + 1")
+        assert node.operator == "+"
+        assert isinstance(node.left, Unary)
+
+
+class TestStructuralEquality:
+    def test_equal_parses(self):
+        assert parse("a and b") == parse("a  and  b")
+
+    def test_unequal_parses(self):
+        assert parse("a and b") != parse("a or b")
+
+    def test_hashable(self):
+        assert len({parse("a"), parse("a"), parse("b")}) == 2
+
+    def test_walk_yields_all_nodes(self):
+        node = parse("a.b->size() = 1")
+        names = [n.identifier for n in node.walk() if isinstance(n, Name)]
+        assert names == ["a"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "",
+        "and",
+        "a and",
+        "a ->",
+        "a->size(",
+        "(a",
+        "a b",
+        "a..b",
+        "pre(",
+        "f(a,)",
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(OCLSyntaxError):
+            parse(source)
+
+
+class TestPaperExpressions:
+    """Every OCL fragment that appears in the paper must parse."""
+
+    INVARIANTS = [
+        "project.id->size()=1 and project.volumes->size()=0",
+        "project.id->size()=1 and project.volumes->size()>=1 and "
+        "project.volumes < quota_sets.volume",
+        "project.id->size()=1 and project.volumes->size()>=1 and "
+        "project.volumes = quota_sets.volume",
+    ]
+
+    PRECONDITION = (
+        "(project.id->size()=1 and project.volumes->size()>=1 and "
+        "project.volumes < quota_sets.volume and volume.status <> 'in-use' "
+        "and user.id.groups='admin') or "
+        "(project.id->size()=1 and project.volumes->size()>=1 and "
+        "project.volumes = quota_sets.volume and volume.status <> 'in-use' "
+        "and user.id.groups= 'admin')"
+    )
+
+    POSTCONDITION = (
+        "((project.id->size()=1 and project.volumes->size()>=1 and "
+        "volume.status <> 'in-use' and user.id.groups= 'admin') "
+        "=> project.id->size()=1 and project.volumes->size()>=0) and "
+        "((project.id->size()=1) ==> project.volumes->size() < "
+        "pre(project.volumes->size()))"
+    )
+
+    @pytest.mark.parametrize("source", INVARIANTS)
+    def test_invariants_parse(self, source):
+        node = parse(source)
+        assert to_text(node)  # renders without error
+
+    def test_precondition_parses(self):
+        node = parse(self.PRECONDITION)
+        assert node.operator == "or"
+
+    def test_postcondition_parses_with_pre(self):
+        node = parse(self.POSTCONDITION)
+        pres = [n for n in node.walk() if isinstance(n, Pre)]
+        assert len(pres) == 1

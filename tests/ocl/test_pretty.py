@@ -1,0 +1,151 @@
+"""Tests for the OCL pretty-printer, including property-based round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ocl import parse, to_text
+from repro.ocl.nodes import (
+    ArrowCall,
+    Binary,
+    IteratorCall,
+    Literal,
+    MethodCall,
+    Name,
+    Navigation,
+    Pre,
+    Unary,
+    conjoin,
+    disjoin,
+)
+
+
+class TestRendering:
+    def test_literals(self):
+        assert to_text(Literal(42)) == "42"
+        assert to_text(Literal(True)) == "true"
+        assert to_text(Literal(False)) == "false"
+        assert to_text(Literal(None)) == "null"
+        assert to_text(Literal("in-use")) == "'in-use'"
+
+    def test_string_escaping(self):
+        assert to_text(Literal("it's")) == r"'it\'s'"
+
+    def test_navigation(self):
+        assert to_text(parse("a.b.c")) == "a.b.c"
+
+    def test_arrow_call(self):
+        assert to_text(parse("xs->size()")) == "xs->size()"
+
+    def test_iterator_with_variable(self):
+        assert to_text(parse("xs->select(v | v > 1)")) == "xs->select(v | v > 1)"
+
+    def test_iterator_default_variable(self):
+        assert to_text(parse("xs->exists(self = 1)")) == "xs->exists(self = 1)"
+
+    def test_pre(self):
+        assert to_text(parse("pre(x->size())")) == "pre(x->size())"
+
+    def test_at_pre_renders_as_pre_function(self):
+        assert to_text(parse("x@pre")) == "pre(x)"
+
+    def test_method_call(self):
+        assert to_text(parse("x.oclIsUndefined()")) == "x.oclIsUndefined()"
+
+    def test_not(self):
+        assert to_text(parse("not a")) == "not a"
+
+
+class TestParenthesization:
+    def test_no_redundant_parens(self):
+        assert to_text(parse("a and b and c")) == "a and b and c"
+
+    def test_or_under_and_parenthesized(self):
+        assert to_text(parse("(a or b) and c")) == "(a or b) and c"
+
+    def test_and_under_or_not_parenthesized(self):
+        assert to_text(parse("a and b or c")) == "a and b or c"
+
+    def test_implies_right_assoc_rendering(self):
+        text = to_text(parse("a implies (b implies c)"))
+        assert text == "a implies b implies c"
+
+    def test_implies_left_nested_keeps_parens(self):
+        text = to_text(parse("(a implies b) implies c"))
+        assert text == "(a implies b) implies c"
+
+    def test_arithmetic_parens(self):
+        assert to_text(parse("(1 + 2) * 3")) == "(1 + 2) * 3"
+        assert to_text(parse("1 + 2 * 3")) == "1 + 2 * 3"
+
+    def test_left_associative_subtraction(self):
+        assert to_text(parse("1 - (2 - 3)")) == "1 - (2 - 3)"
+        assert to_text(parse("1 - 2 - 3")) == "1 - 2 - 3"
+
+    def test_comparison_operand_parens(self):
+        assert to_text(parse("(a and b) = c")) == "(a and b) = c"
+
+
+class TestHelpers:
+    def test_conjoin_empty(self):
+        assert to_text(conjoin([])) == "true"
+
+    def test_conjoin_many(self):
+        terms = [parse("a"), parse("b"), parse("c")]
+        assert to_text(conjoin(terms)) == "a and b and c"
+
+    def test_disjoin_empty(self):
+        assert to_text(disjoin([])) == "false"
+
+    def test_disjoin_many(self):
+        terms = [parse("a = 1"), parse("b = 2")]
+        assert to_text(disjoin(terms)) == "a = 1 or b = 2"
+
+
+# -- property-based round trip ------------------------------------------------
+
+_names = st.sampled_from(["project", "volume", "user", "quota_sets", "x", "y"])
+_attrs = st.sampled_from(["id", "status", "volumes", "groups", "size_gb"])
+
+
+def _literals():
+    return st.one_of(
+        st.integers(min_value=0, max_value=1000).map(Literal),
+        st.booleans().map(Literal),
+        st.sampled_from(["in-use", "available", "admin"]).map(Literal),
+    )
+
+
+def _expressions(depth=3):
+    if depth <= 0:
+        return st.one_of(_literals(), _names.map(Name))
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _literals(),
+        _names.map(Name),
+        st.tuples(sub, _attrs).map(lambda t: Navigation(t[0], t[1])),
+        st.tuples(sub, st.sampled_from(["size", "isEmpty", "notEmpty"])).map(
+            lambda t: ArrowCall(t[0], t[1])),
+        st.tuples(sub, st.sampled_from(["select", "exists", "forAll"]),
+                  st.sampled_from(["v", "u"]), sub).map(
+            lambda t: IteratorCall(t[0], t[1], t[2], t[3])),
+        st.tuples(st.sampled_from(["and", "or", "implies", "=", "<>", "+"]),
+                  sub, sub).map(lambda t: Binary(t[0], t[1], t[2])),
+        st.tuples(sub).map(lambda t: Pre(t[0])),
+        st.tuples(sub).map(lambda t: Unary("not", t[0])),
+        st.tuples(sub).map(lambda t: MethodCall(t[0], "oclIsUndefined")),
+    )
+
+
+class TestRoundTripProperties:
+    @given(_expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_of_to_text_is_identity(self, expression):
+        rendered = to_text(expression)
+        assert parse(rendered) == expression
+
+    @given(_expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_to_text_is_stable(self, expression):
+        once = to_text(expression)
+        twice = to_text(parse(once))
+        assert once == twice

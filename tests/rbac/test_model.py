@@ -1,0 +1,138 @@
+"""Tests for the RBAC data model."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.rbac import RBACModel, Role, RoleAssignment, User, UserGroup
+
+
+class TestBasics:
+    def test_role_equality(self):
+        assert Role("admin") == Role("admin")
+        assert Role("admin") != Role("member")
+
+    def test_empty_role_name(self):
+        with pytest.raises(PolicyError):
+            Role("")
+
+    def test_empty_group_name(self):
+        with pytest.raises(PolicyError):
+            UserGroup("")
+
+    def test_user_in_group(self):
+        user = User("u1", "ann", ["proj_administrator"])
+        assert user.in_group("proj_administrator")
+        assert not user.in_group("service_architect")
+
+    def test_assignment_needs_exactly_one_subject(self):
+        with pytest.raises(PolicyError):
+            RoleAssignment("admin", "p1")
+        with pytest.raises(PolicyError):
+            RoleAssignment("admin", "p1", user_id="u1", group="g1")
+
+
+class TestModelPopulation:
+    def test_add_role_idempotent(self):
+        model = RBACModel()
+        first = model.add_role("admin")
+        second = model.add_role("admin")
+        assert first is second
+
+    def test_add_user_unknown_group(self):
+        model = RBACModel()
+        with pytest.raises(PolicyError):
+            model.add_user("u1", "ann", ["ghost_group"])
+
+    def test_duplicate_user_id(self):
+        model = RBACModel()
+        model.add_user("u1", "ann")
+        with pytest.raises(PolicyError):
+            model.add_user("u1", "other")
+
+    def test_assign_unknown_role(self):
+        model = RBACModel()
+        model.add_group("g")
+        with pytest.raises(PolicyError):
+            model.assign("ghost", "p1", group="g")
+
+    def test_assign_unknown_group(self):
+        model = RBACModel()
+        model.add_role("admin")
+        with pytest.raises(PolicyError):
+            model.assign("admin", "p1", group="ghost")
+
+    def test_assign_unknown_user(self):
+        model = RBACModel()
+        model.add_role("admin")
+        with pytest.raises(PolicyError):
+            model.assign("admin", "p1", user_id="ghost")
+
+    def test_get_user_missing(self):
+        with pytest.raises(PolicyError):
+            RBACModel().get_user("ghost")
+
+
+class TestEffectiveRoles:
+    def make_model(self):
+        model = RBACModel()
+        model.add_role("admin")
+        model.add_role("member")
+        model.add_group("admins")
+        model.add_user("u1", "ann", ["admins"])
+        model.add_user("u2", "bob")
+        return model
+
+    def test_group_mediated_role(self):
+        model = self.make_model()
+        model.assign("admin", "p1", group="admins")
+        assert model.roles_for("u1", "p1") == {"admin"}
+        assert model.roles_for("u2", "p1") == set()
+
+    def test_direct_role(self):
+        model = self.make_model()
+        model.assign("member", "p1", user_id="u2")
+        assert model.roles_for("u2", "p1") == {"member"}
+
+    def test_roles_scoped_per_project(self):
+        model = self.make_model()
+        model.assign("admin", "p1", group="admins")
+        assert model.roles_for("u1", "p2") == set()
+
+    def test_union_of_direct_and_group(self):
+        model = self.make_model()
+        model.assign("admin", "p1", group="admins")
+        model.assign("member", "p1", user_id="u1")
+        assert model.roles_for("u1", "p1") == {"admin", "member"}
+
+    def test_users_with_role(self):
+        model = self.make_model()
+        model.assign("admin", "p1", group="admins")
+        assert model.users_with_role("admin", "p1") == ["u1"]
+
+    def test_credentials_shape(self):
+        model = self.make_model()
+        model.assign("admin", "p1", group="admins")
+        credentials = model.credentials_for("u1", "p1")
+        assert credentials["roles"] == ["admin"]
+        assert credentials["groups"] == ["admins"]
+        assert credentials["project_id"] == "p1"
+        assert credentials["user_id"] == "u1"
+
+
+class TestPaperExample:
+    def test_three_roles_three_groups(self):
+        model = RBACModel.paper_example()
+        assert set(model.roles) == {"admin", "member", "user"}
+        assert set(model.groups) == {
+            "proj_administrator", "service_architect", "business_analyst"}
+
+    def test_role_mapping_matches_table1(self):
+        model = RBACModel.paper_example()
+        assert model.roles_for("alice", "myProject") == {"admin"}
+        assert model.roles_for("bob", "myProject") == {"member"}
+        assert model.roles_for("carol", "myProject") == {"user"}
+
+    def test_custom_project_id(self):
+        model = RBACModel.paper_example("other")
+        assert model.roles_for("alice", "other") == {"admin"}
+        assert model.roles_for("alice", "myProject") == set()

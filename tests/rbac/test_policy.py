@@ -1,0 +1,143 @@
+"""Tests for the policy.json rule engine."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.rbac import Enforcer, PolicyRule, parse_policy
+
+ADMIN = {"roles": ["admin"], "groups": ["proj_administrator"], "user_id": "u1"}
+MEMBER = {"roles": ["member"], "groups": ["service_architect"], "user_id": "u2"}
+NOBODY = {"roles": [], "groups": [], "user_id": "u3"}
+
+
+class TestAtoms:
+    def test_role_check(self):
+        rule = PolicyRule("r", "role:admin")
+        assert rule.check(ADMIN)
+        assert not rule.check(MEMBER)
+
+    def test_group_check(self):
+        rule = PolicyRule("r", "group:service_architect")
+        assert rule.check(MEMBER)
+        assert not rule.check(ADMIN)
+
+    def test_allow_all(self):
+        assert PolicyRule("r", "@").check(NOBODY)
+
+    def test_deny_all(self):
+        assert not PolicyRule("r", "!").check(ADMIN)
+
+    def test_empty_rule_allows(self):
+        # oslo.policy semantics: an empty rule always passes.
+        assert PolicyRule("r", "").check(NOBODY)
+
+    def test_target_template_check(self):
+        rule = PolicyRule("r", "user_id:%(owner)s")
+        assert rule.check(ADMIN, target={"owner": "u1"})
+        assert not rule.check(ADMIN, target={"owner": "u9"})
+
+    def test_literal_credential_check(self):
+        rule = PolicyRule("r", "project_id:p1")
+        assert rule.check({"project_id": "p1"})
+        assert not rule.check({"project_id": "p2"})
+
+
+class TestConnectives:
+    def test_or(self):
+        rule = PolicyRule("r", "role:admin or role:member")
+        assert rule.check(ADMIN)
+        assert rule.check(MEMBER)
+        assert not rule.check(NOBODY)
+
+    def test_and(self):
+        rule = PolicyRule("r", "role:admin and group:proj_administrator")
+        assert rule.check(ADMIN)
+        assert not rule.check(MEMBER)
+
+    def test_not(self):
+        rule = PolicyRule("r", "not role:admin")
+        assert not rule.check(ADMIN)
+        assert rule.check(MEMBER)
+
+    def test_parentheses(self):
+        rule = PolicyRule("r", "(role:admin or role:member) and not group:blocked")
+        assert rule.check(ADMIN)
+        blocked = {"roles": ["admin"], "groups": ["blocked"]}
+        assert not rule.check(blocked)
+
+    def test_precedence_and_over_or(self):
+        rule = PolicyRule("r", "role:a or role:b and role:c")
+        assert rule.check({"roles": ["a"], "groups": []})
+        assert not rule.check({"roles": ["b"], "groups": []})
+        assert rule.check({"roles": ["b", "c"], "groups": []})
+
+
+class TestRuleReferences:
+    def make_enforcer(self):
+        return Enforcer.from_dict({
+            "admin_required": "role:admin",
+            "volume:delete": "rule:admin_required",
+            "volume:get": "rule:admin_required or role:member or role:user",
+        })
+
+    def test_rule_reference(self):
+        enforcer = self.make_enforcer()
+        assert enforcer.enforce("volume:delete", ADMIN)
+        assert not enforcer.enforce("volume:delete", MEMBER)
+
+    def test_nested_reference(self):
+        enforcer = self.make_enforcer()
+        assert enforcer.enforce("volume:get", MEMBER)
+
+    def test_unknown_rule_reference_raises(self):
+        enforcer = Enforcer.from_dict({"a": "rule:ghost"})
+        with pytest.raises(PolicyError):
+            enforcer.enforce("a", ADMIN)
+
+    def test_circular_reference_detected(self):
+        enforcer = Enforcer.from_dict({"a": "rule:b", "b": "rule:a"})
+        with pytest.raises(PolicyError):
+            enforcer.enforce("a", ADMIN)
+
+
+class TestEnforcer:
+    def test_unknown_action_default_deny(self):
+        assert not Enforcer().enforce("ghost", ADMIN)
+
+    def test_unknown_action_default_override(self):
+        assert Enforcer().enforce("ghost", ADMIN, default=True)
+
+    def test_set_rule_replaces(self):
+        enforcer = Enforcer.from_dict({"volume:delete": "role:admin"})
+        enforcer.set_rule("volume:delete", "role:member")
+        assert enforcer.enforce("volume:delete", MEMBER)
+        assert not enforcer.enforce("volume:delete", ADMIN)
+
+    def test_from_json(self):
+        enforcer = parse_policy('{"volume:get": "role:admin"}')
+        assert enforcer.enforce("volume:get", ADMIN)
+
+    def test_from_json_malformed(self):
+        with pytest.raises(PolicyError):
+            parse_policy("{nope")
+
+    def test_from_json_non_object(self):
+        with pytest.raises(PolicyError):
+            parse_policy("[1, 2]")
+
+    def test_to_dict_round_trip(self):
+        mapping = {"volume:get": "role:admin or role:member"}
+        assert Enforcer.from_dict(mapping).to_dict() == mapping
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source", [
+        "role:admin or",
+        "and role:admin",
+        "(role:admin",
+        "role:admin )",
+        "###",
+    ])
+    def test_malformed_rules(self, source):
+        with pytest.raises(PolicyError):
+            PolicyRule("r", source)

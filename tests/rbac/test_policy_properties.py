@@ -1,0 +1,88 @@
+"""Property-based tests for the policy rule engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rbac import PolicyRule
+
+_ROLES = ("admin", "member", "user")
+_GROUPS = ("proj_administrator", "service_architect", "business_analyst")
+
+_atoms = st.one_of(
+    st.sampled_from([f"role:{role}" for role in _ROLES]),
+    st.sampled_from([f"group:{group}" for group in _GROUPS]),
+    st.just("@"),
+    st.just("!"),
+)
+
+
+def _rules(depth=3):
+    if depth <= 0:
+        return _atoms
+    sub = _rules(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} and {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} or {t[1]})"),
+        sub.map(lambda r: f"not {r}"),
+    )
+
+
+_credentials = st.builds(
+    lambda roles, groups: {"roles": list(roles), "groups": list(groups)},
+    st.sets(st.sampled_from(_ROLES)),
+    st.sets(st.sampled_from(_GROUPS)),
+)
+
+
+class TestRuleProperties:
+    @given(_rules(), _credentials)
+    @settings(max_examples=200, deadline=None)
+    def test_every_generated_rule_parses_and_decides(self, source, creds):
+        rule = PolicyRule("r", source)
+        decision = rule.check(creds)
+        assert isinstance(decision, bool)
+
+    @given(_rules(), _credentials)
+    @settings(max_examples=150, deadline=None)
+    def test_decisions_deterministic(self, source, creds):
+        rule = PolicyRule("r", source)
+        assert rule.check(creds) == rule.check(creds)
+
+    @given(_rules(), _credentials)
+    @settings(max_examples=150, deadline=None)
+    def test_negation_flips(self, source, creds):
+        positive = PolicyRule("r", source).check(creds)
+        negative = PolicyRule("r", f"not ({source})").check(creds)
+        assert positive != negative
+
+    @given(_rules(), _rules(), _credentials)
+    @settings(max_examples=150, deadline=None)
+    def test_or_is_upper_bound(self, a, b, creds):
+        combined = PolicyRule("r", f"({a}) or ({b})").check(creds)
+        assert combined == (PolicyRule("r", a).check(creds)
+                            or PolicyRule("r", b).check(creds))
+
+    @given(_rules(), _rules(), _credentials)
+    @settings(max_examples=150, deadline=None)
+    def test_and_is_lower_bound(self, a, b, creds):
+        combined = PolicyRule("r", f"({a}) and ({b})").check(creds)
+        assert combined == (PolicyRule("r", a).check(creds)
+                            and PolicyRule("r", b).check(creds))
+
+    @given(_rules(), _credentials)
+    @settings(max_examples=100, deadline=None)
+    def test_deny_all_dominates_and(self, source, creds):
+        assert PolicyRule("r", f"! and ({source})").check(creds) is False
+
+    @given(_rules(), _credentials)
+    @settings(max_examples=100, deadline=None)
+    def test_allow_all_dominates_or(self, source, creds):
+        assert PolicyRule("r", f"@ or ({source})").check(creds) is True
+
+    @given(_credentials)
+    @settings(max_examples=50, deadline=None)
+    def test_role_check_exact(self, creds):
+        for role in _ROLES:
+            expected = role in creds["roles"]
+            assert PolicyRule("r", f"role:{role}").check(creds) == expected

@@ -1,0 +1,150 @@
+"""Tests for the security-requirements table (paper Table I)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.rbac import SecurityRequirement, SecurityRequirementsTable
+
+
+class TestSecurityRequirement:
+    def test_role_and_group_names(self):
+        requirement = SecurityRequirement("1.1", "volume", "get", {
+            "admin": ["proj_administrator"],
+            "member": ["service_architect"],
+        })
+        assert requirement.method == "GET"
+        assert requirement.role_names == ["admin", "member"]
+        assert requirement.group_names == [
+            "proj_administrator", "service_architect"]
+
+    def test_permits_role(self):
+        requirement = SecurityRequirement("1.4", "volume", "DELETE", {
+            "admin": ["proj_administrator"]})
+        assert requirement.permits_role("admin")
+        assert not requirement.permits_role("member")
+
+    def test_to_policy_rule(self):
+        requirement = SecurityRequirement("1.3", "volume", "POST", {
+            "admin": ["pa"], "member": ["sa"]})
+        assert requirement.to_policy_rule() == "role:admin or role:member"
+
+    def test_to_guard(self):
+        requirement = SecurityRequirement("1.4", "volume", "DELETE", {
+            "admin": ["pa"]})
+        assert requirement.to_guard() == "user.roles->includes('admin')"
+
+    def test_to_guard_custom_subject(self):
+        requirement = SecurityRequirement("1.4", "volume", "DELETE", {
+            "admin": ["pa"]})
+        assert requirement.to_guard("caller") == \
+            "caller.roles->includes('admin')"
+
+    def test_empty_roles_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityRequirement("1.9", "volume", "GET", {})
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityRequirement("", "volume", "GET", {"admin": []})
+
+    def test_duplicate_groups_deduplicated(self):
+        requirement = SecurityRequirement("1.1", "v", "GET", {
+            "admin": ["shared"], "member": ["shared"]})
+        assert requirement.group_names == ["shared"]
+
+
+class TestTable:
+    def test_duplicate_id_rejected(self):
+        table = SecurityRequirementsTable()
+        table.add(SecurityRequirement("1.1", "volume", "GET", {"admin": []}))
+        with pytest.raises(PolicyError):
+            table.add(SecurityRequirement("1.1", "server", "GET", {"admin": []}))
+
+    def test_duplicate_resource_method_rejected(self):
+        table = SecurityRequirementsTable()
+        table.add(SecurityRequirement("1.1", "volume", "GET", {"admin": []}))
+        with pytest.raises(PolicyError):
+            table.add(SecurityRequirement("1.5", "volume", "GET", {"member": []}))
+
+    def test_lookup(self):
+        table = SecurityRequirementsTable.paper_table()
+        assert table.lookup("volume", "delete").requirement_id == "1.4"
+        assert table.lookup("volume", "PATCH") is None
+        assert table.lookup("server", "GET") is None
+
+    def test_get_by_id(self):
+        table = SecurityRequirementsTable.paper_table()
+        assert table.get("1.2").method == "PUT"
+        with pytest.raises(PolicyError):
+            table.get("9.9")
+
+    def test_ids(self):
+        assert SecurityRequirementsTable.paper_table().ids() == [
+            "1.1", "1.2", "1.3", "1.4"]
+
+    def test_len_iter(self):
+        table = SecurityRequirementsTable.paper_table()
+        assert len(table) == 4
+        assert [r.method for r in table] == ["GET", "PUT", "POST", "DELETE"]
+
+    def test_constructor_accepts_iterable(self):
+        requirement = SecurityRequirement("1.1", "v", "GET", {"admin": []})
+        table = SecurityRequirementsTable([requirement])
+        assert len(table) == 1
+
+
+class TestDerivedArtifacts:
+    def test_to_policy(self):
+        policy = SecurityRequirementsTable.paper_table().to_policy()
+        assert policy["volume:delete"] == "role:admin"
+        assert policy["volume:get"] == "role:admin or role:member or role:user"
+        assert policy["volume:post"] == "role:admin or role:member"
+
+    def test_to_guard_known_method(self):
+        table = SecurityRequirementsTable.paper_table()
+        assert table.to_guard("volume", "DELETE") == \
+            "user.roles->includes('admin')"
+        assert table.to_guard("volume", "POST") == (
+            "user.roles->includes('admin') or "
+            "user.roles->includes('member')")
+
+    def test_to_guard_unknown_method_denies(self):
+        table = SecurityRequirementsTable.paper_table()
+        assert table.to_guard("volume", "PATCH") == "false"
+
+    def test_guards_parse_as_ocl(self):
+        from repro.ocl import evaluate
+
+        table = SecurityRequirementsTable.paper_table()
+        guard = table.to_guard("volume", "DELETE")
+        assert evaluate(guard, {"user": {"roles": ["admin"]}}) is True
+        assert evaluate(guard, {"user": {"roles": ["member"]}}) is False
+
+
+class TestPaperTableRendering:
+    """The TABLE-I reproduction: the render must match the paper's rows."""
+
+    def test_exact_rows(self):
+        rendered = SecurityRequirementsTable.paper_table().render()
+        lines = [line for line in rendered.splitlines()
+                 if line.startswith("|") and "Resource" not in line]
+        cells = [[cell.strip() for cell in line.strip("|").split("|")]
+                 for line in lines]
+        assert cells == [
+            ["volume", "1.1", "GET", "admin", "proj_administrator"],
+            ["", "", "", "member", "service_architect"],
+            ["", "", "", "user", "business_analyst"],
+            ["", "1.2", "PUT", "admin", "proj_administrator"],
+            ["", "", "", "member", "service_architect"],
+            ["", "1.3", "POST", "admin", "proj_administrator"],
+            ["", "", "", "member", "service_architect"],
+            ["", "1.4", "DELETE", "admin", "proj_administrator"],
+        ]
+
+    def test_header_matches_paper(self):
+        rendered = SecurityRequirementsTable.paper_table().render()
+        assert "Resource" in rendered
+        assert "SecReq" in rendered
+        assert "Request" in rendered
+        assert "Role" in rendered
+        assert "UserGroup" in rendered

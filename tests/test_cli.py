@@ -1,0 +1,163 @@
+"""Tests for the cloudmon command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable:
+    def test_prints_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "proj_administrator" in out
+        assert "DELETE" in out
+
+
+class TestContracts:
+    def test_all_contracts(self, capsys):
+        assert main(["contracts"]) == 0
+        out = capsys.readouterr().out
+        assert "PreCondition(DELETE(" in out
+        assert "PreCondition(POST(" in out
+        assert "PostCondition(GET(" in out
+
+    def test_single_trigger(self, capsys):
+        assert main(["contracts", "DELETE(volume)"]) == 0
+        out = capsys.readouterr().out
+        assert "PreCondition(DELETE(" in out
+        assert "PreCondition(POST(" not in out
+
+    def test_bad_trigger_reports_error(self, capsys):
+        assert main(["contracts", "PATCH(volume)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_audit_demo_clean(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+        assert "coverage: 100%" in out
+
+    def test_enforcing_demo_clean(self, capsys):
+        assert main(["demo", "--enforcing"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-blocked" in out
+
+    def test_extended_demo(self, capsys):
+        assert main(["demo", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "post-at-quota" in out
+
+
+class TestCampaign:
+    def test_paper_campaign(self, capsys):
+        assert main(["campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "kill rate: 3/3 (100%)" in out
+        assert "baseline clean: yes" in out
+
+    def test_extended_campaign(self, capsys):
+        assert main(["campaign", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "kill rate: 6/6 (100%)" in out
+
+
+class TestDot:
+    def test_resources_dot(self, capsys):
+        assert main(["dot", "resources"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "Cinder"')
+        assert '"volume"' in out
+
+    def test_behavior_dot(self, capsys):
+        assert main(["dot", "behavior"]) == 0
+        out = capsys.readouterr().out
+        assert "DELETE(volume)" in out
+
+    def test_bad_model_choice(self):
+        with pytest.raises(SystemExit):
+            main(["dot", "nothing"])
+
+
+class TestSlice:
+    def test_slice_volume(self, capsys):
+        assert main(["slice", "volume"]) == 0
+        out = capsys.readouterr().out
+        assert "sliced models:" in out
+        assert "PreCondition(DELETE(" in out
+
+    def test_slice_with_method_filter(self, capsys):
+        assert main(["slice", "volume", "--methods", "DELETE"]) == 0
+        out = capsys.readouterr().out
+        assert "3 transitions" in out
+
+    def test_slice_unknown_resource(self, capsys):
+        assert main(["slice", "ghost"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLocalize:
+    def test_localize_from_log(self, capsys, tmp_path):
+        from repro.cloud import paper_mutants
+        from repro.core import write_log
+        from repro.validation import TestOracle, default_setup
+
+        cloud, monitor = default_setup()
+        mutant = paper_mutants()[0]
+        mutant.apply(cloud)
+        TestOracle(cloud, monitor).run()
+        logfile = str(tmp_path / "audit.jsonl")
+        write_log(monitor.log, logfile)
+
+        assert main(["localize", logfile]) == 0
+        out = capsys.readouterr().out
+        assert "volume:delete" in out
+
+    def test_localize_clean_log(self, capsys, tmp_path):
+        from repro.core import write_log
+        from repro.validation import TestOracle, default_setup
+
+        cloud, monitor = default_setup()
+        TestOracle(cloud, monitor).run()
+        logfile = str(tmp_path / "audit.jsonl")
+        write_log(monitor.log, logfile)
+        assert main(["localize", logfile]) == 0
+        assert "nothing to localize" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_builtin_models_pass(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "well-formed" in out
+
+    def test_release2_models_pass(self, capsys):
+        assert main(["check", "--release2"]) == 0
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Cloud monitor validation report" in out
+        assert "Kill rate: **3/3**" in out
+        assert "Coverage: **100%**" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = str(tmp_path / "report.md")
+        assert main(["report", "--output", target]) == 0
+        with open(target, encoding="utf-8") as handle:
+            content = handle.read()
+        assert "## Mutation campaign" in content
+        assert f"wrote {target}" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,182 @@
+"""Tests for the resource model (class diagram)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+)
+
+
+def cinder_diagram():
+    """The Figure-3 (left) resource model."""
+    diagram = ClassDiagram("Cinder")
+    diagram.add_class(ResourceClass("Projects"))
+    diagram.add_class(ResourceClass("project", [Attribute("id", "String")]))
+    diagram.add_class(ResourceClass("Volumes"))
+    diagram.add_class(ResourceClass("volume", [
+        Attribute("id", "String"), Attribute("status", "String"),
+        Attribute("size", "Integer")]))
+    diagram.add_class(ResourceClass("quota_sets", [
+        Attribute("volumes", "Integer")]))
+    diagram.add_association(Association(
+        "Projects", "project", "projects", Multiplicity(0, MANY)))
+    diagram.add_association(Association(
+        "project", "Volumes", "volumes", Multiplicity(1, 1)))
+    diagram.add_association(Association(
+        "Volumes", "volume", "volumes", Multiplicity(0, MANY)))
+    diagram.add_association(Association(
+        "project", "quota_sets", "quota_sets", Multiplicity(1, 1)))
+    return diagram
+
+
+class TestMultiplicity:
+    def test_str(self):
+        assert str(Multiplicity(0, MANY)) == "0..*"
+        assert str(Multiplicity(1, 1)) == "1..1"
+
+    def test_parse_range(self):
+        assert Multiplicity.parse("0..*") == Multiplicity(0, MANY)
+        assert Multiplicity.parse("1..3") == Multiplicity(1, 3)
+
+    def test_parse_single(self):
+        assert Multiplicity.parse("1") == Multiplicity(1, 1)
+        assert Multiplicity.parse("*") == Multiplicity(0, MANY)
+
+    def test_is_many(self):
+        assert Multiplicity(0, MANY).is_many
+        assert Multiplicity(0, 5).is_many
+        assert not Multiplicity(1, 1).is_many
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ModelError):
+            Multiplicity(-1, 2)
+        with pytest.raises(ModelError):
+            Multiplicity(3, 2)
+
+    def test_equality_and_hash(self):
+        assert Multiplicity(0, MANY) == Multiplicity(0, MANY)
+        assert len({Multiplicity(1, 1), Multiplicity(1, 1)}) == 1
+
+
+class TestResourceClass:
+    def test_collection_has_no_attributes(self):
+        # Section IV-A: a collection resource definition has no attributes.
+        assert ResourceClass("Volumes").is_collection
+
+    def test_normal_resource(self):
+        cls = ResourceClass("volume", [Attribute("id")])
+        assert not cls.is_collection
+
+    def test_attribute_lookup(self):
+        cls = ResourceClass("volume", [Attribute("status", "String")])
+        assert cls.attribute("status").type_name == "String"
+
+    def test_attribute_lookup_missing(self):
+        with pytest.raises(ModelError):
+            ResourceClass("volume").attribute("nope")
+
+    def test_add_attribute_changes_kind(self):
+        cls = ResourceClass("thing")
+        assert cls.is_collection
+        cls.add_attribute(Attribute("id"))
+        assert not cls.is_collection
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceClass("")
+
+    def test_default_attribute_is_public_string(self):
+        attribute = Attribute("id")
+        assert attribute.visibility == "public"
+        assert attribute.type_name == "String"
+
+
+class TestDiagramConstruction:
+    def test_duplicate_class_rejected(self):
+        diagram = ClassDiagram("d")
+        diagram.add_class(ResourceClass("a"))
+        with pytest.raises(ModelError):
+            diagram.add_class(ResourceClass("a"))
+
+    def test_association_requires_existing_classes(self):
+        diagram = ClassDiagram("d")
+        diagram.add_class(ResourceClass("a"))
+        with pytest.raises(ModelError):
+            diagram.add_association(Association("a", "ghost", "things"))
+
+    def test_get_class_missing(self):
+        with pytest.raises(ModelError):
+            ClassDiagram("d").get_class("ghost")
+
+    def test_outgoing_incoming(self):
+        diagram = cinder_diagram()
+        assert [a.target for a in diagram.outgoing("project")] == [
+            "Volumes", "quota_sets"]
+        assert [a.source for a in diagram.incoming("volume")] == ["Volumes"]
+
+    def test_roots(self):
+        diagram = cinder_diagram()
+        assert [cls.name for cls in diagram.roots()] == ["Projects"]
+
+    def test_iter_preserves_insertion_order(self):
+        diagram = cinder_diagram()
+        assert [c.name for c in diagram.iter_classes()][0] == "Projects"
+
+
+class TestUriDerivation:
+    def test_paper_volume_uri(self):
+        # Section II: Cinder exposes volumes via /{project_id}/volumes/.
+        diagram = cinder_diagram()
+        paths = diagram.uri_paths()
+        assert paths["Volumes"] == "/{project_id}/volumes"
+        assert paths["quota_sets"] == "/{project_id}/quota_sets"
+
+    def test_item_uri_for_collection_member(self):
+        diagram = cinder_diagram()
+        assert diagram.item_uri("volume") == "/{project_id}/volumes/{volume_id}"
+
+    def test_item_uri_for_singleton(self):
+        diagram = cinder_diagram()
+        assert diagram.item_uri("quota_sets") == "/{project_id}/quota_sets"
+
+    def test_item_uri_unknown_class(self):
+        diagram = cinder_diagram()
+        with pytest.raises(ModelError):
+            diagram.item_uri("ghost")
+
+    def test_root_collection_items_at_top_level(self):
+        diagram = cinder_diagram()
+        assert diagram.item_uri("project") == "/{project_id}"
+
+    def test_cycle_terminates(self):
+        diagram = ClassDiagram("cyclic")
+        diagram.add_class(ResourceClass("a", [Attribute("id")]))
+        diagram.add_class(ResourceClass("b", [Attribute("id")]))
+        diagram.add_association(Association("a", "b", "bs", Multiplicity(1, 1)))
+        diagram.add_association(Association("b", "a", "as_", Multiplicity(1, 1)))
+        paths = diagram.uri_paths()  # must not loop forever
+        assert isinstance(paths, dict)
+
+
+class TestSingularization:
+    def test_plural_s(self):
+        from repro.uml.classdiagram import _singular
+
+        assert _singular("volumes") == "volume"
+
+    def test_ies(self):
+        from repro.uml.classdiagram import _singular
+
+        assert _singular("policies") == "policy"
+
+    def test_no_change(self):
+        from repro.uml.classdiagram import _singular
+
+        assert _singular("quota") == "quota"
+        assert _singular("class") == "class"

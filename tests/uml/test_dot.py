@@ -1,0 +1,80 @@
+"""Tests for the Graphviz DOT export of the design models."""
+
+from repro.core import cinder_behavior_model, cinder_resource_model
+from repro.uml import (
+    State,
+    StateMachine,
+    Transition,
+    class_diagram_to_dot,
+    state_machine_to_dot,
+)
+
+
+def balanced(text):
+    return text.count("{") == text.count("}")
+
+
+class TestClassDiagramDot:
+    def test_structure(self):
+        dot = class_diagram_to_dot(cinder_resource_model())
+        assert dot.startswith('digraph "Cinder" {')
+        assert dot.rstrip().endswith("}")
+        assert balanced(dot)
+
+    def test_all_classes_present(self):
+        dot = class_diagram_to_dot(cinder_resource_model())
+        for name in ("Projects", "project", "Volumes", "volume",
+                     "quota_sets"):
+            assert f'"{name}"' in dot
+
+    def test_collections_stereotyped(self):
+        dot = class_diagram_to_dot(cinder_resource_model())
+        assert "collection" in dot
+
+    def test_attributes_rendered(self):
+        dot = class_diagram_to_dot(cinder_resource_model())
+        assert "+ status: String" in dot
+        assert "+ size: Integer" in dot
+
+    def test_associations_with_multiplicity(self):
+        dot = class_diagram_to_dot(cinder_resource_model())
+        assert '"Volumes" -> "volume"' in dot
+        assert "0..*" in dot
+        assert "1..1" in dot
+
+
+class TestStateMachineDot:
+    def test_structure(self):
+        dot = state_machine_to_dot(cinder_behavior_model())
+        assert dot.startswith('digraph "cinder_project" {')
+        assert balanced(dot)
+
+    def test_initial_marker(self):
+        dot = state_machine_to_dot(cinder_behavior_model())
+        assert "__initial ->" in dot
+        assert '"project_with_no_volume"' in dot
+
+    def test_invariants_inside_states(self):
+        dot = state_machine_to_dot(cinder_behavior_model())
+        assert "project.id-" in dot  # invariant text present
+
+    def test_guards_and_secreqs_on_edges(self):
+        dot = state_machine_to_dot(cinder_behavior_model())
+        assert "DELETE(volume)" in dot
+        assert "SecReq: 1.4" in dot
+        assert "in-use" in dot
+
+    def test_suppression_flags(self):
+        dot = state_machine_to_dot(cinder_behavior_model(),
+                                   show_invariants=False, show_guards=False)
+        assert "project.id-" not in dot
+        assert "SecReq: 1.4" in dot  # annotations always shown
+
+    def test_quote_escaping(self):
+        machine = StateMachine("m")
+        machine.add_state(State('with"quote', "x = 'a'", is_initial=True))
+        machine.add_transition(Transition(
+            'with"quote', 'with"quote', "GET(x)", guard="y = 'in-use'"))
+        dot = state_machine_to_dot(machine)
+        assert '\\"' in dot
+        assert balanced(dot)

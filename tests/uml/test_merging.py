@@ -1,0 +1,121 @@
+"""Tests for merging model parts (the inverse of slicing)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core import cinder_behavior_model, cinder_resource_model
+from repro.uml import (
+    Attribute,
+    ClassDiagram,
+    ResourceClass,
+    State,
+    StateMachine,
+    merge_class_diagrams,
+    merge_models,
+    merge_state_machines,
+    slice_models,
+    slice_state_machine,
+)
+from repro.workloads import synthetic_models
+
+
+class TestMergeDiagrams:
+    def test_disjoint_union(self):
+        left = ClassDiagram("l")
+        left.add_class(ResourceClass("a", [Attribute("id")]))
+        right = ClassDiagram("r")
+        right.add_class(ResourceClass("b", [Attribute("id")]))
+        merged = merge_class_diagrams([left, right])
+        assert set(merged.classes) == {"a", "b"}
+
+    def test_identical_overlap_deduplicated(self):
+        part = cinder_resource_model()
+        merged = merge_class_diagrams([part, cinder_resource_model()])
+        assert list(merged.classes) == list(part.classes)
+        assert merged.associations == part.associations
+
+    def test_conflicting_class_rejected(self):
+        left = ClassDiagram("l")
+        left.add_class(ResourceClass("a", [Attribute("id")]))
+        right = ClassDiagram("r")
+        right.add_class(ResourceClass("a", [Attribute("id"),
+                                            Attribute("extra")]))
+        with pytest.raises(ModelError):
+            merge_class_diagrams([left, right])
+
+
+class TestMergeMachines:
+    def test_identical_overlap_deduplicated(self):
+        machine = cinder_behavior_model()
+        merged = merge_state_machines([machine, cinder_behavior_model()])
+        assert list(merged.states) == list(machine.states)
+        assert merged.transitions == machine.transitions
+
+    def test_initial_from_first_part(self):
+        machine = cinder_behavior_model()
+        delete_slice = slice_state_machine(machine, methods=["DELETE"])
+        post_slice = slice_state_machine(machine, methods=["POST"])
+        merged = merge_state_machines([post_slice, delete_slice])
+        assert merged.initial_state().name == \
+            machine.initial_state().name
+
+    def test_explicit_initial(self):
+        machine = cinder_behavior_model()
+        merged = merge_state_machines(
+            [machine], initial="project_with_volume_and_full_quota")
+        assert merged.initial_state().name == \
+            "project_with_volume_and_full_quota"
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ModelError):
+            merge_state_machines([cinder_behavior_model()], initial="ghost")
+
+    def test_conflicting_invariants_rejected(self):
+        left = StateMachine("l")
+        left.add_state(State("s", "x = 1", is_initial=True))
+        right = StateMachine("r")
+        right.add_state(State("s", "x = 2", is_initial=True))
+        with pytest.raises(ModelError):
+            merge_state_machines([left, right])
+
+
+class TestSliceMergeRoundTrip:
+    def test_per_resource_slices_merge_back_to_full_model(self):
+        full_diagram, full_machine = synthetic_models(3)
+        parts = [
+            slice_models(full_diagram, full_machine, [f"c{i}_item"])
+            for i in range(3)
+        ]
+        merged_diagram, merged_machine = merge_models(
+            parts, initial=full_machine.initial_state().name)
+        assert set(merged_diagram.classes) == set(full_diagram.classes)
+        assert set(merged_machine.states) == set(full_machine.states)
+        assert sorted(map(repr, merged_machine.transitions)) == \
+            sorted(map(repr, full_machine.transitions))
+
+    def test_merged_contracts_equal_full_model_contracts(self):
+        from repro.core import ContractGenerator
+
+        full_diagram, full_machine = synthetic_models(2)
+        parts = [
+            slice_models(full_diagram, full_machine, [f"c{i}_item"])
+            for i in range(2)
+        ]
+        merged_diagram, merged_machine = merge_models(
+            parts, initial=full_machine.initial_state().name)
+        for trigger in full_machine.triggers():
+            full = ContractGenerator(full_machine,
+                                     full_diagram).for_trigger(trigger)
+            merged = ContractGenerator(merged_machine,
+                                       merged_diagram).for_trigger(trigger)
+            assert merged.precondition == full.precondition
+            assert merged.postcondition == full.postcondition
+
+    def test_method_slices_merge_back(self):
+        machine = cinder_behavior_model()
+        parts = [slice_state_machine(machine, methods=[method])
+                 for method in ("GET", "PUT", "POST", "DELETE")]
+        merged = merge_state_machines(
+            parts, initial=machine.initial_state().name)
+        assert set(merged.states) == set(machine.states)
+        assert len(merged.transitions) == len(machine.transitions)

@@ -1,0 +1,158 @@
+"""Tests for the behavioral model (protocol state machine)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml import State, StateMachine, Transition, Trigger
+
+
+def project_machine():
+    """The Figure-3 (right) behavioral model: three project states."""
+    machine = StateMachine("project_behavior")
+    machine.add_state(State(
+        "project_with_no_volume",
+        "project.id->size()=1 and project.volumes->size()=0",
+        is_initial=True))
+    machine.add_state(State(
+        "project_with_volume_and_not_full_quota",
+        "project.id->size()=1 and project.volumes->size()>=1 and "
+        "project.volumes->size() < quota_sets.volumes"))
+    machine.add_state(State(
+        "project_with_volume_and_full_quota",
+        "project.id->size()=1 and "
+        "project.volumes->size() = quota_sets.volumes"))
+    machine.add_transition(Transition(
+        "project_with_no_volume", "project_with_volume_and_not_full_quota",
+        "POST(volumes)",
+        guard="user.groups->includes('admin') or user.groups->includes('member')",
+        effect="project.volumes->size() = 1",
+        security_requirements=["1.3"]))
+    machine.add_transition(Transition(
+        "project_with_volume_and_not_full_quota",
+        "project_with_volume_and_not_full_quota",
+        "DELETE(volume)",
+        guard="volume.status <> 'in-use' and user.groups->includes('admin') "
+              "and project.volumes->size() > 1",
+        effect="project.volumes->size() < pre(project.volumes->size())",
+        security_requirements=["1.4"]))
+    machine.add_transition(Transition(
+        "project_with_volume_and_full_quota",
+        "project_with_volume_and_not_full_quota",
+        "DELETE(volume)",
+        guard="volume.status <> 'in-use' and user.groups->includes('admin')",
+        effect="project.volumes->size() < pre(project.volumes->size())",
+        security_requirements=["1.4"]))
+    return machine
+
+
+class TestTrigger:
+    def test_parse(self):
+        trigger = Trigger.parse("DELETE(volume)")
+        assert trigger.method == "DELETE"
+        assert trigger.resource == "volume"
+
+    def test_parse_with_spaces(self):
+        assert Trigger.parse(" POST ( volumes ) ") == Trigger("POST", "volumes")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            Trigger.parse("not a trigger")
+
+    def test_unknown_method(self):
+        with pytest.raises(ModelError):
+            Trigger("FROB", "volume")
+
+    def test_case_normalization(self):
+        assert Trigger("delete", "v").method == "DELETE"
+
+    def test_str_roundtrip(self):
+        trigger = Trigger("GET", "volume")
+        assert Trigger.parse(str(trigger)) == trigger
+
+    def test_empty_resource(self):
+        with pytest.raises(ModelError):
+            Trigger("GET", "")
+
+
+class TestStateMachineConstruction:
+    def test_duplicate_state_rejected(self):
+        machine = StateMachine("m")
+        machine.add_state(State("s"))
+        with pytest.raises(ModelError):
+            machine.add_state(State("s"))
+
+    def test_two_initials_rejected(self):
+        machine = StateMachine("m")
+        machine.add_state(State("a", is_initial=True))
+        with pytest.raises(ModelError):
+            machine.add_state(State("b", is_initial=True))
+
+    def test_transition_requires_states(self):
+        machine = StateMachine("m")
+        machine.add_state(State("a"))
+        with pytest.raises(ModelError):
+            machine.add_transition(Transition("a", "ghost", "GET(x)"))
+
+    def test_get_state_missing(self):
+        with pytest.raises(ModelError):
+            StateMachine("m").get_state("ghost")
+
+    def test_transition_accepts_text_trigger(self):
+        machine = StateMachine("m")
+        machine.add_state(State("a"))
+        transition = machine.add_transition(Transition("a", "a", "GET(thing)"))
+        assert transition.trigger == Trigger("GET", "thing")
+
+    def test_empty_state_name(self):
+        with pytest.raises(ModelError):
+            State("")
+
+
+class TestQueries:
+    def test_initial_state(self):
+        machine = project_machine()
+        assert machine.initial_state().name == "project_with_no_volume"
+
+    def test_triggers_distinct_ordered(self):
+        machine = project_machine()
+        assert [str(t) for t in machine.triggers()] == [
+            "POST(volumes)", "DELETE(volume)"]
+
+    def test_transitions_triggered_by(self):
+        # Section V: DELETE(volume) fires multiple transitions that must be
+        # combined into one contract.
+        machine = project_machine()
+        fired = machine.transitions_triggered_by("DELETE(volume)")
+        assert len(fired) == 2
+        assert all(t.trigger.method == "DELETE" for t in fired)
+
+    def test_transitions_triggered_by_trigger_object(self):
+        machine = project_machine()
+        assert len(machine.transitions_triggered_by(
+            Trigger("POST", "volumes"))) == 1
+
+    def test_outgoing(self):
+        machine = project_machine()
+        assert len(machine.outgoing("project_with_volume_and_not_full_quota")) == 1
+
+    def test_reachable_states(self):
+        machine = project_machine()
+        reachable = machine.reachable_states()
+        assert "project_with_no_volume" in reachable
+        assert "project_with_volume_and_not_full_quota" in reachable
+        # full_quota has no inbound transition in this reduced model
+        assert "project_with_volume_and_full_quota" not in reachable
+
+    def test_reachable_without_initial_is_empty(self):
+        machine = StateMachine("m")
+        machine.add_state(State("a"))
+        assert machine.reachable_states() == []
+
+    def test_security_requirement_ids(self):
+        machine = project_machine()
+        assert machine.security_requirement_ids() == ["1.3", "1.4"]
+
+    def test_self_loop_allowed(self):
+        machine = project_machine()
+        loops = [t for t in machine.transitions if t.source == t.target]
+        assert len(loops) == 1

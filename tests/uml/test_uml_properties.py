@@ -1,0 +1,140 @@
+"""Property-based tests for UML model structures and XMI round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uml import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+    State,
+    StateMachine,
+    Transition,
+    read_xmi,
+    write_xmi,
+)
+
+_multiplicities = st.one_of(
+    st.tuples(st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=9)).map(
+        lambda t: Multiplicity(t[0], max(t[0], t[1]))),
+    st.integers(min_value=0, max_value=5).map(
+        lambda low: Multiplicity(low, MANY)),
+)
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_methods = st.sampled_from(["GET", "POST", "PUT", "DELETE"])
+
+# Guards restricted to syntactically valid OCL fragments.
+_guards = st.sampled_from([
+    "true",
+    "x->size() = 1",
+    "volume.status <> 'in-use'",
+    "a.b >= 3 and c->notEmpty()",
+    "user.roles->includes('admin')",
+])
+
+
+class TestMultiplicityProperties:
+    @given(_multiplicities)
+    @settings(max_examples=100, deadline=None)
+    def test_parse_str_round_trip(self, multiplicity):
+        assert Multiplicity.parse(str(multiplicity)) == multiplicity
+
+    @given(_multiplicities)
+    @settings(max_examples=100, deadline=None)
+    def test_is_many_consistent(self, multiplicity):
+        if multiplicity.upper is MANY:
+            assert multiplicity.is_many
+        elif multiplicity.upper <= 1:
+            assert not multiplicity.is_many
+
+
+@st.composite
+def _diagrams(draw):
+    names = draw(st.lists(_identifiers, min_size=1, max_size=5,
+                          unique=True))
+    diagram = ClassDiagram("d")
+    for name in names:
+        has_attrs = draw(st.booleans())
+        attributes = [Attribute("id", "String")] if has_attrs else []
+        diagram.add_class(ResourceClass(name, attributes))
+    # Random forward associations (acyclic by construction: i -> j > i).
+    for i, source in enumerate(names):
+        for j in range(i + 1, len(names)):
+            if draw(st.booleans()):
+                diagram.add_association(Association(
+                    source, names[j], f"r{i}_{j}",
+                    draw(_multiplicities)))
+    return diagram
+
+
+@st.composite
+def _machines(draw):
+    state_names = draw(st.lists(_identifiers, min_size=1, max_size=4,
+                                unique=True))
+    machine = StateMachine("m")
+    for index, name in enumerate(state_names):
+        machine.add_state(State(name, draw(_guards), is_initial=(index == 0)))
+    transition_count = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(transition_count):
+        source = draw(st.sampled_from(state_names))
+        target = draw(st.sampled_from(state_names))
+        trigger = f"{draw(_methods)}(res)"
+        machine.add_transition(Transition(
+            source, target, trigger, draw(_guards), draw(_guards),
+            draw(st.lists(st.sampled_from(["1.1", "1.2", "9.9"]),
+                          max_size=2))))
+    return machine
+
+
+class TestXmiRoundTripProperties:
+    @given(_diagrams())
+    @settings(max_examples=60, deadline=None)
+    def test_diagram_round_trip(self, diagram):
+        parsed, _ = read_xmi(write_xmi(diagram=diagram))
+        assert list(parsed.classes) == list(diagram.classes)
+        for name in diagram.classes:
+            assert parsed.get_class(name) == diagram.get_class(name)
+        assert parsed.associations == diagram.associations
+
+    @given(_machines())
+    @settings(max_examples=60, deadline=None)
+    def test_machine_round_trip(self, machine):
+        _, parsed = read_xmi(write_xmi(machine=machine))
+        assert list(parsed.states) == list(machine.states)
+        for name in machine.states:
+            assert parsed.get_state(name) == machine.get_state(name)
+        assert parsed.transitions == machine.transitions
+
+    @given(_machines())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_stable(self, machine):
+        once = write_xmi(machine=machine)
+        _, parsed = read_xmi(once)
+        twice = write_xmi(machine=parsed)
+        assert once == twice
+
+
+class TestReachabilityProperties:
+    @given(_machines())
+    @settings(max_examples=60, deadline=None)
+    def test_reachable_states_subset(self, machine):
+        reachable = machine.reachable_states()
+        assert set(reachable) <= set(machine.states)
+        initial = machine.initial_state()
+        if initial is not None:
+            assert initial.name in reachable
+
+    @given(_machines())
+    @settings(max_examples=60, deadline=None)
+    def test_triggers_cover_transitions(self, machine):
+        triggers = set(machine.triggers())
+        for transition in machine.transitions:
+            assert transition.trigger in triggers
+        total = sum(len(machine.transitions_triggered_by(trigger))
+                    for trigger in triggers)
+        assert total == len(machine.transitions)

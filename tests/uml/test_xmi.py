@@ -1,0 +1,148 @@
+"""Tests for XMI serialization round trips."""
+
+import pytest
+
+from repro.errors import XMIError
+from repro.uml import (
+    MANY,
+    Association,
+    Attribute,
+    ClassDiagram,
+    Multiplicity,
+    ResourceClass,
+    State,
+    StateMachine,
+    Transition,
+    read_xmi,
+    read_xmi_file,
+    write_xmi,
+    write_xmi_file,
+)
+
+from .test_classdiagram import cinder_diagram
+from .test_statemachine import project_machine
+
+
+class TestRoundTrip:
+    def test_class_diagram_round_trip(self):
+        original = cinder_diagram()
+        document = write_xmi(diagram=original)
+        parsed, machine = read_xmi(document)
+        assert machine is None
+        assert list(parsed.classes) == list(original.classes)
+        for name in original.classes:
+            assert parsed.get_class(name) == original.get_class(name)
+        assert parsed.associations == original.associations
+
+    def test_state_machine_round_trip(self):
+        original = project_machine()
+        document = write_xmi(machine=original)
+        diagram, parsed = read_xmi(document)
+        assert diagram is None
+        assert list(parsed.states) == list(original.states)
+        for name in original.states:
+            assert parsed.get_state(name) == original.get_state(name)
+        assert parsed.transitions == original.transitions
+
+    def test_combined_round_trip(self):
+        document = write_xmi(cinder_diagram(), project_machine(), "Cinder")
+        diagram, machine = read_xmi(document)
+        assert diagram is not None
+        assert machine is not None
+        assert diagram.name == "Cinder"
+
+    def test_initial_state_preserved(self):
+        document = write_xmi(machine=project_machine())
+        _, parsed = read_xmi(document)
+        assert parsed.initial_state().name == "project_with_no_volume"
+
+    def test_security_requirements_preserved(self):
+        document = write_xmi(machine=project_machine())
+        _, parsed = read_xmi(document)
+        assert parsed.security_requirement_ids() == ["1.3", "1.4"]
+
+    def test_invariants_preserved_verbatim(self):
+        document = write_xmi(machine=project_machine())
+        _, parsed = read_xmi(document)
+        state = parsed.get_state("project_with_no_volume")
+        assert state.invariant == (
+            "project.id->size()=1 and project.volumes->size()=0")
+
+    def test_file_round_trip(self, tmp_path):
+        target = tmp_path / "cinder.xmi"
+        write_xmi_file(str(target), cinder_diagram(), project_machine())
+        diagram, machine = read_xmi_file(str(target))
+        assert diagram.name == "Cinder"
+        assert machine.name == "project_behavior"
+
+    def test_uri_paths_survive_round_trip(self):
+        document = write_xmi(diagram=cinder_diagram())
+        parsed, _ = read_xmi(document)
+        assert parsed.uri_paths() == cinder_diagram().uri_paths()
+
+    def test_double_round_trip_is_stable(self):
+        once = write_xmi(cinder_diagram(), project_machine())
+        diagram, machine = read_xmi(once)
+        twice = write_xmi(diagram, machine)
+        assert read_xmi(twice)[0].associations == diagram.associations
+
+
+class TestErrorHandling:
+    def test_malformed_document(self):
+        with pytest.raises(XMIError):
+            read_xmi("<not xml")
+
+    def test_missing_model_element(self):
+        with pytest.raises(XMIError):
+            read_xmi("<?xml version='1.0'?><root/>")
+
+    def test_missing_file(self):
+        with pytest.raises(XMIError):
+            read_xmi_file("/nonexistent/path.xmi")
+
+    def test_empty_document_yields_nothing(self):
+        document = write_xmi()
+        diagram, machine = read_xmi(document)
+        assert diagram is None
+        assert machine is None
+
+
+class TestEdgeCases:
+    def test_machine_without_initial(self):
+        machine = StateMachine("m")
+        machine.add_state(State("only", "true"))
+        document = write_xmi(machine=machine)
+        _, parsed = read_xmi(document)
+        assert parsed.initial_state() is None
+
+    def test_singleton_association_multiplicity(self):
+        diagram = ClassDiagram("d")
+        diagram.add_class(ResourceClass("a", [Attribute("id")]))
+        diagram.add_class(ResourceClass("b", [Attribute("id")]))
+        diagram.add_association(Association("a", "b", "bs", Multiplicity(1, 1)))
+        document = write_xmi(diagram=diagram)
+        parsed, _ = read_xmi(document)
+        assert parsed.associations[0].multiplicity == Multiplicity(1, 1)
+
+    def test_many_multiplicity(self):
+        diagram = ClassDiagram("d")
+        diagram.add_class(ResourceClass("a", [Attribute("id")]))
+        diagram.add_class(ResourceClass("b", [Attribute("id")]))
+        diagram.add_association(Association("a", "b", "bs", Multiplicity(2, MANY)))
+        parsed, _ = read_xmi(write_xmi(diagram=diagram))
+        assert parsed.associations[0].multiplicity == Multiplicity(2, MANY)
+
+    def test_transition_without_guard_defaults_true(self):
+        machine = StateMachine("m")
+        machine.add_state(State("a", is_initial=True))
+        machine.add_transition(Transition("a", "a", "GET(x)"))
+        _, parsed = read_xmi(write_xmi(machine=machine))
+        assert parsed.transitions[0].guard == "true"
+
+    def test_special_characters_in_ocl_escaped(self):
+        machine = StateMachine("m")
+        machine.add_state(State(
+            "a", "volume.status <> 'in-use' and x < 3", is_initial=True))
+        _, parsed = read_xmi(write_xmi(machine=machine))
+        assert parsed.get_state("a").invariant == (
+            "volume.status <> 'in-use' and x < 3")

@@ -1,0 +1,95 @@
+"""Fuzzing the XMI reader: adversarial input must fail with XMIError only.
+
+The XMI file is the tool's external input surface ("The XMI files are
+given as the input to CM"); whatever a user feeds it, the reader must
+either parse it or raise the documented :class:`XMIError` -- never
+``KeyError``/``AttributeError`` leaking implementation details.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, XMIError
+from repro.uml import read_xmi
+from repro.uml.xmi_writer import UML_NS, XMI_NS
+
+
+def read_or_xmi_error(document):
+    try:
+        return read_xmi(document)
+    except XMIError:
+        return None
+
+
+class TestRandomText:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_random_text_never_leaks_internal_errors(self, text):
+        read_or_xmi_error(text)
+
+    @given(st.binary(max_size=100).map(
+        lambda b: b.decode("latin-1")))
+    @settings(max_examples=100, deadline=None)
+    def test_binaryish_text(self, text):
+        read_or_xmi_error(text)
+
+
+def wrap_model(inner: str) -> str:
+    return (f'<?xml version="1.0"?>'
+            f'<xmi:XMI xmlns:xmi="{XMI_NS}" xmlns:uml="{UML_NS}">'
+            f'<uml:Model name="m">{inner}</uml:Model></xmi:XMI>')
+
+
+_ELEMENT_SNIPPETS = st.sampled_from([
+    '<packagedElement/>',
+    '<packagedElement xmi:type="uml:Class"/>',
+    '<packagedElement xmi:type="uml:Package" kind="resource-model">'
+    '<packagedElement xmi:type="uml:Class"/></packagedElement>',
+    '<packagedElement xmi:type="uml:Package" kind="resource-model">'
+    '<packagedElement xmi:type="uml:Class" name="a">'
+    '<ownedAttribute/></packagedElement></packagedElement>',
+    '<packagedElement xmi:type="uml:Package" kind="resource-model">'
+    '<packagedElement xmi:type="uml:Association" name="x"/>'
+    '</packagedElement>',
+    '<packagedElement xmi:type="uml:StateMachine" name="sm"/>',
+    '<packagedElement xmi:type="uml:StateMachine" name="sm">'
+    '<region><subvertex xmi:type="uml:State"/></region></packagedElement>',
+    '<packagedElement xmi:type="uml:StateMachine" name="sm">'
+    '<region><transition source="ghost" target="ghost"/></region>'
+    '</packagedElement>',
+    '<packagedElement xmi:type="uml:StateMachine" name="sm">'
+    '<region><subvertex xmi:type="uml:State" xmi:id="s" name="s"/>'
+    '<transition source="s" target="s"/></region></packagedElement>',
+    '<packagedElement xmi:type="uml:StateMachine" name="sm">'
+    '<region><subvertex xmi:type="uml:State" xmi:id="s" name="s"/>'
+    '<transition source="s" target="s"><trigger name="NONSENSE"/>'
+    '</transition></region></packagedElement>',
+])
+
+
+class TestStructurallyHostileDocuments:
+    @given(st.lists(_ELEMENT_SNIPPETS, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_hostile_structures_fail_cleanly(self, snippets):
+        document = wrap_model("".join(snippets))
+        try:
+            read_xmi(document)
+        except ReproError:
+            pass  # XMIError or ModelError: both documented, both fine
+
+    def test_unnamed_class_message(self):
+        document = wrap_model(
+            '<packagedElement xmi:type="uml:Package" kind="resource-model">'
+            '<packagedElement xmi:type="uml:Class"/></packagedElement>')
+        with pytest.raises(XMIError, match="without a name"):
+            read_xmi(document)
+
+    def test_transition_without_trigger_message(self):
+        document = wrap_model(
+            '<packagedElement xmi:type="uml:StateMachine" name="sm">'
+            '<region><subvertex xmi:type="uml:State" xmi:id="s" name="s"/>'
+            '<transition source="s" target="s"/></region>'
+            '</packagedElement>')
+        with pytest.raises(XMIError, match="no trigger"):
+            read_xmi(document)

@@ -1,0 +1,132 @@
+"""Tests for trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation import default_setup
+from repro.workloads import RecordingClient, Trace, TraceEntry
+
+
+@pytest.fixture()
+def setup():
+    cloud, monitor = default_setup()
+    tokens = cloud.paper_tokens()
+    clients = {name: cloud.client(token) for name, token in tokens.items()}
+    return cloud, monitor, clients
+
+
+class TestTraceBasics:
+    def test_record_and_len(self):
+        trace = Trace()
+        trace.record("bob", "post", "/cmonitor/volumes", {"volume": {}})
+        trace.record("alice", "GET", "/cmonitor/volumes")
+        assert len(trace) == 2
+        assert trace.entries[0].method == "POST"
+
+    def test_entry_json_round_trip(self):
+        entry = TraceEntry("bob", "POST", "/x", {"volume": {"size": 1}})
+        assert TraceEntry.from_json(entry.to_json()) == entry
+
+    def test_entry_without_payload(self):
+        entry = TraceEntry("alice", "GET", "/x")
+        assert TraceEntry.from_json(entry.to_json()) == entry
+
+    def test_malformed_line(self):
+        with pytest.raises(ValidationError):
+            TraceEntry.from_json("{broken")
+        with pytest.raises(ValidationError):
+            TraceEntry.from_json('{"user": "a"}')
+
+    def test_save_load_file(self, tmp_path):
+        trace = Trace()
+        trace.record("bob", "POST", "/volumes", {"volume": {}})
+        target = str(tmp_path / "trace.jsonl")
+        assert trace.save(target) == 1
+        assert Trace.load(target).entries == trace.entries
+
+    def test_save_load_stream(self):
+        trace = Trace()
+        trace.record("carol", "GET", "/volumes")
+        buffer = io.StringIO()
+        trace.save(buffer)
+        buffer.seek(0)
+        assert Trace.load(buffer).entries == trace.entries
+
+
+class TestReplay:
+    def test_replay_against_monitor(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        trace.record("bob", "POST", "/cmonitor/volumes",
+                     {"volume": {"name": "t"}})
+        trace.record("carol", "GET", "/cmonitor/volumes")
+        responses = trace.replay(clients, "cmonitor")
+        assert [r.status_code for r in responses] == [202, 200]
+        assert len(monitor.log) == 2
+
+    def test_replay_unknown_user(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        trace.record("mallory", "GET", "/cmonitor/volumes")
+        with pytest.raises(ValidationError):
+            trace.replay(clients, "cmonitor")
+
+    def test_replay_is_repeatable_regression_script(self, setup):
+        # The release-regression workflow: record once, replay against a
+        # fresh deployment, expect the same status sequence.
+        cloud, monitor, clients = setup
+        trace = Trace()
+        trace.record("bob", "POST", "/cmonitor/volumes", {"volume": {}})
+        trace.record("carol", "POST", "/cmonitor/volumes", {"volume": {}})
+        trace.record("carol", "GET", "/cmonitor/volumes")
+        first = [r.status_code for r in trace.replay(clients, "cmonitor")]
+
+        cloud2, monitor2 = default_setup()
+        tokens2 = cloud2.paper_tokens()
+        clients2 = {name: cloud2.client(token)
+                    for name, token in tokens2.items()}
+        second = [r.status_code for r in trace.replay(clients2, "cmonitor")]
+        assert first == second
+
+
+class TestRecordingClient:
+    def test_records_while_passing_through(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        recording = RecordingClient(clients["bob"], "bob", trace)
+        response = recording.post("http://cmonitor/cmonitor/volumes",
+                                  {"volume": {"name": "rec"}})
+        assert response.status_code == 202
+        assert len(trace) == 1
+        entry = trace.entries[0]
+        assert entry.user == "bob"
+        assert entry.path == "/cmonitor/volumes"
+        assert entry.payload == {"volume": {"name": "rec"}}
+
+    def test_recorded_trace_replays_elsewhere(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        recording = RecordingClient(clients["bob"], "bob", trace)
+        recording.post("http://cmonitor/cmonitor/volumes", {"volume": {}})
+        recording.get("http://cmonitor/cmonitor/volumes")
+
+        cloud2, monitor2 = default_setup()
+        tokens2 = cloud2.paper_tokens()
+        clients2 = {name: cloud2.client(token)
+                    for name, token in tokens2.items()}
+        responses = trace.replay(clients2, "cmonitor")
+        assert [r.status_code for r in responses] == [202, 200]
+
+    def test_verb_helpers(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        recording = RecordingClient(clients["alice"], "alice", trace)
+        vid = recording.post("http://cmonitor/cmonitor/volumes",
+                             {"volume": {}}).json()["volume"]["id"]
+        recording.put(f"http://cmonitor/cmonitor/volumes/{vid}",
+                      {"volume": {"name": "n"}})
+        recording.delete(f"http://cmonitor/cmonitor/volumes/{vid}")
+        assert [entry.method for entry in trace] == [
+            "POST", "PUT", "DELETE"]
