@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Enforce a line-coverage floor for the observability subsystem.
+
+Runs the ``tests/obs`` suite and measures line coverage over
+``src/repro/obs``.  When ``coverage``/``pytest-cov`` is installed it is
+used directly; otherwise the stdlib :mod:`trace` module provides the
+measurement, so the gate works in a bare environment with no third-party
+coverage tooling.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_obs_coverage.py [--floor 80]
+
+Exits non-zero when the suite fails or coverage drops below the floor.
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OBS_DIR = os.path.join(REPO_ROOT, "src", "repro", "obs")
+DEFAULT_FLOOR = 80.0
+
+
+def _executable_lines(path):
+    """Line numbers carrying executable code, via the compiled code object.
+
+    Walks every nested code object and collects the lines its
+    instructions map to.  Comments, blank lines, and docstring-only
+    lines never appear, so the denominator matches what a tracer could
+    possibly hit.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(line for _, _, line in code.co_lines() if line)
+        stack.extend(const for const in code.co_consts
+                     if hasattr(const, "co_code"))
+    return lines
+
+
+def _run_suite_with_stdlib_trace():
+    """Run tests/obs under stdlib trace; return (exit_code, counts)."""
+    import trace
+
+    import pytest
+
+    tracer = trace.Trace(count=True, trace=False,
+                         ignoredirs=(sys.prefix, sys.exec_prefix))
+    # trace._Ignore caches decisions by bare module name, and every
+    # package's __init__.py shares the name "__init__" -- the first one
+    # seen under sys.prefix would poison the cache and hide
+    # repro/obs/__init__.py.  Pre-seeding "never ignore" keeps __init__
+    # modules visible; _coverage_from_counts filters to OBS_DIR anyway.
+    tracer.ignore._ignore["__init__"] = 0
+    box = {}
+
+    def run():
+        box["exit"] = pytest.main(["-q", "-p", "no:cacheprovider",
+                                   os.path.join(REPO_ROOT, "tests", "obs")])
+
+    tracer.runfunc(run)
+    counts = tracer.results().counts  # {(filename, lineno): hits}
+    return box.get("exit", 1), counts
+
+
+def _coverage_from_counts(counts):
+    """Per-file (hit, total) for repro/obs modules from trace counts."""
+    hit_by_file = {}
+    for (filename, lineno), hits in counts.items():
+        if hits > 0:
+            hit_by_file.setdefault(os.path.abspath(filename),
+                                   set()).add(lineno)
+    report = {}
+    for name in sorted(os.listdir(OBS_DIR)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(OBS_DIR, name)
+        executable = _executable_lines(path)
+        hit = hit_by_file.get(os.path.abspath(path), set()) & executable
+        report[name] = (len(hit), len(executable))
+    return report
+
+
+def _try_coverage_package(floor):
+    """Use the coverage package when present.  Returns exit code or None."""
+    try:
+        import coverage  # noqa: F401
+    except ImportError:
+        return None
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    status = subprocess.call(
+        [sys.executable, "-m", "coverage", "run",
+         "--source", OBS_DIR, "-m", "pytest", "-q",
+         os.path.join(REPO_ROOT, "tests", "obs")],
+        cwd=REPO_ROOT, env=env)
+    if status != 0:
+        return status
+    return subprocess.call(
+        [sys.executable, "-m", "coverage", "report",
+         "--fail-under", str(floor)],
+        cwd=REPO_ROOT, env=env)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="minimum line coverage percentage "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    via_package = _try_coverage_package(args.floor)
+    if via_package is not None:
+        return via_package
+
+    exit_code, counts = _run_suite_with_stdlib_trace()
+    if exit_code != 0:
+        print("obs-coverage: test suite failed; not measuring coverage",
+              file=sys.stderr)
+        return int(exit_code)
+
+    report = _coverage_from_counts(counts)
+    total_hit = sum(hit for hit, _ in report.values())
+    total_lines = sum(total for _, total in report.values())
+    print(f"{'module':<18} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for name, (hit, total) in report.items():
+        percent = 100.0 * hit / total if total else 100.0
+        print(f"{name:<18} {total:>6} {hit:>6} {percent:>6.1f}%")
+    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"{'TOTAL':<18} {total_lines:>6} {total_hit:>6} {overall:>6.1f}%")
+
+    if overall < args.floor:
+        print(f"obs-coverage: {overall:.1f}% is below the "
+              f"{args.floor:.1f}% floor", file=sys.stderr)
+        return 1
+    print(f"obs-coverage: {overall:.1f}% >= {args.floor:.1f}% floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: the full test suite plus the observability
+# coverage gate.  Run from the repository root:
+#
+#     sh scripts/verify.sh
+#
+# Exits non-zero on the first failing step.
+
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1 test suite"
+PYTHONPATH=src python -m pytest -q
+
+echo "==> observability coverage floor"
+PYTHONPATH=src python scripts/check_obs_coverage.py --floor 80
+
+echo "==> verify: OK"

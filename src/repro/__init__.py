@@ -19,6 +19,9 @@ Troubitsyna:
   ``uml2django`` code generator (Section VI).
 * :mod:`repro.validation` -- the mutation-based validation campaign
   (Section VI-D, "killed all three mutants").
+* :mod:`repro.obs` -- observability for the monitor pipeline: metrics
+  (counters, gauges, latency histograms), per-request trace spans for each
+  Figure-2 stage, and Prometheus/JSON exporters.
 * :mod:`repro.workloads` -- request workloads and synthetic model scaling
   used by the benchmark harness.
 """

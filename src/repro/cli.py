@@ -9,6 +9,9 @@ Subcommands:
   standard battery, printing each verdict,
 * ``cloudmon campaign [--extended]`` -- run the mutation campaign and
   print the kill matrix (the Section VI-D experiment),
+* ``cloudmon metrics [--json] [--deterministic]`` -- replay a battery and
+  print the monitor's metrics (per-stage latency histograms, verdict
+  counters) as Prometheus text or JSON,
 * ``cloudmon dot {resources,behavior}`` -- Graphviz DOT of the Figure-3
   models,
 * ``cloudmon slice RESOURCE [...]`` -- slice the Cinder models and print
@@ -77,6 +80,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     result = campaign.run(mutants)
     print(result.render())
     return 0 if result.kill_rate == 1.0 else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a monitored session and print its metrics exposition.
+
+    ``--deterministic`` injects a ManualClock (fixed tick per clock read)
+    so the emitted histograms and spans are identical across runs --
+    useful for diffing instrumentation changes.
+    """
+    import json
+
+    from .obs import ManualClock, Observability
+
+    clock = ManualClock(tick=1e-4) if args.deterministic else None
+    obs = Observability(clock=clock)
+    cloud, monitor = default_setup(enforcing=args.enforcing,
+                                   observability=obs)
+    oracle = TestOracle(cloud, monitor)
+    battery = extended_battery() if args.extended else standard_battery()
+    oracle.run(battery)
+    if args.json:
+        print(json.dumps(obs.export_json(), indent=2, sort_keys=True))
+    else:
+        print(obs.export_prometheus(), end="")
+    return 0
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -213,6 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="six mutants + extended battery instead of "
                                "the paper's three")
 
+    metrics = sub.add_parser(
+        "metrics", help="replay a battery and print the monitor's metrics "
+                        "(Prometheus text, or --json)")
+    metrics.add_argument("--json", action="store_true",
+                         help="JSON document (metrics + traces) instead of "
+                              "Prometheus text exposition")
+    metrics.add_argument("--extended", action="store_true",
+                         help="extended battery with functional edges")
+    metrics.add_argument("--enforcing", action="store_true",
+                         help="enforcing mode instead of audit mode")
+    metrics.add_argument("--deterministic", action="store_true",
+                         help="inject a fixed-tick manual clock so output "
+                              "is identical across runs")
+
     dot = sub.add_parser("dot", help="Graphviz DOT of the design models")
     dot.add_argument("model", choices=["resources", "behavior"])
 
@@ -256,6 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "contracts": cmd_contracts,
         "demo": cmd_demo,
         "campaign": cmd_campaign,
+        "metrics": cmd_metrics,
         "dot": cmd_dot,
         "slice": cmd_slice,
         "check": cmd_check,

@@ -18,7 +18,12 @@ from .monitor import MonitorVerdict
 
 
 def verdict_to_json(verdict: MonitorVerdict) -> str:
-    """One JSONL line for *verdict*."""
+    """One JSONL line for *verdict*.
+
+    ``ensure_ascii`` stays on so non-ASCII reason strings survive any
+    transport encoding; the ``correlation_id`` joins the line with the
+    tracer's span records for the same request.
+    """
     record = verdict.to_dict()
     record["snapshot_bytes"] = verdict.snapshot_bytes
     return json.dumps(record, sort_keys=True)
@@ -39,6 +44,9 @@ def verdict_from_json(line: str) -> MonitorVerdict:
             message=record["message"],
             security_requirements=list(record["security_requirements"]),
             snapshot_bytes=record.get("snapshot_bytes", 0),
+            # Logs written before the observability subsystem have no
+            # correlation id; they load with None.
+            correlation_id=record.get("correlation_id"),
         )
     except (ValueError, KeyError, TypeError, ModelError) as exc:
         raise MonitorError(f"malformed audit-log line: {exc}") from exc

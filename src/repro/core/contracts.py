@@ -85,6 +85,7 @@ class MethodContract:
             [case.implication for case in cases])
         self._compiled_pre = None
         self._compiled_post = None
+        self._obs = None
 
     @property
     def security_requirements(self) -> List[str]:
@@ -116,21 +117,65 @@ class MethodContract:
         """True once :meth:`compile` has run."""
         return self._compiled_pre is not None
 
+    def instrument(self, observability) -> "MethodContract":
+        """Report evaluation timings into *observability* (``None`` stops).
+
+        Instrumented contracts record an ``ocl_eval_seconds`` histogram
+        (labelled by phase) around every pre/post/snapshot evaluation, and
+        -- on the interpreted path -- an ``ocl_nodes_evaluated_total``
+        counter of AST nodes dispatched.  Returns self for chaining.
+        """
+        self._obs = observability
+        return self
+
+    def _record_eval(self, phase: str, start: float,
+                     evaluator: Optional[Evaluator]) -> None:
+        obs = self._obs
+        obs.metrics.histogram(
+            "ocl_eval_seconds", "OCL contract evaluation latency, by phase",
+            phase=phase).observe(obs.clock() - start)
+        obs.metrics.counter(
+            "ocl_evaluations_total", "OCL contract evaluations, by phase",
+            phase=phase).inc()
+        if evaluator is not None:
+            obs.metrics.counter(
+                "ocl_nodes_evaluated_total",
+                "AST nodes dispatched by the OCL interpreter, by phase",
+                phase=phase).inc(evaluator.nodes_evaluated)
+
     def check_pre(self, context: Context) -> bool:
         """Evaluate the pre-condition in the current (pre-call) state."""
+        start = self._obs.clock() if self._obs is not None else 0.0
+        evaluator = None
         if self._compiled_pre is not None:
-            return self._compiled_pre(context)
-        return Evaluator(context).evaluate_bool(self.precondition)
+            result = self._compiled_pre(context)
+        else:
+            evaluator = Evaluator(context)
+            result = evaluator.evaluate_bool(self.precondition)
+        if self._obs is not None:
+            self._record_eval("pre", start, evaluator)
+        return result
 
     def snapshot(self, context: Context) -> Snapshot:
         """Capture every ``pre()`` value the post-condition will need."""
-        return Snapshot().capture(self.postcondition, context)
+        start = self._obs.clock() if self._obs is not None else 0.0
+        snapshot = Snapshot().capture(self.postcondition, context)
+        if self._obs is not None:
+            self._record_eval("snapshot", start, None)
+        return snapshot
 
     def check_post(self, context: Context, snapshot: Snapshot) -> bool:
         """Evaluate the post-condition in the post-call state."""
+        start = self._obs.clock() if self._obs is not None else 0.0
+        evaluator = None
         if self._compiled_post is not None:
-            return self._compiled_post(context, snapshot)
-        return Evaluator(context, snapshot).evaluate_bool(self.postcondition)
+            result = self._compiled_post(context, snapshot)
+        else:
+            evaluator = Evaluator(context, snapshot)
+            result = evaluator.evaluate_bool(self.postcondition)
+        if self._obs is not None:
+            self._record_eval("post", start, evaluator)
+        return result
 
     def applicable_cases(self, context: Context) -> List[ContractCase]:
         """The cases whose pre-condition holds in *context* (pre-state)."""

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
+from ..obs import Observability, ObservabilityMiddleware
 from ..ocl import Context
 from ..ocl.values import UNDEFINED
 from ..uml import ClassDiagram, StateMachine, Trigger
@@ -76,7 +77,8 @@ class MonitorVerdict:
                  forwarded: bool, response_status: Optional[int],
                  post_holds: Optional[bool], message: str,
                  security_requirements: List[str],
-                 snapshot_bytes: int = 0):
+                 snapshot_bytes: int = 0,
+                 correlation_id: Optional[str] = None):
         self.trigger = trigger
         self.verdict = verdict
         self.pre_holds = pre_holds
@@ -86,6 +88,9 @@ class MonitorVerdict:
         self.message = message
         self.security_requirements = security_requirements
         self.snapshot_bytes = snapshot_bytes
+        #: Trace id of the request that produced this verdict; joins the
+        #: audit log with the tracer's span records.
+        self.correlation_id = correlation_id
 
     @property
     def violation(self) -> bool:
@@ -103,6 +108,7 @@ class MonitorVerdict:
             "post_holds": self.post_holds,
             "message": self.message,
             "security_requirements": self.security_requirements,
+            "correlation_id": self.correlation_id,
         }
 
     def __repr__(self) -> str:
@@ -120,13 +126,17 @@ class CloudStateProvider:
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
                  cinder_host: str = "cinder",
-                 cache_identity: bool = False):
+                 cache_identity: bool = False,
+                 observability: Optional[Observability] = None):
         self.network = network
         self.project_id = project_id
         self.keystone_host = keystone_host
         self.cinder_host = cinder_host
         #: Probe counter for the OVERHEAD bench.
         self.probe_count = 0
+        #: Optional shared observability; the owning monitor attaches its
+        #: own when the provider was built without one.
+        self.observability = observability
         #: When enabled, token introspection results are cached per token:
         #: a token's identity is immutable for its lifetime, so the probe
         #: can be paid once instead of twice per monitored request.  Role
@@ -141,6 +151,10 @@ class CloudStateProvider:
         if extra_headers:
             headers.update(extra_headers)
         self.probe_count += 1
+        if self.observability is not None:
+            self.observability.metrics.counter(
+                "monitor_probe_requests_total",
+                "GET probes issued to bind the OCL roots").inc()
         return self.network.send(Request("GET", url, headers=headers))
 
     @staticmethod
@@ -216,7 +230,15 @@ class CloudStateProvider:
     def _identity(self, token: str) -> Dict[str, Any]:
         """Resolve the requesting user via token introspection (cachable)."""
         if self.cache_identity and token in self._identity_cache:
+            if self.observability is not None:
+                self.observability.metrics.counter(
+                    "monitor_identity_cache_hits_total",
+                    "Token introspections answered from the cache").inc()
             return dict(self._identity_cache[token])
+        if self.cache_identity and self.observability is not None:
+            self.observability.metrics.counter(
+                "monitor_identity_cache_misses_total",
+                "Token introspections that had to probe Keystone").inc()
         user: Dict[str, Any] = {}
         whoami_body = self.probe_body(self._get(
             token, f"http://{self.keystone_host}/v3/auth/tokens",
@@ -311,7 +333,8 @@ class CloudMonitor:
                  operations: Iterable[MonitoredOperation],
                  enforcing: bool = True,
                  coverage: Optional[CoverageTracker] = None,
-                 mirror: Optional["MirrorDatabase"] = None):
+                 mirror: Optional["MirrorDatabase"] = None,
+                 observability: Optional[Observability] = None):
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
@@ -320,11 +343,24 @@ class CloudMonitor:
         #: Optional local copy of the monitored resources (the runtime
         #: analogue of the generated models.py tables).
         self.mirror = mirror
+        #: Metrics + tracer + clock shared with the provider, the network,
+        #: and the contracts; pass a ManualClock-backed Observability for
+        #: deterministic timings.
+        self.obs = observability if observability is not None \
+            else Observability()
+        if self.provider.observability is None:
+            self.provider.observability = self.obs
+        if self.provider.network.observability is None:
+            self.provider.network.attach_observability(self.obs)
+        for contract in self.contracts.values():
+            contract.instrument(self.obs)
         #: Every verdict, in arrival order -- the validation log
         #: ("the invocation results can be logged for further fault
         #: localization", Section III-B).
         self.log: List[MonitorVerdict] = []
         self.app = Application("cmonitor")
+        self.app.add_middleware(
+            ObservabilityMiddleware(self.obs, app_name="cmonitor"))
         self._install_routes()
 
     # -- construction ------------------------------------------------------------
@@ -337,7 +373,9 @@ class CloudMonitor:
                    coverage: Optional[CoverageTracker] = None,
                    cinder_host: str = "cinder",
                    with_mirror: bool = False,
-                   compiled: bool = False) -> "CloudMonitor":
+                   compiled: bool = False,
+                   observability: Optional[Observability] = None,
+                   ) -> "CloudMonitor":
         """Assemble the paper's monitor for the Cinder volume scenario.
 
         Builds the Figure-3 models (unless given), generates the contracts,
@@ -363,7 +401,8 @@ class CloudMonitor:
             coverage = CoverageTracker(machine.security_requirement_ids())
         mirror = MirrorDatabase(diagram) if with_mirror else None
         return cls(contracts, provider, operations,
-                   enforcing=enforcing, coverage=coverage, mirror=mirror)
+                   enforcing=enforcing, coverage=coverage, mirror=mirror,
+                   observability=observability)
 
     def _install_routes(self) -> None:
         by_path: Dict[str, List[MonitoredOperation]] = {}
@@ -375,6 +414,18 @@ class CloudMonitor:
                 self._make_view({op.trigger.method: op for op in operations}),
                 name=monitor_path,
             ))
+        # Operational endpoint (outside the monitored namespace): the
+        # metrics exposition, Prometheus text by default, ?format=json for
+        # the structured document including retained traces.
+        self.app.add_route(path("-/metrics", self._metrics_view,
+                                name="metrics", methods=("GET",)))
+
+    def _metrics_view(self, request: Request, **kwargs) -> Response:
+        if request.params.get("format") == "json":
+            return Response.json_response(self.obs.export_json())
+        text = self.obs.export_prometheus()
+        return Response(200, text.encode(), headers={
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8"})
 
     def _make_view(self, by_method: Dict[str, "MonitoredOperation"]):
         def view(request: Request, **kwargs) -> Response:
@@ -390,7 +441,13 @@ class CloudMonitor:
 
     def monitor_request(self, operation: MonitoredOperation,
                         request: Request) -> Tuple[Response, MonitorVerdict]:
-        """Run one request through pre-check, forward, post-check."""
+        """Run one request through pre-check, forward, post-check.
+
+        Every stage is wrapped in a trace span (``pre_probe``,
+        ``pre_eval``, ``snapshot``, ``forward``, ``post_probe``,
+        ``post_eval``); the finished trace feeds the per-stage latency
+        histograms and its id becomes the verdict's correlation id.
+        """
         token = request.auth_token or ""
         contract = self.contracts.get(operation.trigger)
         if contract is None:
@@ -398,10 +455,16 @@ class CloudMonitor:
                 f"no contract generated for {operation.trigger}")
         item_id = next(iter(request.path_args.values()), None)
 
+        trace = self.obs.tracer.begin(str(operation.trigger))
+        trace.set_tag("method", operation.trigger.method)
+        trace.set_tag("resource", operation.trigger.resource)
+
         # (1)-(2) probe pre-state and check the pre-condition.
-        pre_context = self.provider.context(token, item_id)
-        pre_holds = contract.check_pre(pre_context)
-        applicable = contract.applicable_cases(pre_context)
+        with trace.span("pre_probe"):
+            pre_context = self.provider.context(token, item_id)
+        with trace.span("pre_eval"):
+            pre_holds = contract.check_pre(pre_context)
+            applicable = contract.applicable_cases(pre_context)
         requirements = self._requirements(contract, applicable)
 
         if not pre_holds and self.enforcing:
@@ -410,11 +473,13 @@ class CloudMonitor:
                     operation.trigger, Verdict.PRE_BLOCKED, False, False,
                     None, None,
                     "pre-condition failed; request not forwarded",
-                    requirements))
+                    requirements),
+                trace)
             return self._invalid_response(412, verdict), verdict
 
         # (3) snapshot the old values the post-condition references.
-        snapshot = contract.snapshot(pre_context)
+        with trace.span("snapshot"):
+            snapshot = contract.snapshot(pre_context)
 
         # (4) forward to the private cloud.
         forwarded = request.copy()
@@ -422,7 +487,9 @@ class CloudMonitor:
         forward_request = Request(request.method, forwarded_url,
                                   body=request.body)
         forward_request.headers = request.headers.copy()
-        cloud_response = self.provider.network.send(forward_request)
+        with trace.span("forward") as forward_span:
+            cloud_response = self.provider.network.send(forward_request)
+            forward_span.tags["status"] = cloud_response.status_code
         accepted = cloud_response.status_code in operation.expected_codes
         succeeded = status.is_success(cloud_response.status_code)
 
@@ -434,13 +501,13 @@ class CloudMonitor:
                     cloud_response.status_code, None,
                     "cloud accepted a request whose pre-condition is false "
                     "(privilege escalation or missing check)",
-                    requirements))
+                    requirements), trace)
                 return self._invalid_response(502, verdict), verdict
             verdict = self._finish(MonitorVerdict(
                 operation.trigger, Verdict.INVALID_AGREED, False, True,
                 cloud_response.status_code, None,
                 "pre-condition false and cloud rejected the request",
-                requirements))
+                requirements), trace)
             return cloud_response, verdict
 
         if not succeeded:
@@ -449,32 +516,34 @@ class CloudMonitor:
                 cloud_response.status_code, None,
                 "cloud rejected a request whose pre-condition holds "
                 "(authorized user denied or wrong functional check)",
-                requirements))
+                requirements), trace)
             return self._invalid_response(502, verdict), verdict
 
-        post_context = self.provider.context(token, item_id)
-        post_holds = contract.check_post(post_context, snapshot)
+        with trace.span("post_probe"):
+            post_context = self.provider.context(token, item_id)
+        with trace.span("post_eval"):
+            post_holds = contract.check_post(post_context, snapshot)
         if not accepted:
             verdict = self._finish(MonitorVerdict(
                 operation.trigger, Verdict.POST_VIOLATION, True, True,
                 cloud_response.status_code, post_holds,
                 f"unexpected status code {cloud_response.status_code}; "
                 f"expected one of {operation.expected_codes}",
-                requirements, snapshot_bytes=snapshot.storage_bytes))
+                requirements, snapshot_bytes=snapshot.storage_bytes), trace)
             return self._invalid_response(502, verdict), verdict
         if not post_holds:
             verdict = self._finish(MonitorVerdict(
                 operation.trigger, Verdict.POST_VIOLATION, True, True,
                 cloud_response.status_code, False,
                 "post-condition failed after a successful request",
-                requirements, snapshot_bytes=snapshot.storage_bytes))
+                requirements, snapshot_bytes=snapshot.storage_bytes), trace)
             return self._invalid_response(502, verdict), verdict
 
         verdict = self._finish(MonitorVerdict(
             operation.trigger, Verdict.VALID, True, True,
             cloud_response.status_code, True,
             "pre- and post-conditions hold",
-            requirements, snapshot_bytes=snapshot.storage_bytes))
+            requirements, snapshot_bytes=snapshot.storage_bytes), trace)
         if self.mirror is not None:
             try:
                 body = cloud_response.json()
@@ -495,12 +564,48 @@ class CloudMonitor:
             return list(seen)
         return contract.security_requirements
 
-    def _finish(self, verdict: MonitorVerdict) -> MonitorVerdict:
+    def _finish(self, verdict: MonitorVerdict,
+                trace=None) -> MonitorVerdict:
+        if trace is not None:
+            verdict.correlation_id = trace.trace_id
+            trace.set_tag("verdict", verdict.verdict)
+            self.obs.tracer.finish(trace)
+            self._record_metrics(verdict, trace)
         self.log.append(verdict)
         if self.coverage is not None:
             self.coverage.record(verdict.security_requirements,
                                  passed=not verdict.violation)
         return verdict
+
+    def _record_metrics(self, verdict: MonitorVerdict, trace) -> None:
+        metrics = self.obs.metrics
+        metrics.counter(
+            "monitor_requests_total", "Requests run through the Figure-2 "
+            "workflow").inc()
+        metrics.counter(
+            "monitor_verdicts_total", "Verdicts by outcome",
+            verdict=verdict.verdict).inc()
+        if verdict.violation:
+            metrics.counter(
+                "monitor_violations_total",
+                "Verdicts where the cloud contradicted the contract").inc()
+        if verdict.verdict == Verdict.PRE_BLOCKED:
+            metrics.counter(
+                "monitor_blocked_total",
+                "Requests blocked in enforcing mode (412)").inc()
+        metrics.counter(
+            "monitor_snapshot_bytes_total",
+            "Bytes of pre() old values stored across all requests").inc(
+                verdict.snapshot_bytes)
+        metrics.histogram(
+            "monitor_request_seconds",
+            "End-to-end latency of one monitored request",
+            operation=str(verdict.trigger)).observe(trace.duration)
+        for span in trace.spans:
+            metrics.histogram(
+                "monitor_stage_seconds",
+                "Latency of one Figure-2 stage",
+                stage=span.name).observe(span.duration)
 
     @staticmethod
     def _invalid_response(code: int, verdict: MonitorVerdict) -> Response:

@@ -80,3 +80,8 @@ class QuotaExceeded(CloudError):
 
 class ValidationError(ReproError):
     """The mutation-validation campaign was misconfigured."""
+
+
+class MetricsError(ReproError):
+    """An observability metric was used inconsistently (type or label clash,
+    negative counter increment, incompatible histogram merge)."""

@@ -22,9 +22,19 @@ FaultHook = Callable[[Request], Optional[Response]]
 class Network:
     """Routes absolute-URL requests to registered applications by host."""
 
-    def __init__(self):
+    def __init__(self, observability=None):
         self._hosts: Dict[str, Application] = {}
         self._faults: Dict[str, FaultHook] = {}
+        #: Optional :class:`repro.obs.Observability`; when attached,
+        #: :meth:`send` records per-host request counters.
+        self.observability = observability
+
+    def attach_observability(self, observability) -> None:
+        """Report per-host traffic into *observability*'s metrics registry.
+
+        Attaching is idempotent and last-wins; detach with ``None``.
+        """
+        self.observability = observability
 
     def register(self, host: str, app: Application) -> None:
         """Bind *app* to *host* (e.g. ``"cloud"`` or ``"130.232.85.9"``)."""
@@ -67,11 +77,27 @@ class Network:
         unreachable server.
         """
         host = request.host
+        obs = self.observability
+        if obs is not None:
+            obs.metrics.counter(
+                "network_requests_total",
+                "Requests delivered through the virtual network, by host",
+                host=host).inc()
         if host not in self._hosts:
+            if obs is not None:
+                obs.metrics.counter(
+                    "network_unreachable_total",
+                    "Requests to hosts with no registered application",
+                    host=host).inc()
             return Response.error(502, f"host {host!r} unreachable")
         hook = self._faults.get(host)
         if hook is not None:
             short = hook(request)
             if short is not None:
+                if obs is not None:
+                    obs.metrics.counter(
+                        "network_fault_short_circuits_total",
+                        "Requests answered by an injected fault hook",
+                        host=host).inc()
                 return short
         return self._hosts[host].handle(request)

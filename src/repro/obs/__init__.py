@@ -1,0 +1,73 @@
+"""Observability for the monitor pipeline: metrics, traces, exporters.
+
+The paper reports the monitor's overhead as one end-to-end number
+(Section VII); a production deployment needs to see *where* each
+millisecond of a monitored request goes.  This package provides:
+
+* :mod:`repro.obs.clock` -- injectable monotonic clocks, including a
+  :class:`~repro.obs.clock.ManualClock` that makes every timing
+  deterministic in tests,
+* :mod:`repro.obs.metrics` -- counters, gauges, and histograms with
+  streaming percentile summaries, collected in a
+  :class:`~repro.obs.metrics.MetricsRegistry`,
+* :mod:`repro.obs.tracing` -- per-request traces with one span per stage
+  of the Figure-2 workflow (``pre_probe``, ``pre_eval``, ``forward``,
+  ``snapshot``, ``post_probe``, ``post_eval``),
+* :mod:`repro.obs.exporters` -- Prometheus text exposition and JSON,
+* :mod:`repro.obs.middleware` -- request metrics for any
+  :class:`~repro.httpsim.app.Application`.
+
+:class:`Observability` bundles one registry, one tracer, and one clock so
+the monitor, the state provider, and the network all report into the same
+place.
+"""
+
+from .clock import Clock, ManualClock, system_clock
+from .exporters import render_json, render_prometheus
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .middleware import ObservabilityMiddleware
+from .tracing import Span, Trace, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityMiddleware",
+    "Span",
+    "Trace",
+    "Tracer",
+    "render_json",
+    "render_prometheus",
+    "system_clock",
+]
+
+
+class Observability:
+    """One registry + tracer + clock shared by all instrumented components.
+
+    Passing a :class:`~repro.obs.clock.ManualClock` makes every recorded
+    duration deterministic -- the configuration the observability tests
+    and ``cloudmon metrics --deterministic`` use.
+    """
+
+    def __init__(self, clock: Clock = None):
+        self.clock: Clock = clock if clock is not None else system_clock
+        self.metrics = MetricsRegistry(clock=self.clock)
+        self.tracer = Tracer(clock=self.clock)
+
+    def export_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return render_prometheus(self.metrics)
+
+    def export_json(self, with_traces: bool = True) -> dict:
+        """The registry (and optionally finished traces) as a JSON document."""
+        return render_json(self.metrics,
+                           self.tracer if with_traces else None)
+
+    def __repr__(self) -> str:
+        return (f"<Observability metrics={len(self.metrics)} "
+                f"traces={len(self.tracer.finished)}>")

@@ -1,0 +1,56 @@
+"""Injectable monotonic clocks.
+
+Every duration the observability subsystem records comes from a *clock*: a
+zero-argument callable returning monotonic seconds as a float.  Production
+code uses :func:`system_clock` (``time.perf_counter``); tests inject a
+:class:`ManualClock` so span durations and histogram contents are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A monotonic time source: call it, get seconds as a float.
+Clock = Callable[[], float]
+
+#: The production clock.
+system_clock: Clock = time.perf_counter
+
+
+class ManualClock:
+    """A deterministic clock advanced by the test, not by wall time.
+
+    Each call returns the current reading and then advances it by *tick*
+    (default 0: the clock is frozen until :meth:`advance` is called).  A
+    non-zero tick makes nested measurements deterministic without any
+    explicit advancing: every observation of the clock moves time forward
+    by exactly one tick.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now = float(start)
+        self.tick = float(tick)
+        #: Number of times the clock has been read.
+        self.reads = 0
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self.tick
+        self.reads += 1
+        return now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+
+    @property
+    def now(self) -> float:
+        """The current reading, without advancing."""
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"<ManualClock now={self._now} tick={self.tick}>"

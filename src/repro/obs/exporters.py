@@ -1,0 +1,99 @@
+"""Exporters: Prometheus text exposition and a JSON document.
+
+:func:`render_prometheus` emits the text format scraped by Prometheus
+(``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with the
+``le`` label, ``_sum`` and ``_count``).  :func:`render_json` produces a
+structured document carrying the same data plus percentile summaries and,
+optionally, the tracer's retained traces -- the shape the ``/-/metrics``
+route and ``cloudmon metrics --json`` return.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .metrics import Counter, Gauge, Histogram, LabelSet, MetricsRegistry
+from .tracing import Tracer
+
+
+def _format_value(value: float) -> str:
+    """Integral floats render as integers, like Prometheus clients do."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _label_text(labels: LabelSet, extra: str = "") -> str:
+    parts = [f'{key}="{_escape(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _bound_text(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry:
+        lines.append(f"# HELP {family.name} {family.help or family.name}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, metric in sorted(family.series.items()):
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds,
+                                        metric.bucket_counts):
+                    cumulative += count
+                    label_text = _label_text(
+                        labels, f'le="{_bound_text(bound)}"')
+                    lines.append(f"{family.name}_bucket{label_text} "
+                                 f"{cumulative}")
+                label_text = _label_text(labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{label_text} "
+                             f"{metric.count}")
+                lines.append(f"{family.name}_sum{_label_text(labels)} "
+                             f"{_format_value(metric.sum)}")
+                lines.append(f"{family.name}_count{_label_text(labels)} "
+                             f"{metric.count}")
+            else:
+                lines.append(f"{family.name}{_label_text(labels)} "
+                             f"{_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry,
+                tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The registry (and optionally the tracer) as a JSON-ready document."""
+    families: List[Dict[str, Any]] = []
+    for family in registry:
+        series: List[Dict[str, Any]] = []
+        for labels, metric in sorted(family.series.items()):
+            entry: Dict[str, Any] = {"labels": dict(labels)}
+            if isinstance(metric, Histogram):
+                entry["summary"] = metric.summary()
+                entry["buckets"] = [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(metric.bounds,
+                                            metric.bucket_counts)]
+                entry["buckets"].append(
+                    {"le": "+Inf", "count": metric.bucket_counts[-1]})
+            elif isinstance(metric, (Counter, Gauge)):
+                entry["value"] = metric.value
+            series.append(entry)
+        families.append({
+            "name": family.name,
+            "type": family.kind,
+            "help": family.help,
+            "series": series,
+        })
+    document: Dict[str, Any] = {"metrics": families}
+    if tracer is not None:
+        document["traces"] = tracer.to_dicts()
+    return document

@@ -1,0 +1,339 @@
+"""Counters, gauges, and histograms with streaming percentile summaries.
+
+The model follows the Prometheus data model: a *metric family* has a name,
+a type, and help text; each combination of label values is one *series*
+(one :class:`Counter` / :class:`Gauge` / :class:`Histogram` instance).
+Histograms use fixed cumulative buckets, so
+
+* percentile estimation is *streaming*: memory is O(buckets), not
+  O(observations),
+* estimated percentiles are monotone in the quantile by construction, and
+* merging two histograms (e.g. from sharded monitors) is a bucket-wise
+  sum, which makes the merge operation associative and commutative --
+  properties the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import MetricsError
+from .clock import Clock, system_clock
+
+#: Label values keyed by label name, frozen into a sort-stable tuple.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing count (requests, probes, faults)."""
+
+    def __init__(self):
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise MetricsError(
+                f"counters are monotone; cannot add {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self._value}>"
+
+
+class Gauge:
+    """A value that can go up and down (cache size, in-flight requests)."""
+
+    def __init__(self):
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount*."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self._value}>"
+
+
+#: Default latency buckets, in seconds: 10us .. 10s, roughly logarithmic.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming percentile estimates.
+
+    *bounds* are the inclusive upper bounds of the finite buckets; an
+    implicit ``+inf`` bucket catches everything larger.  The histogram
+    additionally tracks count, sum, min, and max, so exact averages and
+    exact extremes survive even though individual observations are not
+    retained.
+    """
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        if bounds is None:
+            bounds = DEFAULT_BUCKETS
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise MetricsError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(cleaned, cleaned[1:])):
+            raise MetricsError(
+                f"bucket bounds must be strictly increasing: {cleaned}")
+        self.bounds: Tuple[float, ...] = cleaned
+        #: Per-bucket observation counts; index ``len(bounds)`` is +inf.
+        self.bucket_counts: List[int] = [0] * (len(cleaned) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """Streaming estimate of the *quantile* (in [0, 1]) value.
+
+        The estimate is the upper bound of the bucket holding the rank
+        (clamped to the exact observed min/max), so for ``q1 <= q2``
+        it always holds that ``percentile(q1) <= percentile(q2)``.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {quantile}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(quantile * self.count))
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i == len(self.bounds):  # the +inf bucket
+                    return float(self.max)
+                estimate = self.bounds[i]
+                # Clamp into the exact observed range: tighter than the
+                # bucket bound and still monotone in the quantile.
+                return min(max(estimate, self.min), self.max)
+        return float(self.max)  # pragma: no cover - counts always reach rank
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean/min/max plus the p50, p90, p95, p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding the observations of both operands.
+
+        Bucket-wise addition: associative and commutative, so histograms
+        from any number of shards can be combined in any order.  Both
+        operands must use identical bucket bounds.
+        """
+        if self.bounds != other.bounds:
+            raise MetricsError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}")
+        merged = Histogram(self.bounds)
+        merged.bucket_counts = [a + b for a, b in
+                                zip(self.bucket_counts, other.bucket_counts)]
+        merged.count = self.count + other.count
+        merged.sum = self.sum + other.sum
+        for value in (self.min, other.min):
+            if value is not None:
+                merged.min = value if merged.min is None else min(merged.min,
+                                                                  value)
+        for value in (self.max, other.max):
+            if value is not None:
+                merged.max = value if merged.max is None else max(merged.max,
+                                                                  value)
+        return merged
+
+    def state(self) -> Tuple:
+        """A comparable snapshot of the full histogram state (for tests)."""
+        return (self.bounds, tuple(self.bucket_counts), self.count, self.sum,
+                self.min, self.max)
+
+    def __repr__(self) -> str:
+        return f"<Histogram count={self.count} sum={self.sum:.6g}>"
+
+
+class MetricFamily:
+    """All series of one metric name: type, help, and per-label instances."""
+
+    def __init__(self, name: str, kind: str, help_text: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.series: Dict[LabelSet, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"<MetricFamily {self.name} {self.kind} series={len(self.series)}>"
+
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricsRegistry:
+    """Get-or-create access to metric families, keyed by name + labels.
+
+    The registry enforces Prometheus-style consistency: one name maps to
+    one metric type, and (for histograms) one bucket layout.  All
+    accessors are get-or-create, so instrumented code never has to
+    pre-register anything.
+    """
+
+    def __init__(self, clock: Clock = None):
+        self.clock: Clock = clock if clock is not None else system_clock
+        self.families: Dict[str, MetricFamily] = {}
+
+    def _series(self, name: str, kind: str, help_text: str,
+                labels: Dict[str, Any], factory) -> Any:
+        if not name or set(name) - _NAME_OK:
+            raise MetricsError(f"invalid metric name {name!r}")
+        family = self.families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_text)
+            self.families[name] = family
+        elif family.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"cannot reuse it as {kind}")
+        if help_text and not family.help:
+            family.help = help_text
+        key = _freeze_labels(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = factory()
+            family.series[key] = series
+        return series
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """The counter *name* for the given label values (get-or-create)."""
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """The gauge *name* for the given label values (get-or-create)."""
+        return self._series(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        """The histogram *name* for the given label values (get-or-create)."""
+        series = self._series(name, "histogram", help, labels,
+                              lambda: Histogram(buckets))
+        if buckets is not None and series.bounds != tuple(
+                float(b) for b in buckets):
+            raise MetricsError(
+                f"histogram {name!r} already registered with buckets "
+                f"{series.bounds}")
+        return series
+
+    def time(self, name: str, help: str = "", **labels: Any) -> "_Timer":
+        """Context manager observing its elapsed time into histogram *name*."""
+        return _Timer(self.histogram(name, help, **labels), self.clock)
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, name: str, **labels: Any):
+        """The existing series for *name* + *labels*, or ``None``."""
+        family = self.families.get(name)
+        if family is None:
+            return None
+        return family.series.get(_freeze_labels(labels))
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Value of a counter/gauge series, 0.0 when it was never touched."""
+        series = self.get(name, **labels)
+        return series.value if series is not None else 0.0
+
+    def series(self, name: str) -> List[Tuple[LabelSet, Any]]:
+        """Every (labels, metric) pair of family *name*, label-sorted."""
+        family = self.families.get(name)
+        if family is None:
+            return []
+        return sorted(family.series.items())
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family's values across all label sets."""
+        return sum(metric.value for _, metric in self.series(name))
+
+    def __len__(self) -> int:
+        return sum(len(family.series) for family in self.families.values())
+
+    def __iter__(self) -> Iterable[MetricFamily]:
+        return iter(sorted(self.families.values(), key=lambda f: f.name))
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry families={len(self.families)} "
+                f"series={len(self)}>")
+
+
+class _Timer:
+    """Times a ``with`` block into a histogram using the registry clock."""
+
+    def __init__(self, histogram: Histogram, clock: Clock):
+        self.histogram = histogram
+        self.clock = clock
+        self.elapsed: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Timer":
+        self._start = self.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self.clock() - self._start
+        self.histogram.observe(self.elapsed)

@@ -1,0 +1,52 @@
+"""Request observability for any :class:`~repro.httpsim.app.Application`.
+
+``ObservabilityMiddleware`` is the drop-in layer that gives a simulated
+service (or the monitor app itself) the standard HTTP metrics:
+
+* ``http_requests_total{app,method,status}`` -- a counter per outcome,
+* ``http_request_seconds{app}`` -- a latency histogram timed with the
+  observability clock, so tests with a ManualClock see exact durations,
+* ``http_requests_in_flight{app}`` -- a gauge of concurrently handled
+  requests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..httpsim.message import Request, Response
+from ..httpsim.middleware import Middleware
+
+
+class ObservabilityMiddleware(Middleware):
+    """Records request count, latency, and in-flight gauge for one app."""
+
+    def __init__(self, observability, app_name: str = "app"):
+        self.obs = observability
+        self.app_name = app_name
+        self._starts: List[float] = []
+
+    def process_request(self, request: Request) -> Optional[Response]:
+        self._starts.append(self.obs.clock())
+        self.obs.metrics.gauge(
+            "http_requests_in_flight",
+            "Requests currently being handled",
+            app=self.app_name).inc()
+        return None
+
+    def process_response(self, request: Request,
+                         response: Response) -> Response:
+        started = self._starts.pop() if self._starts else self.obs.clock()
+        elapsed = self.obs.clock() - started
+        self.obs.metrics.gauge(
+            "http_requests_in_flight",
+            "Requests currently being handled",
+            app=self.app_name).dec()
+        self.obs.metrics.counter(
+            "http_requests_total", "Requests handled, by method and status",
+            app=self.app_name, method=request.method,
+            status=str(response.status_code)).inc()
+        self.obs.metrics.histogram(
+            "http_request_seconds", "Request handling latency",
+            app=self.app_name).observe(elapsed)
+        return response

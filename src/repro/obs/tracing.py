@@ -1,0 +1,162 @@
+"""Per-request traces: one span per stage of the Figure-2 workflow.
+
+A :class:`Trace` is the timing record of one monitored request; its spans
+are named after the pipeline stages (``pre_probe``, ``pre_eval``,
+``snapshot``, ``forward``, ``post_probe``, ``post_eval``).  Trace ids are
+sequential (``t-000001``, ...) rather than random so runs are reproducible
+and the id doubles as the audit-log correlation id: given a verdict line,
+``t-000042`` points at the exact trace (and vice versa).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .clock import Clock, system_clock
+
+
+class Span:
+    """One timed stage inside a trace."""
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        #: "ok", or "error" when the stage raised.
+        self.status = "ok"
+        self.tags: Dict[str, Any] = {}
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.tags:
+            record["tags"] = dict(self.tags)
+        return record
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.duration:.6f}s {self.status}>"
+
+
+class _SpanContext:
+    """Context manager closing a span on exit, flagging exceptions."""
+
+    def __init__(self, trace: "Trace", span: Span):
+        self._trace = trace
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.tags.setdefault("error", str(exc))
+        self.span.end = self._trace._clock()
+
+
+class Trace:
+    """The spans and tags of one monitored request."""
+
+    def __init__(self, trace_id: str, name: str, clock: Clock):
+        self.trace_id = trace_id
+        self.name = name
+        self._clock = clock
+        self.start = clock()
+        self.end: Optional[float] = None
+        self.spans: List[Span] = []
+        self.tags: Dict[str, Any] = {}
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a stage span; use as ``with trace.span("forward"):``."""
+        span = Span(name, self._clock())
+        self.spans.append(span)
+        return _SpanContext(self, span)
+
+    def set_tag(self, key: str, value: Any) -> None:
+        """Attach a key/value annotation to the whole trace."""
+        self.tags[key] = value
+
+    def span_named(self, name: str) -> Optional[Span]:
+        """The first span called *name*, or ``None``."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds from trace start to finish (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: id, name, timing, tags, spans."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Trace {self.trace_id} {self.name} spans={len(self.spans)}>"
+
+
+class Tracer:
+    """Creates traces and keeps a bounded ring of finished ones.
+
+    *keep* bounds memory under heavy traffic: only the most recent *keep*
+    finished traces are retained (the metrics registry keeps the
+    aggregates forever, so nothing quantitative is lost).
+    """
+
+    def __init__(self, clock: Clock = None, keep: int = 256):
+        self.clock: Clock = clock if clock is not None else system_clock
+        self.finished: Deque[Trace] = deque(maxlen=keep)
+        self._sequence = 0
+        #: Total traces ever started (not bounded by *keep*).
+        self.started_count = 0
+
+    def begin(self, name: str) -> Trace:
+        """Start a new trace with the next sequential id."""
+        self._sequence += 1
+        self.started_count += 1
+        return Trace(f"t-{self._sequence:06d}", name, self.clock)
+
+    def finish(self, trace: Trace) -> Trace:
+        """Close *trace* and retain it in the finished ring."""
+        if trace.end is None:
+            trace.end = self.clock()
+        self.finished.append(trace)
+        return trace
+
+    def find(self, trace_id: str) -> Optional[Trace]:
+        """The retained finished trace with *trace_id*, or ``None``."""
+        for trace in self.finished:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Every retained finished trace, JSON-ready, oldest first."""
+        return [trace.to_dict() for trace in self.finished]
+
+    def __repr__(self) -> str:
+        return (f"<Tracer finished={len(self.finished)} "
+                f"started={self.started_count}>")

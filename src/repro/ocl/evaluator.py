@@ -111,11 +111,19 @@ class Snapshot:
 
 
 class Evaluator:
-    """Evaluates parsed OCL expressions in a :class:`Context`."""
+    """Evaluates parsed OCL expressions in a :class:`Context`.
+
+    The evaluator counts every node it dispatches in
+    :attr:`nodes_evaluated`; instrumented callers (the contract layer)
+    export the count as the ``ocl_nodes_evaluated_total`` metric, giving a
+    clock-independent measure of evaluation work per request.
+    """
 
     def __init__(self, context: Context, snapshot: Optional[Snapshot] = None):
         self.context = context
         self.snapshot = snapshot
+        #: AST nodes dispatched by this evaluator instance.
+        self.nodes_evaluated = 0
 
     def evaluate(self, expression: Union[str, Expression]) -> Any:
         """Evaluate *expression* (text or AST) to a value."""
@@ -128,6 +136,7 @@ class Evaluator:
     # -- node dispatch -----------------------------------------------------
 
     def _eval(self, node: Expression, context: Context) -> Any:
+        self.nodes_evaluated += 1
         if isinstance(node, Literal):
             return node.value
         if isinstance(node, Name):

@@ -43,6 +43,12 @@ def _name_part(ch: str) -> bool:
     return ch.isalnum() or ch == "_"
 
 
+def _is_digit(ch: str) -> bool:
+    # str.isdigit() also accepts superscripts like '²' which int() rejects;
+    # number literals must stick to characters int()/float() understand.
+    return "0" <= ch <= "9"
+
+
 def _scan(source: str) -> Iterator[Token]:
     index = 0
     line = 1
@@ -64,17 +70,17 @@ def _scan(source: str) -> Iterator[Token]:
             kind = "KEYWORD" if text in KEYWORDS else "NAME"
             yield Token(kind, text, start, line)
             continue
-        if ch.isdigit():
+        if _is_digit(ch):
             start = index
-            while index < length and source[index].isdigit():
+            while index < length and _is_digit(source[index]):
                 index += 1
             if (
                 index + 1 < length
                 and source[index] == "."
-                and source[index + 1].isdigit()
+                and _is_digit(source[index + 1])
             ):
                 index += 1
-                while index < length and source[index].isdigit():
+                while index < length and _is_digit(source[index]):
                     index += 1
                 yield Token("REAL", source[start:index], start, line)
             else:

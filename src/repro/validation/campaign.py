@@ -25,16 +25,20 @@ SetupFactory = Callable[[], Tuple[PrivateCloud, CloudMonitor]]
 
 
 def default_setup(enforcing: bool = False,
-                  volume_quota: int = 5) -> Tuple[PrivateCloud, CloudMonitor]:
+                  volume_quota: int = 5,
+                  observability=None) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper's setup: myProject cloud + Cinder monitor in audit mode.
 
     Audit mode is the test-oracle configuration: requests are forwarded
     even when the pre-condition fails, so wrong *acceptance* by the cloud
-    is observable (that is how escalation mutants die).
+    is observable (that is how escalation mutants die).  Pass an
+    :class:`repro.obs.Observability` to collect the session's metrics and
+    traces under an injected clock.
     """
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
     monitor = CloudMonitor.for_cinder(cloud.network, "myProject",
-                                      enforcing=enforcing)
+                                      enforcing=enforcing,
+                                      observability=observability)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
 

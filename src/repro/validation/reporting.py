@@ -42,6 +42,27 @@ def _coverage_table(coverage: CoverageTracker) -> str:
     return "\n".join(lines)
 
 
+def _latency_section(monitor: CloudMonitor) -> Optional[str]:
+    """Per-stage latency table from the monitor's metrics, if any."""
+    series = monitor.obs.metrics.series("monitor_stage_seconds")
+    if not series:
+        return None
+    lines = ["| stage | count | mean | p50 | p95 | max |",
+             "|---|---|---|---|---|---|"]
+    for labels, histogram in series:
+        stage = dict(labels).get("stage", "?")
+        summary = histogram.summary()
+        lines.append(
+            f"| {stage} | {summary['count']} "
+            f"| {summary['mean'] * 1000:.3f} ms "
+            f"| {summary['p50'] * 1000:.3f} ms "
+            f"| {summary['p95'] * 1000:.3f} ms "
+            f"| {summary['max'] * 1000:.3f} ms |")
+    probes = monitor.obs.metrics.counter_value("monitor_probe_requests_total")
+    lines.append(f"\nState probes issued: {int(probes)}.")
+    return "\n".join(lines)
+
+
 def _campaign_section(result: CampaignResult) -> str:
     lines = [
         "| mutant | category | killed | violations | implicated SecReqs |",
@@ -84,6 +105,12 @@ def session_report(monitor: Optional[CloudMonitor] = None,
             sections.append("## Security-requirement coverage")
             sections.append("")
             sections.append(_coverage_table(monitor.coverage))
+            sections.append("")
+        latency = _latency_section(monitor)
+        if latency is not None:
+            sections.append("## Stage latency")
+            sections.append("")
+            sections.append(latency)
             sections.append("")
         if monitor.violations():
             sections.append("## Fault localization")

@@ -1,13 +1,15 @@
 """Tests for audit-log persistence and the cached-identity provider."""
 
 import io
+import json
 
 import pytest
 
 from repro.cloud import PrivateCloud, paper_mutants
 from repro.core import CloudMonitor, read_log, write_log
 from repro.core.auditlog import verdict_from_json, verdict_to_json
-from repro.core.monitor import CloudStateProvider
+from repro.core.monitor import CloudStateProvider, MonitorVerdict
+from repro.uml import Trigger
 from repro.errors import MonitorError
 from repro.validation import TestOracle, default_setup, localize
 
@@ -68,6 +70,56 @@ class TestRoundTrip:
             verdict_from_json("{not json")
         with pytest.raises(MonitorError):
             verdict_from_json('{"operation": "nonsense"}')
+
+    def test_snapshot_bytes_round_trip_exact(self):
+        monitor = run_session()
+        for original in monitor.log:
+            restored = verdict_from_json(verdict_to_json(original))
+            assert restored.snapshot_bytes == original.snapshot_bytes
+        assert any(v.snapshot_bytes > 0 for v in monitor.log)
+
+    def test_non_ascii_reason_round_trip(self):
+        verdict = MonitorVerdict(
+            trigger=Trigger("POST", "volumes"),
+            verdict="pre-blocked",
+            pre_holds=False,
+            forwarded=False,
+            response_status=None,
+            post_holds=None,
+            message="quota dépassée — объём ≥ 5 ✗",
+            security_requirements=["SR1"],
+            snapshot_bytes=0,
+        )
+        line = verdict_to_json(verdict)
+        restored = verdict_from_json(line)
+        assert restored.message == "quota dépassée — объём ≥ 5 ✗"
+        # The wire format stays valid JSONL whatever the encoding path.
+        restored_again = verdict_from_json(
+            line.encode("utf-8").decode("utf-8"))
+        assert restored_again.message == restored.message
+
+    def test_correlation_id_round_trip(self):
+        monitor = run_session()
+        for original in monitor.log:
+            assert original.correlation_id is not None
+            restored = verdict_from_json(verdict_to_json(original))
+            assert restored.correlation_id == original.correlation_id
+
+    def test_legacy_line_without_correlation_id(self):
+        monitor = run_session()
+        record = json.loads(verdict_to_json(monitor.log[0]))
+        del record["correlation_id"]
+        restored = verdict_from_json(json.dumps(record))
+        assert restored.correlation_id is None
+        assert restored.verdict == monitor.log[0].verdict
+
+    def test_file_round_trip_preserves_correlation_ids(self, tmp_path):
+        monitor = run_session()
+        target = str(tmp_path / "audit.jsonl")
+        write_log(monitor.log, target)
+        restored = read_log(target)
+        assert [v.correlation_id for v in restored] == \
+            [v.correlation_id for v in monitor.log]
 
     def test_loaded_log_feeds_localizer(self, tmp_path):
         monitor = run_session(mutant=paper_mutants()[0])

@@ -194,6 +194,63 @@ class TestNetwork:
         assert network.hosts() == ["a", "b"]
 
 
+class TestNetworkRegressions:
+    """Edge cases around fault hooks, unregistration, and metrics."""
+
+    def _observed_network(self):
+        from repro.obs import ManualClock, Observability
+
+        network = Network()
+        obs = Observability(clock=ManualClock())
+        network.attach_observability(obs)
+        return network, obs
+
+    def test_fault_hook_returning_none_reaches_app_not_counter(self):
+        network, obs = self._observed_network()
+        network.register("cloud", make_app())
+        network.inject_fault("cloud", lambda request: None)
+        response = network.send(Request("GET", "http://cloud/items"))
+        assert response.status_code == 200
+        assert obs.metrics.counter_value(
+            "network_fault_short_circuits_total", host="cloud") == 0
+        assert obs.metrics.counter_value(
+            "network_requests_total", host="cloud") == 1
+
+    def test_unregister_clears_fault_hook(self):
+        network = Network()
+        network.register("cloud", make_app())
+        network.inject_fault("cloud", lambda request: Response.error(503))
+        network.unregister("cloud")
+        # Re-registering the host must not resurrect the stale hook.
+        network.register("cloud", make_app())
+        response = network.send(Request("GET", "http://cloud/items"))
+        assert response.status_code == 200
+
+    def test_unknown_host_502_increments_unreachable_counter(self):
+        network, obs = self._observed_network()
+        response = network.send(Request("GET", "http://nowhere/items"))
+        assert response.status_code == 502
+        assert obs.metrics.counter_value(
+            "network_unreachable_total", host="nowhere") == 1
+        assert obs.metrics.counter_value(
+            "network_requests_total", host="nowhere") == 1
+
+    def test_fault_short_circuit_counted(self):
+        network, obs = self._observed_network()
+        network.register("cloud", make_app())
+        network.inject_fault(
+            "cloud", lambda request: Response.error(503, "maintenance"))
+        assert network.send(Request("GET", "http://cloud/items")).status_code == 503
+        assert obs.metrics.counter_value(
+            "network_fault_short_circuits_total", host="cloud") == 1
+
+    def test_send_without_observability_records_nothing(self):
+        network = Network()
+        network.register("cloud", make_app())
+        assert network.observability is None
+        assert network.send(Request("GET", "http://cloud/items")).status_code == 200
+
+
 class TestClients:
     def test_network_client(self):
         network = Network()

@@ -1,0 +1,88 @@
+"""Metrics must reconcile exactly with the monitor's verdict log.
+
+The observability subsystem is only trustworthy if its counters are an
+exact projection of the audit log: same request total, same per-verdict
+breakdown, same violation and blocked counts, byte-for-byte the same
+snapshot volume.  A randomized (but seeded) workload exercises the whole
+Figure-2 pipeline and then the two sides of the ledger are compared.
+"""
+
+import collections
+
+import pytest
+
+from repro.obs import ManualClock, Observability
+from repro.validation import default_setup
+from repro.workloads import WorkloadRunner, make_workload
+
+SEEDS = (7, 42, 1337)
+
+
+def run_workload(seed, count=40, enforcing=False):
+    obs = Observability(clock=ManualClock(tick=1e-4))
+    cloud, monitor = default_setup(enforcing=enforcing, observability=obs)
+    runner = WorkloadRunner(cloud, monitor)
+    runner.execute(make_workload(count, seed=seed), monitored=True)
+    return monitor
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_request_total_matches_log_length(self, seed):
+        monitor = run_workload(seed)
+        assert monitor.obs.metrics.counter_value(
+            "monitor_requests_total") == len(monitor.log)
+        assert len(monitor.log) > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_per_verdict_counters_match_log(self, seed):
+        monitor = run_workload(seed)
+        from_log = collections.Counter(v.verdict for v in monitor.log)
+        metrics = monitor.obs.metrics
+        from_metrics = {
+            dict(labels)["verdict"]: counter.value
+            for labels, counter in metrics.series("monitor_verdicts_total")
+        }
+        assert from_metrics == dict(from_log)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_violation_and_blocked_counters(self, seed):
+        monitor = run_workload(seed, enforcing=True)
+        metrics = monitor.obs.metrics
+        assert metrics.counter_value("monitor_violations_total") == \
+            len(monitor.violations())
+        blocked = sum(1 for v in monitor.log if v.verdict == "pre-blocked")
+        assert metrics.counter_value("monitor_blocked_total") == blocked
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_snapshot_bytes_reconcile(self, seed):
+        monitor = run_workload(seed)
+        assert monitor.obs.metrics.counter_value(
+            "monitor_snapshot_bytes_total") == \
+            sum(v.snapshot_bytes for v in monitor.log)
+
+    def test_stage_histogram_counts_bounded_by_requests(self):
+        monitor = run_workload(seed=42)
+        total = len(monitor.log)
+        for labels, histogram in monitor.obs.metrics.series(
+                "monitor_stage_seconds"):
+            stage = dict(labels)["stage"]
+            assert 0 < histogram.count <= total, stage
+
+    def test_every_verdict_has_a_finished_trace(self):
+        monitor = run_workload(seed=7, count=20)
+        # Ring buffer default (256) comfortably holds this workload.
+        for verdict in monitor.log:
+            trace = monitor.obs.tracer.find(verdict.correlation_id)
+            assert trace is not None
+            assert trace.tags["verdict"] == verdict.verdict
+
+    def test_same_seed_same_counters(self):
+        def ledger(monitor):
+            metrics = monitor.obs.metrics
+            return sorted(
+                (labels, counter.value)
+                for labels, counter in
+                metrics.series("monitor_verdicts_total"))
+
+        assert ledger(run_workload(seed=42)) == ledger(run_workload(seed=42))

@@ -1,0 +1,96 @@
+"""Tests for the Prometheus text and JSON exporters."""
+
+import json
+
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    Observability,
+    render_json,
+    render_prometheus,
+)
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "Requests", host="cinder").inc(3)
+    registry.gauge("in_flight", "In flight").set(2)
+    histogram = registry.histogram("latency_seconds", "Latency",
+                                   buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(sample_registry())
+        assert "# HELP requests_total Requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "# TYPE in_flight gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_counter_line_with_labels(self):
+        text = render_prometheus(sample_registry())
+        assert 'requests_total{host="cinder"} 3' in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative(self):
+        lines = render_prometheus(sample_registry()).splitlines()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1"} 2' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert 'latency_seconds_count 3' in lines
+        assert any(line.startswith("latency_seconds_sum ")
+                   for line in lines)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='say "hi"\n').inc()
+        text = render_prometheus(registry)
+        assert r'path="say \"hi\"\n"' in text
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        text = render_prometheus(registry)
+        assert text.index("alpha") < text.index("zeta")
+
+
+class TestJson:
+    def test_document_is_json_serializable(self):
+        document = render_json(sample_registry())
+        json.dumps(document)
+
+    def test_counter_and_gauge_values(self):
+        document = render_json(sample_registry())
+        by_name = {family["name"]: family
+                   for family in document["metrics"]}
+        (series,) = by_name["requests_total"]["series"]
+        assert series["labels"] == {"host": "cinder"}
+        assert series["value"] == 3
+        assert by_name["in_flight"]["series"][0]["value"] == 2
+
+    def test_histogram_summary_and_buckets(self):
+        document = render_json(sample_registry())
+        by_name = {family["name"]: family
+                   for family in document["metrics"]}
+        (series,) = by_name["latency_seconds"]["series"]
+        assert series["summary"]["count"] == 3
+        assert series["buckets"][-1]["le"] == "+Inf"
+
+    def test_traces_included_when_tracer_given(self):
+        obs = Observability(clock=ManualClock(tick=1.0))
+        trace = obs.tracer.begin("op")
+        with trace.span("stage"):
+            pass
+        obs.tracer.finish(trace)
+        document = obs.export_json()
+        assert document["traces"][0]["spans"][0]["name"] == "stage"
+        without = obs.export_json(with_traces=False)
+        assert "traces" not in without
+        json.dumps(document)

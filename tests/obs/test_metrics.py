@@ -1,0 +1,185 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import Counter, Gauge, Histogram, ManualClock, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter()
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_zero_increment_allowed(self):
+        counter = Counter()
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_may_go_negative(self):
+        gauge = Gauge()
+        gauge.dec(4)
+        assert gauge.value == -4
+
+
+class TestHistogram:
+    def test_observe_updates_count_sum_extremes(self):
+        histogram = Histogram(bounds=(1, 2, 4))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 14.0
+        assert histogram.min == 0.5
+        assert histogram.max == 9.0
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        histogram = Histogram(bounds=(1, 2))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_mean(self):
+        histogram = Histogram(bounds=(10,))
+        histogram.observe(2)
+        histogram.observe(4)
+        assert histogram.mean == 3.0
+        assert Histogram(bounds=(10,)).mean == 0.0
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram(bounds=(1,)).percentile(0.5) == 0.0
+
+    def test_percentile_bad_quantile_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram(bounds=(1,)).percentile(1.5)
+
+    def test_percentile_single_value_is_exact(self):
+        histogram = Histogram(bounds=(1, 2, 4))
+        histogram.observe(1.7)
+        for quantile in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.percentile(quantile) == 1.7
+
+    def test_percentile_overflow_bucket_uses_max(self):
+        histogram = Histogram(bounds=(1,))
+        histogram.observe(50)
+        histogram.observe(0.5)
+        assert histogram.percentile(1.0) == 50
+
+    def test_percentile_estimates_bounded_by_bucket(self):
+        histogram = Histogram(bounds=(1, 2, 4, 8))
+        for value in (0.5, 1.5, 1.6, 3.0, 3.5, 7.0):
+            histogram.observe(value)
+        # p50 rank 3 lands in the (1, 2] bucket.
+        assert histogram.percentile(0.5) == 2.0
+
+    def test_summary_keys(self):
+        histogram = Histogram(bounds=(1,))
+        histogram.observe(0.5)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "sum", "mean", "min", "max",
+                                "p50", "p90", "p95", "p99"}
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram(bounds=())
+        with pytest.raises(MetricsError):
+            Histogram(bounds=(1, 1))
+        with pytest.raises(MetricsError):
+            Histogram(bounds=(2, 1))
+
+    def test_merge_requires_same_bounds(self):
+        with pytest.raises(MetricsError):
+            Histogram(bounds=(1,)).merge(Histogram(bounds=(2,)))
+
+    def test_merge_combines_everything(self):
+        left, right = Histogram(bounds=(1, 2)), Histogram(bounds=(1, 2))
+        left.observe(0.5)
+        right.observe(5.0)
+        merged = left.merge(right)
+        assert merged.count == 2
+        assert merged.min == 0.5
+        assert merged.max == 5.0
+        assert merged.bucket_counts == [1, 0, 1]
+        # Operands are untouched.
+        assert left.count == 1 and right.count == 1
+
+    def test_merge_with_empty_is_identity(self):
+        histogram = Histogram(bounds=(1, 2))
+        histogram.observe(1.5)
+        merged = histogram.merge(Histogram(bounds=(1, 2)))
+        assert merged.state() == histogram.state()
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", host="a")
+        second = registry.counter("requests_total", host="a")
+        assert first is second
+
+    def test_label_values_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", host="a").inc()
+        registry.counter("requests_total", host="b").inc(2)
+        assert registry.counter_value("requests_total", host="a") == 1
+        assert registry.counter_value("requests_total", host="b") == 2
+        assert registry.total("requests_total") == 3
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(MetricsError):
+            registry.gauge("thing")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.counter("bad name")
+        with pytest.raises(MetricsError):
+            registry.counter("")
+
+    def test_histogram_bucket_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1, 2))
+        with pytest.raises(MetricsError):
+            registry.histogram("lat", buckets=(1, 2, 3))
+
+    def test_missing_series_reads_as_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never_touched") == 0.0
+        assert registry.get("never_touched") is None
+        assert registry.series("never_touched") == []
+
+    def test_timer_uses_injected_clock(self):
+        clock = ManualClock(tick=0.5)
+        registry = MetricsRegistry(clock=clock)
+        with registry.time("op_seconds") as timer:
+            pass
+        assert timer.elapsed == 0.5
+        histogram = registry.get("op_seconds")
+        assert histogram.count == 1
+        assert histogram.sum == 0.5
+
+    def test_len_counts_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.counter("b", x="1")
+        registry.counter("b", x="2")
+        assert len(registry) == 3

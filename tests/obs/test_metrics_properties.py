@@ -1,0 +1,117 @@
+"""Property-based tests for metric invariants.
+
+Three invariants the exporters and any sharded aggregation rely on:
+
+* histogram percentile estimates are monotone in the quantile,
+* histogram merge is associative (and commutative), so shard results can
+  be combined in any order,
+* counters never go negative, whatever sequence of valid increments runs.
+
+Observations are drawn from small integers scaled by a power of two, so
+float arithmetic on sums is exact and associativity can be asserted with
+``==`` rather than approximations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import Counter, Histogram
+
+BOUNDS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+# Exactly representable values: k / 4 for k in 0..256.
+_values = st.integers(min_value=0, max_value=256).map(lambda k: k / 4.0)
+_value_lists = st.lists(_values, max_size=40)
+
+
+def _filled(values):
+    histogram = Histogram(bounds=BOUNDS)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestPercentileMonotonicity:
+    @given(_value_lists.filter(bool),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_monotone_in_quantile(self, values, q1, q2):
+        histogram = _filled(values)
+        low, high = sorted((q1, q2))
+        assert histogram.percentile(low) <= histogram.percentile(high)
+
+    @given(_value_lists.filter(bool))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_within_observed_range(self, values):
+        histogram = _filled(values)
+        for quantile in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            estimate = histogram.percentile(quantile)
+            assert min(values) <= estimate <= max(values)
+
+    @given(_value_lists.filter(bool))
+    @settings(max_examples=100, deadline=None)
+    def test_extreme_quantiles(self, values):
+        histogram = _filled(values)
+        assert histogram.percentile(1.0) == max(values)
+        assert histogram.percentile(0.0) >= min(values)
+
+
+class TestMergeAlgebra:
+    @given(_value_lists, _value_lists, _value_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        ha, hb, hc = _filled(a), _filled(b), _filled(c)
+        left = ha.merge(hb).merge(hc)
+        right = ha.merge(hb.merge(hc))
+        assert left.state() == right.state()
+
+    @given(_value_lists, _value_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_commutative(self, a, b):
+        assert _filled(a).merge(_filled(b)).state() == \
+            _filled(b).merge(_filled(a)).state()
+
+    @given(_value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_empty_is_identity(self, values):
+        histogram = _filled(values)
+        empty = Histogram(bounds=BOUNDS)
+        assert histogram.merge(empty).state() == histogram.state()
+        assert empty.merge(histogram).state() == histogram.state()
+
+    @given(_value_lists, _value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_combined_observation(self, a, b):
+        merged = _filled(a).merge(_filled(b))
+        combined = _filled(list(a) + list(b))
+        assert merged.state() == combined.state()
+
+
+class TestCounterNonNegativity:
+    @given(st.lists(st.one_of(
+        st.integers(min_value=0, max_value=1000).map(lambda k: k / 4.0),
+        st.integers(min_value=-1000, max_value=-1).map(lambda k: k / 4.0),
+    ), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_counter_never_negative(self, amounts):
+        counter = Counter()
+        for amount in amounts:
+            if amount < 0:
+                with pytest.raises(MetricsError):
+                    counter.inc(amount)
+            else:
+                counter.inc(amount)
+            assert counter.value >= 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000)
+                    .map(lambda k: k / 4.0), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_value_is_sum_of_increments(self, amounts):
+        counter = Counter()
+        for amount in amounts:
+            counter.inc(amount)
+        assert counter.value == sum(amounts)

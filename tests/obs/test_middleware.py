@@ -1,0 +1,58 @@
+"""Tests for ObservabilityMiddleware on a plain httpsim application."""
+
+from repro.httpsim import Application, Response, path
+from repro.obs import ManualClock, Observability, ObservabilityMiddleware
+
+
+def make_app(obs):
+    app = Application("svc")
+    app.add_route(path("items", lambda req: Response.json_response([]),
+                       name="items"))
+    app.add_middleware(ObservabilityMiddleware(obs, app_name="svc"))
+    return app
+
+
+class TestObservabilityMiddleware:
+    def test_counts_by_method_and_status(self):
+        obs = Observability(clock=ManualClock(tick=0.001))
+        app = make_app(obs)
+        app.get("/items")
+        app.get("/items")
+        app.get("/missing")
+        metrics = obs.metrics
+        assert metrics.counter_value("http_requests_total", app="svc",
+                                     method="GET", status="200") == 2
+        assert metrics.counter_value("http_requests_total", app="svc",
+                                     method="GET", status="404") == 1
+
+    def test_latency_histogram_uses_injected_clock(self):
+        obs = Observability(clock=ManualClock(tick=0.001))
+        app = make_app(obs)
+        app.get("/items")
+        histogram = obs.metrics.get("http_request_seconds", app="svc")
+        assert histogram.count == 1
+        # start read, end read: exactly one tick apart.
+        assert histogram.sum == 0.001
+
+    def test_in_flight_gauge_returns_to_zero(self):
+        obs = Observability(clock=ManualClock())
+        app = make_app(obs)
+        app.get("/items")
+        assert obs.metrics.counter_value("http_requests_in_flight",
+                                         app="svc") == 0
+
+    def test_two_apps_share_one_registry(self):
+        obs = Observability(clock=ManualClock())
+        app_a = Application("a")
+        app_a.add_route(path("x", lambda req: Response(200), name="x"))
+        app_a.add_middleware(ObservabilityMiddleware(obs, app_name="a"))
+        app_b = Application("b")
+        app_b.add_route(path("x", lambda req: Response(200), name="x"))
+        app_b.add_middleware(ObservabilityMiddleware(obs, app_name="b"))
+        app_a.get("/x")
+        app_b.get("/x")
+        app_b.get("/x")
+        assert obs.metrics.counter_value("http_requests_total", app="a",
+                                         method="GET", status="200") == 1
+        assert obs.metrics.counter_value("http_requests_total", app="b",
+                                         method="GET", status="200") == 2

@@ -1,0 +1,174 @@
+"""The instrumented Figure-2 pipeline: spans, metrics, and the route.
+
+All timings run under a ManualClock with a fixed tick, so every duration
+in these tests is an exact equality, not a tolerance check.
+"""
+
+import json
+
+from repro.cloud import PrivateCloud
+from repro.core import CloudMonitor
+from repro.core.monitor import CloudStateProvider
+from repro.obs import ManualClock, Observability
+from repro.validation import TestOracle, default_setup
+
+MONITOR = "http://cmonitor/cmonitor/volumes"
+
+STAGES = ("pre_probe", "pre_eval", "snapshot", "forward",
+          "post_probe", "post_eval")
+
+
+def deterministic_setup(enforcing=False, tick=1e-4):
+    obs = Observability(clock=ManualClock(tick=tick))
+    cloud, monitor = default_setup(enforcing=enforcing, observability=obs)
+    tokens = cloud.paper_tokens()
+    clients = {user: cloud.client(token) for user, token in tokens.items()}
+    return cloud, monitor, clients
+
+
+class TestSpans:
+    def test_valid_request_covers_all_stages(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        trace = monitor.obs.tracer.finished[-1]
+        assert [span.name for span in trace.spans] == list(STAGES)
+        assert all(span.status == "ok" for span in trace.spans)
+        assert trace.tags["verdict"] == "valid"
+
+    def test_blocked_request_stops_after_pre_eval(self):
+        cloud, monitor, clients = deterministic_setup(enforcing=True)
+        response = clients["carol"].post(MONITOR, {"volume": {}})
+        assert response.status_code == 412
+        trace = monitor.obs.tracer.finished[-1]
+        assert [span.name for span in trace.spans] == ["pre_probe",
+                                                       "pre_eval"]
+        assert trace.tags["verdict"] == "pre-blocked"
+
+    def test_span_durations_deterministic_under_manual_clock(self):
+        # A power-of-two tick keeps the clock arithmetic exact, so the
+        # two requests produce bit-identical durations.
+        cloud, monitor, clients = deterministic_setup(tick=0.25)
+        clients["carol"].get(MONITOR)
+        first = monitor.obs.tracer.finished[-1]
+        durations = [span.duration for span in first.spans]
+        clients["carol"].get(MONITOR)
+        second = monitor.obs.tracer.finished[-1]
+        assert [span.duration for span in second.spans] == durations
+        assert all(duration > 0 for duration in durations)
+
+    def test_forward_span_tags_cloud_status(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        trace = monitor.obs.tracer.finished[-1]
+        assert trace.span_named("forward").tags["status"] == 202
+
+    def test_correlation_id_joins_log_and_traces(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        for verdict in monitor.log:
+            trace = monitor.obs.tracer.find(verdict.correlation_id)
+            assert trace is not None
+            assert trace.tags["verdict"] == verdict.verdict
+
+
+class TestMetrics:
+    def test_verdict_counters_match_log(self):
+        cloud, monitor, clients = deterministic_setup()
+        TestOracle(cloud, monitor).run()
+        metrics = monitor.obs.metrics
+        assert metrics.counter_value("monitor_requests_total") == \
+            len(monitor.log)
+        for verdict in {v.verdict for v in monitor.log}:
+            expected = sum(1 for v in monitor.log if v.verdict == verdict)
+            assert metrics.counter_value("monitor_verdicts_total",
+                                         verdict=verdict) == expected
+
+    def test_stage_histograms_for_every_stage(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        metrics = monitor.obs.metrics
+        for stage in STAGES:
+            histogram = metrics.get("monitor_stage_seconds", stage=stage)
+            assert histogram is not None and histogram.count == 1
+
+    def test_probe_counter_matches_provider(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        assert monitor.obs.metrics.counter_value(
+            "monitor_probe_requests_total") == monitor.provider.probe_count
+
+    def test_identity_cache_hit_miss_counters(self):
+        cloud = PrivateCloud.paper_setup()
+        obs = Observability(clock=ManualClock())
+        provider = CloudStateProvider(cloud.network, "myProject",
+                                      cache_identity=True,
+                                      observability=obs)
+        token = cloud.paper_tokens()["bob"]
+        provider.bindings(token)
+        provider.bindings(token)
+        provider.bindings(token)
+        assert obs.metrics.counter_value(
+            "monitor_identity_cache_misses_total") == 1
+        assert obs.metrics.counter_value(
+            "monitor_identity_cache_hits_total") == 2
+
+    def test_ocl_eval_metrics_recorded(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        metrics = monitor.obs.metrics
+        for phase in ("pre", "snapshot", "post"):
+            histogram = metrics.get("ocl_eval_seconds", phase=phase)
+            assert histogram is not None and histogram.count >= 1
+        assert metrics.counter_value("ocl_nodes_evaluated_total",
+                                     phase="pre") > 0
+
+    def test_snapshot_bytes_counter_matches_log(self):
+        cloud, monitor, clients = deterministic_setup()
+        TestOracle(cloud, monitor).run()
+        expected = sum(v.snapshot_bytes for v in monitor.log)
+        assert monitor.obs.metrics.counter_value(
+            "monitor_snapshot_bytes_total") == expected
+
+    def test_network_counters_by_host(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        metrics = monitor.obs.metrics
+        assert metrics.counter_value("network_requests_total",
+                                     host="cmonitor") == 1
+        assert metrics.counter_value("network_requests_total",
+                                     host="cinder") >= 1
+
+
+class TestMetricsRoute:
+    def test_prometheus_exposition(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        response = monitor.app.get("/-/metrics")
+        assert response.status_code == 200
+        assert "text/plain" in response.headers.get("Content-Type")
+        body = response.text
+        assert "monitor_requests_total 1" in body
+        assert 'monitor_stage_seconds_bucket{stage="forward"' in body
+        assert 'monitor_verdicts_total{verdict="valid"} 1' in body
+
+    def test_json_format(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        document = monitor.app.get("/-/metrics?format=json").json()
+        names = {family["name"] for family in document["metrics"]}
+        assert "monitor_stage_seconds" in names
+        assert document["traces"][-1]["tags"]["verdict"] == "valid"
+        json.dumps(document)
+
+    def test_route_rejects_write_methods(self):
+        cloud, monitor, clients = deterministic_setup()
+        assert monitor.app.post("/-/metrics", {}).status_code == 405
+
+    def test_deterministic_exposition_across_sessions(self):
+        def run():
+            cloud, monitor, clients = deterministic_setup()
+            TestOracle(cloud, monitor).run()
+            return monitor.app.get("/-/metrics").text
+
+        assert run() == run()

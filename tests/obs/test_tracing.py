@@ -1,0 +1,86 @@
+"""Tests for spans, traces, and the tracer under an injected clock."""
+
+import pytest
+
+from repro.obs import ManualClock, Tracer
+
+
+def make_tracer(tick=1.0, keep=256):
+    return Tracer(clock=ManualClock(tick=tick), keep=keep)
+
+
+class TestSpans:
+    def test_span_durations_are_deterministic(self):
+        tracer = make_tracer(tick=1.0)
+        trace = tracer.begin("op")          # read 1 -> start=0
+        with trace.span("stage"):           # read 2 -> span start=1
+            pass                            # read 3 -> span end=2
+        assert trace.spans[0].duration == 1.0
+        assert trace.spans[0].status == "ok"
+
+    def test_span_records_exception_and_reraises(self):
+        tracer = make_tracer()
+        trace = tracer.begin("op")
+        with pytest.raises(ValueError):
+            with trace.span("stage"):
+                raise ValueError("boom")
+        span = trace.spans[0]
+        assert span.status == "error"
+        assert span.tags["error"] == "boom"
+        assert span.end is not None
+
+    def test_open_span_duration_is_zero(self):
+        trace = make_tracer().begin("op")
+        span_cm = trace.span("stage")
+        assert span_cm.span.duration == 0.0
+
+    def test_span_named_lookup(self):
+        trace = make_tracer().begin("op")
+        with trace.span("first"):
+            pass
+        with trace.span("second"):
+            pass
+        assert trace.span_named("second").name == "second"
+        assert trace.span_named("missing") is None
+
+
+class TestTracer:
+    def test_sequential_ids(self):
+        tracer = make_tracer()
+        assert tracer.begin("a").trace_id == "t-000001"
+        assert tracer.begin("b").trace_id == "t-000002"
+
+    def test_finish_sets_end_and_retains(self):
+        tracer = make_tracer(tick=2.0)
+        trace = tracer.begin("op")
+        tracer.finish(trace)
+        assert trace.duration == 2.0
+        assert tracer.find(trace.trace_id) is trace
+
+    def test_finish_preserves_explicit_end(self):
+        tracer = make_tracer(tick=1.0)
+        trace = tracer.begin("op")
+        trace.end = trace.start + 10.0
+        tracer.finish(trace)
+        assert trace.duration == 10.0
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = make_tracer(keep=2)
+        traces = [tracer.finish(tracer.begin(f"op{i}")) for i in range(5)]
+        assert len(tracer.finished) == 2
+        assert tracer.find(traces[0].trace_id) is None
+        assert tracer.find(traces[4].trace_id) is traces[4]
+        assert tracer.started_count == 5
+
+    def test_to_dicts_shape(self):
+        tracer = make_tracer()
+        trace = tracer.begin("op")
+        trace.set_tag("verdict", "valid")
+        with trace.span("stage"):
+            pass
+        tracer.finish(trace)
+        (record,) = tracer.to_dicts()
+        assert record["trace_id"] == trace.trace_id
+        assert record["tags"] == {"verdict": "valid"}
+        assert record["spans"][0]["name"] == "stage"
+        assert record["spans"][0]["status"] == "ok"
