@@ -75,3 +75,51 @@ def test_bench_overhead_factor_and_snapshot_size(benchmark):
     assert factor < 50, "monitoring must stay a constant-factor overhead"
     assert 0 < max_snapshot <= 64
     assert probes_per_request <= 10
+
+
+def test_bench_overhead_probe_planning(benchmark):
+    """The planning row: probe and latency deltas, plan on vs. off.
+
+    Demand-driven planning must cut the GET probes the monitor pays per
+    request while leaving every observable outcome -- verdict rows,
+    status histogram, coverage counters -- byte-identical.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def run(probe_planning):
+        cloud, monitor = default_setup(probe_planning=probe_planning)
+        runner = WorkloadRunner(cloud, monitor)
+        started = time.perf_counter()
+        histogram = runner.execute(WORKLOAD, monitored=True)
+        elapsed = time.perf_counter() - started
+        skipped = monitor.obs.metrics.counter(
+            "monitor_probes_skipped_total",
+            "GET probes the demand-driven plan proved unnecessary").value
+        return {
+            "histogram": histogram,
+            "rows": [verdict.to_dict() for verdict in monitor.log],
+            "coverage": {rid: (r.exercised, r.passed, r.failed)
+                         for rid, r in monitor.coverage.records.items()},
+            "probes": monitor.provider.probe_count,
+            "skipped": skipped,
+            "elapsed": elapsed,
+        }
+
+    unplanned = run(False)
+    planned = run(True)
+
+    probes = len(WORKLOAD)
+    print(f"\n[OVERHEAD] probes/request unplanned: "
+          f"{unplanned['probes'] / probes:5.2f}   planned: "
+          f"{planned['probes'] / probes:5.2f}   "
+          f"(skipped {planned['skipped']:.0f} GETs)")
+    print(f"[OVERHEAD] monitored latency unplanned: "
+          f"{unplanned['elapsed'] * 1e3:8.2f} ms   planned: "
+          f"{planned['elapsed'] * 1e3:8.2f} ms")
+
+    # Planning only removes probes; every verdict stays byte-identical.
+    assert planned["histogram"] == unplanned["histogram"]
+    assert planned["rows"] == unplanned["rows"]
+    assert planned["coverage"] == unplanned["coverage"]
+    assert planned["probes"] < unplanned["probes"]
+    assert planned["skipped"] > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Enforce the monitor's probe budget: GET probes per monitored request.
+
+Runs the seeded overhead workload (deterministic: seeded RNG, in-process
+network) through the monitor with demand-driven probe planning enabled and
+compares probes-per-request against the recorded baseline in
+``scripts/probe_budget.json``.  A regression above the baseline fails the
+gate; an improvement prints a hint to re-record.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_probe_budget.py [--update]
+
+``--update`` re-records the baseline after an intentional change.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "probe_budget.json")
+
+
+def measure():
+    """Probes per request on the seeded workload, planning enabled."""
+    from repro.validation import default_setup
+    from repro.workloads import WorkloadRunner, make_workload
+
+    workload = make_workload(60, seed=42)
+    cloud, monitor = default_setup(probe_planning=True)
+    runner = WorkloadRunner(cloud, monitor)
+    runner.execute(workload, monitored=True)
+    return {
+        "workload": {"count": len(workload), "seed": 42},
+        "probes_per_request": monitor.provider.probe_count / len(workload),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    current = measure()
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"probe budget baseline recorded: "
+              f"{current['probes_per_request']:.4f} probes/request")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    budget = recorded["probes_per_request"]
+    actual = current["probes_per_request"]
+    print(f"probe budget: {actual:.4f} probes/request "
+          f"(baseline {budget:.4f})")
+    # The run is deterministic, so any excess is a real regression.
+    if actual > budget + 1e-9:
+        print("FAIL: probes per monitored request regressed above the "
+              "recorded baseline", file=sys.stderr)
+        return 1
+    if actual < budget - 1e-9:
+        print("note: probe cost improved; re-record with --update to "
+              "tighten the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

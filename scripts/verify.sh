@@ -16,4 +16,7 @@ PYTHONPATH=src python -m pytest -q
 echo "==> observability coverage floor"
 PYTHONPATH=src python scripts/check_obs_coverage.py --floor 80
 
+echo "==> probe budget gate (planning enabled, deterministic workload)"
+PYTHONPATH=src python scripts/check_probe_budget.py
+
 echo "==> verify: OK"

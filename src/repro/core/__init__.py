@@ -21,6 +21,7 @@ from .contracts import ContractCase, ContractGenerator, MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase, MirrorTable
 from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
+from .planning import PROBE_ROOTS, ProbePlan
 from .resource_model import ResourceModelBuilder, cinder_resource_model
 from .typecheck import check_expression, check_models
 
@@ -36,6 +37,8 @@ __all__ = [
     "MirrorDatabase",
     "MirrorTable",
     "MonitorVerdict",
+    "PROBE_ROOTS",
+    "ProbePlan",
     "ResourceModelBuilder",
     "Verdict",
     "Overlap",

@@ -18,7 +18,7 @@ and knows which state must be snapshotted before forwarding a request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import GenerationError
 from ..ocl import Context, Evaluator, Snapshot, parse, to_text
@@ -86,6 +86,7 @@ class MethodContract:
         self._compiled_pre = None
         self._compiled_post = None
         self._obs = None
+        self._probe_plans: Dict[Optional[Tuple[str, ...]], Any] = {}
 
     @property
     def security_requirements(self) -> List[str]:
@@ -116,6 +117,21 @@ class MethodContract:
     def is_compiled(self) -> bool:
         """True once :meth:`compile` has run."""
         return self._compiled_pre is not None
+
+    def probe_plan(self, roots: Optional[Tuple[str, ...]] = None):
+        """The roots each monitoring phase must bind, as a ``ProbePlan``.
+
+        *roots* is the provider's bindable root set (defaults to the
+        Cinder scenario's).  The plan is a static analysis of the
+        contract's ASTs (see :mod:`repro.core.planning`); the expressions
+        are immutable, so the result is memoized per root set.
+        """
+        key = tuple(roots) if roots is not None else None
+        if key not in self._probe_plans:
+            from .planning import ProbePlan
+
+            self._probe_plans[key] = ProbePlan.for_contract(self, roots=key)
+        return self._probe_plans[key]
 
     def instrument(self, observability) -> "MethodContract":
         """Report evaluation timings into *observability* (``None`` stops).

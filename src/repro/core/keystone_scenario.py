@@ -9,7 +9,7 @@ rule that the last project cannot be deleted.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..httpsim import Network, status
 from ..rbac import SecurityRequirement, SecurityRequirementsTable
@@ -80,19 +80,41 @@ def keystone_behavior_model(
 class KeystoneStateProvider(CloudStateProvider):
     """Binds ``projects`` and ``user`` by probing Keystone itself."""
 
+    roots = ("projects", "project", "user")
+
     def bindings(self, token: str,
-                 item_id: Optional[str] = None) -> Dict[str, Any]:
-        bindings: Dict[str, Any] = {"user": self._identity(token)}
-        listing_body = self.probe_body(self._get(
-            token, f"http://{self.keystone_host}/v3/projects"))
-        if listing_body is not None:
-            bindings["projects"] = listing_body.get("projects", [])
+                 item_id: Optional[str] = None,
+                 roots: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+        requested = (frozenset(self.roots) if roots is None
+                     else frozenset(roots))
+        cache: Dict[tuple, Any] = {}
+        bindings: Dict[str, Any] = {}
+        skipped = 0
+
+        if "user" in requested:
+            bindings["user"] = self._identity(token, cache)
+        elif not (self.cache_identity and token in self._identity_cache):
+            skipped += 1
+        if "projects" in requested:
+            listing_body = self.probe_body(self._get(
+                token, f"http://{self.keystone_host}/v3/projects",
+                cache=cache))
+            if listing_body is not None:
+                bindings["projects"] = listing_body.get("projects", [])
+        else:
+            skipped += 1
         if item_id is not None:
-            item_body = self.probe_body(self._get(
-                token,
-                f"http://{self.keystone_host}/v3/projects/{item_id}"))
-            if item_body is not None:
-                bindings["project"] = item_body.get("project", {})
+            if "project" in requested:
+                item_body = self.probe_body(self._get(
+                    token,
+                    f"http://{self.keystone_host}/v3/projects/{item_id}",
+                    cache=cache))
+                if item_body is not None:
+                    bindings["project"] = item_body.get("project", {})
+            else:
+                skipped += 1
+
+        self._count_skipped(skipped)
         return bindings
 
 

@@ -21,12 +21,18 @@ Per monitored request the monitor:
    and **re-probes** to evaluate the post-condition;
 6. returns the cloud's response when everything holds, otherwise "an
    invalid response specifying the faulty behavior".
+
+With demand-driven probe planning (the default, see
+:mod:`repro.core.planning`) each probe round binds only the roots the
+contract's expressions actually read, instead of the full
+project/volume/quota/user sweep the paper's wrapper pays on every phase.
 """
 
 from __future__ import annotations
 
+import copy
 import re
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
@@ -37,6 +43,7 @@ from ..uml import ClassDiagram, StateMachine, Trigger
 from .contracts import ContractGenerator, MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
+from .planning import PROBE_ROOTS, ProbePlan
 
 #: Success codes the monitor accepts per HTTP method (Cinder conventions;
 #: Listing 2 checks ``response.code == 204`` for DELETE).
@@ -123,6 +130,10 @@ class CloudStateProvider:
     URI returns 200.  Every probe uses the requesting user's token.
     """
 
+    #: The OCL roots this provider can bind; probe plans are computed
+    #: against this set, so scenario-specific subclasses override it.
+    roots: Tuple[str, ...] = PROBE_ROOTS
+
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
                  cinder_host: str = "cinder",
@@ -146,7 +157,17 @@ class CloudStateProvider:
         self._identity_cache: Dict[str, Dict[str, Any]] = {}
 
     def _get(self, token: str, url: str,
-             extra_headers: Optional[Dict[str, str]] = None) -> Response:
+             extra_headers: Optional[Dict[str, str]] = None,
+             cache: Optional[Dict[tuple, Response]] = None) -> Response:
+        """Issue one probe GET; *cache* single-flights repeated URLs.
+
+        The cache lives for one :meth:`bindings` call (one probe phase):
+        two roots asking for the same URL with the same headers share a
+        single network round trip and a single ``probe_count`` tick.
+        """
+        key = (url, tuple(sorted((extra_headers or {}).items())))
+        if cache is not None and key in cache:
+            return cache[key]
         headers = {"X-Auth-Token": token}
         if extra_headers:
             headers.update(extra_headers)
@@ -155,7 +176,10 @@ class CloudStateProvider:
             self.observability.metrics.counter(
                 "monitor_probe_requests_total",
                 "GET probes issued to bind the OCL roots").inc()
-        return self.network.send(Request("GET", url, headers=headers))
+        response = self.network.send(Request("GET", url, headers=headers))
+        if cache is not None:
+            cache[key] = response
+        return response
 
     @staticmethod
     def probe_body(response: Response) -> Optional[Dict[str, Any]]:
@@ -175,66 +199,121 @@ class CloudStateProvider:
         return body if isinstance(body, dict) else None
 
     def bindings(self, token: str,
-                 item_id: Optional[str] = None) -> Dict[str, Any]:
+                 item_id: Optional[str] = None,
+                 roots: Optional[Iterable[str]] = None) -> Dict[str, Any]:
         """Probe and return the OCL root bindings for one evaluation.
 
         *item_id* is the id captured from the monitored item URI (for the
-        Cinder scenario, the volume id).
+        Cinder scenario, the volume id).  When *roots* is given (a
+        :class:`~repro.core.planning.ProbePlan` phase set), only the named
+        roots are probed and bound; every probe skipped this way is
+        counted in the ``monitor_probes_skipped_total`` metric.  Probes
+        within one call share a single-flight cache, so identical URLs
+        cost one round trip.
         """
-        volume_id = item_id
+        requested: FrozenSet[str] = (frozenset(self.roots) if roots is None
+                                     else frozenset(roots))
+        cache: Dict[tuple, Response] = {}
+        bindings: Dict[str, Any] = {}
+        skipped = 0
+
+        if "project" in requested:
+            bindings["project"] = self._probe_project(token, cache)
+        else:
+            skipped += 2
+        if "quota_sets" in requested:
+            bindings["quota_sets"] = self._probe_quota(token, cache)
+        else:
+            skipped += 1
+        if "volume" in requested:
+            bindings["volume"] = self._probe_volume(token, item_id, cache)
+        elif item_id is not None:
+            skipped += 2
+        if "user" in requested:
+            bindings["user"] = self._identity(token, cache)
+        elif not (self.cache_identity and token in self._identity_cache):
+            skipped += 1
+
+        self._count_skipped(skipped)
+        return bindings
+
+    def _count_skipped(self, skipped: int) -> None:
+        """Record probes a plan avoided (subclass ``bindings`` reuse this)."""
+        if skipped and self.observability is not None:
+            self.observability.metrics.counter(
+                "monitor_probes_skipped_total",
+                "GET probes the demand-driven plan proved unnecessary").inc(
+                    skipped)
+
+    # -- per-root probes ---------------------------------------------------------
+
+    def _probe_project(self, token: str,
+                       cache: Optional[Dict[tuple, Response]] = None,
+                       ) -> Dict[str, Any]:
         project: Dict[str, Any] = {}
         response = self._get(
             token,
-            f"http://{self.keystone_host}/v3/projects/{self.project_id}")
+            f"http://{self.keystone_host}/v3/projects/{self.project_id}",
+            cache=cache)
         if self.probe_body(response) is not None:
             project["id"] = self.project_id
         volumes_body = self.probe_body(self._get(
             token,
-            f"http://{self.cinder_host}/v3/{self.project_id}/volumes"))
+            f"http://{self.cinder_host}/v3/{self.project_id}/volumes",
+            cache=cache))
         if volumes_body is not None:
             project["volumes"] = volumes_body.get("volumes", [])
+        return project
 
+    def _probe_quota(self, token: str,
+                     cache: Optional[Dict[tuple, Response]] = None) -> Any:
         quota: Any = UNDEFINED
         quota_body = self.probe_body(self._get(
             token,
-            f"http://{self.cinder_host}/v3/{self.project_id}/quota_sets"))
+            f"http://{self.cinder_host}/v3/{self.project_id}/quota_sets",
+            cache=cache))
         if quota_body is not None:
             quota = quota_body.get("quota_set", {})
+        return quota
 
+    def _probe_volume(self, token: str, volume_id: Optional[str],
+                      cache: Optional[Dict[tuple, Response]] = None,
+                      ) -> Dict[str, Any]:
         volume: Dict[str, Any] = {}
-        if volume_id is not None:
-            item_body = self.probe_body(self._get(
+        if volume_id is None:
+            return volume
+        item_body = self.probe_body(self._get(
+            token,
+            f"http://{self.cinder_host}/v3/{self.project_id}"
+            f"/volumes/{volume_id}", cache=cache))
+        if item_body is not None:
+            volume = dict(item_body.get("volume", {}))
+            # Release-2 clouds expose snapshots; on older releases the
+            # probe 404s and the binding stays undefined (size 0).
+            snaps_body = self.probe_body(self._get(
                 token,
                 f"http://{self.cinder_host}/v3/{self.project_id}"
-                f"/volumes/{volume_id}"))
-            if item_body is not None:
-                volume = dict(item_body.get("volume", {}))
-                # Release-2 clouds expose snapshots; on older releases the
-                # probe 404s and the binding stays undefined (size 0).
-                snaps_body = self.probe_body(self._get(
-                    token,
-                    f"http://{self.cinder_host}/v3/{self.project_id}"
-                    f"/snapshots?volume_id={volume_id}"))
-                if snaps_body is not None:
-                    volume["snapshots"] = snaps_body.get("snapshots", [])
+                f"/snapshots?volume_id={volume_id}", cache=cache))
+            if snaps_body is not None:
+                volume["snapshots"] = snaps_body.get("snapshots", [])
+        return volume
 
-        user = self._identity(token)
+    def _identity(self, token: str,
+                  cache: Optional[Dict[tuple, Response]] = None,
+                  ) -> Dict[str, Any]:
+        """Resolve the requesting user via token introspection (cachable).
 
-        return {
-            "project": project,
-            "quota_sets": quota,
-            "volume": volume,
-            "user": user,
-        }
-
-    def _identity(self, token: str) -> Dict[str, Any]:
-        """Resolve the requesting user via token introspection (cachable)."""
+        Cached entries are deep-copied on store *and* on read: the
+        ``roles`` / ``groups`` lists reach OCL evaluation (and callers
+        beyond our control), and a shared list would let one caller's
+        mutation poison every later request with the same token.
+        """
         if self.cache_identity and token in self._identity_cache:
             if self.observability is not None:
                 self.observability.metrics.counter(
                     "monitor_identity_cache_hits_total",
                     "Token introspections answered from the cache").inc()
-            return dict(self._identity_cache[token])
+            return copy.deepcopy(self._identity_cache[token])
         if self.cache_identity and self.observability is not None:
             self.observability.metrics.counter(
                 "monitor_identity_cache_misses_total",
@@ -242,7 +321,7 @@ class CloudStateProvider:
         user: Dict[str, Any] = {}
         whoami_body = self.probe_body(self._get(
             token, f"http://{self.keystone_host}/v3/auth/tokens",
-            extra_headers={"X-Subject-Token": token}))
+            extra_headers={"X-Subject-Token": token}, cache=cache))
         if whoami_body is not None:
             info = whoami_body.get("token", {})
             user = {
@@ -251,7 +330,7 @@ class CloudStateProvider:
                 "groups": [g["name"] for g in info.get("groups", [])],
             }
             if self.cache_identity:
-                self._identity_cache[token] = dict(user)
+                self._identity_cache[token] = copy.deepcopy(user)
         return user
 
     def invalidate_identity_cache(self) -> None:
@@ -259,9 +338,35 @@ class CloudStateProvider:
         self._identity_cache.clear()
 
     def context(self, token: str,
-                item_id: Optional[str] = None) -> Context:
-        """A lenient OCL context over freshly probed state."""
-        return Context(self.bindings(token, item_id), strict=False)
+                item_id: Optional[str] = None,
+                roots: Optional[Iterable[str]] = None) -> Context:
+        """A lenient OCL context over freshly probed state.
+
+        *roots* restricts probing to one plan phase's bindings; the
+        context stays lenient, so a planned-away root resolves to
+        undefined -- which the plan guarantees no expression will ask for.
+        ``roots=None`` calls ``bindings`` with the pre-planning signature,
+        so subclasses that never learned the keyword keep working.
+        """
+        if roots is None:
+            return Context(self.bindings(token, item_id), strict=False)
+        return Context(self.bindings(token, item_id, roots=roots),
+                       strict=False)
+
+
+#: Route captures in a monitor path template: ``<str:volume_id>`` -> name.
+_PATH_CAPTURE = re.compile(r"<(?:[a-z]+:)?([A-Za-z_]\w*)>")
+
+
+def _supports_partial_bindings(provider: CloudStateProvider) -> bool:
+    """True when *provider*'s ``bindings`` accepts the ``roots`` keyword."""
+    import inspect
+
+    try:
+        signature = inspect.signature(provider.bindings)
+    except (TypeError, ValueError):
+        return False
+    return "roots" in signature.parameters
 
 
 class MonitoredOperation:
@@ -275,6 +380,19 @@ class MonitoredOperation:
         self.cloud_url_template = cloud_url_template
         self.expected_codes = (expected_codes or
                                EXPECTED_SUCCESS_CODES[trigger.method])
+
+    @property
+    def item_capture(self) -> Optional[str]:
+        """The capture name that addresses the monitored item, or ``None``.
+
+        A route can declare several captures (scope segments plus the item
+        id); the *last* capture of the URI template is the one naming the
+        resource the operation targets (e.g. ``volume_id`` in
+        ``cmonitor/volumes/<str:volume_id>``).  Collection routes have no
+        captures and no item.
+        """
+        names = _PATH_CAPTURE.findall(self.monitor_path)
+        return names[-1] if names else None
 
     def cloud_url(self, path_args: Dict[str, str]) -> str:
         """Fill the forward-URL template with the request's path captures."""
@@ -334,12 +452,20 @@ class CloudMonitor:
                  enforcing: bool = True,
                  coverage: Optional[CoverageTracker] = None,
                  mirror: Optional["MirrorDatabase"] = None,
-                 observability: Optional[Observability] = None):
+                 observability: Optional[Observability] = None,
+                 probe_planning: bool = True):
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
         self.enforcing = enforcing
         self.coverage = coverage
+        #: When True (the default), each probe phase binds only the roots
+        #: the contract's :class:`~repro.core.planning.ProbePlan` proves
+        #: necessary; False restores the paper's probe-everything rounds.
+        #: Providers whose ``bindings`` predates the ``roots`` keyword
+        #: (external subclasses) silently fall back to full rounds.
+        self.probe_planning = (probe_planning and
+                               _supports_partial_bindings(provider))
         #: Optional local copy of the monitored resources (the runtime
         #: analogue of the generated models.py tables).
         self.mirror = mirror
@@ -375,6 +501,7 @@ class CloudMonitor:
                    with_mirror: bool = False,
                    compiled: bool = False,
                    observability: Optional[Observability] = None,
+                   probe_planning: bool = True,
                    ) -> "CloudMonitor":
         """Assemble the paper's monitor for the Cinder volume scenario.
 
@@ -402,7 +529,8 @@ class CloudMonitor:
         mirror = MirrorDatabase(diagram) if with_mirror else None
         return cls(contracts, provider, operations,
                    enforcing=enforcing, coverage=coverage, mirror=mirror,
-                   observability=observability)
+                   observability=observability,
+                   probe_planning=probe_planning)
 
     def _install_routes(self) -> None:
         by_path: Dict[str, List[MonitoredOperation]] = {}
@@ -453,15 +581,29 @@ class CloudMonitor:
         if contract is None:
             raise MonitorError(
                 f"no contract generated for {operation.trigger}")
-        item_id = next(iter(request.path_args.values()), None)
+        # The item id is the capture the URI template declares for the
+        # operation's resource -- not whichever capture iterates first, so
+        # multi-capture routes (scope segments + item id) bind correctly.
+        capture = operation.item_capture
+        item_id = (request.path_args.get(capture)
+                   if capture is not None else None)
+        plan: Optional[ProbePlan] = (
+            contract.probe_plan(tuple(self.provider.roots))
+            if self.probe_planning else None)
 
         trace = self.obs.tracer.begin(str(operation.trigger))
         trace.set_tag("method", operation.trigger.method)
         trace.set_tag("resource", operation.trigger.resource)
+        if plan is not None:
+            trace.set_tag("probe_plan", plan.describe())
 
-        # (1)-(2) probe pre-state and check the pre-condition.
+        # (1)-(2) probe pre-state and check the pre-condition.  The pre
+        # round also binds the snapshot roots: the pre-probe context is
+        # reused by the snapshot phase below.
         with trace.span("pre_probe"):
-            pre_context = self.provider.context(token, item_id)
+            pre_context = self.provider.context(
+                token, item_id,
+                roots=plan.pre_phase_roots if plan is not None else None)
         with trace.span("pre_eval"):
             pre_holds = contract.check_pre(pre_context)
             applicable = contract.applicable_cases(pre_context)
@@ -481,12 +623,14 @@ class CloudMonitor:
         with trace.span("snapshot"):
             snapshot = contract.snapshot(pre_context)
 
-        # (4) forward to the private cloud.
-        forwarded = request.copy()
+        # (4) forward to the private cloud, query string included: the
+        # template fills the path, the incoming params ride along (a
+        # template carrying its own query keeps both, incoming wins).
         forwarded_url = operation.cloud_url(request.path_args)
         forward_request = Request(request.method, forwarded_url,
                                   body=request.body)
         forward_request.headers = request.headers.copy()
+        forward_request.params.update(request.params)
         with trace.span("forward") as forward_span:
             cloud_response = self.provider.network.send(forward_request)
             forward_span.tags["status"] = cloud_response.status_code
@@ -520,7 +664,9 @@ class CloudMonitor:
             return self._invalid_response(502, verdict), verdict
 
         with trace.span("post_probe"):
-            post_context = self.provider.context(token, item_id)
+            post_context = self.provider.context(
+                token, item_id,
+                roots=plan.post_phase_roots if plan is not None else None)
         with trace.span("post_eval"):
             post_holds = contract.check_post(post_context, snapshot)
         if not accepted:

@@ -13,7 +13,7 @@ in :mod:`repro.core` is Cinder-specific.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..httpsim import Network, status
 from ..rbac import SecurityRequirement, SecurityRequirementsTable
@@ -94,6 +94,8 @@ def nova_behavior_model(
 class NovaStateProvider(CloudStateProvider):
     """Probes Keystone + Nova and binds ``project``, ``server``, ``user``."""
 
+    roots = ("project", "server", "user")
+
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
                  nova_host: str = "nova"):
@@ -101,29 +103,52 @@ class NovaStateProvider(CloudStateProvider):
         self.nova_host = nova_host
 
     def bindings(self, token: str,
-                 item_id: Optional[str] = None) -> Dict[str, Any]:
-        project: Dict[str, Any] = {}
-        response = self._get(
-            token,
-            f"http://{self.keystone_host}/v3/projects/{self.project_id}")
-        if self.probe_body(response) is not None:
-            project["id"] = self.project_id
-        servers_body = self.probe_body(self._get(
-            token, f"http://{self.nova_host}/v3/{self.project_id}/servers"))
-        if servers_body is not None:
-            project["servers"] = servers_body.get("servers", [])
+                 item_id: Optional[str] = None,
+                 roots: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+        requested = (frozenset(self.roots) if roots is None
+                     else frozenset(roots))
+        cache: Dict[tuple, Any] = {}
+        bindings: Dict[str, Any] = {}
+        skipped = 0
 
-        server: Dict[str, Any] = {}
-        if item_id is not None:
-            item_body = self.probe_body(self._get(
+        if "project" in requested:
+            project: Dict[str, Any] = {}
+            response = self._get(
                 token,
-                f"http://{self.nova_host}/v3/{self.project_id}"
-                f"/servers/{item_id}"))
-            if item_body is not None:
-                server = item_body.get("server", {})
+                f"http://{self.keystone_host}/v3/projects/{self.project_id}",
+                cache=cache)
+            if self.probe_body(response) is not None:
+                project["id"] = self.project_id
+            servers_body = self.probe_body(self._get(
+                token,
+                f"http://{self.nova_host}/v3/{self.project_id}/servers",
+                cache=cache))
+            if servers_body is not None:
+                project["servers"] = servers_body.get("servers", [])
+            bindings["project"] = project
+        else:
+            skipped += 2
 
-        user = self._identity(token)
-        return {"project": project, "server": server, "user": user}
+        if "server" in requested:
+            server: Dict[str, Any] = {}
+            if item_id is not None:
+                item_body = self.probe_body(self._get(
+                    token,
+                    f"http://{self.nova_host}/v3/{self.project_id}"
+                    f"/servers/{item_id}", cache=cache))
+                if item_body is not None:
+                    server = item_body.get("server", {})
+            bindings["server"] = server
+        elif item_id is not None:
+            skipped += 1
+
+        if "user" in requested:
+            bindings["user"] = self._identity(token, cache)
+        elif not (self.cache_identity and token in self._identity_cache):
+            skipped += 1
+
+        self._count_skipped(skipped)
+        return bindings
 
 
 def monitor_for_nova(network: Network, project_id: str,

@@ -10,7 +10,9 @@ pre/post-conditions in OCL (Section IV-B, Listing 1).  This package provides:
 * :mod:`repro.ocl.evaluator` -- evaluation with ``pre()`` old-value
   snapshots, as required by the post-conditions of Listing 1,
 * :mod:`repro.ocl.pretty` -- canonical rendering used by the contract
-  generator and the code generator.
+  generator and the code generator,
+* :mod:`repro.ocl.usage` -- static free-name / root-usage analysis that
+  drives the monitor's demand-driven probe planning.
 
 The supported syntax (a practical OCL subset plus the paper's notation):
 
@@ -46,6 +48,7 @@ from .nodes import (
 from .parser import parse
 from .pretty import to_text
 from .simplify import simplify
+from .usage import free_names, old_value_roots, post_state_roots, required_roots
 from .values import UNDEFINED, Undefined, is_defined
 
 __all__ = [
@@ -73,8 +76,12 @@ __all__ = [
     "compile_bool",
     "compile_expression",
     "evaluate",
+    "free_names",
     "is_defined",
+    "old_value_roots",
     "parse",
+    "post_state_roots",
+    "required_roots",
     "simplify",
     "to_text",
     "tokenize",

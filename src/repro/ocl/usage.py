@@ -1,0 +1,113 @@
+"""Static usage analysis over OCL ASTs: which context roots an expression reads.
+
+The monitor binds the OCL roots (``project``, ``volume``, ``quota_sets``,
+``user``) by issuing GET probes against the private cloud -- the dominant
+cost of one monitored request (paper Section VII).  Most contracts only
+*read* a subset of the roots, so probing all of them on every phase is
+wasted work.  This module computes, purely syntactically, which roots an
+expression can possibly look up, so the provider can skip the probes no
+expression will consume.
+
+Three views matter to the Figure-2 workflow:
+
+* :func:`required_roots` -- every root the expression may read; drives the
+  ``pre_probe`` phase (pre-conditions never carry ``pre()`` nodes, so one
+  set suffices).
+* :func:`old_value_roots` -- roots read *inside* ``pre()`` / ``@pre``
+  nodes; the snapshot captures those values from the pre-state, so the
+  pre-probe context must bind them too.
+* :func:`post_state_roots` -- roots read *outside* every ``pre()`` node;
+  only these must be re-probed after the response arrives, because the
+  snapshot answers the old-value lookups.
+
+The analysis is scope-aware: names bound by ``let`` or by iterator
+variables (``->select(v | ...)``) are not free, and shadowing is honoured.
+Over-approximation is safe (a probe is wasted), under-approximation is not
+(a lookup would see an unbound root), so the walker visits every child of
+every node it does not understand.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Tuple, Union
+
+from .nodes import Expression, IteratorCall, Let, Name, Pre
+from .parser import parse
+
+#: One observed free-name occurrence: (identifier, inside a pre() node?).
+_Occurrence = Tuple[str, bool]
+
+
+def _collect(node: Expression, bound: FrozenSet[str], in_pre: bool,
+             sink: List[_Occurrence]) -> None:
+    if isinstance(node, Name):
+        if node.identifier not in bound:
+            sink.append((node.identifier, in_pre))
+        return
+    if isinstance(node, Pre):
+        _collect(node.operand, bound, True, sink)
+        return
+    if isinstance(node, Let):
+        _collect(node.value, bound, in_pre, sink)
+        _collect(node.body, bound | {node.variable}, in_pre, sink)
+        return
+    if isinstance(node, IteratorCall):
+        _collect(node.source, bound, in_pre, sink)
+        _collect(node.body, bound | {node.variable}, in_pre, sink)
+        return
+    for child in node.children():
+        _collect(child, bound, in_pre, sink)
+
+
+def _occurrences(expression: Union[str, Expression]) -> List[_Occurrence]:
+    sink: List[_Occurrence] = []
+    _collect(parse(expression), frozenset(), False, sink)
+    return sink
+
+
+def free_names(expression: Union[str, Expression]) -> FrozenSet[str]:
+    """Every identifier *expression* resolves against the context.
+
+    Names introduced by ``let`` bindings or iterator variables are bound,
+    not free; everything else -- including the base of a navigation chain
+    like ``project.volumes->size()`` -- is.
+    """
+    return frozenset(name for name, _ in _occurrences(expression))
+
+
+def required_roots(expression: Union[str, Expression],
+                   roots: Iterable[str]) -> FrozenSet[str]:
+    """The subset of *roots* that *expression* may read, anywhere.
+
+    This is the binding set one full evaluation of the expression needs --
+    what the monitor's ``pre_probe`` phase must provide for a
+    pre-condition.
+    """
+    return free_names(expression) & frozenset(roots)
+
+
+def old_value_roots(expression: Union[str, Expression],
+                    roots: Iterable[str]) -> FrozenSet[str]:
+    """The subset of *roots* read inside ``pre()`` / ``@pre`` nodes.
+
+    These are the roots the snapshot evaluates against the *pre*-state
+    (the ``pre(case_pre)`` antecedents of a generated post-condition), so
+    the pre-probe context must bind them even when the pre-condition
+    itself does not mention them.
+    """
+    wanted = frozenset(roots)
+    return frozenset(name for name, in_pre in _occurrences(expression)
+                     if in_pre) & wanted
+
+
+def post_state_roots(expression: Union[str, Expression],
+                     roots: Iterable[str]) -> FrozenSet[str]:
+    """The subset of *roots* read outside every ``pre()`` node.
+
+    When a snapshot answers the old-value lookups, these are the only
+    roots the post-probe must re-bind; a root referenced solely under
+    ``pre()`` never touches the post-state.
+    """
+    wanted = frozenset(roots)
+    return frozenset(name for name, in_pre in _occurrences(expression)
+                     if not in_pre) & wanted

@@ -26,7 +26,9 @@ SetupFactory = Callable[[], Tuple[PrivateCloud, CloudMonitor]]
 
 def default_setup(enforcing: bool = False,
                   volume_quota: int = 5,
-                  observability=None) -> Tuple[PrivateCloud, CloudMonitor]:
+                  observability=None,
+                  probe_planning: bool = True,
+                  ) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper's setup: myProject cloud + Cinder monitor in audit mode.
 
     Audit mode is the test-oracle configuration: requests are forwarded
@@ -38,7 +40,8 @@ def default_setup(enforcing: bool = False,
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
     monitor = CloudMonitor.for_cinder(cloud.network, "myProject",
                                       enforcing=enforcing,
-                                      observability=observability)
+                                      observability=observability,
+                                      probe_planning=probe_planning)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
 

@@ -1,0 +1,95 @@
+"""Tests for the static root-usage analysis driving probe planning."""
+
+from repro.ocl import (
+    free_names,
+    old_value_roots,
+    parse,
+    post_state_roots,
+    required_roots,
+)
+
+ROOTS = ("project", "volume", "quota_sets", "user")
+
+
+class TestFreeNames:
+    def test_bare_name(self):
+        assert free_names("project") == {"project"}
+
+    def test_navigation_chain_counts_only_the_base(self):
+        assert free_names("project.volumes->size()") == {"project"}
+
+    def test_literals_have_no_free_names(self):
+        assert free_names("1 + 2 < 4 and true") == frozenset()
+
+    def test_connectives_union_both_sides(self):
+        names = free_names(
+            "project.volumes->size() < quota_sets.volumes "
+            "and user.roles->includes('proj_administrator')")
+        assert names == {"project", "quota_sets", "user"}
+
+    def test_let_binding_is_not_free(self):
+        names = free_names("let n = project.volumes->size() in n < limit")
+        assert names == {"project", "limit"}
+
+    def test_iterator_variable_is_not_free(self):
+        names = free_names(
+            "project.volumes->select(v | v.size > quota_sets.volumes)"
+            "->size() = 0")
+        assert names == {"project", "quota_sets"}
+
+    def test_shadowing_iterator_variable(self):
+        # The outer `volume` root and the iterator variable `volume` are
+        # different things; the bound occurrence must not leak out.
+        names = free_names(
+            "volume.status = 'ok' and "
+            "vols->forAll(volume | volume.size > 0)")
+        assert names == {"volume", "vols"}
+
+    def test_accepts_parsed_ast(self):
+        assert free_names(parse("volume.status <> 'in-use'")) == {"volume"}
+
+    def test_method_call_arguments_are_walked(self):
+        assert free_names("x->count(user.id) > 0") == {"x", "user"}
+
+
+class TestRequiredRoots:
+    def test_filters_to_known_roots(self):
+        roots = required_roots("project.id->size()=1 and other.thing", ROOTS)
+        assert roots == {"project"}
+
+    def test_figure3_delete_guard(self):
+        guard = ("volume.status <> 'in-use' and project.volumes->size() > 1 "
+                 "and (user.roles->includes('proj_administrator'))")
+        assert required_roots(guard, ROOTS) == {"volume", "project", "user"}
+
+    def test_figure3_invariant(self):
+        invariant = ("project.id->size()=1 and project.volumes->size()>=1 "
+                     "and project.volumes->size() < quota_sets.volumes")
+        assert required_roots(invariant, ROOTS) == {"project", "quota_sets"}
+
+
+class TestPrePostSplit:
+    # The generated post-conditions are `pre(case_pre) implies inv and
+    # effect`: the antecedent reads the old state, the consequent the new.
+    POST = ("pre(volume.status <> 'in-use' and "
+            "user.roles->includes('proj_administrator')) implies "
+            "project.volumes->size() = pre(project.volumes->size()) - 1")
+
+    def test_old_value_roots(self):
+        assert old_value_roots(self.POST, ROOTS) == \
+            {"volume", "user", "project"}
+
+    def test_post_state_roots_exclude_pre_only_roots(self):
+        # `volume` and `user` appear only under pre(): the snapshot answers
+        # them, so the post-probe can skip both.
+        assert post_state_roots(self.POST, ROOTS) == {"project"}
+
+    def test_at_pre_syntax_counts_as_old(self):
+        expr = "project.volumes->size()@pre = project.volumes->size()"
+        assert old_value_roots(expr, ROOTS) == {"project"}
+        assert post_state_roots(expr, ROOTS) == {"project"}
+
+    def test_expression_without_pre_has_no_old_roots(self):
+        expr = "project.volumes->size() < quota_sets.volumes"
+        assert old_value_roots(expr, ROOTS) == frozenset()
+        assert post_state_roots(expr, ROOTS) == {"project", "quota_sets"}
