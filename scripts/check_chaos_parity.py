@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Enforce chaos parity: recoverable faults must not change verdicts.
+
+Runs the seeded chaos campaign (deterministic: seeded workload, seeded
+fault program, ManualClock-driven backoff) twice -- fault-free and under
+the recoverable fail-once-then-succeed program -- and requires:
+
+* the faulted verdict rows are byte-identical to the fault-free baseline
+  (their SHA-256 digests match each other *and* the digest recorded in
+  ``scripts/chaos_parity.json``), and
+* a dead substrate degrades every request to an ``indeterminate``
+  verdict -- never an exception, never a spurious valid/invalid.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_chaos_parity.py [--update]
+
+``--update`` re-records the baseline digest after an intentional change
+to the verdict schema, the workload, or the retry policy.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "chaos_parity.json")
+
+WORKLOAD_COUNT = 40
+WORKLOAD_SEED = 7
+
+
+def measure():
+    from repro.validation import (assert_indeterminate_degradation,
+                                  run_chaos_campaign)
+
+    report = run_chaos_campaign(count=WORKLOAD_COUNT, seed=WORKLOAD_SEED)
+    dead = assert_indeterminate_degradation(count=10, seed=WORKLOAD_SEED)
+    return report, dead
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    report, dead = measure()
+    summary = report.to_dict()
+    current = {
+        "workload": {"count": WORKLOAD_COUNT, "seed": WORKLOAD_SEED},
+        "verdict_digest": summary["baseline_digest"],
+        "verdict_count": summary["verdict_count"],
+        "dead_substrate_indeterminate": dead.indeterminate,
+    }
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos parity baseline recorded: "
+              f"digest {current['verdict_digest'][:12]}... over "
+              f"{current['verdict_count']} verdicts")
+        return 0
+
+    if not report.parity:
+        index = report.first_divergence()
+        print("FAIL: recoverable faults changed the verdict stream "
+              f"(first divergence at row {index})", file=sys.stderr)
+        return 1
+    print(f"chaos parity: {summary['verdict_count']} verdicts identical "
+          f"under recoverable faults "
+          f"({summary['faulted_retries']:.0f} retries absorbed); "
+          f"dead substrate -> {dead.indeterminate}/{len(dead.rows)} "
+          "indeterminate")
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    if recorded["verdict_digest"] != current["verdict_digest"]:
+        print("FAIL: verdict stream drifted from the recorded baseline "
+              "(schema, workload, or policy change?); re-record with "
+              "--update if intentional", file=sys.stderr)
+        return 1
+    if recorded["verdict_count"] != current["verdict_count"]:
+        print("FAIL: verdict count drifted from the recorded baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

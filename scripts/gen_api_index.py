@@ -20,6 +20,20 @@ HEADER = [
     "docstrings themselves; this index is for orientation. Regenerate "
     "with ``python scripts/gen_api_index.py``.",
     "",
+    "Stability notes:",
+    "",
+    "- ``CloudStateProvider.bindings``/``context`` take a **mandatory** "
+    "``roots=`` keyword (``None`` still means \"probe everything\"); the "
+    "old positional-only provider signature is no longer sniffed for, so "
+    "custom providers must accept it.",
+    "- Verdicts serialize through one versioned wire schema "
+    "(``repro.core.verdict_schema``, ``schema_version: 2``) shared by "
+    "``MonitorVerdict.to_dict``, the audit log, and the JSON exporter; "
+    "version-1 rows still load, newer versions are rejected.",
+    "- ``CloudMonitor.for_cinder`` (and friends) are deprecated aliases "
+    "for ``CloudMonitor.for_service(name, ...)`` backed by the scenario "
+    "registry in ``repro.core.scenarios``.",
+    "",
 ]
 
 

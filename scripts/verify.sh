@@ -19,4 +19,7 @@ PYTHONPATH=src python scripts/check_obs_coverage.py --floor 80
 echo "==> probe budget gate (planning enabled, deterministic workload)"
 PYTHONPATH=src python scripts/check_probe_budget.py
 
+echo "==> chaos parity gate (recoverable faults leave verdicts unchanged)"
+PYTHONPATH=src python scripts/check_chaos_parity.py
+
 echo "==> verify: OK"

@@ -82,6 +82,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.kill_rate == 1.0 else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos campaign and report parity + degradation.
+
+    Exit code 0 means recoverable faults left the verdict stream
+    byte-identical to the fault-free baseline AND a dead substrate
+    degraded every request to ``indeterminate``.
+    """
+    import json
+
+    from .validation import (assert_indeterminate_degradation,
+                             run_chaos_campaign)
+
+    report = run_chaos_campaign(count=args.requests, seed=args.seed)
+    summary = report.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"chaos campaign: {summary['verdict_count']} monitored "
+              f"requests, seed {args.seed}")
+        print(f"  retries absorbed:     "
+              f"{summary['faulted_retries']:.0f}")
+        print(f"  verdict parity:       "
+              f"{'OK' if report.parity else 'BROKEN'}")
+        if not report.parity:
+            print(f"  first divergence at row {report.first_divergence()}")
+    try:
+        dead = assert_indeterminate_degradation(count=10, seed=args.seed)
+    except AssertionError as exc:
+        print(f"  dead substrate:       FAILED ({exc})", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"  dead substrate:       {dead.indeterminate}/"
+              f"{len(dead.rows)} indeterminate")
+    return 0 if report.parity else 1
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run a monitored session and print its metrics exposition.
 
@@ -241,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="six mutants + extended battery instead of "
                                "the paper's three")
 
+    chaos = sub.add_parser(
+        "chaos", help="verdict parity under recoverable faults + "
+                      "indeterminate degradation under a dead substrate")
+    chaos.add_argument("--requests", type=int, default=40,
+                       help="workload size (default 40)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="workload/fault seed (default 7)")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable summary")
+
     metrics = sub.add_parser(
         "metrics", help="replay a battery and print the monitor's metrics "
                         "(Prometheus text, or --json)")
@@ -298,6 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "contracts": cmd_contracts,
         "demo": cmd_demo,
         "campaign": cmd_campaign,
+        "chaos": cmd_chaos,
         "metrics": cmd_metrics,
         "dot": cmd_dot,
         "slice": cmd_slice,

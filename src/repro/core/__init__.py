@@ -21,12 +21,26 @@ from .contracts import ContractCase, ContractGenerator, MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase, MirrorTable
 from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
-from .planning import PROBE_ROOTS, ProbePlan
+from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
+from .resilience import (
+    CircuitBreaker,
+    ProbeFailure,
+    ResilientTransport,
+    RetryPolicy,
+    transport_failure,
+)
 from .resource_model import ResourceModelBuilder, cinder_resource_model
+from .scenarios import build_scenario, register_scenario, scenario_names
 from .typecheck import check_expression, check_models
+from .verdict_schema import (
+    SCHEMA_VERSION,
+    verdict_from_record,
+    verdict_record,
+)
 
 __all__ = [
     "BehaviorModelBuilder",
+    "CircuitBreaker",
     "CloudMonitor",
     "CloudStateProvider",
     "CompositeMonitor",
@@ -37,16 +51,27 @@ __all__ = [
     "MirrorDatabase",
     "MirrorTable",
     "MonitorVerdict",
+    "PROBE_COSTS",
     "PROBE_ROOTS",
+    "ProbeFailure",
     "ProbePlan",
+    "ResilientTransport",
     "ResourceModelBuilder",
+    "RetryPolicy",
+    "SCHEMA_VERSION",
     "Verdict",
     "Overlap",
+    "build_scenario",
     "check_consistency",
     "check_expression",
     "check_models",
     "cinder_behavior_model",
     "cinder_resource_model",
     "read_log",
+    "register_scenario",
+    "scenario_names",
+    "transport_failure",
+    "verdict_from_record",
+    "verdict_record",
     "write_log",
 ]

@@ -12,44 +12,38 @@ from __future__ import annotations
 import json
 from typing import IO, Iterable, List, Union
 
-from ..errors import ModelError, MonitorError
-from ..uml import Trigger
+from ..errors import MonitorError
 from .monitor import MonitorVerdict
+from .verdict_schema import verdict_from_record, verdict_record
 
 
 def verdict_to_json(verdict: MonitorVerdict) -> str:
-    """One JSONL line for *verdict*.
+    """One JSONL line for *verdict*, in the versioned wire schema.
 
     ``ensure_ascii`` stays on so non-ASCII reason strings survive any
     transport encoding; the ``correlation_id`` joins the line with the
-    tracer's span records for the same request.
+    tracer's span records for the same request.  The row shape is the
+    canonical :func:`~repro.core.verdict_schema.verdict_record` -- the
+    same record an invalid response embeds.
     """
-    record = verdict.to_dict()
-    record["snapshot_bytes"] = verdict.snapshot_bytes
-    return json.dumps(record, sort_keys=True)
+    return json.dumps(verdict_record(verdict), sort_keys=True)
 
 
 def verdict_from_json(line: str) -> MonitorVerdict:
-    """Parse one JSONL line back into a verdict record."""
+    """Parse one JSONL line back into a verdict record.
+
+    Accepts version-1 rows (written before the schema was versioned) as
+    well as current ones; see :mod:`repro.core.verdict_schema`.
+    """
     try:
         record = json.loads(line)
-        trigger = Trigger.parse(record["operation"])
-        return MonitorVerdict(
-            trigger=trigger,
-            verdict=record["verdict"],
-            pre_holds=record["pre_holds"],
-            forwarded=record["forwarded"],
-            response_status=record["response_status"],
-            post_holds=record["post_holds"],
-            message=record["message"],
-            security_requirements=list(record["security_requirements"]),
-            snapshot_bytes=record.get("snapshot_bytes", 0),
-            # Logs written before the observability subsystem have no
-            # correlation id; they load with None.
-            correlation_id=record.get("correlation_id"),
-        )
-    except (ValueError, KeyError, TypeError, ModelError) as exc:
+    except ValueError as exc:
         raise MonitorError(f"malformed audit-log line: {exc}") from exc
+    if not isinstance(record, dict):
+        raise MonitorError(
+            f"malformed audit-log line: expected an object, "
+            f"got {type(record).__name__}")
+    return verdict_from_record(record)
 
 
 def write_log(verdicts: Iterable[MonitorVerdict],

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional
 
 from ..httpsim import Network, status
+from ..ocl.values import UNDEFINED
 from ..rbac import SecurityRequirement, SecurityRequirementsTable
 from ..uml import ClassDiagram, StateMachine
 from .behavior_model import BehaviorModelBuilder
@@ -81,6 +82,7 @@ class KeystoneStateProvider(CloudStateProvider):
     """Binds ``projects`` and ``user`` by probing Keystone itself."""
 
     roots = ("projects", "project", "user")
+    probe_costs = {"projects": 1, "project": 1, "user": 1}
 
     def bindings(self, token: str,
                  item_id: Optional[str] = None,
@@ -89,40 +91,62 @@ class KeystoneStateProvider(CloudStateProvider):
                      else frozenset(roots))
         cache: Dict[tuple, Any] = {}
         bindings: Dict[str, Any] = {}
+        unbound: set = set()
         skipped = 0
 
         if "user" in requested:
-            bindings["user"] = self._identity(token, cache)
+            self._bind(bindings, unbound, "user",
+                       self._identity, token, cache)
         elif not (self.cache_identity and token in self._identity_cache):
-            skipped += 1
+            skipped += self.probe_costs["user"]
         if "projects" in requested:
-            listing_body = self.probe_body(self._get(
-                token, f"http://{self.keystone_host}/v3/projects",
-                cache=cache))
-            if listing_body is not None:
-                bindings["projects"] = listing_body.get("projects", [])
+            self._bind(bindings, unbound, "projects",
+                       self._probe_listing, token, cache)
         else:
-            skipped += 1
+            skipped += self.probe_costs["projects"]
         if item_id is not None:
             if "project" in requested:
-                item_body = self.probe_body(self._get(
-                    token,
-                    f"http://{self.keystone_host}/v3/projects/{item_id}",
-                    cache=cache))
-                if item_body is not None:
-                    bindings["project"] = item_body.get("project", {})
+                self._bind(bindings, unbound, "project",
+                           self._probe_item, token, item_id, cache)
             else:
-                skipped += 1
+                skipped += self.probe_costs["project"]
 
         self._count_skipped(skipped)
+        self.unbound_roots = frozenset(unbound)
         return bindings
+
+    def _probe_listing(self, token: str,
+                       cache: Optional[Dict[tuple, Any]] = None) -> Any:
+        listing_body = self.probe_body(self._get(
+            token, f"http://{self.keystone_host}/v3/projects",
+            cache=cache))
+        if listing_body is None:
+            return UNDEFINED
+        return listing_body.get("projects", [])
+
+    def _probe_item(self, token: str, item_id: str,
+                    cache: Optional[Dict[tuple, Any]] = None) -> Any:
+        item_body = self.probe_body(self._get(
+            token,
+            f"http://{self.keystone_host}/v3/projects/{item_id}",
+            cache=cache))
+        if item_body is None:
+            return UNDEFINED
+        return item_body.get("project", {})
 
 
 def monitor_for_keystone(network: Network, project_id: str,
                          enforcing: bool = True,
                          keystone_host: str = "keystone",
-                         mount: str = "imonitor") -> CloudMonitor:
-    """Assemble the identity-scenario monitor."""
+                         mount: str = "imonitor",
+                         observability=None,
+                         probe_planning: bool = True,
+                         transport=None) -> CloudMonitor:
+    """Assemble the identity-scenario monitor.
+
+    Registered in the scenario registry as ``"keystone"``; prefer
+    ``CloudMonitor.for_service("keystone", ...)``.
+    """
     machine = keystone_behavior_model()
     diagram = keystone_resource_model()
     contracts = ContractGenerator(machine, diagram).all_contracts()
@@ -140,4 +164,7 @@ def monitor_for_keystone(network: Network, project_id: str,
                                      keystone_host=keystone_host)
     coverage = CoverageTracker(machine.security_requirement_ids())
     return CloudMonitor(contracts, provider, operations,
-                        enforcing=enforcing, coverage=coverage)
+                        enforcing=enforcing, coverage=coverage,
+                        observability=observability,
+                        probe_planning=probe_planning,
+                        transport=transport)

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import copy
 import re
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+import warnings
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
@@ -40,10 +41,12 @@ from ..obs import Observability, ObservabilityMiddleware
 from ..ocl import Context
 from ..ocl.values import UNDEFINED
 from ..uml import ClassDiagram, StateMachine, Trigger
-from .contracts import ContractGenerator, MethodContract
+from .contracts import MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
-from .planning import PROBE_ROOTS, ProbePlan
+from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
+from .resilience import ProbeFailure, transport_failure
+from .verdict_schema import verdict_record
 
 #: Success codes the monitor accepts per HTTP method (Cinder conventions;
 #: Listing 2 checks ``response.code == 204`` for DELETE).
@@ -73,6 +76,10 @@ class Verdict:
     #: Audit mode: pre-condition failed and the cloud also rejected --
     #: both sides agree the request is invalid.
     INVALID_AGREED = "invalid-agreed"
+    #: The substrate was unreachable (retries exhausted / breaker open):
+    #: the monitor could not bind the state it needs, so it refuses to
+    #: guess -- neither valid nor invalid, and never a violation.
+    INDETERMINATE = "indeterminate"
 
     VIOLATIONS = (PRE_VIOLATION, REJECTED_VALID, POST_VIOLATION)
 
@@ -80,12 +87,14 @@ class Verdict:
 class MonitorVerdict:
     """The full record of one monitored request (the traceability log row)."""
 
-    def __init__(self, trigger: Trigger, verdict: str, pre_holds: bool,
+    def __init__(self, trigger: Trigger, verdict: str,
+                 pre_holds: Optional[bool],
                  forwarded: bool, response_status: Optional[int],
                  post_holds: Optional[bool], message: str,
                  security_requirements: List[str],
                  snapshot_bytes: int = 0,
-                 correlation_id: Optional[str] = None):
+                 correlation_id: Optional[str] = None,
+                 unbound_roots: Optional[Iterable[str]] = None):
         self.trigger = trigger
         self.verdict = verdict
         self.pre_holds = pre_holds
@@ -98,25 +107,27 @@ class MonitorVerdict:
         #: Trace id of the request that produced this verdict; joins the
         #: audit log with the tracer's span records.
         self.correlation_id = correlation_id
+        #: Roots the provider could not bind because the transport gave up
+        #: (retries exhausted or breaker open); non-empty only on
+        #: :data:`Verdict.INDETERMINATE` verdicts.
+        self.unbound_roots: List[str] = sorted(unbound_roots or ())
 
     @property
     def violation(self) -> bool:
         """True when the cloud implementation contradicted the contract."""
         return self.verdict in Verdict.VIOLATIONS
 
+    @property
+    def indeterminate(self) -> bool:
+        """True when the substrate was unreachable and no call was made."""
+        return self.verdict == Verdict.INDETERMINATE
+
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready form, embedded in invalid responses."""
-        return {
-            "operation": str(self.trigger),
-            "verdict": self.verdict,
-            "pre_holds": self.pre_holds,
-            "forwarded": self.forwarded,
-            "response_status": self.response_status,
-            "post_holds": self.post_holds,
-            "message": self.message,
-            "security_requirements": self.security_requirements,
-            "correlation_id": self.correlation_id,
-        }
+        """JSON-ready form in the versioned wire schema.
+
+        Embedded in invalid responses, audit-log rows, and the JSON
+        exporter alike -- see :mod:`repro.core.verdict_schema`."""
+        return verdict_record(self)
 
     def __repr__(self) -> str:
         return f"<MonitorVerdict {self.trigger} {self.verdict}>"
@@ -134,11 +145,18 @@ class CloudStateProvider:
     #: against this set, so scenario-specific subclasses override it.
     roots: Tuple[str, ...] = PROBE_ROOTS
 
+    #: GET cost of binding each root -- shared with the probe planner's
+    #: estimates and the skipped-probe accounting (see
+    #: :data:`repro.core.planning.PROBE_COSTS`).  Scenario subclasses
+    #: override alongside :attr:`roots`.
+    probe_costs: Dict[str, int] = PROBE_COSTS
+
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
                  cinder_host: str = "cinder",
                  cache_identity: bool = False,
-                 observability: Optional[Observability] = None):
+                 observability: Optional[Observability] = None,
+                 transport=None):
         self.network = network
         self.project_id = project_id
         self.keystone_host = keystone_host
@@ -148,6 +166,15 @@ class CloudStateProvider:
         #: Optional shared observability; the owning monitor attaches its
         #: own when the provider was built without one.
         self.observability = observability
+        #: What probes are sent through: the bare network by default, or a
+        #: :class:`~repro.core.resilience.ResilientTransport` layering
+        #: retries and circuit breaking over it.
+        self.transport = transport if transport is not None else network
+        #: Roots the last :meth:`bindings` call failed to bind because the
+        #: transport gave up on their probes; the monitor reads this to
+        #: decide between evaluating the contract and an
+        #: :data:`~repro.core.monitor.Verdict.INDETERMINATE` verdict.
+        self.unbound_roots: FrozenSet[str] = frozenset()
         #: When enabled, token introspection results are cached per token:
         #: a token's identity is immutable for its lifetime, so the probe
         #: can be paid once instead of twice per monitored request.  Role
@@ -176,7 +203,13 @@ class CloudStateProvider:
             self.observability.metrics.counter(
                 "monitor_probe_requests_total",
                 "GET probes issued to bind the OCL roots").inc()
-        response = self.network.send(Request("GET", url, headers=headers))
+        response = self.transport.send(Request("GET", url, headers=headers))
+        reason = transport_failure(response)
+        if reason is not None:
+            # The transport layer gave up (retries exhausted / breaker
+            # open): this is NOT a cloud answer, so the binding must not
+            # degrade to "resource absent" -- it is unknowable.
+            raise ProbeFailure(f"probe {url} failed: {reason}")
         if cache is not None:
             cache[key] = response
         return response
@@ -207,35 +240,61 @@ class CloudStateProvider:
         Cinder scenario, the volume id).  When *roots* is given (a
         :class:`~repro.core.planning.ProbePlan` phase set), only the named
         roots are probed and bound; every probe skipped this way is
-        counted in the ``monitor_probes_skipped_total`` metric.  Probes
-        within one call share a single-flight cache, so identical URLs
-        cost one round trip.
+        counted in the ``monitor_probes_skipped_total`` metric at the
+        :attr:`probe_costs` rate.  Probes within one call share a
+        single-flight cache, so identical URLs cost one round trip.
+
+        The ``roots`` keyword is a mandatory part of this contract:
+        scenario subclasses must accept it (``None`` still means "bind
+        everything").  Roots whose probes die in the transport layer are
+        collected in :attr:`unbound_roots` instead of raising.
         """
         requested: FrozenSet[str] = (frozenset(self.roots) if roots is None
                                      else frozenset(roots))
         cache: Dict[tuple, Response] = {}
         bindings: Dict[str, Any] = {}
+        unbound: set = set()
         skipped = 0
 
         if "project" in requested:
-            bindings["project"] = self._probe_project(token, cache)
+            self._bind(bindings, unbound, "project",
+                       self._probe_project, token, cache)
         else:
-            skipped += 2
+            skipped += self.probe_costs["project"]
         if "quota_sets" in requested:
-            bindings["quota_sets"] = self._probe_quota(token, cache)
+            self._bind(bindings, unbound, "quota_sets",
+                       self._probe_quota, token, cache)
         else:
-            skipped += 1
+            skipped += self.probe_costs["quota_sets"]
         if "volume" in requested:
-            bindings["volume"] = self._probe_volume(token, item_id, cache)
+            self._bind(bindings, unbound, "volume",
+                       self._probe_volume, token, item_id, cache)
         elif item_id is not None:
-            skipped += 2
+            skipped += self.probe_costs["volume"]
         if "user" in requested:
-            bindings["user"] = self._identity(token, cache)
+            self._bind(bindings, unbound, "user",
+                       self._identity, token, cache)
         elif not (self.cache_identity and token in self._identity_cache):
-            skipped += 1
+            skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
+        self.unbound_roots = frozenset(unbound)
         return bindings
+
+    def _bind(self, bindings: Dict[str, Any], unbound: set, root: str,
+              probe: Callable, *args) -> None:
+        """Bind *root* via *probe*, degrading transport loss to unbound.
+
+        A :class:`~repro.core.resilience.ProbeFailure` means the transport
+        exhausted its retries (or the breaker is open): the root's value
+        is unknowable, which is different from "the resource does not
+        exist" -- so the root is recorded as unbound rather than bound to
+        an empty value the contract would happily mis-evaluate.
+        """
+        try:
+            bindings[root] = probe(*args)
+        except ProbeFailure:
+            unbound.add(root)
 
     def _count_skipped(self, skipped: int) -> None:
         """Record probes a plan avoided (subclass ``bindings`` reuse this)."""
@@ -345,28 +404,13 @@ class CloudStateProvider:
         *roots* restricts probing to one plan phase's bindings; the
         context stays lenient, so a planned-away root resolves to
         undefined -- which the plan guarantees no expression will ask for.
-        ``roots=None`` calls ``bindings`` with the pre-planning signature,
-        so subclasses that never learned the keyword keep working.
         """
-        if roots is None:
-            return Context(self.bindings(token, item_id), strict=False)
         return Context(self.bindings(token, item_id, roots=roots),
                        strict=False)
 
 
 #: Route captures in a monitor path template: ``<str:volume_id>`` -> name.
 _PATH_CAPTURE = re.compile(r"<(?:[a-z]+:)?([A-Za-z_]\w*)>")
-
-
-def _supports_partial_bindings(provider: CloudStateProvider) -> bool:
-    """True when *provider*'s ``bindings`` accepts the ``roots`` keyword."""
-    import inspect
-
-    try:
-        signature = inspect.signature(provider.bindings)
-    except (TypeError, ValueError):
-        return False
-    return "roots" in signature.parameters
 
 
 class MonitoredOperation:
@@ -453,7 +497,8 @@ class CloudMonitor:
                  coverage: Optional[CoverageTracker] = None,
                  mirror: Optional["MirrorDatabase"] = None,
                  observability: Optional[Observability] = None,
-                 probe_planning: bool = True):
+                 probe_planning: bool = True,
+                 transport=None):
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
@@ -462,10 +507,9 @@ class CloudMonitor:
         #: When True (the default), each probe phase binds only the roots
         #: the contract's :class:`~repro.core.planning.ProbePlan` proves
         #: necessary; False restores the paper's probe-everything rounds.
-        #: Providers whose ``bindings`` predates the ``roots`` keyword
-        #: (external subclasses) silently fall back to full rounds.
-        self.probe_planning = (probe_planning and
-                               _supports_partial_bindings(provider))
+        #: The ``roots`` keyword is part of the provider ``bindings``
+        #: contract, so no capability sniffing happens here.
+        self.probe_planning = bool(probe_planning)
         #: Optional local copy of the monitored resources (the runtime
         #: analogue of the generated models.py tables).
         self.mirror = mirror
@@ -474,6 +518,18 @@ class CloudMonitor:
         #: deterministic timings.
         self.obs = observability if observability is not None \
             else Observability()
+        #: What probes and the forward travel through.  ``None`` keeps the
+        #: provider's own transport (the bare network unless the provider
+        #: was built resilient); passing a
+        #: :class:`~repro.core.resilience.ResilientTransport` threads
+        #: retries + circuit breaking under every send.
+        if transport is not None:
+            self.provider.transport = transport
+        self.transport = self.provider.transport
+        attach = getattr(self.transport, "attach_observability", None)
+        if attach is not None and getattr(
+                self.transport, "observability", None) is None:
+            attach(self.obs)
         if self.provider.observability is None:
             self.provider.observability = self.obs
         if self.provider.network.observability is None:
@@ -492,45 +548,33 @@ class CloudMonitor:
     # -- construction ------------------------------------------------------------
 
     @classmethod
-    def for_cinder(cls, network: Network, project_id: str,
-                   machine: Optional[StateMachine] = None,
-                   diagram: Optional[ClassDiagram] = None,
-                   enforcing: bool = True,
-                   coverage: Optional[CoverageTracker] = None,
-                   cinder_host: str = "cinder",
-                   with_mirror: bool = False,
-                   compiled: bool = False,
-                   observability: Optional[Observability] = None,
-                   probe_planning: bool = True,
-                   ) -> "CloudMonitor":
-        """Assemble the paper's monitor for the Cinder volume scenario.
+    def for_service(cls, name: str, network: Network, project_id: str,
+                    **kwargs) -> "CloudMonitor":
+        """Assemble the monitor for a registered scenario by *name*.
 
-        Builds the Figure-3 models (unless given), generates the contracts,
-        and mounts the ``/cmonitor/volumes`` routes that forward to
-        ``/v3/{project_id}/volumes`` on the Cinder endpoint -- the layout of
-        Listings 2 and 3.
+        The one front door for every monitored service: looks *name* up
+        in the :mod:`repro.core.scenarios` registry (``cinder``, ``nova``,
+        ``keystone`` ship built in; register your own with
+        :func:`repro.core.scenarios.register_scenario`) and hands the
+        remaining keyword arguments to its builder.
         """
-        from .behavior_model import cinder_behavior_model
-        from .resource_model import cinder_resource_model
+        from .scenarios import build_scenario
 
-        machine = machine or cinder_behavior_model()
-        diagram = diagram or cinder_resource_model()
-        generator = ContractGenerator(machine, diagram)
-        contracts = generator.all_contracts()
-        if compiled:
-            for contract in contracts.values():
-                contract.compile()
-        base = f"http://{cinder_host}/v3/{project_id}"
-        operations = operations_from_models(machine, diagram, base)
-        provider = CloudStateProvider(network, project_id,
-                                      cinder_host=cinder_host)
-        if coverage is None:
-            coverage = CoverageTracker(machine.security_requirement_ids())
-        mirror = MirrorDatabase(diagram) if with_mirror else None
-        return cls(contracts, provider, operations,
-                   enforcing=enforcing, coverage=coverage, mirror=mirror,
-                   observability=observability,
-                   probe_planning=probe_planning)
+        return build_scenario(name, network, project_id, **kwargs)
+
+    @classmethod
+    def for_cinder(cls, network: Network, project_id: str,
+                   **kwargs) -> "CloudMonitor":
+        """Deprecated alias for ``for_service("cinder", ...)``.
+
+        Kept for one release so existing callers keep working; new code
+        should name the scenario through :meth:`for_service`.
+        """
+        warnings.warn(
+            'CloudMonitor.for_cinder is deprecated; use '
+            'CloudMonitor.for_service("cinder", ...)',
+            DeprecationWarning, stacklevel=2)
+        return cls.for_service("cinder", network, project_id, **kwargs)
 
     def _install_routes(self) -> None:
         by_path: Dict[str, List[MonitoredOperation]] = {}
@@ -604,6 +648,21 @@ class CloudMonitor:
             pre_context = self.provider.context(
                 token, item_id,
                 roots=plan.pre_phase_roots if plan is not None else None)
+        unbound = self.provider.unbound_roots
+        if unbound:
+            # The transport gave up on at least one probe: the pre-state
+            # is unobservable, so neither blocking nor forwarding can be
+            # justified.  Even in audit mode the request is NOT forwarded
+            # -- a write whose outcome could never be checked would
+            # corrupt the validation log.
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.INDETERMINATE, None, False,
+                None, None,
+                "pre-state unobservable: transport could not bind "
+                + ", ".join(sorted(unbound)),
+                contract.security_requirements,
+                unbound_roots=unbound), trace)
+            return self._invalid_response(503, verdict), verdict
         with trace.span("pre_eval"):
             pre_holds = contract.check_pre(pre_context)
             applicable = contract.applicable_cases(pre_context)
@@ -632,8 +691,22 @@ class CloudMonitor:
         forward_request.headers = request.headers.copy()
         forward_request.params.update(request.params)
         with trace.span("forward") as forward_span:
-            cloud_response = self.provider.network.send(forward_request)
+            cloud_response = self.transport.send(forward_request)
             forward_span.tags["status"] = cloud_response.status_code
+        reason = transport_failure(cloud_response)
+        if reason is not None:
+            # The 503 in hand is the transport's own (retries exhausted or
+            # breaker open), not the cloud's answer: the request may or
+            # may not have taken effect, so any valid/invalid verdict
+            # would be a guess.
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.INDETERMINATE, pre_holds, False,
+                None, None,
+                f"forward failed in the transport layer ({reason}); "
+                "outcome unknowable",
+                requirements, snapshot_bytes=snapshot.storage_bytes),
+                trace)
+            return self._invalid_response(503, verdict), verdict
         accepted = cloud_response.status_code in operation.expected_codes
         succeeded = status.is_success(cloud_response.status_code)
 
@@ -667,6 +740,16 @@ class CloudMonitor:
             post_context = self.provider.context(
                 token, item_id,
                 roots=plan.post_phase_roots if plan is not None else None)
+        unbound = self.provider.unbound_roots
+        if unbound:
+            verdict = self._finish(MonitorVerdict(
+                operation.trigger, Verdict.INDETERMINATE, True, True,
+                cloud_response.status_code, None,
+                "post-state unobservable: transport could not bind "
+                + ", ".join(sorted(unbound)),
+                requirements, snapshot_bytes=snapshot.storage_bytes,
+                unbound_roots=unbound), trace)
+            return self._invalid_response(503, verdict), verdict
         with trace.span("post_eval"):
             post_holds = contract.check_post(post_context, snapshot)
         if not accepted:
@@ -715,10 +798,15 @@ class CloudMonitor:
         if trace is not None:
             verdict.correlation_id = trace.trace_id
             trace.set_tag("verdict", verdict.verdict)
+            if verdict.unbound_roots:
+                trace.set_tag("unbound_roots",
+                              ",".join(verdict.unbound_roots))
             self.obs.tracer.finish(trace)
             self._record_metrics(verdict, trace)
         self.log.append(verdict)
-        if self.coverage is not None:
+        # Indeterminate outcomes say nothing about the requirement either
+        # way, so they must not move the pass/fail coverage counters.
+        if self.coverage is not None and not verdict.indeterminate:
             self.coverage.record(verdict.security_requirements,
                                  passed=not verdict.violation)
         return verdict
@@ -739,6 +827,11 @@ class CloudMonitor:
             metrics.counter(
                 "monitor_blocked_total",
                 "Requests blocked in enforcing mode (412)").inc()
+        if verdict.indeterminate:
+            metrics.counter(
+                "monitor_indeterminate_total",
+                "Requests whose outcome the transport made unknowable"
+                ).inc()
         metrics.counter(
             "monitor_snapshot_bytes_total",
             "Bytes of pre() old values stored across all requests").inc(

@@ -95,11 +95,14 @@ class NovaStateProvider(CloudStateProvider):
     """Probes Keystone + Nova and binds ``project``, ``server``, ``user``."""
 
     roots = ("project", "server", "user")
+    probe_costs = {"project": 2, "server": 1, "user": 1}
 
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
-                 nova_host: str = "nova"):
-        super().__init__(network, project_id, keystone_host=keystone_host)
+                 nova_host: str = "nova",
+                 transport=None):
+        super().__init__(network, project_id, keystone_host=keystone_host,
+                         transport=transport)
         self.nova_host = nova_host
 
     def bindings(self, token: str,
@@ -109,53 +112,73 @@ class NovaStateProvider(CloudStateProvider):
                      else frozenset(roots))
         cache: Dict[tuple, Any] = {}
         bindings: Dict[str, Any] = {}
+        unbound: set = set()
         skipped = 0
 
         if "project" in requested:
-            project: Dict[str, Any] = {}
-            response = self._get(
-                token,
-                f"http://{self.keystone_host}/v3/projects/{self.project_id}",
-                cache=cache)
-            if self.probe_body(response) is not None:
-                project["id"] = self.project_id
-            servers_body = self.probe_body(self._get(
-                token,
-                f"http://{self.nova_host}/v3/{self.project_id}/servers",
-                cache=cache))
-            if servers_body is not None:
-                project["servers"] = servers_body.get("servers", [])
-            bindings["project"] = project
+            self._bind(bindings, unbound, "project",
+                       self._probe_nova_project, token, cache)
         else:
-            skipped += 2
-
+            skipped += self.probe_costs["project"]
         if "server" in requested:
-            server: Dict[str, Any] = {}
-            if item_id is not None:
-                item_body = self.probe_body(self._get(
-                    token,
-                    f"http://{self.nova_host}/v3/{self.project_id}"
-                    f"/servers/{item_id}", cache=cache))
-                if item_body is not None:
-                    server = item_body.get("server", {})
-            bindings["server"] = server
+            self._bind(bindings, unbound, "server",
+                       self._probe_server, token, item_id, cache)
         elif item_id is not None:
-            skipped += 1
-
+            skipped += self.probe_costs["server"]
         if "user" in requested:
-            bindings["user"] = self._identity(token, cache)
+            self._bind(bindings, unbound, "user",
+                       self._identity, token, cache)
         elif not (self.cache_identity and token in self._identity_cache):
-            skipped += 1
+            skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
+        self.unbound_roots = frozenset(unbound)
         return bindings
+
+    def _probe_nova_project(self, token: str,
+                            cache: Optional[Dict[tuple, Any]] = None,
+                            ) -> Dict[str, Any]:
+        project: Dict[str, Any] = {}
+        response = self._get(
+            token,
+            f"http://{self.keystone_host}/v3/projects/{self.project_id}",
+            cache=cache)
+        if self.probe_body(response) is not None:
+            project["id"] = self.project_id
+        servers_body = self.probe_body(self._get(
+            token,
+            f"http://{self.nova_host}/v3/{self.project_id}/servers",
+            cache=cache))
+        if servers_body is not None:
+            project["servers"] = servers_body.get("servers", [])
+        return project
+
+    def _probe_server(self, token: str, item_id: Optional[str],
+                      cache: Optional[Dict[tuple, Any]] = None,
+                      ) -> Dict[str, Any]:
+        server: Dict[str, Any] = {}
+        if item_id is not None:
+            item_body = self.probe_body(self._get(
+                token,
+                f"http://{self.nova_host}/v3/{self.project_id}"
+                f"/servers/{item_id}", cache=cache))
+            if item_body is not None:
+                server = item_body.get("server", {})
+        return server
 
 
 def monitor_for_nova(network: Network, project_id: str,
                      enforcing: bool = True,
                      nova_host: str = "nova",
-                     mount: str = "smonitor") -> CloudMonitor:
-    """Assemble the server-scenario monitor (the Cinder recipe, re-applied)."""
+                     mount: str = "smonitor",
+                     observability=None,
+                     probe_planning: bool = True,
+                     transport=None) -> CloudMonitor:
+    """Assemble the server-scenario monitor (the Cinder recipe, re-applied).
+
+    Registered in the scenario registry as ``"nova"``; prefer
+    ``CloudMonitor.for_service("nova", ...)``.
+    """
     machine = nova_behavior_model()
     diagram = nova_resource_model()
     contracts = ContractGenerator(machine, diagram).all_contracts()
@@ -164,4 +187,7 @@ def monitor_for_nova(network: Network, project_id: str,
     provider = NovaStateProvider(network, project_id, nova_host=nova_host)
     coverage = CoverageTracker(machine.security_requirement_ids())
     return CloudMonitor(contracts, provider, operations,
-                        enforcing=enforcing, coverage=coverage)
+                        enforcing=enforcing, coverage=coverage,
+                        observability=observability,
+                        probe_planning=probe_planning,
+                        transport=transport)

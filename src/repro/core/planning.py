@@ -23,12 +23,27 @@ in the ``monitor_probes_skipped_total`` metric.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from ..ocl.usage import old_value_roots, post_state_roots, required_roots
 
 #: The OCL roots the Cinder-scenario provider knows how to bind.
 PROBE_ROOTS: Tuple[str, ...] = ("project", "volume", "quota_sets", "user")
+
+#: GET requests each Cinder-scenario root costs to bind: ``project`` is
+#: the Keystone project probe plus the volume listing, ``volume`` the
+#: item probe plus its snapshot listing.  This table is the single source
+#: for both the planner's cost estimates and the provider's
+#: skipped-probe accounting -- if a per-root probe gains or loses a
+#: request, change it HERE and the ``monitor_probes_skipped_total``
+#: bookkeeping follows (a test pins these totals to real ``probe_count``
+#: deltas, so drift fails loudly).
+PROBE_COSTS: Dict[str, int] = {
+    "project": 2,
+    "volume": 2,
+    "quota_sets": 1,
+    "user": 1,
+}
 
 
 class ProbePlan:
@@ -68,6 +83,17 @@ class ProbePlan:
     def post_phase_roots(self) -> FrozenSet[str]:
         """Bindings the post-probe round must provide."""
         return self.post_roots
+
+    def probe_cost(self, costs: Optional[Mapping[str, int]] = None) -> int:
+        """Planned GET probes for one monitored request under this plan.
+
+        *costs* defaults to the Cinder :data:`PROBE_COSTS`; pass the
+        provider's own ``probe_costs`` table for other scenarios.  Roots
+        missing from the table count one probe each.
+        """
+        table = costs if costs is not None else PROBE_COSTS
+        return (sum(table.get(root, 1) for root in self.pre_phase_roots) +
+                sum(table.get(root, 1) for root in self.post_phase_roots))
 
     def describe(self) -> str:
         """Compact ``pre:...|post:...`` form for trace tags and logs."""

@@ -16,6 +16,17 @@ This package provides the equivalent, fully in-process:
 from .app import Application
 from .client import AppClient, Client
 from .curl import CurlError, curl, form_data
+from .faultprog import (
+    Compose,
+    FailN,
+    FaultProgram,
+    Flake,
+    Garble,
+    Latency,
+    OnRequest,
+    Truncate,
+    by_path,
+)
 from .message import Headers, Request, Response
 from .middleware import (
     ContentTypeMiddleware,
@@ -34,9 +45,18 @@ __all__ = [
     "AppServer",
     "serve",
     "Client",
+    "Compose",
     "ContentTypeMiddleware",
     "CurlError",
+    "FailN",
+    "FaultProgram",
+    "Flake",
+    "Garble",
     "Headers",
+    "Latency",
+    "OnRequest",
+    "Truncate",
+    "by_path",
     "Middleware",
     "MiddlewareStack",
     "Network",

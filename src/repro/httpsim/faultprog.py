@@ -1,0 +1,224 @@
+"""Composable, scriptable fault programs for the virtual network.
+
+:meth:`~repro.httpsim.network.Network.inject_fault` historically took one
+stateless hook: ``request -> Optional[Response]``.  Chaos testing needs
+richer, *stateful* behaviours -- fail twice then recover, add latency,
+flake at a seeded rate, garble the real body -- and needs them composable
+so one host can be slow *and* flaky at once.
+
+A :class:`FaultProgram` has two hook points:
+
+* :meth:`~FaultProgram.before` -- sees the request before the application;
+  returning a :class:`~repro.httpsim.message.Response` short-circuits it
+  (the classic hook behaviour, now stateful);
+* :meth:`~FaultProgram.after` -- sees the *real* response and may replace
+  it (truncated/garbled bodies), which a before-only hook cannot express.
+
+Plain callables remain valid hooks (``before`` only), so every existing
+``inject_fault`` call keeps working.  Programs are deterministic by
+construction: flake rates come from a seeded RNG, latency advances the
+injectable clock, and counters are plain instance state reset by
+:meth:`~FaultProgram.reset`.
+
+Cookbook (see ``docs/resilience.md`` for more)::
+
+    # every distinct probe URL fails once, then succeeds
+    network.inject_fault("cinder", FailN(1, key=by_path))
+    # 30% of requests 503, deterministic across runs
+    network.inject_fault("cinder", Flake(0.3, seed=7))
+    # 80ms simulated latency + garbage bodies on GETs
+    network.inject_fault("keystone", Compose(
+        Latency(0.08, clock), OnRequest(is_get, Garble())))
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Tuple
+
+from .message import Request, Response
+
+#: A grouping key for per-request counters: maps a request to a hashable.
+KeyFn = Callable[[Request], object]
+
+
+def by_path(request: Request) -> Tuple[str, str]:
+    """Group requests by (method, path) -- 'each probe' granularity."""
+    return (request.method, request.path)
+
+
+def is_get(request: Request) -> bool:
+    """Predicate: probe traffic (safe methods), not the forwarded writes."""
+    return request.method == "GET"
+
+
+class FaultProgram:
+    """Base class: a stateful, composable per-host fault behaviour."""
+
+    def __call__(self, request: Request) -> Optional[Response]:
+        return self.before(request)
+
+    def before(self, request: Request) -> Optional[Response]:
+        """Return a Response to short-circuit *request*, else ``None``."""
+        return None
+
+    def after(self, request: Request, response: Response) -> Response:
+        """Inspect/replace the real *response* (default: untouched)."""
+        return response
+
+    def reset(self) -> None:
+        """Re-arm the program (clear counters and RNG state)."""
+
+
+class FailN(FaultProgram):
+    """Fail the first *n* requests (per *key* group), then pass through.
+
+    With the default ``key=None`` the counter is global: the host's first
+    *n* requests fail.  With ``key=by_path`` every distinct probe URL
+    fails *n* times then succeeds -- the canonical *recoverable* fault the
+    chaos-parity gate replays.
+    """
+
+    def __init__(self, n: int, status: int = 503,
+                 key: Optional[KeyFn] = None):
+        self.n = n
+        self.status = status
+        self.key = key
+        self._seen = {}
+
+    def before(self, request: Request) -> Optional[Response]:
+        group = self.key(request) if self.key is not None else None
+        count = self._seen.get(group, 0)
+        if count < self.n:
+            self._seen[group] = count + 1
+            return Response.error(self.status,
+                                  f"injected failure {count + 1}/{self.n}")
+        return None
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+
+class Flake(FaultProgram):
+    """Fail each request with probability *rate*, from a seeded RNG.
+
+    The RNG is owned by the program, so a given (seed, request sequence)
+    always flakes the same requests -- reruns are byte-identical.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, status: int = 503):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"flake rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self.status = status
+        self._rng = random.Random(seed)
+
+    def before(self, request: Request) -> Optional[Response]:
+        if self._rng.random() < self.rate:
+            return Response.error(self.status, "injected flake")
+        return None
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class Latency(FaultProgram):
+    """Add *seconds* of simulated latency to every request.
+
+    The delay goes through :func:`repro.obs.clock.sleeper_for`: under a
+    ManualClock it advances virtual time (visible in trace spans and
+    latency histograms) without sleeping; under the system clock it
+    really sleeps.
+    """
+
+    def __init__(self, seconds: float, clock):
+        self.seconds = seconds
+        self.clock = clock
+
+    def before(self, request: Request) -> Optional[Response]:
+        from ..obs.clock import sleeper_for
+
+        if self.seconds > 0:
+            sleeper_for(self.clock)(self.seconds)
+        return None
+
+
+class Garble(FaultProgram):
+    """Replace the real response body with garbage, keeping the status.
+
+    Exercises the monitor's malformed-body degradation: a 200 with an
+    unparsable body must read as "resource not observable", never crash.
+    """
+
+    def __init__(self, body: bytes = b"<html>garbage</html>"):
+        self.body = body
+
+    def after(self, request: Request, response: Response) -> Response:
+        return Response(response.status_code, self.body,
+                        headers=response.headers.to_dict())
+
+
+class Truncate(FaultProgram):
+    """Cut the real response body to its first *keep* bytes.
+
+    Truncated JSON is the classic half-written proxy failure: usually
+    unparsable, occasionally still valid -- both must degrade cleanly.
+    """
+
+    def __init__(self, keep: int = 10):
+        self.keep = keep
+
+    def after(self, request: Request, response: Response) -> Response:
+        return Response(response.status_code, response.body[:self.keep],
+                        headers=response.headers.to_dict())
+
+
+class OnRequest(FaultProgram):
+    """Apply *program* only to requests matching *predicate*."""
+
+    def __init__(self, predicate: Callable[[Request], bool],
+                 program: FaultProgram):
+        self.predicate = predicate
+        self.program = program
+
+    def before(self, request: Request) -> Optional[Response]:
+        if self.predicate(request):
+            return self.program.before(request)
+        return None
+
+    def after(self, request: Request, response: Response) -> Response:
+        if self.predicate(request):
+            return self.program.after(request, response)
+        return response
+
+    def reset(self) -> None:
+        self.program.reset()
+
+
+class Compose(FaultProgram):
+    """Run several programs as one: first short-circuit wins.
+
+    ``before`` runs each program in order until one answers (programs
+    after the winner do not see the request); ``after`` folds the real
+    response through every program in order.
+    """
+
+    def __init__(self, *programs: FaultProgram):
+        self.programs = programs
+
+    def before(self, request: Request) -> Optional[Response]:
+        for program in self.programs:
+            short = program.before(request)
+            if short is not None:
+                return short
+        return None
+
+    def after(self, request: Request, response: Response) -> Response:
+        for program in self.programs:
+            response = program.after(request, response)
+        return response
+
+    def reset(self) -> None:
+        for program in self.programs:
+            program.reset()

@@ -16,6 +16,9 @@ from ..errors import HostNotFound
 from .app import Application
 from .message import Request, Response
 
+#: A fault hook: either a plain callable (legacy, request-side only) or a
+#: :class:`~repro.httpsim.faultprog.FaultProgram` whose ``after`` method
+#: may additionally mangle the real response.
 FaultHook = Callable[[Request], Optional[Response]]
 
 
@@ -57,11 +60,15 @@ class Network:
         return sorted(self._hosts)
 
     def inject_fault(self, host: str, hook: FaultHook) -> None:
-        """Install *hook* for *host*.
+        """Install *hook* for *host* (replacing any previous hook).
 
         The hook sees every request addressed to the host before the
         application does; returning a :class:`Response` replaces the real
         one (e.g. a synthetic 503), returning ``None`` lets it through.
+        A :class:`~repro.httpsim.faultprog.FaultProgram` hook may also
+        implement ``after(request, response)`` to mangle the application's
+        real response (garbled or truncated bodies); compose several
+        behaviours with :class:`~repro.httpsim.faultprog.Compose`.
         """
         self._faults[host] = hook
 
@@ -100,4 +107,15 @@ class Network:
                         "Requests answered by an injected fault hook",
                         host=host).inc()
                 return short
-        return self._hosts[host].handle(request)
+        response = self._hosts[host].handle(request)
+        after = getattr(hook, "after", None)
+        if after is not None:
+            mangled = after(request, response)
+            if mangled is not response:
+                if obs is not None:
+                    obs.metrics.counter(
+                        "network_fault_mangled_total",
+                        "Real responses replaced by an injected fault "
+                        "program", host=host).inc()
+                response = mangled
+        return response

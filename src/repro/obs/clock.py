@@ -54,3 +54,18 @@ class ManualClock:
 
     def __repr__(self) -> str:
         return f"<ManualClock now={self._now} tick={self.tick}>"
+
+
+def sleeper_for(clock: Clock) -> Callable[[float], None]:
+    """A ``sleep(seconds)`` callable consistent with *clock*.
+
+    A :class:`ManualClock` (anything with an ``advance`` method) "sleeps"
+    by advancing its own reading, so backoff waits in tests consume zero
+    wall time; any other clock falls back to :func:`time.sleep`.  This is
+    how every retry delay in :mod:`repro.core.resilience` stays
+    deterministic under an injected clock.
+    """
+    advance = getattr(clock, "advance", None)
+    if callable(advance):
+        return advance
+    return time.sleep

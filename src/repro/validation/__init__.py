@@ -18,6 +18,16 @@ from .campaign import (
     default_setup,
     release2_setup,
 )
+from .chaos import (
+    ChaosReport,
+    ChaosRun,
+    assert_indeterminate_degradation,
+    recoverable_program,
+    resilient_setup,
+    run_chaos_campaign,
+    run_leg,
+    unrecoverable_program,
+)
 from .localization import Diagnosis, localize, render_report
 from .reporting import session_report
 from .oracle import (
@@ -31,11 +41,19 @@ from .oracle import (
 __all__ = [
     "BatteryStep",
     "CampaignResult",
+    "ChaosReport",
+    "ChaosRun",
     "Diagnosis",
     "KillRecord",
     "MutationCampaign",
     "TestOracle",
+    "assert_indeterminate_degradation",
     "default_setup",
+    "recoverable_program",
+    "resilient_setup",
+    "run_chaos_campaign",
+    "run_leg",
+    "unrecoverable_program",
     "extended_battery",
     "localize",
     "release2_battery",

@@ -38,10 +38,10 @@ def default_setup(enforcing: bool = False,
     traces under an injected clock.
     """
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
-    monitor = CloudMonitor.for_cinder(cloud.network, "myProject",
-                                      enforcing=enforcing,
-                                      observability=observability,
-                                      probe_planning=probe_planning)
+    monitor = CloudMonitor.for_service("cinder", cloud.network, "myProject",
+                                       enforcing=enforcing,
+                                       observability=observability,
+                                       probe_planning=probe_planning)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
 
@@ -60,8 +60,8 @@ def release2_setup(enforcing: bool = False,
 
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota,
                                      release2=True)
-    monitor = CloudMonitor.for_cinder(
-        cloud.network, "myProject",
+    monitor = CloudMonitor.for_service(
+        "cinder", cloud.network, "myProject",
         machine=cinder_behavior_model(with_snapshots=True),
         diagram=cinder_resource_model(with_snapshots=True),
         enforcing=enforcing)

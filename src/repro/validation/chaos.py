@@ -1,0 +1,190 @@
+"""Chaos campaign: the monitor's verdicts under injected transport faults.
+
+The mutation campaign (Section VI-D) asks "does the monitor catch a buggy
+cloud?"; this module asks the complementary resilience question: **does a
+flaky substrate ever change what the monitor says?**  The answer the
+design demands is two-sided:
+
+* under *recoverable* faults (every probe fails once then succeeds, the
+  transport retries) the verdict log must be **byte-identical** to a
+  fault-free run -- retries are invisible to the verdict stream;
+* under *unrecoverable* faults (a host that never answers) every
+  monitored request must degrade to the ``indeterminate`` verdict --
+  never an unhandled exception, never a spurious valid/invalid.
+
+Both campaigns run the same seeded workload on the same deterministic
+stack (seeded RNG, in-process network, ManualClock), so
+``scripts/check_chaos_parity.py`` can gate on the exact digest of the
+verdict rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cloud import PrivateCloud
+from ..core import CloudMonitor, ResilientTransport, RetryPolicy, Verdict
+from ..core.auditlog import verdict_to_json
+from ..httpsim import FailN, Flake, FaultProgram, by_path
+from ..obs import Observability
+from ..obs.clock import ManualClock
+from ..workloads import WorkloadRunner, make_workload
+
+#: The hosts the Cinder-scenario monitor talks to; chaos programs are
+#: installed on each so probes and forwards both see faults.
+CHAOS_HOSTS: Tuple[str, ...] = ("cinder", "keystone")
+
+
+def resilient_setup(enforcing: bool = False,
+                    volume_quota: int = 5,
+                    policy: Optional[RetryPolicy] = None,
+                    failure_threshold: int = 5,
+                    recovery_time: float = 30.0,
+                    ) -> Tuple[PrivateCloud, CloudMonitor]:
+    """The paper setup with a ResilientTransport under the monitor.
+
+    Everything is deterministic: ManualClock observability (backoff waits
+    advance virtual time instead of sleeping) and a seeded retry jitter.
+    """
+    observability = Observability(clock=ManualClock())
+    cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
+    transport = ResilientTransport(
+        cloud.network,
+        policy=policy or RetryPolicy(max_attempts=3, base_delay=0.05,
+                                     seed=11),
+        failure_threshold=failure_threshold,
+        recovery_time=recovery_time)
+    monitor = CloudMonitor.for_service(
+        "cinder", cloud.network, "myProject",
+        enforcing=enforcing, observability=observability,
+        transport=transport)
+    cloud.network.register("cmonitor", monitor.app)
+    return cloud, monitor
+
+
+def recoverable_program() -> FaultProgram:
+    """Every distinct probe/forward URL fails once, then succeeds.
+
+    Failures land *before* the application, so a retried POST never
+    double-creates; one retry per URL recovers everything.
+    """
+    return FailN(1, key=by_path)
+
+
+def unrecoverable_program() -> FaultProgram:
+    """Every request fails, always -- the host is effectively down."""
+    return Flake(1.0, seed=0)
+
+
+class ChaosRun:
+    """One campaign leg: the workload's verdict rows plus counters."""
+
+    def __init__(self, rows: List[str], histogram: Dict[str, int],
+                 retries: float, indeterminate: int, probe_count: int):
+        #: One canonical JSONL row per verdict, in arrival order.
+        self.rows = rows
+        self.histogram = histogram
+        self.retries = retries
+        self.indeterminate = indeterminate
+        self.probe_count = probe_count
+
+    def digest(self) -> str:
+        """SHA-256 over the verdict rows -- the parity fingerprint."""
+        digest = hashlib.sha256()
+        for row in self.rows:
+            digest.update(row.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+
+class ChaosReport:
+    """Fault-free baseline vs. faulted leg, with the parity verdict."""
+
+    def __init__(self, baseline: ChaosRun, faulted: ChaosRun):
+        self.baseline = baseline
+        self.faulted = faulted
+
+    @property
+    def parity(self) -> bool:
+        """True when the faulted verdict rows match the baseline exactly."""
+        return self.baseline.rows == self.faulted.rows
+
+    def first_divergence(self) -> Optional[int]:
+        """Index of the first differing row, ``None`` on parity."""
+        for index, (left, right) in enumerate(
+                zip(self.baseline.rows, self.faulted.rows)):
+            if left != right:
+                return index
+        if len(self.baseline.rows) != len(self.faulted.rows):
+            return min(len(self.baseline.rows), len(self.faulted.rows))
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "parity": self.parity,
+            "baseline_digest": self.baseline.digest(),
+            "faulted_digest": self.faulted.digest(),
+            "verdict_count": len(self.baseline.rows),
+            "faulted_retries": self.faulted.retries,
+            "faulted_indeterminate": self.faulted.indeterminate,
+        }
+
+
+def run_leg(count: int = 40, seed: int = 7,
+            fault_factory: Optional[Callable[[], FaultProgram]] = None,
+            enforcing: bool = False) -> ChaosRun:
+    """Run the seeded workload once, optionally under a fault program.
+
+    A *fresh* cloud + monitor per leg: chaos must never leak state into
+    the baseline it is compared against.
+    """
+    cloud, monitor = resilient_setup(enforcing=enforcing)
+    if fault_factory is not None:
+        for host in CHAOS_HOSTS:
+            cloud.network.inject_fault(host, fault_factory())
+    runner = WorkloadRunner(cloud, monitor)
+    histogram = runner.execute(make_workload(count, seed=seed),
+                               monitored=True)
+    metrics = monitor.obs.metrics
+    return ChaosRun(
+        rows=[verdict_to_json(verdict) for verdict in monitor.log],
+        histogram=histogram,
+        retries=metrics.total("monitor_retries_total"),
+        indeterminate=int(
+            metrics.counter_value("monitor_indeterminate_total")),
+        probe_count=monitor.provider.probe_count)
+
+
+def run_chaos_campaign(count: int = 40, seed: int = 7,
+                       fault_factory: Optional[
+                           Callable[[], FaultProgram]] = None,
+                       ) -> ChaosReport:
+    """Baseline (fault-free) vs. faulted leg over the same workload.
+
+    The default fault program is :func:`recoverable_program`, for which
+    the report must come back with ``parity=True``.
+    """
+    baseline = run_leg(count, seed, None)
+    faulted = run_leg(count, seed,
+                      fault_factory if fault_factory is not None
+                      else recoverable_program)
+    return ChaosReport(baseline, faulted)
+
+
+def assert_indeterminate_degradation(count: int = 20, seed: int = 7,
+                                     ) -> ChaosRun:
+    """Run under a dead substrate; every verdict must be indeterminate.
+
+    Returns the run for further inspection; raises ``AssertionError``
+    when any request produced something other than a clean
+    ``indeterminate`` verdict.
+    """
+    leg = run_leg(count, seed, unrecoverable_program)
+    verdicts = [json.loads(row)["verdict"] for row in leg.rows]
+    unexpected = sorted(set(verdicts) - {Verdict.INDETERMINATE})
+    assert not unexpected, (
+        f"dead substrate produced non-indeterminate verdicts: {unexpected}")
+    assert leg.indeterminate == len(leg.rows)
+    return leg

@@ -126,29 +126,60 @@ class TestPlannedVersusUnplanned:
         assert trace.tags["probe_plan"].startswith("pre:")
 
 
-class TestLegacyProviderFallback:
-    """Providers predating the ``roots`` keyword keep working, unplanned."""
+class TestProbeCostTable:
+    """The planner's cost table matches what probing actually costs."""
 
-    def test_old_signature_disables_planning(self):
+    def test_costs_pin_real_probe_count_deltas(self):
+        from repro.core import PROBE_COSTS, CloudStateProvider
+
+        cloud = PrivateCloud.paper_setup(volume_quota=3)
+        token = cloud.keystone.issue_token("alice", "alice-secret",
+                                           "myProject")
+        created = cloud.client(token).post(
+            "http://cinder/v3/myProject/volumes",
+            {"volume": {"name": "seed", "size": 1}})
+        volume_id = created.json()["volume"]["id"]
+
+        provider = CloudStateProvider(cloud.network, "myProject")
+        for root, cost in sorted(PROBE_COSTS.items()):
+            before = provider.probe_count
+            provider.bindings(token, item_id=volume_id, roots=[root])
+            actual = provider.probe_count - before
+            assert actual == cost, (
+                f"root {root!r}: PROBE_COSTS says {cost} GETs, "
+                f"probing actually issued {actual}")
+
+    def test_skipped_accounting_uses_the_table(self):
+        from repro.core import PROBE_COSTS, CloudStateProvider
+        from repro.obs import Observability
+
+        cloud = PrivateCloud.paper_setup(volume_quota=3)
+        token = cloud.keystone.issue_token("alice", "alice-secret",
+                                           "myProject")
+        obs = Observability()
+        provider = CloudStateProvider(cloud.network, "myProject",
+                                      observability=obs)
+        provider.bindings(token, item_id="some-volume", roots=[])
+        skipped = obs.metrics.counter_value("monitor_probes_skipped_total")
+        assert skipped == sum(PROBE_COSTS.values())
+
+
+class TestRootsKeywordIsMandatory:
+    """``bindings(roots=...)`` is part of the provider contract now."""
+
+    def test_provider_without_roots_keyword_breaks_loudly(self):
         from repro.core import CloudStateProvider
 
         class LegacyProvider(CloudStateProvider):
-            def bindings(self, token, item_id=None):
+            def bindings(self, token, item_id=None):  # no roots kw
                 return super().bindings(token, item_id)
 
         cloud = PrivateCloud.paper_setup(volume_quota=3)
-        template = CloudMonitor.for_cinder(cloud.network, "myProject")
-        legacy = CloudMonitor(
-            template.contracts,
-            LegacyProvider(cloud.network, "myProject"),
-            template.operations)
-        assert legacy.probe_planning is False
-        cloud.network.register("cmonitor", legacy.app)
+        legacy = LegacyProvider(cloud.network, "myProject")
         token = cloud.keystone.issue_token("alice", "alice-secret",
                                            "myProject")
-        response = cloud.client(token).get(MONITOR)
-        assert response.status_code == 200
-        assert legacy.log[-1].verdict == Verdict.VALID
+        with pytest.raises(TypeError):
+            legacy.context(token, None, roots=None)
 
 
 class TestQueryStringForwarding:

@@ -1,0 +1,92 @@
+"""Tests for the one versioned verdict wire schema."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    SCHEMA_VERSION,
+    MonitorVerdict,
+    Verdict,
+    verdict_from_record,
+    verdict_record,
+)
+from repro.core.auditlog import verdict_from_json, verdict_to_json
+from repro.errors import MonitorError
+from repro.uml import Trigger
+
+
+def _verdict(**overrides):
+    fields = dict(
+        trigger=Trigger("DELETE", "volume"),
+        verdict=Verdict.POST_VIOLATION,
+        pre_holds=True, forwarded=True, response_status=204,
+        post_holds=False, message="boom",
+        security_requirements=["1.3"], snapshot_bytes=17,
+        correlation_id="t-000042")
+    fields.update(overrides)
+    return MonitorVerdict(**fields)
+
+
+class TestRecordShape:
+    def test_every_record_is_stamped_with_the_version(self):
+        record = verdict_record(_verdict())
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["operation"] == "DELETE(volume)"
+        assert record["snapshot_bytes"] == 17
+        assert record["unbound_roots"] == []
+
+    def test_to_dict_and_audit_row_share_one_shape(self):
+        verdict = _verdict()
+        assert verdict.to_dict() == json.loads(verdict_to_json(verdict))
+
+    def test_unbound_roots_travel_sorted(self):
+        verdict = _verdict(verdict=Verdict.INDETERMINATE,
+                           unbound_roots={"volume", "project"})
+        record = verdict_record(verdict)
+        assert record["unbound_roots"] == ["project", "volume"]
+
+
+class TestRoundTrip:
+    def test_record_round_trips(self):
+        original = _verdict(unbound_roots=["user"])
+        loaded = verdict_from_record(verdict_record(original))
+        assert verdict_record(loaded) == verdict_record(original)
+
+    def test_version_1_records_load_with_defaults(self):
+        record = verdict_record(_verdict())
+        del record["schema_version"]
+        del record["unbound_roots"]
+        del record["snapshot_bytes"]
+        del record["correlation_id"]
+        loaded = verdict_from_record(record)
+        assert loaded.snapshot_bytes == 0
+        assert loaded.correlation_id is None
+        assert loaded.unbound_roots == []
+
+    def test_newer_versions_are_rejected(self):
+        record = verdict_record(_verdict())
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(MonitorError, match="newer"):
+            verdict_from_record(record)
+
+    def test_malformed_records_raise_monitor_error(self):
+        with pytest.raises(MonitorError):
+            verdict_from_record({"verdict": "valid"})
+        with pytest.raises(MonitorError):
+            verdict_from_record({"schema_version": "two"})
+
+    def test_audit_line_round_trips_indeterminate(self):
+        verdict = _verdict(verdict=Verdict.INDETERMINATE, pre_holds=None,
+                           forwarded=False, response_status=None,
+                           unbound_roots=["project"])
+        loaded = verdict_from_json(verdict_to_json(verdict))
+        assert loaded.indeterminate
+        assert loaded.unbound_roots == ["project"]
+        assert loaded.pre_holds is None
+
+    def test_non_object_lines_raise(self):
+        with pytest.raises(MonitorError):
+            verdict_from_json("[1, 2]")
+        with pytest.raises(MonitorError):
+            verdict_from_json("{not json")

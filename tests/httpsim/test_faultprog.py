@@ -1,0 +1,188 @@
+"""Tests for composable fault programs and Network fault-hook edges."""
+
+from repro.httpsim import (
+    Application,
+    Compose,
+    FailN,
+    Flake,
+    Garble,
+    Latency,
+    Network,
+    OnRequest,
+    Request,
+    Response,
+    Truncate,
+    by_path,
+    path,
+)
+from repro.obs import Observability
+from repro.obs.clock import ManualClock
+
+
+def _echo_app(name="svc"):
+    app = Application(name)
+
+    def view(request, **kwargs):
+        return Response.json_response({"echo": request.path})
+
+    app.add_route(path("things", view, name="things"))
+    app.add_route(path("things/<str:thing_id>", view, name="thing"))
+    return app
+
+
+def _network(with_obs=False):
+    obs = Observability(clock=ManualClock()) if with_obs else None
+    network = Network(observability=obs)
+    network.register("svc", _echo_app())
+    return network, obs
+
+
+def _get(url="http://svc/things"):
+    return Request("GET", url)
+
+
+class TestFailN:
+    def test_global_counter_fails_first_n(self):
+        network, _ = _network()
+        network.inject_fault("svc", FailN(2))
+        assert network.send(_get()).status_code == 503
+        assert network.send(_get()).status_code == 503
+        assert network.send(_get()).status_code == 200
+
+    def test_per_path_counter_fails_each_url_independently(self):
+        network, _ = _network()
+        network.inject_fault("svc", FailN(1, key=by_path))
+        assert network.send(_get("http://svc/things")).status_code == 503
+        assert network.send(_get("http://svc/things/a")).status_code == 503
+        # Each URL has spent its failure; both now succeed.
+        assert network.send(_get("http://svc/things")).status_code == 200
+        assert network.send(_get("http://svc/things/a")).status_code == 200
+
+    def test_reset_rearms(self):
+        program = FailN(1)
+        network, _ = _network()
+        network.inject_fault("svc", program)
+        assert network.send(_get()).status_code == 503
+        assert network.send(_get()).status_code == 200
+        program.reset()
+        assert network.send(_get()).status_code == 503
+
+
+class TestFlake:
+    def test_seeded_runs_are_identical(self):
+        outcomes = []
+        for _ in range(2):
+            network, _ = _network()
+            network.inject_fault("svc", Flake(0.5, seed=9))
+            outcomes.append([network.send(_get()).status_code
+                             for _ in range(20)])
+        assert outcomes[0] == outcomes[1]
+        assert 503 in outcomes[0] and 200 in outcomes[0]
+
+    def test_rate_bounds_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Flake(1.5)
+
+
+class TestAfterHooks:
+    def test_garble_replaces_body_keeps_status(self):
+        network, _ = _network()
+        network.inject_fault("svc", Garble(b"not json"))
+        response = network.send(_get())
+        assert response.status_code == 200
+        assert response.body == b"not json"
+
+    def test_truncate_cuts_the_real_body(self):
+        network, _ = _network()
+        network.inject_fault("svc", Truncate(keep=5))
+        response = network.send(_get())
+        assert len(response.body) == 5
+
+    def test_mangled_responses_are_counted(self):
+        network, obs = _network(with_obs=True)
+        network.inject_fault("svc", Garble())
+        network.send(_get())
+        assert obs.metrics.counter_value(
+            "network_fault_mangled_total", host="svc") == 1
+
+
+class TestComposition:
+    def test_on_request_scopes_a_program(self):
+        network, _ = _network()
+        network.inject_fault("svc", OnRequest(
+            lambda request: request.path.endswith("/a"), FailN(99)))
+        assert network.send(_get("http://svc/things")).status_code == 200
+        assert network.send(_get("http://svc/things/a")).status_code == 503
+
+    def test_compose_first_short_circuit_wins(self):
+        network, _ = _network()
+        network.inject_fault("svc", Compose(FailN(1, status=599),
+                                            FailN(1, status=503)))
+        first = network.send(_get())
+        assert first.status_code == 599
+        # The second program never saw request 1; it fails request 2.
+        assert network.send(_get()).status_code == 503
+        assert network.send(_get()).status_code == 200
+
+    def test_compose_folds_after_hooks_in_order(self):
+        network, _ = _network()
+        network.inject_fault("svc", Compose(Garble(b"0123456789abcdef"),
+                                            Truncate(keep=4)))
+        response = network.send(_get())
+        assert response.body == b"0123"
+
+    def test_compose_reset_resets_all(self):
+        inner = FailN(1)
+        program = Compose(inner)
+        network, _ = _network()
+        network.inject_fault("svc", program)
+        network.send(_get())
+        program.reset()
+        assert inner._seen == {}
+
+
+class TestLatency:
+    def test_latency_advances_a_manual_clock(self):
+        clock = ManualClock()
+        network, _ = _network()
+        network.inject_fault("svc", Latency(0.25, clock))
+        response = network.send(_get())
+        assert response.status_code == 200
+        assert clock.now == 0.25
+
+
+class TestNetworkEdges:
+    """The Network edge cases the resilience layer leans on."""
+
+    def test_unknown_host_is_a_502_response_not_an_exception(self):
+        network, obs = _network(with_obs=True)
+        response = network.send(_get("http://nowhere/things"))
+        assert response.status_code == 502
+        assert obs.metrics.counter_value(
+            "network_unreachable_total", host="nowhere") == 1
+
+    def test_fault_short_circuit_is_counted(self):
+        network, obs = _network(with_obs=True)
+        network.inject_fault("svc", FailN(1))
+        network.send(_get())
+        assert obs.metrics.counter_value(
+            "network_fault_short_circuits_total", host="svc") == 1
+        # The passed-through request is not a short circuit.
+        network.send(_get())
+        assert obs.metrics.counter_value(
+            "network_fault_short_circuits_total", host="svc") == 1
+
+    def test_clear_fault_on_host_with_no_fault_is_a_noop(self):
+        network, _ = _network()
+        network.clear_fault("svc")  # nothing installed: must not raise
+        network.clear_fault("never-registered")
+        assert network.send(_get()).status_code == 200
+
+    def test_unregister_drops_the_fault_too(self):
+        network, _ = _network()
+        network.inject_fault("svc", FailN(99))
+        network.unregister("svc")
+        network.register("svc", _echo_app())
+        assert network.send(_get()).status_code == 200

@@ -1,0 +1,47 @@
+"""Tests for the chaos campaign: parity and indeterminate degradation."""
+
+import json
+
+from repro.core import Verdict
+from repro.validation import (
+    assert_indeterminate_degradation,
+    run_chaos_campaign,
+    run_leg,
+)
+
+
+class TestRecoverableFaults:
+    def test_verdicts_are_byte_identical_to_the_fault_free_baseline(self):
+        report = run_chaos_campaign(count=25, seed=7)
+        assert report.parity, (
+            f"first divergence at row {report.first_divergence()}")
+        assert report.baseline.digest() == report.faulted.digest()
+        # Retries actually happened -- parity was earned, not vacuous.
+        assert report.faulted.retries > 0
+        assert report.baseline.retries == 0
+        assert report.faulted.indeterminate == 0
+
+    def test_faulted_leg_pays_extra_probes_but_same_verdict_count(self):
+        report = run_chaos_campaign(count=25, seed=7)
+        assert len(report.faulted.rows) == len(report.baseline.rows)
+        assert report.faulted.probe_count >= report.baseline.probe_count
+
+
+class TestUnrecoverableFaults:
+    def test_dead_substrate_degrades_to_indeterminate_only(self):
+        leg = assert_indeterminate_degradation(count=12, seed=7)
+        verdicts = {json.loads(row)["verdict"] for row in leg.rows}
+        assert verdicts == {Verdict.INDETERMINATE}
+        # Every row names the roots that could not be bound.
+        for row in leg.rows:
+            record = json.loads(row)
+            assert record["unbound_roots"]
+            assert record["forwarded"] is False
+
+    def test_dead_substrate_never_reports_violations(self):
+        from repro.validation.chaos import unrecoverable_program
+
+        leg = run_leg(count=12, seed=7,
+                      fault_factory=unrecoverable_program)
+        for row in leg.rows:
+            assert json.loads(row)["verdict"] not in Verdict.VIOLATIONS
