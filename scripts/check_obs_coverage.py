@@ -22,6 +22,35 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OBS_DIR = os.path.join(REPO_ROOT, "src", "repro", "obs")
 DEFAULT_FLOOR = 80.0
 
+#: Modules the observability package must ship and the suite must
+#: exercise.  A diagnostics module that exists but is never imported by
+#: tests would otherwise sail under the aggregate floor.
+REQUIRED_MODULES = (
+    "__init__.py",
+    "analytics.py",
+    "clock.py",
+    "events.py",
+    "exporters.py",
+    "metrics.py",
+    "middleware.py",
+    "slo.py",
+    "tracing.py",
+)
+
+
+def _check_required_modules(report=None):
+    """Missing or untested required modules, as error strings."""
+    errors = []
+    for name in REQUIRED_MODULES:
+        if not os.path.exists(os.path.join(OBS_DIR, name)):
+            errors.append(f"required module repro/obs/{name} is missing")
+        elif report is not None:
+            hit, total = report.get(name, (0, 0))
+            if total and not hit:
+                errors.append(
+                    f"required module repro/obs/{name} has no coverage")
+    return errors
+
 
 def _executable_lines(path):
     """Line numbers carrying executable code, via the compiled code object.
@@ -116,6 +145,12 @@ def main(argv=None):
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
 
+    missing = _check_required_modules()
+    if missing:
+        for error in missing:
+            print(f"obs-coverage: {error}", file=sys.stderr)
+        return 1
+
     via_package = _try_coverage_package(args.floor)
     if via_package is not None:
         return via_package
@@ -136,6 +171,11 @@ def main(argv=None):
     overall = 100.0 * total_hit / total_lines if total_lines else 100.0
     print(f"{'TOTAL':<18} {total_lines:>6} {total_hit:>6} {overall:>6.1f}%")
 
+    untested = _check_required_modules(report)
+    if untested:
+        for error in untested:
+            print(f"obs-coverage: {error}", file=sys.stderr)
+        return 1
     if overall < args.floor:
         print(f"obs-coverage: {overall:.1f}% is below the "
               f"{args.floor:.1f}% floor", file=sys.stderr)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Enforce deterministic diagnostics: SLO and event output must not drift.
+
+Runs ``cloudmon slo --deterministic --json`` and ``cloudmon events
+--deterministic --json`` twice each (fresh monitor, fixed-tick
+ManualClock, seeded battery) and requires:
+
+* each command's output is byte-identical across the two runs -- the
+  diagnostics layer must not leak wall-clock time, dict ordering, or any
+  other nondeterminism into its reports; and
+* the SHA-256 digests of both documents match the baseline recorded in
+  ``scripts/slo_gate.json`` -- so a change to the SLO definitions, the
+  wide-event shape, or the battery is always a *reviewed* change.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_slo_gate.py [--update]
+
+``--update`` re-records the baseline digests after an intentional change
+to the SLO catalog, the event fields, or the workload battery.
+"""
+
+import argparse
+import contextlib
+import hashlib
+import io
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "slo_gate.json")
+
+COMMANDS = {
+    "slo": ["slo", "--deterministic", "--json"],
+    "events": ["events", "--deterministic", "--json"],
+}
+
+
+def capture(argv):
+    """Run the CLI in-process; return (exit_code, stdout_text)."""
+    from repro.cli import main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = main(list(argv))
+    return status, buffer.getvalue()
+
+
+def measure():
+    """Two runs per command; returns {name: digest} or raises SystemExit."""
+    digests = {}
+    for name, argv in sorted(COMMANDS.items()):
+        status, first = capture(argv)
+        if status != 0:
+            print(f"FAIL: `cloudmon {' '.join(argv)}` exited {status}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        _, second = capture(argv)
+        if first != second:
+            print(f"FAIL: `cloudmon {' '.join(argv)}` is not byte-stable "
+                  "across runs under --deterministic", file=sys.stderr)
+            raise SystemExit(1)
+        digests[name] = hashlib.sha256(first.encode("utf-8")).hexdigest()
+    return digests
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    current = measure()
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump({"digests": current}, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        for name, digest in sorted(current.items()):
+            print(f"slo gate baseline recorded: {name} {digest[:12]}...")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)["digests"]
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for name, digest in sorted(current.items()):
+        if recorded.get(name) != digest:
+            print(f"FAIL: `cloudmon {name}` output drifted from the "
+                  "recorded baseline (SLO catalog, event shape, or "
+                  "battery change?); re-record with --update if "
+                  "intentional", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("slo gate: deterministic slo + events output byte-stable and "
+          "matching the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

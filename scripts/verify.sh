@@ -22,4 +22,7 @@ PYTHONPATH=src python scripts/check_probe_budget.py
 echo "==> chaos parity gate (recoverable faults leave verdicts unchanged)"
 PYTHONPATH=src python scripts/check_chaos_parity.py
 
+echo "==> slo gate (deterministic slo/events output matches baseline)"
+PYTHONPATH=src python scripts/check_slo_gate.py
+
 echo "==> verify: OK"

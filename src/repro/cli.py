@@ -12,6 +12,12 @@ Subcommands:
 * ``cloudmon metrics [--json] [--deterministic]`` -- replay a battery and
   print the monitor's metrics (per-stage latency histograms, verdict
   counters) as Prometheus text or JSON,
+* ``cloudmon events [--json] [--event T] [--verdict V]`` -- replay a
+  battery and print the structured wide-event log (one record per
+  monitored request plus transport incidents), filterable, as text,
+  JSON, or JSONL to a file,
+* ``cloudmon slo [--json] [--deterministic]`` -- replay a battery and
+  print the SLO burn-rate report (the ``/-/health`` document),
 * ``cloudmon dot {resources,behavior}`` -- Graphviz DOT of the Figure-3
   models,
 * ``cloudmon slice RESOURCE [...]`` -- slice the Cinder models and print
@@ -91,7 +97,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """
     import json
 
-    from .validation import (assert_indeterminate_degradation,
+    from .validation import (assert_breaker_sequence,
+                             assert_indeterminate_degradation,
                              run_chaos_campaign)
 
     report = run_chaos_campaign(count=args.requests, seed=args.seed)
@@ -115,18 +122,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"  dead substrate:       {dead.indeterminate}/"
               f"{len(dead.rows)} indeterminate")
+    try:
+        transitions = assert_breaker_sequence()
+    except AssertionError as exc:
+        print(f"  breaker lifecycle:    FAILED ({exc})", file=sys.stderr)
+        return 1
+    if not args.json:
+        print("  breaker lifecycle:    "
+              + " -> ".join(["closed"] + [to for _, to in transitions]))
     return 0 if report.parity else 1
 
 
-def cmd_metrics(args: argparse.Namespace) -> int:
-    """Run a monitored session and print its metrics exposition.
+def _monitored_session(args: argparse.Namespace):
+    """Replay a battery through a fresh monitor; returns (obs, monitor).
 
     ``--deterministic`` injects a ManualClock (fixed tick per clock read)
-    so the emitted histograms and spans are identical across runs --
-    useful for diffing instrumentation changes.
+    so every emitted duration, event timestamp, and SLO report is
+    byte-identical across runs -- the property the diagnostics gates pin.
     """
-    import json
-
     from .obs import ManualClock, Observability
 
     clock = ManualClock(tick=1e-4) if args.deterministic else None
@@ -136,11 +149,98 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     oracle = TestOracle(cloud, monitor)
     battery = extended_battery() if args.extended else standard_battery()
     oracle.run(battery)
+    return obs, monitor
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a monitored session and print its metrics exposition."""
+    import json
+
+    obs, _monitor = _monitored_session(args)
     if args.json:
         print(json.dumps(obs.export_json(), indent=2, sort_keys=True))
     else:
         print(obs.export_prometheus(), end="")
     return 0
+
+
+def _event_line(record: dict) -> str:
+    """One compact, deterministic text line for a wide event."""
+    kind = record["event"]
+    if kind == "monitor_request":
+        detail = (f"{record['operation']} -> {record['verdict']} "
+                  f"({record['duration']}s, {record['probes']} probes)")
+    elif kind == "breaker_transition":
+        detail = (f"{record['host']}: {record['from_state']} -> "
+                  f"{record['to_state']}")
+    elif kind == "transport_retry":
+        detail = f"{record['host']}: attempt {record['attempt']}"
+    elif kind == "transport_give_up":
+        detail = f"{record['host']}: {record['reason']}"
+    else:
+        detail = " ".join(
+            f"{key}={record[key]}" for key in sorted(record)
+            if key not in ("seq", "event", "time", "trace_id"))
+    trace = record.get("trace_id") or "-"
+    return (f"#{record['seq']:<5} t={record['time']:<12.6g} "
+            f"{trace:<10} {kind:<20} {detail}")
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Run a monitored session and print its wide-event log.
+
+    The audit log keeps verdicts; the event log keeps *why* -- one flat
+    record per monitored request (probe plan, per-stage durations,
+    retry/breaker outcomes) plus transport incidents, filterable by
+    ``--event`` / ``--trace`` / ``--verdict``.
+    """
+    import json
+
+    obs, _monitor = _monitored_session(args)
+    criteria = {}
+    if args.event:
+        criteria["event"] = args.event
+    if args.trace:
+        criteria["trace_id"] = args.trace
+    if args.verdict:
+        criteria["verdict"] = args.verdict
+    if args.limit is not None:
+        criteria["limit"] = args.limit
+    if args.output:
+        count = obs.events.write_jsonl(args.output, **criteria)
+        print(f"wrote {count} events to {args.output}")
+        return 0
+    records = obs.events.to_dicts(**criteria)
+    if args.json:
+        print(json.dumps({
+            "retained": len(obs.events),
+            "emitted": obs.events.emitted_count,
+            "events": records,
+        }, indent=2, sort_keys=True))
+    else:
+        for record in records:
+            print(_event_line(record))
+        print(f"{len(records)} events shown "
+              f"({obs.events.emitted_count} emitted)")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Run a monitored session and print the SLO burn-rate report.
+
+    Exit code 0 when every objective is healthy; 1 when any SLO breaches
+    all of its burn windows (the same condition that turns the
+    ``/-/health`` route into a 503).
+    """
+    import json
+
+    _obs, monitor = _monitored_session(args)
+    report = monitor.slos.report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(monitor.slos.render())
+    return 0 if report["overall"] == "ok" else 1
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -301,6 +401,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject a fixed-tick manual clock so output "
                               "is identical across runs")
 
+    events = sub.add_parser(
+        "events", help="replay a battery and print the structured "
+                       "wide-event log")
+    events.add_argument("--json", action="store_true",
+                        help="full JSON document instead of one line per "
+                             "event")
+    events.add_argument("--event", default=None,
+                        help="only events of this type, e.g. "
+                             "monitor_request")
+    events.add_argument("--trace", default=None,
+                        help="only events correlated with this trace id")
+    events.add_argument("--verdict", default=None,
+                        help="only monitor_request events with this "
+                             "verdict")
+    events.add_argument("--limit", type=int, default=None,
+                        help="keep only the most recent N matches")
+    events.add_argument("--output", "-o", default=None,
+                        help="write the matching events as JSONL to a file")
+    events.add_argument("--extended", action="store_true",
+                        help="extended battery with functional edges")
+    events.add_argument("--enforcing", action="store_true",
+                        help="enforcing mode instead of audit mode")
+    events.add_argument("--deterministic", action="store_true",
+                        help="inject a fixed-tick manual clock so output "
+                             "is identical across runs")
+
+    slo = sub.add_parser(
+        "slo", help="replay a battery and print the SLO burn-rate report "
+                    "(the /-/health document)")
+    slo.add_argument("--json", action="store_true",
+                     help="the raw report document instead of the table")
+    slo.add_argument("--extended", action="store_true",
+                     help="extended battery with functional edges")
+    slo.add_argument("--enforcing", action="store_true",
+                     help="enforcing mode instead of audit mode")
+    slo.add_argument("--deterministic", action="store_true",
+                     help="inject a fixed-tick manual clock so output "
+                          "is identical across runs")
+
     dot = sub.add_parser("dot", help="Graphviz DOT of the design models")
     dot.add_argument("model", choices=["resources", "behavior"])
 
@@ -346,6 +485,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": cmd_campaign,
         "chaos": cmd_chaos,
         "metrics": cmd_metrics,
+        "events": cmd_events,
+        "slo": cmd_slo,
         "dot": cmd_dot,
         "slice": cmd_slice,
         "check": cmd_check,

@@ -63,6 +63,22 @@ def write_log(verdicts: Iterable[MonitorVerdict],
     return count
 
 
+def correlate_events(verdicts: Iterable[MonitorVerdict],
+                     event_log) -> List[tuple]:
+    """Join verdicts with their wide events via the correlation id.
+
+    For each verdict, the matching ``monitor_request`` event from
+    *event_log* (a :class:`~repro.obs.events.EventLog`), or ``None`` when
+    the event ring has already evicted it.  The pair is the complete
+    diagnostic record: the audit row says *what* the monitor decided, the
+    wide event says *why* (probe plan, stage timings, transport deltas).
+    """
+    by_trace = {record.trace_id: record
+                for record in event_log.filter(event="monitor_request")}
+    return [(verdict, by_trace.get(verdict.correlation_id))
+            for verdict in verdicts]
+
+
 def read_log(source: Union[str, IO[str]]) -> List[MonitorVerdict]:
     """Read a JSONL audit log from a path or open text file."""
     if isinstance(source, str):

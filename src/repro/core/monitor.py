@@ -37,7 +37,8 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tup
 
 from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
-from ..obs import Observability, ObservabilityMiddleware
+from ..obs import Observability, ObservabilityMiddleware, SLOEngine
+from ..obs.analytics import critical_path, trace_report
 from ..ocl import Context
 from ..ocl.values import UNDEFINED
 from ..uml import ClassDiagram, StateMachine, Trigger
@@ -47,6 +48,11 @@ from .mirror import MirrorDatabase
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
 from .resilience import ProbeFailure, transport_failure
 from .verdict_schema import verdict_record
+
+def _round9(value: float) -> float:
+    """Canonical 9-significant-digit rounding for wide-event durations."""
+    return float(f"{float(value):.9g}")
+
 
 #: Success codes the monitor accepts per HTTP method (Cinder conventions;
 #: Listing 2 checks ``response.code == 204`` for DELETE).
@@ -536,6 +542,14 @@ class CloudMonitor:
             self.provider.network.attach_observability(self.obs)
         for contract in self.contracts.values():
             contract.instrument(self.obs)
+        #: The burn-rate engine over the shared registry: snapshotted
+        #: after every monitored request, reported by ``/-/health`` and
+        #: ``cloudmon slo``.  Replace :attr:`slos`.slos to monitor custom
+        #: objectives.
+        self.slos = SLOEngine(self.obs.metrics, clock=self.obs.clock)
+        #: Counter baselines captured at the start of the in-flight
+        #: request so its wide event can report per-request deltas.
+        self._request_baseline: Optional[Dict[str, float]] = None
         #: Every verdict, in arrival order -- the validation log
         #: ("the invocation results can be logged for further fault
         #: localization", Section III-B).
@@ -586,11 +600,20 @@ class CloudMonitor:
                 self._make_view({op.trigger.method: op for op in operations}),
                 name=monitor_path,
             ))
-        # Operational endpoint (outside the monitored namespace): the
-        # metrics exposition, Prometheus text by default, ?format=json for
-        # the structured document including retained traces.
+        # Operational endpoints (outside the monitored namespace): the
+        # metrics exposition (Prometheus text by default, ?format=json
+        # for the structured document including retained traces), the
+        # SLO health report, the wide-event log, and trace lookup.
         self.app.add_route(path("-/metrics", self._metrics_view,
                                 name="metrics", methods=("GET",)))
+        self.app.add_route(path("-/health", self._health_view,
+                                name="health", methods=("GET",)))
+        self.app.add_route(path("-/events", self._events_view,
+                                name="events", methods=("GET",)))
+        self.app.add_route(path("-/traces", self._trace_index_view,
+                                name="traces", methods=("GET",)))
+        self.app.add_route(path("-/traces/<str:trace_id>", self._trace_view,
+                                name="trace", methods=("GET",)))
 
     def _metrics_view(self, request: Request, **kwargs) -> Response:
         if request.params.get("format") == "json":
@@ -598,6 +621,63 @@ class CloudMonitor:
         text = self.obs.export_prometheus()
         return Response(200, text.encode(), headers={
             "Content-Type": "text/plain; version=0.0.4; charset=utf-8"})
+
+    def _health_view(self, request: Request, **kwargs) -> Response:
+        """The SLO burn-rate report; 503 while any objective is burning.
+
+        A load balancer (or a human) polls this instead of re-deriving
+        health from the raw metrics exposition.
+        """
+        report = self.slos.report()
+        code = 200 if report["overall"] == "ok" else 503
+        return Response.json_response(report, code)
+
+    def _events_view(self, request: Request, **kwargs) -> Response:
+        """The retained wide events, filterable by query parameters.
+
+        ``?event=``, ``?trace_id=``, and ``?verdict=`` filter; ``?limit=``
+        keeps only the most recent N matches.
+        """
+        criteria: Dict[str, Any] = {}
+        for key in ("event", "trace_id", "verdict"):
+            value = request.params.get(key)
+            if value is not None:
+                criteria[key] = value
+        limit = request.params.get("limit")
+        if limit is not None:
+            try:
+                criteria["limit"] = int(limit)
+            except ValueError:
+                return Response.json_response(
+                    {"error": f"limit must be an integer, got {limit!r}"},
+                    400)
+        return Response.json_response({
+            "retained": len(self.obs.events),
+            "emitted": self.obs.events.emitted_count,
+            "events": self.obs.events.to_dicts(**criteria),
+        })
+
+    def _trace_index_view(self, request: Request, **kwargs) -> Response:
+        """Trace analytics over the retained ring (attribution, exemplars)."""
+        return Response.json_response(
+            trace_report(self.obs.metrics, self.obs.tracer))
+
+    def _trace_view(self, request: Request, trace_id: str = "",
+                    **kwargs) -> Response:
+        """One retained trace by id -- the exemplar resolution endpoint.
+
+        The raw span record plus the analytics view of it (spans ranked
+        by cost, dominant stage), so the hop from an exemplar to "what
+        was slow about this exact request" is a single GET.
+        """
+        trace = self.obs.tracer.find(trace_id)
+        if trace is None:
+            return Response.json_response(
+                {"error": f"no retained trace {trace_id!r} "
+                          "(evicted or never finished)"}, 404)
+        record = trace.to_dict()
+        record["critical_path"] = critical_path(trace)
+        return Response.json_response(record)
 
     def _make_view(self, by_method: Dict[str, "MonitoredOperation"]):
         def view(request: Request, **kwargs) -> Response:
@@ -641,6 +721,25 @@ class CloudMonitor:
         if plan is not None:
             trace.set_tag("probe_plan", plan.describe())
 
+        # Wide-event bookkeeping: transport events emitted while this
+        # request is in flight inherit its trace id, and the request's
+        # own wide event reports per-request counter deltas.
+        metrics = self.obs.metrics
+        self._request_baseline = {
+            "probes": float(self.provider.probe_count),
+            "retries": metrics.total("monitor_retries_total"),
+            "transport_failures":
+                metrics.total("monitor_transport_failures_total"),
+        }
+        with self.obs.events.correlate(trace.trace_id):
+            return self._run_workflow(operation, request, token, contract,
+                                      item_id, plan, trace)
+
+    def _run_workflow(self, operation: MonitoredOperation, request: Request,
+                      token: str, contract: MethodContract,
+                      item_id: Optional[str], plan: Optional[ProbePlan],
+                      trace) -> Tuple[Response, MonitorVerdict]:
+        """Stages (1)-(6) of Figure 2 (see :meth:`monitor_request`)."""
         # (1)-(2) probe pre-state and check the pre-condition.  The pre
         # round also binds the snapshot roots: the pre-probe context is
         # reused by the snapshot phase below.
@@ -803,6 +902,8 @@ class CloudMonitor:
                               ",".join(verdict.unbound_roots))
             self.obs.tracer.finish(trace)
             self._record_metrics(verdict, trace)
+            self._emit_wide_event(verdict, trace)
+            self.slos.snapshot()
         self.log.append(verdict)
         # Indeterminate outcomes say nothing about the requirement either
         # way, so they must not move the pass/fail coverage counters.
@@ -836,15 +937,60 @@ class CloudMonitor:
             "monitor_snapshot_bytes_total",
             "Bytes of pre() old values stored across all requests").inc(
                 verdict.snapshot_bytes)
+        # Exemplars link each latency bucket to the most recent trace
+        # that landed in it -- the hop from "p99 is high" to "this exact
+        # request" (resolved via Tracer.find / the /-/traces/<id> route).
+        exemplar = {"trace_id": trace.trace_id}
         metrics.histogram(
             "monitor_request_seconds",
             "End-to-end latency of one monitored request",
-            operation=str(verdict.trigger)).observe(trace.duration)
+            operation=str(verdict.trigger)).observe(
+                trace.duration, exemplar=exemplar, timestamp=trace.end)
         for span in trace.spans:
             metrics.histogram(
                 "monitor_stage_seconds",
                 "Latency of one Figure-2 stage",
-                stage=span.name).observe(span.duration)
+                stage=span.name).observe(
+                    span.duration, exemplar=exemplar, timestamp=span.end)
+
+    def _emit_wide_event(self, verdict: MonitorVerdict, trace) -> None:
+        """One flat, queryable record for the whole monitored request.
+
+        The audit log keeps the verdict; this event keeps *why*: the
+        probe plan, the per-stage timing, the transport's retry and
+        give-up deltas, and the breaker landscape at completion.
+        """
+        metrics = self.obs.metrics
+        baseline = self._request_baseline or {
+            "probes": 0.0, "retries": 0.0, "transport_failures": 0.0}
+        self._request_baseline = None
+        breaker_states = getattr(self.transport, "breaker_states", None)
+        self.obs.events.emit(
+            "monitor_request",
+            trace_id=trace.trace_id,
+            operation=str(verdict.trigger),
+            method=verdict.trigger.method,
+            resource=verdict.trigger.resource,
+            verdict=verdict.verdict,
+            pre_holds=verdict.pre_holds,
+            post_holds=verdict.post_holds,
+            forwarded=verdict.forwarded,
+            response_status=verdict.response_status,
+            message=verdict.message,
+            security_requirements=list(verdict.security_requirements),
+            unbound_roots=list(verdict.unbound_roots),
+            probe_plan=trace.tags.get("probe_plan"),
+            probes=int(self.provider.probe_count - baseline["probes"]),
+            retries=int(metrics.total("monitor_retries_total")
+                        - baseline["retries"]),
+            transport_failures=int(
+                metrics.total("monitor_transport_failures_total")
+                - baseline["transport_failures"]),
+            breaker_states=(breaker_states()
+                            if callable(breaker_states) else {}),
+            stage_seconds={span.name: _round9(span.duration)
+                           for span in trace.spans},
+            duration=_round9(trace.duration))
 
     @staticmethod
     def _invalid_response(code: int, verdict: MonitorVerdict) -> Response:

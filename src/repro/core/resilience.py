@@ -217,6 +217,11 @@ class ResilientTransport:
         self.recovery_time = recovery_time
         self.observability = observability
         self._breakers: Dict[str, CircuitBreaker] = {}
+        #: Last breaker state published per host; transitions between two
+        #: published states become ``breaker_transition`` wide events, so
+        #: the chaos campaign can assert the closed -> open -> half-open
+        #: sequence instead of sampling the state gauge.
+        self._published_states: Dict[str, str] = {}
 
     # -- wiring ------------------------------------------------------------------
 
@@ -239,6 +244,10 @@ class ResilientTransport:
             breaker = CircuitBreaker(self.failure_threshold,
                                      self.recovery_time, clock=self._clock)
             self._breakers[host] = breaker
+            # A new breaker starts closed; seeding the published state
+            # keeps the event stream free of a noise "None -> closed"
+            # transition on first contact.
+            self._published_states.setdefault(host, BreakerState.CLOSED)
         return breaker
 
     def breaker_states(self) -> Dict[str, str]:
@@ -258,11 +267,15 @@ class ResilientTransport:
         host = request.host
         breaker = self.breaker(host)
         if not breaker.allow():
-            self._count_failure(host, "circuit-open")
+            self._count_failure(host, "circuit-open", attempts=0)
             response = self._failure_response(
                 request, "circuit-open", attempts=0, last_status=None)
             self._publish_state(host, breaker)
             return response
+        # ``allow`` may have just admitted the half-open trial: publish
+        # immediately so the open -> half-open transition is observable
+        # as an event, not only inferable from the trial's outcome.
+        self._publish_state(host, breaker)
 
         attempts = 0
         while True:
@@ -274,13 +287,15 @@ class ResilientTransport:
                 return response
             if attempts >= self.policy.max_attempts:
                 breaker.record_failure()
-                self._count_failure(host, "retries-exhausted")
+                self._count_failure(host, "retries-exhausted",
+                                    attempts=attempts)
                 self._publish_state(host, breaker)
                 return self._failure_response(
                     request, "retries-exhausted", attempts,
                     last_status=response.status_code)
-            self._count_retry(host)
-            self._sleep(self.policy.delay(attempts, key=host))
+            delay = self.policy.delay(attempts, key=host)
+            self._count_retry(host, attempt=attempts, delay=delay)
+            self._sleep(delay)
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -288,26 +303,50 @@ class ResilientTransport:
         if seconds > 0:
             sleeper_for(self._clock)(seconds)
 
-    def _count_retry(self, host: str) -> None:
+    def _events(self):
+        """The shared wide-event log, or ``None`` outside an obs bundle."""
+        return getattr(self.observability, "events", None)
+
+    def _count_retry(self, host: str, attempt: int = 0,
+                     delay: float = 0.0) -> None:
         if self.observability is not None:
             self.observability.metrics.counter(
                 "monitor_retries_total",
                 "Transport retries after a retryable response",
                 host=host).inc()
+        events = self._events()
+        if events is not None:
+            events.emit("transport_retry", host=host, attempt=attempt,
+                        delay=delay)
 
-    def _count_failure(self, host: str, reason: str) -> None:
+    def _count_failure(self, host: str, reason: str,
+                       attempts: int = 0) -> None:
         if self.observability is not None:
             self.observability.metrics.counter(
                 "monitor_transport_failures_total",
                 "Requests the resilient transport gave up on",
                 host=host, reason=reason).inc()
+        events = self._events()
+        if events is not None:
+            events.emit("transport_give_up", host=host, reason=reason,
+                        attempts=attempts)
 
     def _publish_state(self, host: str, breaker: CircuitBreaker) -> None:
-        if self.observability is not None:
-            self.observability.metrics.gauge(
-                "monitor_breaker_state",
-                "Circuit state per host: 0 closed, 1 half-open, 2 open",
-                host=host).set(BreakerState.GAUGE[breaker.state])
+        if self.observability is None:
+            return
+        state = breaker.state
+        self.observability.metrics.gauge(
+            "monitor_breaker_state",
+            "Circuit state per host: 0 closed, 1 half-open, 2 open",
+            host=host).set(BreakerState.GAUGE[state])
+        previous = self._published_states.get(host, BreakerState.CLOSED)
+        if state != previous:
+            self._published_states[host] = state
+            events = self._events()
+            if events is not None:
+                events.emit("breaker_transition", host=host,
+                            from_state=previous, to_state=state,
+                            failures=breaker.failures)
 
     @staticmethod
     def _failure_response(request: Request, reason: str, attempts: int,

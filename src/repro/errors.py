@@ -85,3 +85,11 @@ class ValidationError(ReproError):
 class MetricsError(ReproError):
     """An observability metric was used inconsistently (type or label clash,
     negative counter increment, incompatible histogram merge)."""
+
+
+class EventError(ReproError):
+    """A structured wide event was malformed (empty type, reserved field)."""
+
+
+class SLOError(ReproError):
+    """A service-level objective was declared or evaluated inconsistently."""

@@ -8,46 +8,92 @@ millisecond of a monitored request goes.  This package provides:
   :class:`~repro.obs.clock.ManualClock` that makes every timing
   deterministic in tests,
 * :mod:`repro.obs.metrics` -- counters, gauges, and histograms with
-  streaming percentile summaries, collected in a
-  :class:`~repro.obs.metrics.MetricsRegistry`,
+  streaming percentile summaries and per-bucket exemplars, collected in
+  a :class:`~repro.obs.metrics.MetricsRegistry`,
 * :mod:`repro.obs.tracing` -- per-request traces with one span per stage
   of the Figure-2 workflow (``pre_probe``, ``pre_eval``, ``forward``,
   ``snapshot``, ``post_probe``, ``post_eval``),
-* :mod:`repro.obs.exporters` -- Prometheus text exposition and JSON,
+* :mod:`repro.obs.events` -- the structured wide-event log: one flat,
+  queryable record per monitored request (and per transport incident)
+  kept in a bounded ring with a JSONL exporter,
+* :mod:`repro.obs.slo` -- declarative service-level objectives evaluated
+  over the registry with multi-window burn rates (the ``/-/health``
+  route and ``cloudmon slo``),
+* :mod:`repro.obs.analytics` -- post-hoc trace analytics: per-stage
+  latency attribution, critical paths, and the exemplar join from
+  histogram buckets back to retained traces,
+* :mod:`repro.obs.exporters` -- Prometheus text exposition (with
+  OpenMetrics-style exemplars) and JSON,
 * :mod:`repro.obs.middleware` -- request metrics for any
   :class:`~repro.httpsim.app.Application`.
 
-:class:`Observability` bundles one registry, one tracer, and one clock so
-the monitor, the state provider, and the network all report into the same
-place.
+:class:`Observability` bundles one registry, one tracer, one event log,
+and one clock so the monitor, the state provider, and the network all
+report into the same place.
 """
 
+from .analytics import (
+    critical_path,
+    dominant_stages,
+    exemplar_index,
+    resolve_exemplars,
+    stage_attribution,
+    trace_report,
+)
 from .clock import Clock, ManualClock, system_clock
+from .events import EventLog, WideEvent
 from .exporters import render_json, render_prometheus
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Exemplar, Gauge, Histogram, MetricsRegistry
 from .middleware import ObservabilityMiddleware
+from .slo import (
+    SLO,
+    BucketCount,
+    BurnWindow,
+    CounterTotal,
+    Linear,
+    ObservationCount,
+    SLOEngine,
+    default_slos,
+)
 from .tracing import Span, Trace, Tracer
 
 __all__ = [
+    "BucketCount",
+    "BurnWindow",
     "Clock",
     "Counter",
+    "CounterTotal",
+    "EventLog",
+    "Exemplar",
     "Gauge",
     "Histogram",
+    "Linear",
     "ManualClock",
     "MetricsRegistry",
     "Observability",
     "ObservabilityMiddleware",
+    "ObservationCount",
+    "SLO",
+    "SLOEngine",
     "Span",
     "Trace",
     "Tracer",
+    "WideEvent",
+    "critical_path",
+    "default_slos",
+    "dominant_stages",
+    "exemplar_index",
     "render_json",
     "render_prometheus",
+    "resolve_exemplars",
+    "stage_attribution",
     "system_clock",
+    "trace_report",
 ]
 
 
 class Observability:
-    """One registry + tracer + clock shared by all instrumented components.
+    """One registry + tracer + event log + clock shared by all components.
 
     Passing a :class:`~repro.obs.clock.ManualClock` makes every recorded
     duration deterministic -- the configuration the observability tests
@@ -58,6 +104,7 @@ class Observability:
         self.clock: Clock = clock if clock is not None else system_clock
         self.metrics = MetricsRegistry(clock=self.clock)
         self.tracer = Tracer(clock=self.clock)
+        self.events = EventLog(clock=self.clock)
 
     def export_prometheus(self) -> str:
         """The registry in Prometheus text exposition format."""
@@ -68,6 +115,11 @@ class Observability:
         return render_json(self.metrics,
                            self.tracer if with_traces else None)
 
+    def export_events_jsonl(self, **criteria) -> str:
+        """The retained wide events as canonical JSONL (filterable)."""
+        return self.events.to_jsonl(**criteria)
+
     def __repr__(self) -> str:
         return (f"<Observability metrics={len(self.metrics)} "
-                f"traces={len(self.tracer.finished)}>")
+                f"traces={len(self.tracer.finished)} "
+                f"events={len(self.events)}>")

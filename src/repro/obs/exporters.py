@@ -2,17 +2,26 @@
 
 :func:`render_prometheus` emits the text format scraped by Prometheus
 (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with the
-``le`` label, ``_sum`` and ``_count``).  :func:`render_json` produces a
-structured document carrying the same data plus percentile summaries and,
+``le`` label, ``_sum`` and ``_count``), plus OpenMetrics-style exemplars
+(``# {trace_id="t-000042"} value timestamp``) on bucket lines whose
+histogram recorded one.  :func:`render_json` produces a structured
+document carrying the same data plus percentile summaries and,
 optionally, the tracer's retained traces -- the shape the ``/-/metrics``
 route and ``cloudmon metrics --json`` return.
+
+Escaping follows the exposition spec precisely: label values escape
+backslash, double-quote, and newline; HELP text escapes backslash and
+newline (double quotes are legal there).  Getting HELP escaping wrong is
+a real scrape-breaker -- one multi-line help string would desynchronize
+the whole exposition -- so both paths are regression-tested.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from .metrics import Counter, Gauge, Histogram, LabelSet, MetricsRegistry
+from .metrics import (Counter, Exemplar, Gauge, Histogram, LabelSet,
+                      MetricsRegistry)
 from .tracing import Tracer
 
 
@@ -24,8 +33,20 @@ def _format_value(value: float) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escaping for quoted label values: backslash, newline, quote."""
     return (value.replace("\\", r"\\").replace("\n", r"\n")
             .replace('"', r'\"'))
+
+
+def _escape_help(text: str) -> str:
+    """Escaping for ``# HELP`` lines: backslash and newline only.
+
+    The exposition format terminates every line at ``\\n`` and does not
+    quote help text, so a raw newline (or a lone backslash that swallows
+    the following character) corrupts the scrape; double quotes are
+    legal and stay as-is.
+    """
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _label_text(labels: LabelSet, extra: str = "") -> str:
@@ -39,25 +60,41 @@ def _bound_text(bound: float) -> str:
     return _format_value(bound)
 
 
+def _exemplar_text(exemplar: Optional[Exemplar]) -> str:
+    """The OpenMetrics exemplar suffix for a bucket line ("" when none)."""
+    if exemplar is None:
+        return ""
+    labels = ",".join(f'{key}="{_escape(value)}"'
+                      for key, value in sorted(exemplar.labels.items()))
+    suffix = f" # {{{labels}}} {_format_value(exemplar.value)}"
+    if exemplar.timestamp is not None:
+        suffix += f" {_format_value(exemplar.timestamp)}"
+    return suffix
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The whole registry in Prometheus text exposition format."""
     lines: List[str] = []
     for family in registry:
-        lines.append(f"# HELP {family.name} {family.help or family.name}")
+        lines.append(
+            f"# HELP {family.name} {_escape_help(family.help or family.name)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, metric in sorted(family.series.items()):
             if isinstance(metric, Histogram):
                 cumulative = 0
-                for bound, count in zip(metric.bounds,
-                                        metric.bucket_counts):
+                for index, (bound, count) in enumerate(
+                        zip(metric.bounds, metric.bucket_counts)):
                     cumulative += count
                     label_text = _label_text(
                         labels, f'le="{_bound_text(bound)}"')
-                    lines.append(f"{family.name}_bucket{label_text} "
-                                 f"{cumulative}")
+                    lines.append(
+                        f"{family.name}_bucket{label_text} {cumulative}"
+                        + _exemplar_text(metric.exemplars.get(index)))
                 label_text = _label_text(labels, 'le="+Inf"')
-                lines.append(f"{family.name}_bucket{label_text} "
-                             f"{metric.count}")
+                lines.append(
+                    f"{family.name}_bucket{label_text} {metric.count}"
+                    + _exemplar_text(
+                        metric.exemplars.get(len(metric.bounds))))
                 lines.append(f"{family.name}_sum{_label_text(labels)} "
                              f"{_format_value(metric.sum)}")
                 lines.append(f"{family.name}_count{_label_text(labels)} "
@@ -70,7 +107,12 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
 def render_json(registry: MetricsRegistry,
                 tracer: Optional[Tracer] = None) -> Dict[str, Any]:
-    """The registry (and optionally the tracer) as a JSON-ready document."""
+    """The registry (and optionally the tracer) as a JSON-ready document.
+
+    Unlike the Prometheus exposition, JSON bucket counts are *per
+    bucket*, not cumulative; the ``+Inf`` entry is the overflow bucket
+    alone, so the finite counts plus ``+Inf`` sum to the series count.
+    """
     families: List[Dict[str, Any]] = []
     for family in registry:
         series: List[Dict[str, Any]] = []
@@ -78,12 +120,20 @@ def render_json(registry: MetricsRegistry,
             entry: Dict[str, Any] = {"labels": dict(labels)}
             if isinstance(metric, Histogram):
                 entry["summary"] = metric.summary()
-                entry["buckets"] = [
-                    {"le": bound, "count": count}
-                    for bound, count in zip(metric.bounds,
-                                            metric.bucket_counts)]
-                entry["buckets"].append(
-                    {"le": "+Inf", "count": metric.bucket_counts[-1]})
+                entry["buckets"] = []
+                for index, (bound, count) in enumerate(
+                        zip(metric.bounds, metric.bucket_counts)):
+                    bucket: Dict[str, Any] = {"le": bound, "count": count}
+                    exemplar = metric.exemplars.get(index)
+                    if exemplar is not None:
+                        bucket["exemplar"] = exemplar.to_dict()
+                    entry["buckets"].append(bucket)
+                overflow: Dict[str, Any] = {
+                    "le": "+Inf", "count": metric.bucket_counts[-1]}
+                exemplar = metric.exemplars.get(len(metric.bounds))
+                if exemplar is not None:
+                    overflow["exemplar"] = exemplar.to_dict()
+                entry["buckets"].append(overflow)
             elif isinstance(metric, (Counter, Gauge)):
                 entry["value"] = metric.value
             series.append(entry)

@@ -78,6 +78,35 @@ class Gauge:
         return f"<Gauge {self._value}>"
 
 
+class Exemplar:
+    """One concrete observation attached to a histogram bucket.
+
+    OpenMetrics-style: a tiny label set (for us, the ``trace_id`` of the
+    request that produced the observation), the observed value, and the
+    clock reading at observation time.  Exemplars are the bridge from an
+    aggregate ("p99 is high") back to evidence ("this exact trace landed
+    in that bucket") -- see :mod:`repro.obs.analytics`.
+    """
+
+    def __init__(self, labels: Dict[str, str], value: float,
+                 timestamp: Optional[float] = None):
+        self.labels: Dict[str, str] = {str(k): str(v)
+                                       for k, v in labels.items()}
+        self.value = float(value)
+        self.timestamp = timestamp if timestamp is None else float(timestamp)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        record: Dict[str, Any] = {"labels": dict(self.labels),
+                                  "value": self.value}
+        if self.timestamp is not None:
+            record["timestamp"] = self.timestamp
+        return record
+
+    def __repr__(self) -> str:
+        return f"<Exemplar {self.labels} {self.value}>"
+
+
 #: Default latency buckets, in seconds: 10us .. 10s, roughly logarithmic.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
@@ -111,9 +140,19 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Most recent exemplar per bucket index (``len(bounds)`` = +inf);
+        #: sparse -- only buckets observed with an exemplar carry one.
+        self.exemplars: Dict[int, Exemplar] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float,
+                exemplar: Optional[Dict[str, str]] = None,
+                timestamp: Optional[float] = None) -> None:
+        """Record one observation.
+
+        *exemplar* optionally attaches a small label set (typically
+        ``{"trace_id": ...}``) to the bucket the value lands in; the most
+        recent exemplar per bucket wins, so memory stays O(buckets).
+        """
         value = float(value)
         index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
@@ -125,6 +164,8 @@ class Histogram:
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if exemplar is not None:
+            self.exemplars[index] = Exemplar(exemplar, value, timestamp)
 
     # -- summaries ---------------------------------------------------------
 
@@ -198,6 +239,17 @@ class Histogram:
             if value is not None:
                 merged.max = value if merged.max is None else max(merged.max,
                                                                   value)
+        for index in set(self.exemplars) | set(other.exemplars):
+            candidates = [histogram.exemplars[index]
+                          for histogram in (self, other)
+                          if index in histogram.exemplars]
+            # The most recent exemplar wins; untimestamped ones lose to
+            # timestamped ones (they carry strictly less evidence).
+            merged.exemplars[index] = max(
+                candidates,
+                key=lambda ex: (ex.timestamp is not None,
+                                ex.timestamp if ex.timestamp is not None
+                                else 0.0))
         return merged
 
     def state(self) -> Tuple:

@@ -132,6 +132,11 @@ class Tracer:
         self._sequence = 0
         #: Total traces ever started (not bounded by *keep*).
         self.started_count = 0
+        #: id -> trace index over the finished ring, kept in sync with
+        #: ring eviction so :meth:`find` is O(1) instead of a linear scan
+        #: -- ``find`` sits on the ``/-/traces/<id>`` path and in every
+        #: exemplar resolution, so it must not walk 256 traces per hit.
+        self._by_id: Dict[str, Trace] = {}
 
     def begin(self, name: str) -> Trace:
         """Start a new trace with the next sequential id."""
@@ -140,18 +145,28 @@ class Tracer:
         return Trace(f"t-{self._sequence:06d}", name, self.clock)
 
     def finish(self, trace: Trace) -> Trace:
-        """Close *trace* and retain it in the finished ring."""
+        """Close *trace* and retain it in the finished ring.
+
+        Idempotent: a trace the ring already retains is not appended a
+        second time (a duplicate slot would let one eviction delete an
+        id the ring still holds).
+        """
         if trace.end is None:
             trace.end = self.clock()
+        if self._by_id.get(trace.trace_id) is trace:
+            return trace
+        maxlen = self.finished.maxlen
+        if maxlen is not None and len(self.finished) == maxlen and maxlen:
+            evicted = self.finished[0]
+            if self._by_id.get(evicted.trace_id) is evicted:
+                del self._by_id[evicted.trace_id]
         self.finished.append(trace)
+        self._by_id[trace.trace_id] = trace
         return trace
 
     def find(self, trace_id: str) -> Optional[Trace]:
         """The retained finished trace with *trace_id*, or ``None``."""
-        for trace in self.finished:
-            if trace.trace_id == trace_id:
-                return trace
-        return None
+        return self._by_id.get(trace_id)
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """Every retained finished trace, JSON-ready, oldest first."""

@@ -19,11 +19,14 @@ from .campaign import (
     release2_setup,
 )
 from .chaos import (
+    EXPECTED_BREAKER_SEQUENCE,
     ChaosReport,
     ChaosRun,
+    assert_breaker_sequence,
     assert_indeterminate_degradation,
     recoverable_program,
     resilient_setup,
+    run_breaker_sequence,
     run_chaos_campaign,
     run_leg,
     unrecoverable_program,
@@ -54,11 +57,14 @@ __all__ = [
     "run_chaos_campaign",
     "run_leg",
     "unrecoverable_program",
+    "EXPECTED_BREAKER_SEQUENCE",
+    "assert_breaker_sequence",
     "extended_battery",
     "localize",
     "release2_battery",
     "release2_setup",
     "render_report",
+    "run_breaker_sequence",
     "session_report",
     "standard_battery",
 ]

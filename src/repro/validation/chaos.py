@@ -173,6 +173,73 @@ def run_chaos_campaign(count: int = 40, seed: int = 7,
     return ChaosReport(baseline, faulted)
 
 
+#: The breaker lifecycle a recovery must walk, as (from, to) transitions:
+#: failures open it, the recovery window half-opens it, and the trial
+#: request's success closes it again.
+EXPECTED_BREAKER_SEQUENCE: Tuple[Tuple[str, str], ...] = (
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "closed"),
+)
+
+
+def run_breaker_sequence(failure_threshold: int = 2,
+                         recovery_time: float = 5.0,
+                         host: str = "cinder",
+                         ) -> Tuple[CloudMonitor, List[Tuple[str, str]]]:
+    """Drive one host's breaker through its full lifecycle.
+
+    Kills *host* until its breaker opens, heals the substrate, advances
+    the manual clock past the recovery window, and sends one more
+    monitored request so the half-open trial succeeds.  Returns the
+    monitor and the ``breaker_transition`` wide events' (from, to) pairs
+    for *host*, in emission order -- the structured record the chaos
+    campaign asserts instead of sampling the ``monitor_breaker_state``
+    gauge between requests.
+    """
+    cloud, monitor = resilient_setup(failure_threshold=failure_threshold,
+                                     recovery_time=recovery_time)
+    token = cloud.paper_tokens()["alice"]
+    url = "http://cmonitor/cmonitor/volumes"
+
+    cloud.network.inject_fault(host, unrecoverable_program())
+    for _ in range(failure_threshold):
+        monitor.app.get(url, headers={"X-Auth-Token": token})
+
+    cloud.network.clear_fault(host)
+    monitor.obs.clock.advance(recovery_time)
+    monitor.app.get(url, headers={"X-Auth-Token": token})
+
+    transitions = [
+        (record.get("from_state"), record.get("to_state"))
+        for record in monitor.obs.events.filter(event="breaker_transition",
+                                                host=host)]
+    return monitor, transitions
+
+
+def assert_breaker_sequence(failure_threshold: int = 2,
+                            recovery_time: float = 5.0,
+                            host: str = "cinder",
+                            ) -> List[Tuple[str, str]]:
+    """Assert the closed -> open -> half-open -> closed event sequence.
+
+    Raises ``AssertionError`` when the emitted ``breaker_transition``
+    events do not match :data:`EXPECTED_BREAKER_SEQUENCE` exactly;
+    returns the observed transitions otherwise.
+    """
+    monitor, transitions = run_breaker_sequence(
+        failure_threshold=failure_threshold, recovery_time=recovery_time,
+        host=host)
+    assert tuple(transitions) == EXPECTED_BREAKER_SEQUENCE, (
+        f"breaker on {host!r} walked {transitions}, expected "
+        f"{list(EXPECTED_BREAKER_SEQUENCE)}")
+    # The recovery request must have produced a usable verdict again.
+    assert monitor.log[-1].verdict != Verdict.INDETERMINATE, (
+        "the half-open trial succeeded but the verdict stayed "
+        "indeterminate")
+    return transitions
+
+
 def assert_indeterminate_degradation(count: int = 20, seed: int = 7,
                                      ) -> ChaosRun:
     """Run under a dead substrate; every verdict must be indeterminate.

@@ -170,6 +170,67 @@ class TestResilientTransport:
         assert transport.breaker_states()["cinder"] == BreakerState.CLOSED
 
 
+class TestTransportEvents:
+    def _cloud_and_transport(self, **kwargs):
+        return TestResilientTransport._cloud_and_transport(self, **kwargs)
+
+    def _probe(self, cloud):
+        return TestResilientTransport._probe(self, cloud)
+
+    def test_retries_emit_events_with_attempt_and_delay(self):
+        cloud, transport, obs = self._cloud_and_transport(
+            policy=RetryPolicy(max_attempts=3, base_delay=0.01,
+                               jitter=0.0))
+        cloud.network.inject_fault("cinder", FailN(2))
+        transport.send(self._probe(cloud))
+        events = obs.events.filter(event="transport_retry", host="cinder")
+        assert [event.get("attempt") for event in events] == [1, 2]
+        assert events[0].get("delay") == pytest.approx(0.01)
+
+    def test_give_up_emits_event_with_reason(self):
+        cloud, transport, obs = self._cloud_and_transport(
+            policy=RetryPolicy(max_attempts=2, base_delay=0.01))
+        cloud.network.inject_fault("cinder", FailN(99))
+        transport.send(self._probe(cloud))
+        (event,) = obs.events.filter(event="transport_give_up")
+        assert event.get("host") == "cinder"
+        assert event.get("reason") == "retries-exhausted"
+        assert event.get("attempts") == 2
+
+    def test_breaker_lifecycle_emits_transition_events(self):
+        cloud, transport, obs = self._cloud_and_transport(
+            policy=RetryPolicy(max_attempts=1),
+            failure_threshold=1, recovery_time=30.0)
+        cloud.network.inject_fault("cinder", FailN(1))
+        probe = self._probe(cloud)
+        transport.send(probe)          # fails -> closed to open
+        obs.clock.advance(30.0)
+        transport.send(probe)          # trial succeeds: half-open, closed
+        transitions = [
+            (event.get("from_state"), event.get("to_state"))
+            for event in obs.events.filter(event="breaker_transition",
+                                           host="cinder")]
+        assert transitions == [("closed", "open"),
+                               ("open", "half-open"),
+                               ("half-open", "closed")]
+
+    def test_steady_state_emits_no_transition_events(self):
+        cloud, transport, obs = self._cloud_and_transport()
+        probe = self._probe(cloud)
+        transport.send(probe)
+        transport.send(probe)
+        assert obs.events.filter(event="breaker_transition") == []
+
+    def test_transport_events_inherit_the_correlation_context(self):
+        cloud, transport, obs = self._cloud_and_transport(
+            policy=RetryPolicy(max_attempts=2, base_delay=0.01))
+        cloud.network.inject_fault("cinder", FailN(1))
+        with obs.events.correlate("t-000042"):
+            transport.send(self._probe(cloud))
+        (event,) = obs.events.filter(event="transport_retry")
+        assert event.trace_id == "t-000042"
+
+
 def _resilient_monitor(cloud, policy=None, **kwargs):
     obs = Observability(clock=ManualClock())
     transport = ResilientTransport(

@@ -1,0 +1,133 @@
+"""Tests for trace analytics: attribution, critical paths, exemplars."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    critical_path,
+    dominant_stages,
+    exemplar_index,
+    resolve_exemplars,
+    stage_attribution,
+    trace_report,
+)
+
+
+def traced_setup():
+    """Two finished traces with forward dominating in both."""
+    tracer = Tracer(clock=ManualClock(tick=1.0))
+    for _ in range(2):
+        trace = tracer.begin("monitor")
+        with trace.span("pre_eval"):
+            pass                       # 1s under the ticking clock
+        with trace.span("forward"):
+            tracer.clock.advance(3.0)  # 4s
+        tracer.finish(trace)
+    return tracer
+
+
+class TestStageAttribution:
+    def test_totals_means_and_shares(self):
+        report = stage_attribution(traced_setup())
+        assert [entry["stage"] for entry in report] == ["forward",
+                                                        "pre_eval"]
+        forward, pre_eval = report
+        assert forward["count"] == 2
+        assert forward["seconds"] == pytest.approx(8.0)
+        assert forward["mean"] == pytest.approx(4.0)
+        assert forward["share"] == pytest.approx(0.8)
+        assert pre_eval["share"] == pytest.approx(0.2)
+
+    def test_error_spans_are_counted(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        trace = tracer.begin("monitor")
+        with pytest.raises(RuntimeError):
+            with trace.span("forward"):
+                raise RuntimeError("boom")
+        tracer.finish(trace)
+        (entry,) = stage_attribution(tracer)
+        assert entry["errors"] == 1
+
+    def test_empty_tracer_gives_empty_report(self):
+        assert stage_attribution(Tracer(clock=ManualClock())) == []
+
+    def test_accepts_a_plain_trace_list(self):
+        tracer = traced_setup()
+        assert stage_attribution(list(tracer.finished)) \
+            == stage_attribution(tracer)
+
+
+class TestCriticalPath:
+    def test_path_ranked_by_cost_with_dominant(self):
+        tracer = traced_setup()
+        path = critical_path(tracer.finished[0])
+        assert path["dominant"] == "forward"
+        assert [step["stage"] for step in path["path"]] == ["forward",
+                                                            "pre_eval"]
+        assert path["path"][0]["seconds"] == pytest.approx(4.0)
+        assert path["trace_id"] == tracer.finished[0].trace_id
+
+    def test_spanless_trace_has_no_dominant(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        trace = tracer.finish(tracer.begin("empty"))
+        path = critical_path(trace)
+        assert path["dominant"] is None
+        assert path["path"] == []
+
+    def test_dominant_stages_histogram(self):
+        assert dominant_stages(traced_setup()) == {"forward": 2}
+
+
+class TestExemplars:
+    def make_registry(self, trace_id="t-000001"):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05, exemplar={"trace_id": trace_id},
+                          timestamp=1.0)
+        histogram.observe(9.0, exemplar={"trace_id": "t-999999"},
+                          timestamp=2.0)
+        return registry
+
+    def test_index_covers_finite_and_overflow_buckets(self):
+        entries = exemplar_index(self.make_registry())
+        assert [entry["le"] for entry in entries] == [0.1, "+Inf"]
+        assert entries[0]["family"] == "latency_seconds"
+        assert entries[0]["exemplar"]["labels"] == {"trace_id": "t-000001"}
+
+    def test_resolve_joins_against_the_ring(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        trace = tracer.finish(tracer.begin("monitor"))
+        entries = resolve_exemplars(self.make_registry(trace.trace_id),
+                                    tracer)
+        resolved, unresolved = entries
+        assert resolved["resolved"]
+        assert resolved["trace"]["trace_id"] == trace.trace_id
+        assert not unresolved["resolved"]
+        assert "trace" not in unresolved
+
+    def test_exemplar_without_trace_id_stays_unresolved(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(
+            0.5, exemplar={"span": "forward"})
+        (entry,) = resolve_exemplars(registry,
+                                     Tracer(clock=ManualClock()))
+        assert entry["resolved"] is False
+
+
+class TestTraceReport:
+    def test_document_shape_and_serializability(self):
+        tracer = traced_setup()
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds", buckets=(0.1,)).observe(
+            0.05, exemplar={"trace_id": tracer.finished[0].trace_id})
+        report = trace_report(registry, tracer)
+        assert report["retained"] == 2
+        assert report["started"] == 2
+        assert report["attribution"][0]["stage"] == "forward"
+        assert report["exemplars"][0]["resolved"]
+        json.dumps(report)

@@ -83,6 +83,130 @@ class TestJson:
         assert series["summary"]["count"] == 3
         assert series["buckets"][-1]["le"] == "+Inf"
 
+    def test_buckets_are_per_bucket_not_cumulative(self):
+        # The JSON document reports each bucket alone; the Prometheus
+        # exposition reports running totals.  Cross-check both views of
+        # the same histogram: per-bucket counts must sum to the series
+        # count, and their running sum must reproduce the text lines.
+        registry = sample_registry()
+        document = render_json(registry)
+        by_name = {family["name"]: family
+                   for family in document["metrics"]}
+        buckets = by_name["latency_seconds"]["series"][0]["buckets"]
+        assert [bucket["count"] for bucket in buckets] == [1, 1, 1]
+        assert sum(bucket["count"] for bucket in buckets) == 3
+        lines = render_prometheus(registry).splitlines()
+        cumulative = 0
+        for bucket in buckets[:-1]:
+            cumulative += bucket["count"]
+            assert (f'latency_seconds_bucket{{le="{bucket["le"]:g}"}} '
+                    f"{cumulative}") in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+
+    def test_inf_bucket_is_overflow_only(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        document = render_json(registry)
+        buckets = document["metrics"][0]["series"][0]["buckets"]
+        assert buckets == [{"le": 1.0, "count": 1},
+                           {"le": "+Inf", "count": 2}]
+
+
+class TestHelpEscaping:
+    def test_newline_and_backslash_in_help_are_escaped(self):
+        # A raw newline in HELP text would terminate the comment line
+        # mid-string and desynchronize the whole scrape.
+        registry = MetricsRegistry()
+        registry.counter("c", help="path C:\\tmp\nsecond line").inc()
+        lines = render_prometheus(registry).splitlines()
+        assert r"# HELP c path C:\\tmp\nsecond line" in lines
+        assert "second line" not in lines
+
+    def test_double_quotes_in_help_stay_verbatim(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help='the "monitor" counter').inc()
+        assert '# HELP c the "monitor" counter' \
+            in render_prometheus(registry).splitlines()
+
+
+class TestLabelEscapingRoundTrip:
+    AWKWARD = ['say "hi"', "back\\slash", "multi\nline", 'mix\\"\n"']
+
+    def parse_label(self, line):
+        """Undo exposition-format label escaping for one rendered line."""
+        raw = line[line.index('="') + 2:line.rindex('"')]
+        out, index = [], 0
+        while index < len(raw):
+            if raw[index] == "\\":
+                out.append({"n": "\n", "\\": "\\", '"': '"'}[raw[index + 1]])
+                index += 2
+            else:
+                out.append(raw[index])
+                index += 1
+        return "".join(out)
+
+    def test_awkward_label_values_round_trip(self):
+        for value in self.AWKWARD:
+            registry = MetricsRegistry()
+            registry.counter("c", path=value).inc()
+            (line,) = [line for line
+                       in render_prometheus(registry).splitlines()
+                       if line.startswith("c{")]
+            assert "\n" not in line
+            assert self.parse_label(line) == value
+
+    def test_json_document_keeps_label_values_verbatim(self):
+        for value in self.AWKWARD:
+            registry = MetricsRegistry()
+            registry.counter("c", path=value).inc()
+            document = render_json(registry)
+            assert document["metrics"][0]["series"][0]["labels"] \
+                == {"path": value}
+
+
+class TestExemplars:
+    def exemplar_registry(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "Latency",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05, exemplar={"trace_id": "t-000001"},
+                          timestamp=3.5)
+        histogram.observe(9.0, exemplar={"trace_id": "t-000002"})
+        return registry
+
+    def test_prometheus_bucket_lines_carry_exemplars(self):
+        lines = render_prometheus(self.exemplar_registry()).splitlines()
+        assert ('latency_seconds_bucket{le="0.1"} 1 '
+                '# {trace_id="t-000001"} 0.05 3.5') in lines
+        assert ('latency_seconds_bucket{le="+Inf"} 2 '
+                '# {trace_id="t-000002"} 9') in lines
+
+    def test_buckets_without_exemplars_render_plain(self):
+        lines = render_prometheus(self.exemplar_registry()).splitlines()
+        assert 'latency_seconds_bucket{le="1"} 1' in lines
+
+    def test_json_buckets_carry_exemplars(self):
+        document = render_json(self.exemplar_registry())
+        buckets = document["metrics"][0]["series"][0]["buckets"]
+        assert buckets[0]["exemplar"] == {
+            "labels": {"trace_id": "t-000001"}, "value": 0.05,
+            "timestamp": 3.5}
+        assert "exemplar" not in buckets[1]
+        assert buckets[2]["exemplar"]["labels"] == {"trace_id": "t-000002"}
+        json.dumps(document)
+
+    def test_exemplar_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(
+            0.5, exemplar={"op": 'say "hi"'})
+        text = render_prometheus(registry)
+        assert r'# {op="say \"hi\""} 0.5' in text
+
+
+class TestJsonTraces:
     def test_traces_included_when_tracer_given(self):
         obs = Observability(clock=ManualClock(tick=1.0))
         trace = obs.tracer.begin("op")

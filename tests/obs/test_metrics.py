@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import MetricsError
-from repro.obs import Counter, Gauge, Histogram, ManualClock, MetricsRegistry
+from repro.obs import (Counter, Exemplar, Gauge, Histogram, ManualClock,
+                       MetricsRegistry)
 
 
 class TestCounter:
@@ -183,3 +184,54 @@ class TestRegistry:
         registry.counter("b", x="1")
         registry.counter("b", x="2")
         assert len(registry) == 3
+
+
+class TestExemplars:
+    def test_observe_attaches_exemplar_to_the_landing_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.5, exemplar={"trace_id": "t-1"}, timestamp=3.0)
+        histogram.observe(9.0, exemplar={"trace_id": "t-2"})
+        assert histogram.exemplars[0].labels == {"trace_id": "t-1"}
+        assert histogram.exemplars[0].value == 0.5
+        assert histogram.exemplars[0].timestamp == 3.0
+        assert histogram.exemplars[2].labels == {"trace_id": "t-2"}
+        assert 1 not in histogram.exemplars
+
+    def test_most_recent_exemplar_per_bucket_wins(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.5, exemplar={"trace_id": "old"})
+        histogram.observe(0.7, exemplar={"trace_id": "new"})
+        assert histogram.exemplars[0].labels == {"trace_id": "new"}
+
+    def test_observation_without_exemplar_keeps_the_old_one(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.5, exemplar={"trace_id": "t-1"})
+        histogram.observe(0.7)
+        assert histogram.exemplars[0].labels == {"trace_id": "t-1"}
+
+    def test_exemplar_labels_and_values_coerced_to_strings(self):
+        exemplar = Exemplar({"attempt": 3}, value=1, timestamp=2)
+        assert exemplar.labels == {"attempt": "3"}
+        assert exemplar.to_dict() == {"labels": {"attempt": "3"},
+                                      "value": 1.0, "timestamp": 2.0}
+
+    def test_untimestamped_to_dict_omits_timestamp(self):
+        assert "timestamp" not in Exemplar({"t": "x"}, 1.0).to_dict()
+
+    def test_merge_prefers_timestamped_then_newest(self):
+        left = Histogram(bounds=(1.0,))
+        right = Histogram(bounds=(1.0,))
+        left.observe(0.5, exemplar={"trace_id": "untimed"})
+        right.observe(0.6, exemplar={"trace_id": "timed"}, timestamp=1.0)
+        merged = left.merge(right)
+        assert merged.exemplars[0].labels == {"trace_id": "timed"}
+        newer = Histogram(bounds=(1.0,))
+        newer.observe(0.7, exemplar={"trace_id": "newer"}, timestamp=5.0)
+        assert right.merge(newer).exemplars[0].labels \
+            == {"trace_id": "newer"}
+
+    def test_merge_carries_one_sided_exemplars(self):
+        left = Histogram(bounds=(1.0,))
+        left.observe(0.5, exemplar={"trace_id": "only"})
+        merged = left.merge(Histogram(bounds=(1.0,)))
+        assert merged.exemplars[0].labels == {"trace_id": "only"}

@@ -172,3 +172,122 @@ class TestMetricsRoute:
             return monitor.app.get("/-/metrics").text
 
         assert run() == run()
+
+
+class TestWideEvents:
+    def test_one_wide_event_per_monitored_request(self):
+        cloud, monitor, clients = deterministic_setup()
+        TestOracle(cloud, monitor).run()
+        events = monitor.obs.events.filter(event="monitor_request")
+        assert len(events) == len(monitor.log)
+        for verdict, event in zip(monitor.log, events):
+            assert event.trace_id == verdict.correlation_id
+            assert event.get("verdict") == verdict.verdict
+            assert event.get("operation") == str(verdict.trigger)
+
+    def test_wide_event_carries_the_full_request_story(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        (event,) = monitor.obs.events.filter(event="monitor_request")
+        assert event.get("forwarded") is True
+        assert event.get("response_status") == 202
+        assert event.get("probes") > 0
+        assert event.get("retries") == 0
+        assert set(event.get("stage_seconds")) == set(STAGES)
+        assert all(value > 0
+                   for value in event.get("stage_seconds").values())
+        assert event.get("duration") > 0
+        assert event.get("security_requirements")
+
+    def test_event_stage_seconds_match_the_trace(self):
+        cloud, monitor, clients = deterministic_setup(tick=0.25)
+        clients["carol"].get(MONITOR)
+        (event,) = monitor.obs.events.filter(event="monitor_request")
+        trace = monitor.obs.tracer.find(event.trace_id)
+        for span in trace.spans:
+            assert event.get("stage_seconds")[span.name] == span.duration
+
+    def test_correlate_events_joins_audit_log(self):
+        from repro.core.auditlog import correlate_events
+
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        pairs = correlate_events(monitor.log, monitor.obs.events)
+        assert len(pairs) == 2
+        for verdict, event in pairs:
+            assert event is not None
+            assert event.get("verdict") == verdict.verdict
+
+
+class TestDiagnosticRoutes:
+    def test_health_route_reports_ok(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        response = monitor.app.get("/-/health")
+        assert response.status_code == 200
+        document = response.json()
+        assert document["overall"] == "ok"
+        assert {entry["name"] for entry in document["slos"]} \
+            == {"verdict-availability", "stage-latency",
+                "indeterminate-rate"}
+
+    def test_events_route_filters(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        clients["bob"].post(MONITOR, {"volume": {"name": "v"}})
+        document = monitor.app.get(
+            "/-/events?event=monitor_request&verdict=valid").json()
+        assert all(event["verdict"] == "valid"
+                   for event in document["events"])
+        limited = monitor.app.get("/-/events?limit=1").json()
+        assert len(limited["events"]) == 1
+        assert monitor.app.get("/-/events?limit=bogus").status_code == 400
+
+    def test_trace_route_resolves_retained_traces(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        trace_id = monitor.log[-1].correlation_id
+        document = monitor.app.get(f"/-/traces/{trace_id}").json()
+        assert document["trace_id"] == trace_id
+        assert document["critical_path"]["dominant"] in STAGES
+        assert monitor.app.get("/-/traces/t-999999").status_code == 404
+
+    def test_trace_index_reports_attribution_and_exemplars(self):
+        cloud, monitor, clients = deterministic_setup()
+        TestOracle(cloud, monitor).run()
+        document = monitor.app.get("/-/traces").json()
+        assert document["retained"] == len(monitor.log)
+        assert document["attribution"]
+        assert document["exemplars"]
+
+
+class TestExemplarsEndToEnd:
+    def test_stage_histograms_export_resolvable_exemplars(self):
+        cloud, monitor, clients = deterministic_setup()
+        TestOracle(cloud, monitor).run()
+        exposition = monitor.app.get("/-/metrics").text
+        assert 'monitor_stage_seconds_bucket' in exposition
+        assert '# {trace_id="t-' in exposition
+        # Every exemplar the analytics join reports as resolved points
+        # at a trace the ring still retains.
+        from repro.obs import resolve_exemplars
+
+        entries = resolve_exemplars(monitor.obs.metrics,
+                                    monitor.obs.tracer)
+        stage_entries = [entry for entry in entries
+                         if entry["family"] == "monitor_stage_seconds"]
+        assert stage_entries
+        assert all(entry["resolved"] for entry in stage_entries)
+        for entry in stage_entries:
+            trace_id = entry["exemplar"]["labels"]["trace_id"]
+            assert monitor.obs.tracer.find(trace_id) is not None
+
+    def test_duration_histogram_exemplar_names_latest_request(self):
+        cloud, monitor, clients = deterministic_setup()
+        clients["carol"].get(MONITOR)
+        (series,) = monitor.obs.metrics.series("monitor_request_seconds")
+        _, histogram = series
+        (exemplar,) = histogram.exemplars.values()
+        assert exemplar.labels["trace_id"] == \
+            monitor.log[-1].correlation_id

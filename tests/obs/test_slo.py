@@ -1,0 +1,206 @@
+"""Tests for the SLO selectors, burn-rate math, and health reports."""
+
+import json
+
+import pytest
+
+from repro.errors import SLOError
+from repro.obs import (
+    BucketCount,
+    BurnWindow,
+    CounterTotal,
+    Linear,
+    ManualClock,
+    MetricsRegistry,
+    ObservationCount,
+    SLO,
+    SLOEngine,
+    default_slos,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.slo import STAGE_LATENCY_THRESHOLD
+
+
+def seeded_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", host="cinder").inc(4)
+    registry.counter("requests_total", host="keystone").inc(6)
+    histogram = registry.histogram("stage_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestSelectors:
+    def test_counter_total_sums_across_series(self):
+        assert CounterTotal("requests_total").value(seeded_registry()) == 10
+
+    def test_counter_total_label_filter(self):
+        selector = CounterTotal("requests_total",
+                                labels={"host": "cinder"})
+        assert selector.value(seeded_registry()) == 4
+        assert 'host="cinder"' in selector.describe()
+
+    def test_counter_total_of_unknown_family_is_zero(self):
+        assert CounterTotal("nope").value(seeded_registry()) == 0
+
+    def test_observation_count(self):
+        assert ObservationCount("stage_seconds").value(
+            seeded_registry()) == 3
+
+    def test_bucket_count_at_each_bound(self):
+        registry = seeded_registry()
+        assert BucketCount("stage_seconds", le=0.1).value(registry) == 1
+        assert BucketCount("stage_seconds", le=1.0).value(registry) == 2
+
+    def test_bucket_count_rejects_non_bucket_threshold(self):
+        with pytest.raises(SLOError):
+            BucketCount("stage_seconds", le=0.5).value(seeded_registry())
+
+    def test_linear_combination_and_describe(self):
+        selector = Linear([(1, CounterTotal("requests_total")),
+                           (-1, CounterTotal("requests_total",
+                                             labels={"host": "cinder"}))])
+        assert selector.value(seeded_registry()) == 6
+        assert selector.describe().startswith("requests_total-")
+
+    def test_linear_needs_terms(self):
+        with pytest.raises(SLOError):
+            Linear([])
+
+
+class TestSLO:
+    def test_objective_must_be_a_fraction(self):
+        good = CounterTotal("g")
+        for objective in (0.0, 1.0, 1.5, -0.1):
+            with pytest.raises(SLOError):
+                SLO("x", "", objective, good, good)
+
+    def test_budget_is_complement_of_objective(self):
+        slo = SLO("x", "", 0.99, CounterTotal("g"), CounterTotal("t"))
+        assert slo.budget == pytest.approx(0.01)
+
+    def test_measure_clamps_good_into_total(self):
+        registry = MetricsRegistry()
+        registry.counter("g").inc(12)
+        registry.counter("t").inc(10)
+        slo = SLO("x", "", 0.9, CounterTotal("g"), CounterTotal("t"))
+        assert slo.measure(registry) == (10.0, 10.0)
+
+    def test_burn_window_needs_positive_span(self):
+        with pytest.raises(SLOError):
+            BurnWindow("w", 0.0, 1.0)
+
+
+class TestDefaultSLOs:
+    def test_catalog_names_and_objectives(self):
+        by_name = {slo.name: slo for slo in default_slos()}
+        assert set(by_name) == {"verdict-availability", "stage-latency",
+                                "indeterminate-rate"}
+        assert by_name["verdict-availability"].objective == 0.999
+
+    def test_latency_threshold_is_a_default_bucket_bound(self):
+        # BucketCount can only answer at exact bounds; the default SLO
+        # must therefore point at a real DEFAULT_BUCKETS edge.
+        assert STAGE_LATENCY_THRESHOLD in DEFAULT_BUCKETS
+
+    def test_duplicate_slo_names_rejected(self):
+        slo = default_slos()[0]
+        with pytest.raises(SLOError):
+            SLOEngine(MetricsRegistry(), clock=ManualClock(),
+                      slos=[slo, slo])
+
+
+def burning_setup():
+    """An engine where a good spell is followed by a total outage."""
+    clock = ManualClock()
+    registry = MetricsRegistry()
+    good = registry.counter("good_events")
+    total = registry.counter("all_events")
+    engine = SLOEngine(
+        registry, clock=clock,
+        slos=[SLO("avail", "availability", 0.9,
+                  CounterTotal("good_events"),
+                  CounterTotal("all_events"))],
+        windows=(BurnWindow("fast", 10.0, 2.0),
+                 BurnWindow("slow", 100.0, 6.0)))
+    # t=5: ten perfect events, snapshotted.
+    clock.advance(5.0)
+    good.inc(10)
+    total.inc(10)
+    engine.snapshot()
+    # t=50: ten more events, all bad.
+    clock.advance(45.0)
+    total.inc(10)
+    return clock, good, total, engine
+
+
+class TestEngine:
+    def test_healthy_when_nothing_happened(self):
+        engine = SLOEngine(MetricsRegistry(), clock=ManualClock(),
+                           slos=default_slos())
+        report = engine.report()
+        assert report["overall"] == "ok"
+        assert engine.healthy()
+        for entry in report["slos"]:
+            assert entry["compliance"] == 1.0
+
+    def test_fast_window_burn_uses_windowed_baseline(self):
+        _, _, _, engine = burning_setup()
+        entry = engine.report()["slos"][0]
+        fast, slow = entry["windows"]
+        # Fast window (10s at t=50): baseline is the t=5 snapshot, so the
+        # window saw 10 events, all bad: burn = 1.0 / 0.1 budget = 10.
+        assert fast["burn_rate"] == pytest.approx(10.0)
+        assert fast["breaching"]
+        # Slow window reaches past engine creation: implicit zero
+        # baseline, 10 bad of 20 events: burn = 0.5 / 0.1 = 5 < 6.
+        assert slow["burn_rate"] == pytest.approx(5.0)
+        assert not slow["breaching"]
+
+    def test_paging_requires_every_window_to_breach(self):
+        _, _, _, engine = burning_setup()
+        report = engine.report()
+        # Only the fast window breached -- a blip, not a page.
+        assert report["slos"][0]["status"] == "ok"
+        assert report["overall"] == "ok"
+
+    def test_sustained_burn_pages_and_unhealths(self):
+        clock, _, total, engine = burning_setup()
+        clock.advance(70.0)          # t=120: slow window now starts at t=20
+        total.inc(20)                # another 20 bad events
+        report = engine.report()
+        assert report["slos"][0]["status"] == "burning"
+        assert report["overall"] == "burning"
+        assert not engine.healthy()
+
+    def test_burn_is_zero_without_traffic_in_window(self):
+        clock = ManualClock()
+        registry = MetricsRegistry()
+        engine = SLOEngine(registry, clock=clock, slos=default_slos())
+        clock.advance(1000.0)
+        for entry in engine.report()["slos"]:
+            assert all(window["burn_rate"] == 0.0
+                       for window in entry["windows"])
+
+    def test_snapshot_ring_is_bounded(self):
+        clock = ManualClock(tick=1.0)
+        engine = SLOEngine(MetricsRegistry(), clock=clock,
+                           slos=default_slos(), keep=3)
+        for _ in range(10):
+            engine.snapshot()
+        assert len(engine) == 3
+
+    def test_report_is_byte_stable_for_identical_histories(self):
+        def run():
+            _, _, _, engine = burning_setup()
+            return json.dumps(engine.report(), sort_keys=True)
+        assert run() == run()
+
+    def test_render_mentions_every_slo_and_overall(self):
+        _, _, _, engine = burning_setup()
+        text = engine.render()
+        assert "overall: ok" in text
+        assert "avail" in text
+        assert "fast-burn" in text

@@ -72,6 +72,34 @@ class TestTracer:
         assert tracer.find(traces[4].trace_id) is traces[4]
         assert tracer.started_count == 5
 
+    def test_find_index_stays_in_sync_with_ring_eviction(self):
+        # find() is backed by an id->trace index, not a ring scan; every
+        # eviction must drop exactly the evicted id.
+        tracer = make_tracer(keep=3)
+        traces = [tracer.finish(tracer.begin(f"op{i}")) for i in range(10)]
+        assert tracer._by_id.keys() \
+            == {trace.trace_id for trace in tracer.finished}
+        for trace in traces[:7]:
+            assert tracer.find(trace.trace_id) is None
+        for trace in traces[7:]:
+            assert tracer.find(trace.trace_id) is trace
+
+    def test_refinishing_a_trace_does_not_corrupt_the_index(self):
+        # finish() is idempotent: a double finish must not occupy two
+        # ring slots (eviction of the first would delete an id the ring
+        # still holds).
+        tracer = make_tracer(keep=2)
+        first = tracer.finish(tracer.begin("op"))
+        tracer.finish(first)
+        tracer.finish(tracer.begin("other"))
+        assert len(tracer.finished) == 2
+        assert tracer.find(first.trace_id) is first
+        tracer.finish(tracer.begin("third"))   # now evicts `first`
+        assert tracer.find(first.trace_id) is None
+
+    def test_find_unknown_id_returns_none(self):
+        assert make_tracer().find("t-999999") is None
+
     def test_to_dicts_shape(self):
         tracer = make_tracer()
         trace = tracer.begin("op")

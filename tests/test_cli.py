@@ -153,6 +153,94 @@ class TestReport:
         assert f"wrote {target}" in capsys.readouterr().out
 
 
+class TestEvents:
+    def test_text_output_one_line_per_event(self, capsys):
+        assert main(["events", "--deterministic"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor_request" in out
+        assert "events shown" in out
+
+    def test_json_document_with_filters(self, capsys):
+        assert main(["events", "--deterministic", "--json",
+                     "--event", "monitor_request", "--limit", "2"]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["events"]) == 2
+        assert all(event["event"] == "monitor_request"
+                   for event in document["events"])
+        assert document["emitted"] >= document["retained"]
+
+    def test_verdict_filter(self, capsys):
+        assert main(["events", "--deterministic", "--json",
+                     "--verdict", "valid"]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["events"]
+        assert all(event["verdict"] == "valid"
+                   for event in document["events"])
+
+    def test_jsonl_export_to_file(self, capsys, tmp_path):
+        import json
+
+        target = str(tmp_path / "events.jsonl")
+        assert main(["events", "--deterministic",
+                     "--event", "monitor_request",
+                     "--output", target]) == 0
+        assert f"wrote" in capsys.readouterr().out
+        with open(target, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert records
+        assert all(record["event"] == "monitor_request"
+                   for record in records)
+
+    def test_deterministic_json_is_byte_stable(self, capsys):
+        def run():
+            assert main(["events", "--deterministic", "--json"]) == 0
+            return capsys.readouterr().out
+
+        assert run() == run()
+
+
+class TestSlo:
+    def test_table_output_lists_objectives(self, capsys):
+        assert main(["slo", "--deterministic"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: ok" in out
+        assert "verdict-availability" in out
+        assert "stage-latency" in out
+        assert "indeterminate-rate" in out
+
+    def test_json_report_shape(self, capsys):
+        import json
+
+        assert main(["slo", "--deterministic", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["overall"] == "ok"
+        assert {entry["name"] for entry in report["slos"]} \
+            == {"verdict-availability", "stage-latency",
+                "indeterminate-rate"}
+        for entry in report["slos"]:
+            assert [window["window"] for window in entry["windows"]] \
+                == ["fast", "slow"]
+
+    def test_deterministic_output_is_byte_stable(self, capsys):
+        def run():
+            assert main(["slo", "--deterministic", "--json"]) == 0
+            return capsys.readouterr().out
+
+        assert run() == run()
+
+
+class TestChaosBreakerLine:
+    def test_chaos_reports_the_breaker_lifecycle(self, capsys):
+        assert main(["chaos", "--requests", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "breaker lifecycle:    closed -> open -> half-open " \
+               "-> closed" in out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -4,7 +4,10 @@ import json
 
 from repro.core import Verdict
 from repro.validation import (
+    EXPECTED_BREAKER_SEQUENCE,
+    assert_breaker_sequence,
     assert_indeterminate_degradation,
+    run_breaker_sequence,
     run_chaos_campaign,
     run_leg,
 )
@@ -45,3 +48,25 @@ class TestUnrecoverableFaults:
                       fault_factory=unrecoverable_program)
         for row in leg.rows:
             assert json.loads(row)["verdict"] not in Verdict.VIOLATIONS
+
+
+class TestBreakerLifecycle:
+    def test_recovery_walks_the_full_event_sequence(self):
+        transitions = assert_breaker_sequence()
+        assert tuple(transitions) == EXPECTED_BREAKER_SEQUENCE
+
+    def test_sequence_is_read_from_wide_events_not_the_gauge(self):
+        monitor, transitions = run_breaker_sequence()
+        events = monitor.obs.events.filter(event="breaker_transition",
+                                           host="cinder")
+        assert [(event.get("from_state"), event.get("to_state"))
+                for event in events] == transitions
+        # Each transition event names the request that caused it.
+        assert all(event.trace_id for event in events)
+
+    def test_requests_during_the_outage_degrade_to_indeterminate(self):
+        monitor, _ = run_breaker_sequence(failure_threshold=2)
+        verdicts = [verdict.verdict for verdict in monitor.log]
+        assert verdicts[:2] == [Verdict.INDETERMINATE,
+                                Verdict.INDETERMINATE]
+        assert verdicts[-1] != Verdict.INDETERMINATE
