@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Gate multi-shard fleet throughput against its persisted trajectory.
+
+``BENCH_scaling.json`` (repo root) accumulates one entry per scaling
+sweep: throughput at each shard count plus the headline 4-vs-1 speedup.
+This gate runs a fresh sweep, appends it to the trajectory, and fails
+when:
+
+* the fleet no longer reaches the 2x speedup floor at the ladder's
+  peak shard count, or
+* peak-shard throughput regressed more than the tolerance (default 20%)
+  below the best value the trajectory has ever recorded.
+
+Absolute throughput varies with machine load, so the regression check
+compares against the recorded best *on this trajectory file* -- commit
+the file so the history rides along with the code.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_bench_trajectory.py \
+        [--trajectory BENCH_scaling.json] [--tolerance 0.20] [--no-append]
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_TRAJECTORY = os.path.join(REPO_ROOT, "BENCH_scaling.json")
+
+SPEEDUP_FLOOR = 2.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                        help="trajectory JSON path")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fraction below the recorded best "
+                             "peak-shard throughput (default 0.20)")
+    parser.add_argument("--requests", type=int, default=96,
+                        help="workload size per sweep shape (default 96)")
+    parser.add_argument("--no-append", action="store_true",
+                        help="measure and gate without persisting the run")
+    args = parser.parse_args()
+
+    from repro.workloads import (append_trajectory, best_throughput,
+                                 load_trajectory, scaling_sweep)
+
+    prior = load_trajectory(args.trajectory)
+    entry = scaling_sweep(shard_counts=(1, 2, 4), requests=args.requests)
+    peak = entry["peak_shards"]
+    current = entry["throughput_by_shards"][str(peak)]
+    best = best_throughput(prior, peak)
+
+    print(f"bench trajectory: {peak}-shard throughput "
+          f"{current:.1f} req/s, speedup {entry['speedup']:.2f}x "
+          f"({len(prior.get('entries', []))} prior entries)")
+
+    failures = []
+    for run in entry["runs"]:
+        if run["failures"]:
+            failures.append(f"{run['shards']}-shard run had "
+                            f"{run['failures']} failed requests")
+    if entry["speedup"] < SPEEDUP_FLOOR:
+        failures.append(f"speedup {entry['speedup']:.2f}x at {peak} "
+                        f"shards is below the {SPEEDUP_FLOOR:.1f}x floor")
+    if best is not None:
+        floor = best * (1.0 - args.tolerance)
+        if current < floor:
+            failures.append(
+                f"{peak}-shard throughput {current:.1f} req/s regressed "
+                f">{args.tolerance:.0%} below the recorded best "
+                f"{best:.1f} req/s")
+        else:
+            print(f"  within tolerance of recorded best {best:.1f} req/s")
+    else:
+        print("  no prior entries at this shard count; recording first")
+
+    if not args.no_append:
+        append_trajectory(args.trajectory, entry)
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Enforce fan-out/fleet parity: concurrency must not change verdicts.
+
+The concurrent probe scheduler and the sharded fleet dispatcher are pure
+performance structures -- the verdict stream they produce for a seeded
+workload must be byte-identical to the serial single-monitor run, clean
+AND under fault programs.  This gate replays the chaos workload (count
+40, seed 7, same deterministic stack as ``check_chaos_parity.py``)
+through four legs and requires every digest to match the serial baseline
+digest recorded in ``scripts/chaos_parity.json``:
+
+* serial monitor (the reference),
+* one monitor with concurrent probe fan-out (width 4),
+* a 4-shard fleet,
+* a 4-shard fleet with fan-out inside every shard,
+
+then repeats the comparison under the recoverable fail-once program and
+the keyed flaky program (order-independent by construction), and finally
+checks a dead substrate degrades a fleet run to all-indeterminate.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_fanout_parity.py
+"""
+
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "chaos_parity.json")
+
+WORKLOAD_COUNT = 40
+WORKLOAD_SEED = 7
+SHARDS = 4
+FANOUT = 4
+
+
+def check_axis(label, fault_factory=None):
+    """Run all four legs under one fault shape; return digests + rows."""
+    from repro.validation import run_fleet_leg, run_leg
+
+    legs = {
+        "serial": run_leg(WORKLOAD_COUNT, WORKLOAD_SEED, fault_factory),
+        "fanout": run_leg(WORKLOAD_COUNT, WORKLOAD_SEED, fault_factory,
+                          fanout=FANOUT),
+        "fleet": run_fleet_leg(WORKLOAD_COUNT, WORKLOAD_SEED,
+                               fault_factory, shards=SHARDS),
+        "fleet+fanout": run_fleet_leg(WORKLOAD_COUNT, WORKLOAD_SEED,
+                                      fault_factory, shards=SHARDS,
+                                      fanout=FANOUT),
+    }
+    reference = legs["serial"]
+    failures = []
+    for name, leg in legs.items():
+        if leg.rows != reference.rows:
+            first = next((i for i, (a, b) in
+                          enumerate(zip(reference.rows, leg.rows))
+                          if a != b),
+                         min(len(reference.rows), len(leg.rows)))
+            failures.append(f"{label}/{name}: diverges from serial at "
+                            f"row {first}")
+    print(f"fanout parity [{label}]: "
+          f"{len(reference.rows)} verdicts, "
+          f"digest {reference.digest()[:12]}..., "
+          f"legs {'OK' if not failures else 'BROKEN'}")
+    return reference, failures
+
+
+def main() -> int:
+    from repro.validation import (flaky_program, recoverable_program,
+                                  run_fleet_leg, unrecoverable_program)
+
+    failures = []
+
+    clean, broken = check_axis("clean")
+    failures.extend(broken)
+
+    # Fail-once is fully recoverable (retries absorb it): its stream
+    # must equal the clean one.  Flaky faults legitimately exhaust some
+    # retries into indeterminate verdicts; there only the four-leg
+    # agreement matters, not equality with the clean stream.
+    recovered, broken = check_axis("fail-once", recoverable_program)
+    failures.extend(broken)
+    if recovered.rows != clean.rows:
+        failures.append("fail-once: recoverable faults changed the "
+                        "serial verdict stream itself")
+    _flaky, broken = check_axis("flaky", flaky_program)
+    failures.extend(broken)
+
+    # The clean serial digest must still match the recorded chaos
+    # baseline -- fan-out work must not have moved the verdict schema.
+    try:
+        with open(BASELINE, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        if recorded["verdict_digest"] != clean.digest():
+            failures.append("clean digest drifted from the recorded "
+                            "chaos_parity.json baseline")
+    except FileNotFoundError:
+        print(f"warning: no baseline at {BASELINE}; digest not pinned",
+              file=sys.stderr)
+
+    # Dead substrate through the fleet: graceful degradation, not crashes.
+    dead = run_fleet_leg(count=10, seed=WORKLOAD_SEED,
+                         fault_factory=unrecoverable_program,
+                         shards=SHARDS, fanout=FANOUT)
+    verdicts = [json.loads(row)["verdict"] for row in dead.rows]
+    bad = sorted(set(verdicts) - {"indeterminate"})
+    if bad:
+        failures.append(f"dead substrate through the fleet produced "
+                        f"non-indeterminate verdicts: {bad}")
+    else:
+        print(f"fanout parity [dead]: {len(dead.rows)}/{len(dead.rows)} "
+              "indeterminate through the fleet")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

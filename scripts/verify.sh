@@ -25,4 +25,10 @@ PYTHONPATH=src python scripts/check_chaos_parity.py
 echo "==> slo gate (deterministic slo/events output matches baseline)"
 PYTHONPATH=src python scripts/check_slo_gate.py
 
+echo "==> fan-out/fleet parity gate (concurrency leaves verdicts unchanged)"
+PYTHONPATH=src python scripts/check_fanout_parity.py
+
+echo "==> bench trajectory gate (multi-shard throughput vs recorded best)"
+PYTHONPATH=src python scripts/check_bench_trajectory.py
+
 echo "==> verify: OK"

@@ -133,6 +133,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.parity else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Replay the chaos workload through a sharded fleet, or bench it.
+
+    The default mode proves dispatch correctness: the fleet's merged,
+    arrival-ordered verdict stream must be byte-identical to a serial
+    single-monitor run of the same seeded workload.  ``--bench`` instead
+    measures throughput across a shard ladder and appends the sweep to
+    the persisted ``BENCH_scaling.json`` trajectory.
+    """
+    import json
+
+    if args.bench:
+        from .workloads import append_trajectory, scaling_sweep
+
+        ladder = sorted({1, args.shards})
+        entry = scaling_sweep(shard_counts=ladder, requests=args.requests,
+                              latency=args.latency, fanout=args.fanout)
+        if args.trajectory:
+            append_trajectory(args.trajectory, entry)
+        if args.json:
+            print(json.dumps(entry, indent=2, sort_keys=True))
+        else:
+            for run in entry["runs"]:
+                print(f"  {run['shards']} shard(s): "
+                      f"{run['throughput']:.1f} req/s "
+                      f"({run['requests']} requests, "
+                      f"{run['failures']} failures)")
+            print(f"  speedup at {entry['peak_shards']} shards: "
+                  f"{entry['speedup']:.2f}x")
+            if args.trajectory:
+                print(f"  trajectory appended to {args.trajectory}")
+        return 0
+
+    from .validation import run_fleet_leg, run_leg
+
+    serial = run_leg(count=args.requests, seed=args.seed)
+    fleet = run_fleet_leg(count=args.requests, seed=args.seed,
+                          shards=args.shards, fanout=args.fanout)
+    parity = serial.rows == fleet.rows
+    summary = {
+        "shards": args.shards,
+        "fanout": args.fanout,
+        "requests": args.requests,
+        "seed": args.seed,
+        "verdicts": len(fleet.rows),
+        "serial_digest": serial.digest(),
+        "fleet_digest": fleet.digest(),
+        "parity": parity,
+        "probe_count": fleet.probe_count,
+        "indeterminate": fleet.indeterminate,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"fleet: {args.shards} shard(s), fan-out {args.fanout}, "
+              f"{len(fleet.rows)} verdicts (seed {args.seed})")
+        print(f"  verdict parity vs serial:  "
+              f"{'OK' if parity else 'BROKEN'}")
+        print(f"  verdict digest:            {fleet.digest()[:16]}...")
+        print(f"  probes issued:             {fleet.probe_count}")
+    return 0 if parity else 1
+
+
 def _monitored_session(args: argparse.Namespace):
     """Replay a battery through a fresh monitor; returns (obs, monitor).
 
@@ -387,6 +450,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable summary")
 
+    fleet = sub.add_parser(
+        "fleet", help="sharded monitor fleet: verdict parity vs a serial "
+                      "run, or --bench for the throughput ladder")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="number of monitor shards (default 4)")
+    fleet.add_argument("--fanout", type=int, default=1,
+                       help="concurrent probe fan-out width per shard "
+                            "(default 1 = serial probes)")
+    fleet.add_argument("--requests", type=int, default=40,
+                       help="workload size (default 40)")
+    fleet.add_argument("--seed", type=int, default=7,
+                       help="workload seed (default 7)")
+    fleet.add_argument("--bench", action="store_true",
+                       help="measure throughput at 1..--shards instead of "
+                            "checking parity")
+    fleet.add_argument("--latency", type=float, default=0.002,
+                       help="per-request substrate latency for --bench "
+                            "(default 2ms)")
+    fleet.add_argument("--trajectory", default=None,
+                       help="append --bench results to this "
+                            "BENCH_scaling.json trajectory file")
+    fleet.add_argument("--json", action="store_true",
+                       help="machine-readable summary")
+
     metrics = sub.add_parser(
         "metrics", help="replay a battery and print the monitor's metrics "
                         "(Prometheus text, or --json)")
@@ -484,6 +571,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "campaign": cmd_campaign,
         "chaos": cmd_chaos,
+        "fleet": cmd_fleet,
         "metrics": cmd_metrics,
         "events": cmd_events,
         "slo": cmd_slo,

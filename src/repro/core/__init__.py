@@ -19,6 +19,7 @@ from .composite import CompositeMonitor
 from .consistency import Overlap, check_consistency
 from .contracts import ContractCase, ContractGenerator, MethodContract
 from .coverage import CoverageTracker
+from .fleet import MonitorFleet, ShardRouter, tenant_from_token
 from .mirror import MirrorDatabase, MirrorTable
 from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
@@ -31,6 +32,7 @@ from .resilience import (
 )
 from .resource_model import ResourceModelBuilder, cinder_resource_model
 from .scenarios import build_scenario, register_scenario, scenario_names
+from .scheduler import ProbeOutcome, ProbeScheduler, SingleFlight
 from .typecheck import check_expression, check_models
 from .verdict_schema import (
     SCHEMA_VERSION,
@@ -50,15 +52,20 @@ __all__ = [
     "MethodContract",
     "MirrorDatabase",
     "MirrorTable",
+    "MonitorFleet",
     "MonitorVerdict",
     "PROBE_COSTS",
     "PROBE_ROOTS",
     "ProbeFailure",
+    "ProbeOutcome",
     "ProbePlan",
+    "ProbeScheduler",
     "ResilientTransport",
     "ResourceModelBuilder",
     "RetryPolicy",
     "SCHEMA_VERSION",
+    "ShardRouter",
+    "SingleFlight",
     "Verdict",
     "Overlap",
     "build_scenario",
@@ -70,6 +77,7 @@ __all__ = [
     "read_log",
     "register_scenario",
     "scenario_names",
+    "tenant_from_token",
     "transport_failure",
     "verdict_from_record",
     "verdict_record",

@@ -89,31 +89,29 @@ class KeystoneStateProvider(CloudStateProvider):
                  roots: Optional[Iterable[str]] = None) -> Dict[str, Any]:
         requested = (frozenset(self.roots) if roots is None
                      else frozenset(roots))
-        cache: Dict[tuple, Any] = {}
-        bindings: Dict[str, Any] = {}
-        unbound: set = set()
+        cache = self._new_phase_cache()
+        tasks = []
         skipped = 0
 
         if "user" in requested:
-            self._bind(bindings, unbound, "user",
-                       self._identity, token, cache)
+            tasks.append(("user", lambda: self._identity(token, cache)))
         elif not (self.cache_identity and token in self._identity_cache):
             skipped += self.probe_costs["user"]
         if "projects" in requested:
-            self._bind(bindings, unbound, "projects",
-                       self._probe_listing, token, cache)
+            tasks.append(("projects",
+                          lambda: self._probe_listing(token, cache)))
         else:
             skipped += self.probe_costs["projects"]
         if item_id is not None:
             if "project" in requested:
-                self._bind(bindings, unbound, "project",
-                           self._probe_item, token, item_id, cache)
+                tasks.append(("project",
+                              lambda: self._probe_item(token, item_id,
+                                                       cache)))
             else:
                 skipped += self.probe_costs["project"]
 
         self._count_skipped(skipped)
-        self.unbound_roots = frozenset(unbound)
-        return bindings
+        return self._execute_probe_tasks(tasks)
 
     def _probe_listing(self, token: str,
                        cache: Optional[Dict[tuple, Any]] = None) -> Any:
@@ -141,7 +139,8 @@ def monitor_for_keystone(network: Network, project_id: str,
                          mount: str = "imonitor",
                          observability=None,
                          probe_planning: bool = True,
-                         transport=None) -> CloudMonitor:
+                         transport=None,
+                         fanout: int = 1) -> CloudMonitor:
     """Assemble the identity-scenario monitor.
 
     Registered in the scenario registry as ``"keystone"``; prefer
@@ -167,4 +166,4 @@ def monitor_for_keystone(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport)
+                        transport=transport, fanout=fanout)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import copy
 import re
+import threading
 import warnings
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -47,6 +48,7 @@ from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
 from .resilience import ProbeFailure, transport_failure
+from .scheduler import ProbeScheduler, SingleFlight
 from .verdict_schema import verdict_record
 
 def _round9(value: float) -> float:
@@ -176,11 +178,17 @@ class CloudStateProvider:
         #: :class:`~repro.core.resilience.ResilientTransport` layering
         #: retries and circuit breaking over it.
         self.transport = transport if transport is not None else network
-        #: Roots the last :meth:`bindings` call failed to bind because the
-        #: transport gave up on their probes; the monitor reads this to
-        #: decide between evaluating the contract and an
-        #: :data:`~repro.core.monitor.Verdict.INDETERMINATE` verdict.
-        self.unbound_roots: FrozenSet[str] = frozenset()
+        #: Optional :class:`~repro.core.scheduler.ProbeScheduler`; when
+        #: set (the owning monitor installs one for ``fanout > 1``), each
+        #: probe phase issues its independent root probes concurrently.
+        self.scheduler: Optional[ProbeScheduler] = None
+        #: probe_count is read against per-request baselines, so its
+        #: read-modify-write must not tear under concurrent fan-out.
+        self._count_lock = threading.Lock()
+        #: Thread-local state (unbound roots of the *calling thread's*
+        #: last bindings call): concurrent requests through one provider
+        #: must not read each other's probe outcomes.
+        self._local = threading.local()
         #: When enabled, token introspection results are cached per token:
         #: a token's identity is immutable for its lifetime, so the probe
         #: can be paid once instead of twice per monitored request.  Role
@@ -189,22 +197,52 @@ class CloudStateProvider:
         self.cache_identity = cache_identity
         self._identity_cache: Dict[str, Dict[str, Any]] = {}
 
+    @property
+    def unbound_roots(self) -> FrozenSet[str]:
+        """Roots the calling thread's last :meth:`bindings` call failed to
+        bind because the transport gave up on their probes; the monitor
+        reads this to decide between evaluating the contract and an
+        :data:`~repro.core.monitor.Verdict.INDETERMINATE` verdict.
+        Thread-local so concurrent requests keep separate outcomes."""
+        return getattr(self._local, "unbound_roots", frozenset())
+
+    @unbound_roots.setter
+    def unbound_roots(self, value: FrozenSet[str]) -> None:
+        self._local.unbound_roots = frozenset(value)
+
     def _get(self, token: str, url: str,
              extra_headers: Optional[Dict[str, str]] = None,
-             cache: Optional[Dict[tuple, Response]] = None) -> Response:
+             cache=None) -> Response:
         """Issue one probe GET; *cache* single-flights repeated URLs.
 
         The cache lives for one :meth:`bindings` call (one probe phase):
         two roots asking for the same URL with the same headers share a
-        single network round trip and a single ``probe_count`` tick.
+        single network round trip and a single ``probe_count`` tick.  It
+        is either a plain dict (serial probing) or a
+        :class:`~repro.core.scheduler.SingleFlight` (concurrent fan-out,
+        where two pool threads may race to the same URL).
         """
         key = (url, tuple(sorted((extra_headers or {}).items())))
+        do = getattr(cache, "do", None)
+        if do is not None:
+            return do(key,
+                      lambda: self._send_probe(token, url, extra_headers))
         if cache is not None and key in cache:
             return cache[key]
+        response = self._send_probe(token, url, extra_headers)
+        if cache is not None:
+            cache[key] = response
+        return response
+
+    def _send_probe(self, token: str, url: str,
+                    extra_headers: Optional[Dict[str, str]] = None,
+                    ) -> Response:
+        """The uncached probe send: count, GET, reject transport loss."""
         headers = {"X-Auth-Token": token}
         if extra_headers:
             headers.update(extra_headers)
-        self.probe_count += 1
+        with self._count_lock:
+            self.probe_count += 1
         if self.observability is not None:
             self.observability.metrics.counter(
                 "monitor_probe_requests_total",
@@ -216,8 +254,6 @@ class CloudStateProvider:
             # open): this is NOT a cloud answer, so the binding must not
             # degrade to "resource absent" -- it is unknowable.
             raise ProbeFailure(f"probe {url} failed: {reason}")
-        if cache is not None:
-            cache[key] = response
         return response
 
     @staticmethod
@@ -257,50 +293,78 @@ class CloudStateProvider:
         """
         requested: FrozenSet[str] = (frozenset(self.roots) if roots is None
                                      else frozenset(roots))
-        cache: Dict[tuple, Response] = {}
-        bindings: Dict[str, Any] = {}
-        unbound: set = set()
+        cache = self._new_phase_cache()
+        tasks: List[Tuple[str, Callable[[], Any]]] = []
         skipped = 0
 
         if "project" in requested:
-            self._bind(bindings, unbound, "project",
-                       self._probe_project, token, cache)
+            tasks.append(("project",
+                          lambda: self._probe_project(token, cache)))
         else:
             skipped += self.probe_costs["project"]
         if "quota_sets" in requested:
-            self._bind(bindings, unbound, "quota_sets",
-                       self._probe_quota, token, cache)
+            tasks.append(("quota_sets",
+                          lambda: self._probe_quota(token, cache)))
         else:
             skipped += self.probe_costs["quota_sets"]
         if "volume" in requested:
-            self._bind(bindings, unbound, "volume",
-                       self._probe_volume, token, item_id, cache)
+            tasks.append(("volume",
+                          lambda: self._probe_volume(token, item_id, cache)))
         elif item_id is not None:
             skipped += self.probe_costs["volume"]
         if "user" in requested:
-            self._bind(bindings, unbound, "user",
-                       self._identity, token, cache)
+            tasks.append(("user", lambda: self._identity(token, cache)))
         elif not (self.cache_identity and token in self._identity_cache):
             skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
-        self.unbound_roots = frozenset(unbound)
-        return bindings
+        return self._execute_probe_tasks(tasks)
 
-    def _bind(self, bindings: Dict[str, Any], unbound: set, root: str,
-              probe: Callable, *args) -> None:
-        """Bind *root* via *probe*, degrading transport loss to unbound.
+    def _new_phase_cache(self):
+        """The single-flight cache for one probe phase.
 
-        A :class:`~repro.core.resilience.ProbeFailure` means the transport
+        A plain dict serially, a :class:`~repro.core.scheduler.SingleFlight`
+        when a scheduler may race two pool threads to the same URL.
+        """
+        scheduler = self.scheduler
+        if scheduler is not None and scheduler.concurrent:
+            return SingleFlight()
+        return {}
+
+    def _execute_probe_tasks(
+            self, tasks: List[Tuple[str, Callable[[], Any]]],
+    ) -> Dict[str, Any]:
+        """Run one phase's ``(root, probe)`` tasks and merge their results.
+
+        With a concurrent scheduler installed the probes overlap on the
+        pool; outcomes are merged **in task order**, so the returned
+        bindings dict (and :attr:`unbound_roots`) are byte-identical to
+        the serial loop.  A
+        :class:`~repro.core.resilience.ProbeFailure` means the transport
         exhausted its retries (or the breaker is open): the root's value
         is unknowable, which is different from "the resource does not
         exist" -- so the root is recorded as unbound rather than bound to
         an empty value the contract would happily mis-evaluate.
         """
-        try:
-            bindings[root] = probe(*args)
-        except ProbeFailure:
-            unbound.add(root)
+        bindings: Dict[str, Any] = {}
+        unbound: set = set()
+        scheduler = self.scheduler
+        if (scheduler is not None and scheduler.concurrent
+                and len(tasks) > 1):
+            outcomes = scheduler.map([thunk for _, thunk in tasks])
+            for (root, _), outcome in zip(tasks, outcomes):
+                if outcome.ok:
+                    bindings[root] = outcome.value
+                else:
+                    unbound.add(root)
+        else:
+            for root, thunk in tasks:
+                try:
+                    bindings[root] = thunk()
+                except ProbeFailure:
+                    unbound.add(root)
+        self.unbound_roots = frozenset(unbound)
+        return bindings
 
     def _count_skipped(self, skipped: int) -> None:
         """Record probes a plan avoided (subclass ``bindings`` reuse this)."""
@@ -504,7 +568,8 @@ class CloudMonitor:
                  mirror: Optional["MirrorDatabase"] = None,
                  observability: Optional[Observability] = None,
                  probe_planning: bool = True,
-                 transport=None):
+                 transport=None,
+                 fanout: int = 1):
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
@@ -547,9 +612,27 @@ class CloudMonitor:
         #: ``cloudmon slo``.  Replace :attr:`slos`.slos to monitor custom
         #: objectives.
         self.slos = SLOEngine(self.obs.metrics, clock=self.obs.clock)
+        #: Requested probe fan-out width.  At 1 (the default) probing is
+        #: serial; above 1 the provider gets a
+        #: :class:`~repro.core.scheduler.ProbeScheduler` sized to
+        #: ``min(fanout, widest probe plan)`` -- wider could never be
+        #: fully busy -- and each probe phase overlaps its independent
+        #: root probes.  Outcome merging is submission-ordered, so the
+        #: verdict stream is byte-identical to the serial path.
+        self.fanout = max(1, int(fanout))
+        self.scheduler: Optional[ProbeScheduler] = None
+        if self.fanout > 1:
+            self.scheduler = ProbeScheduler(
+                width=min(self.fanout, self._max_plan_width()),
+                events=self.obs.events)
+            self.provider.scheduler = self.scheduler
+        #: Appends to the verdict log must not tear under a sharded or
+        #: stress deployment driving one monitor from many threads.
+        self._log_lock = threading.Lock()
         #: Counter baselines captured at the start of the in-flight
-        #: request so its wide event can report per-request deltas.
-        self._request_baseline: Optional[Dict[str, float]] = None
+        #: request so its wide event can report per-request deltas;
+        #: thread-local because concurrent requests each carry their own.
+        self._baseline = threading.local()
         #: Every verdict, in arrival order -- the validation log
         #: ("the invocation results can be logged for further fault
         #: localization", Section III-B).
@@ -575,6 +658,19 @@ class CloudMonitor:
         from .scenarios import build_scenario
 
         return build_scenario(name, network, project_id, **kwargs)
+
+    def _max_plan_width(self) -> int:
+        """The widest probe phase across this monitor's contracts."""
+        if not self.probe_planning:
+            return len(tuple(self.provider.roots)) or 1
+        widths = [contract.probe_plan(tuple(self.provider.roots)).width
+                  for contract in self.contracts.values()]
+        return max(widths, default=1)
+
+    def close(self) -> None:
+        """Release the probe scheduler's worker pool (if any)."""
+        if self.scheduler is not None:
+            self.scheduler.close()
 
     @classmethod
     def for_cinder(cls, network: Network, project_id: str,
@@ -725,7 +821,7 @@ class CloudMonitor:
         # request is in flight inherit its trace id, and the request's
         # own wide event reports per-request counter deltas.
         metrics = self.obs.metrics
-        self._request_baseline = {
+        self._baseline.value = {
             "probes": float(self.provider.probe_count),
             "retries": metrics.total("monitor_retries_total"),
             "transport_failures":
@@ -904,12 +1000,14 @@ class CloudMonitor:
             self._record_metrics(verdict, trace)
             self._emit_wide_event(verdict, trace)
             self.slos.snapshot()
-        self.log.append(verdict)
-        # Indeterminate outcomes say nothing about the requirement either
-        # way, so they must not move the pass/fail coverage counters.
-        if self.coverage is not None and not verdict.indeterminate:
-            self.coverage.record(verdict.security_requirements,
-                                 passed=not verdict.violation)
+        with self._log_lock:
+            self.log.append(verdict)
+            # Indeterminate outcomes say nothing about the requirement
+            # either way, so they must not move the pass/fail coverage
+            # counters.
+            if self.coverage is not None and not verdict.indeterminate:
+                self.coverage.record(verdict.security_requirements,
+                                     passed=not verdict.violation)
         return verdict
 
     def _record_metrics(self, verdict: MonitorVerdict, trace) -> None:
@@ -961,9 +1059,9 @@ class CloudMonitor:
         give-up deltas, and the breaker landscape at completion.
         """
         metrics = self.obs.metrics
-        baseline = self._request_baseline or {
+        baseline = getattr(self._baseline, "value", None) or {
             "probes": 0.0, "retries": 0.0, "transport_failures": 0.0}
-        self._request_baseline = None
+        self._baseline.value = None
         breaker_states = getattr(self.transport, "breaker_states", None)
         self.obs.events.emit(
             "monitor_request",

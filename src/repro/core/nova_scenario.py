@@ -110,30 +110,27 @@ class NovaStateProvider(CloudStateProvider):
                  roots: Optional[Iterable[str]] = None) -> Dict[str, Any]:
         requested = (frozenset(self.roots) if roots is None
                      else frozenset(roots))
-        cache: Dict[tuple, Any] = {}
-        bindings: Dict[str, Any] = {}
-        unbound: set = set()
+        cache = self._new_phase_cache()
+        tasks = []
         skipped = 0
 
         if "project" in requested:
-            self._bind(bindings, unbound, "project",
-                       self._probe_nova_project, token, cache)
+            tasks.append(("project",
+                          lambda: self._probe_nova_project(token, cache)))
         else:
             skipped += self.probe_costs["project"]
         if "server" in requested:
-            self._bind(bindings, unbound, "server",
-                       self._probe_server, token, item_id, cache)
+            tasks.append(("server",
+                          lambda: self._probe_server(token, item_id, cache)))
         elif item_id is not None:
             skipped += self.probe_costs["server"]
         if "user" in requested:
-            self._bind(bindings, unbound, "user",
-                       self._identity, token, cache)
+            tasks.append(("user", lambda: self._identity(token, cache)))
         elif not (self.cache_identity and token in self._identity_cache):
             skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
-        self.unbound_roots = frozenset(unbound)
-        return bindings
+        return self._execute_probe_tasks(tasks)
 
     def _probe_nova_project(self, token: str,
                             cache: Optional[Dict[tuple, Any]] = None,
@@ -173,7 +170,8 @@ def monitor_for_nova(network: Network, project_id: str,
                      mount: str = "smonitor",
                      observability=None,
                      probe_planning: bool = True,
-                     transport=None) -> CloudMonitor:
+                     transport=None,
+                     fanout: int = 1) -> CloudMonitor:
     """Assemble the server-scenario monitor (the Cinder recipe, re-applied).
 
     Registered in the scenario registry as ``"nova"``; prefer
@@ -190,4 +188,4 @@ def monitor_for_nova(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport)
+                        transport=transport, fanout=fanout)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..errors import MonitorError
@@ -157,6 +158,9 @@ class CircuitBreaker:
         self.failures = 0
         self._opened_at: Optional[float] = None
         self._half_open = False
+        #: Concurrent fan-out probes to one host share this breaker; its
+        #: state transitions are read-modify-write and must not tear.
+        self._lock = threading.RLock()
 
     @property
     def state(self) -> str:
@@ -171,25 +175,28 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May a request pass right now?  Half-open admits the trial."""
-        state = self.state
-        if state == BreakerState.OPEN:
-            return False
-        if state == BreakerState.HALF_OPEN:
-            self._half_open = True
-        return True
+        with self._lock:
+            state = self.state
+            if state == BreakerState.OPEN:
+                return False
+            if state == BreakerState.HALF_OPEN:
+                self._half_open = True
+            return True
 
     def record_success(self) -> None:
         """A request completed: reset to closed."""
-        self.failures = 0
-        self._opened_at = None
-        self._half_open = False
+        with self._lock:
+            self.failures = 0
+            self._opened_at = None
+            self._half_open = False
 
     def record_failure(self) -> None:
         """A request failed (after its retries): count toward opening."""
-        self.failures += 1
-        if self._half_open or self.failures >= self.failure_threshold:
-            self._opened_at = self.clock()
-            self._half_open = False
+        with self._lock:
+            self.failures += 1
+            if self._half_open or self.failures >= self.failure_threshold:
+                self._opened_at = self.clock()
+                self._half_open = False
 
     def __repr__(self) -> str:
         return f"<CircuitBreaker {self.state} failures={self.failures}>"
@@ -217,6 +224,10 @@ class ResilientTransport:
         self.recovery_time = recovery_time
         self.observability = observability
         self._breakers: Dict[str, CircuitBreaker] = {}
+        #: Guards lazy breaker creation and state publication: two
+        #: fan-out threads first-contacting one host must end up sharing
+        #: a single breaker, not racing two into the map.
+        self._lock = threading.Lock()
         #: Last breaker state published per host; transitions between two
         #: published states become ``breaker_transition`` wide events, so
         #: the chaos campaign can assert the closed -> open -> half-open
@@ -239,16 +250,18 @@ class ResilientTransport:
 
     def breaker(self, host: str) -> CircuitBreaker:
         """The (lazily created) breaker guarding *host*."""
-        breaker = self._breakers.get(host)
-        if breaker is None:
-            breaker = CircuitBreaker(self.failure_threshold,
-                                     self.recovery_time, clock=self._clock)
-            self._breakers[host] = breaker
-            # A new breaker starts closed; seeding the published state
-            # keeps the event stream free of a noise "None -> closed"
-            # transition on first contact.
-            self._published_states.setdefault(host, BreakerState.CLOSED)
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(self.failure_threshold,
+                                         self.recovery_time,
+                                         clock=self._clock)
+                self._breakers[host] = breaker
+                # A new breaker starts closed; seeding the published state
+                # keeps the event stream free of a noise "None -> closed"
+                # transition on first contact.
+                self._published_states.setdefault(host, BreakerState.CLOSED)
+            return breaker
 
     def breaker_states(self) -> Dict[str, str]:
         """Current state of every breaker, keyed by host."""
@@ -339,9 +352,12 @@ class ResilientTransport:
             "monitor_breaker_state",
             "Circuit state per host: 0 closed, 1 half-open, 2 open",
             host=host).set(BreakerState.GAUGE[state])
-        previous = self._published_states.get(host, BreakerState.CLOSED)
-        if state != previous:
-            self._published_states[host] = state
+        with self._lock:
+            previous = self._published_states.get(host, BreakerState.CLOSED)
+            changed = state != previous
+            if changed:
+                self._published_states[host] = state
+        if changed:
             events = self._events()
             if events is not None:
                 events.emit("breaker_transition", host=host,

@@ -78,7 +78,8 @@ def _build_cinder(network: Network, project_id: str,
                   compiled: bool = False,
                   observability: Optional[Observability] = None,
                   probe_planning: bool = True,
-                  transport=None) -> CloudMonitor:
+                  transport=None,
+                  fanout: int = 1) -> CloudMonitor:
     """The paper's monitor for the Cinder volume scenario.
 
     Builds the Figure-3 models (unless given), generates the contracts,
@@ -107,7 +108,7 @@ def _build_cinder(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         mirror=mirror, observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport)
+                        transport=transport, fanout=fanout)
 
 
 def _build_nova(network: Network, project_id: str,

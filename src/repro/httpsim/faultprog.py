@@ -33,8 +33,10 @@ Cookbook (see ``docs/resilience.md`` for more)::
 
 from __future__ import annotations
 
+import hashlib
 import random
-from typing import Callable, Optional, Tuple
+import threading
+from typing import Callable, Dict, Optional, Tuple
 
 from .message import Request, Response
 
@@ -100,27 +102,55 @@ class FailN(FaultProgram):
 
 
 class Flake(FaultProgram):
-    """Fail each request with probability *rate*, from a seeded RNG.
+    """Fail each request with probability *rate*, deterministically.
 
-    The RNG is owned by the program, so a given (seed, request sequence)
-    always flakes the same requests -- reruns are byte-identical.
+    With the default ``key=None`` decisions come from a seeded RNG owned
+    by the program: a given (seed, request sequence) always flakes the
+    same requests, so single-threaded reruns are byte-identical -- but
+    the decision depends on *arrival order*, which concurrent fan-out
+    does not preserve.
+
+    With a *key* (e.g. :func:`by_path`) the decision is a pure hash of
+    ``(seed, key, per-key visit count)`` instead: whether a request
+    flakes depends only on *which* probe it is and how many times that
+    probe has been seen, never on how probes from different keys
+    interleave.  That is the flaky fault shape the fan-out parity gate
+    can replay concurrently and still demand byte-identical verdicts.
     """
 
-    def __init__(self, rate: float, seed: int = 0, status: int = 503):
+    def __init__(self, rate: float, seed: int = 0, status: int = 503,
+                 key: Optional[KeyFn] = None):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"flake rate must be in [0, 1], got {rate}")
         self.rate = rate
         self.seed = seed
         self.status = status
+        self.key = key
         self._rng = random.Random(seed)
+        self._seen: Dict[object, int] = {}
+        self._lock = threading.Lock()
+
+    def _keyed_roll(self, group: object) -> float:
+        with self._lock:
+            count = self._seen.get(group, 0)
+            self._seen[group] = count + 1
+        digest = hashlib.sha256(
+            f"{self.seed}|{group!r}|{count}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
 
     def before(self, request: Request) -> Optional[Response]:
-        if self._rng.random() < self.rate:
+        if self.key is not None:
+            roll = self._keyed_roll(self.key(request))
+        else:
+            roll = self._rng.random()
+        if roll < self.rate:
             return Response.error(self.status, "injected flake")
         return None
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+        with self._lock:
+            self._seen.clear()
 
 
 class Latency(FaultProgram):

@@ -43,7 +43,8 @@ from .analytics import (
 from .clock import Clock, ManualClock, system_clock
 from .events import EventLog, WideEvent
 from .exporters import render_json, render_prometheus
-from .metrics import Counter, Exemplar, Gauge, Histogram, MetricsRegistry
+from .metrics import (Counter, Exemplar, Gauge, Histogram, MetricsRegistry,
+                      merge_registries)
 from .middleware import ObservabilityMiddleware
 from .slo import (
     SLO,
@@ -55,7 +56,7 @@ from .slo import (
     SLOEngine,
     default_slos,
 )
-from .tracing import Span, Trace, Tracer
+from .tracing import Span, Trace, TraceIdAllocator, Tracer
 
 __all__ = [
     "BucketCount",
@@ -77,12 +78,14 @@ __all__ = [
     "SLOEngine",
     "Span",
     "Trace",
+    "TraceIdAllocator",
     "Tracer",
     "WideEvent",
     "critical_path",
     "default_slos",
     "dominant_stages",
     "exemplar_index",
+    "merge_registries",
     "render_json",
     "render_prometheus",
     "resolve_exemplars",
@@ -100,10 +103,11 @@ class Observability:
     and ``cloudmon metrics --deterministic`` use.
     """
 
-    def __init__(self, clock: Clock = None):
+    def __init__(self, clock: Clock = None,
+                 trace_ids: TraceIdAllocator = None):
         self.clock: Clock = clock if clock is not None else system_clock
         self.metrics = MetricsRegistry(clock=self.clock)
-        self.tracer = Tracer(clock=self.clock)
+        self.tracer = Tracer(clock=self.clock, trace_ids=trace_ids)
         self.events = EventLog(clock=self.clock)
 
     def export_prometheus(self) -> str:

@@ -9,6 +9,7 @@ reproducible.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -27,6 +28,11 @@ class ManualClock:
     non-zero tick makes nested measurements deterministic without any
     explicit advancing: every observation of the clock moves time forward
     by exactly one tick.
+
+    Reads and advances are serialized by a lock: concurrent probe fan-out
+    threads retry (and therefore "sleep" by advancing this clock) in
+    parallel, and a torn read-modify-write would silently lose virtual
+    time.
     """
 
     def __init__(self, start: float = 0.0, tick: float = 0.0):
@@ -34,18 +40,21 @@ class ManualClock:
         self.tick = float(tick)
         #: Number of times the clock has been read.
         self.reads = 0
+        self._lock = threading.Lock()
 
     def __call__(self) -> float:
-        now = self._now
-        self._now += self.tick
-        self.reads += 1
-        return now
+        with self._lock:
+            now = self._now
+            self._now += self.tick
+            self.reads += 1
+            return now
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward by *seconds* (must be non-negative)."""
         if seconds < 0:
             raise ValueError("a monotonic clock cannot go backwards")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     @property
     def now(self) -> float:

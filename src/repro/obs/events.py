@@ -32,6 +32,7 @@ log keeps why.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from typing import IO, Any, Deque, Dict, Iterator, List, Optional, Union
 
@@ -94,11 +95,26 @@ class EventLog:
         self.events: Deque[WideEvent] = deque(maxlen=keep)
         #: Total events ever emitted (not bounded by *keep*).
         self.emitted_count = 0
-        #: Trace id stamped onto events whose emitter does not pass one;
-        #: the monitor sets this for the duration of each request so
-        #: transport-level events correlate for free.
-        self.current_trace_id: Optional[str] = None
-        self._sequence = 0
+        #: Guards the seq counter and ring eviction: concurrent shard
+        #: traffic emitting unlocked would mint duplicate seq numbers.
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def current_trace_id(self) -> Optional[str]:
+        """Trace id stamped onto events whose emitter does not pass one.
+
+        The monitor scopes this (via :meth:`correlate`) for the duration
+        of each request so transport-level events correlate for free.
+        Thread-local: concurrent requests in a sharded/fan-out deployment
+        each carry their own correlation; the probe scheduler propagates
+        the submitting request's id into its worker threads.
+        """
+        return getattr(self._local, "trace_id", None)
+
+    @current_trace_id.setter
+    def current_trace_id(self, value: Optional[str]) -> None:
+        self._local.trace_id = value
 
     # -- writing -----------------------------------------------------------
 
@@ -117,13 +133,13 @@ class EventLog:
         if clash:
             raise EventError(
                 f"fields {sorted(clash)} clash with the event envelope")
-        self._sequence += 1
-        self.emitted_count += 1
-        record = WideEvent(
-            self._sequence, event, self.clock(),
-            trace_id if trace_id is not None else self.current_trace_id,
-            fields)
-        self.events.append(record)
+        resolved = (trace_id if trace_id is not None
+                    else self.current_trace_id)
+        with self._lock:
+            self.emitted_count += 1
+            record = WideEvent(
+                self.emitted_count, event, self.clock(), resolved, fields)
+            self.events.append(record)
         return record
 
     def correlate(self, trace_id: Optional[str]) -> "_Correlation":

@@ -16,6 +16,7 @@ Histograms use fixed cumulative buckets, so
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import MetricsError
@@ -30,17 +31,24 @@ def _freeze_labels(labels: Dict[str, Any]) -> LabelSet:
 
 
 class Counter:
-    """A monotonically non-decreasing count (requests, probes, faults)."""
+    """A monotonically non-decreasing count (requests, probes, faults).
+
+    Increments are serialized by a per-instance lock: fan-out probe
+    threads and fleet shards bump shared counters concurrently, and a
+    torn float read-modify-write would silently drop ticks.
+    """
 
     def __init__(self):
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be non-negative) to the counter."""
         if amount < 0:
             raise MetricsError(
                 f"counters are monotone; cannot add {amount}")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -56,18 +64,22 @@ class Gauge:
 
     def __init__(self):
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (may be negative)."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract *amount*."""
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
@@ -143,6 +155,7 @@ class Histogram:
         #: Most recent exemplar per bucket index (``len(bounds)`` = +inf);
         #: sparse -- only buckets observed with an exemplar carry one.
         self.exemplars: Dict[int, Exemplar] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float,
                 exemplar: Optional[Dict[str, str]] = None,
@@ -159,13 +172,14 @@ class Histogram:
             if value <= bound:
                 index = i
                 break
-        self.bucket_counts[index] += 1
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if exemplar is not None:
-            self.exemplars[index] = Exemplar(exemplar, value, timestamp)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if exemplar is not None:
+                self.exemplars[index] = Exemplar(exemplar, value, timestamp)
 
     # -- summaries ---------------------------------------------------------
 
@@ -290,27 +304,32 @@ class MetricsRegistry:
     def __init__(self, clock: Clock = None):
         self.clock: Clock = clock if clock is not None else system_clock
         self.families: Dict[str, MetricFamily] = {}
+        #: Guards get-or-create: two fan-out threads asking for the same
+        #: new series must not each create one (the loser's increments
+        #: would vanish with its orphaned instance).
+        self._lock = threading.Lock()
 
     def _series(self, name: str, kind: str, help_text: str,
                 labels: Dict[str, Any], factory) -> Any:
         if not name or set(name) - _NAME_OK:
             raise MetricsError(f"invalid metric name {name!r}")
-        family = self.families.get(name)
-        if family is None:
-            family = MetricFamily(name, kind, help_text)
-            self.families[name] = family
-        elif family.kind != kind:
-            raise MetricsError(
-                f"metric {name!r} already registered as {family.kind}, "
-                f"cannot reuse it as {kind}")
-        if help_text and not family.help:
-            family.help = help_text
-        key = _freeze_labels(labels)
-        series = family.series.get(key)
-        if series is None:
-            series = factory()
-            family.series[key] = series
-        return series
+        with self._lock:
+            family = self.families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help_text)
+                self.families[name] = family
+            elif family.kind != kind:
+                raise MetricsError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"cannot reuse it as {kind}")
+            if help_text and not family.help:
+                family.help = help_text
+            key = _freeze_labels(labels)
+            series = family.series.get(key)
+            if series is None:
+                series = factory()
+                family.series[key] = series
+            return series
 
     def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
         """The counter *name* for the given label values (get-or-create)."""
@@ -371,6 +390,43 @@ class MetricsRegistry:
     def __repr__(self) -> str:
         return (f"<MetricsRegistry families={len(self.families)} "
                 f"series={len(self)}>")
+
+
+def merge_registries(registries: Sequence["MetricsRegistry"],
+                     clock: Clock = None) -> "MetricsRegistry":
+    """Combine per-shard registries into one fleet-wide view.
+
+    Counters and gauges add, histograms merge bucket-wise (associative
+    and commutative, see :meth:`Histogram.merge`), so the merged registry
+    of N shard runs equals the registry of the equivalent single-shard
+    run no matter how observations were partitioned -- the property the
+    fleet dispatcher's metrics view rests on, checked with hypothesis in
+    the test suite.  The operands are left untouched.
+
+    Gauges *sum* across shards: for sizes and in-flight counts that is
+    the fleet total; for encoded-state gauges (``monitor_breaker_state``)
+    read the per-shard registries instead.
+    """
+    merged = MetricsRegistry(clock=clock if clock is not None
+                             else (registries[0].clock if registries
+                                   else system_clock))
+    for registry in registries:
+        for family in registry.families.values():
+            for key, series in family.series.items():
+                labels = dict(key)
+                if family.kind == "counter":
+                    merged.counter(family.name, family.help,
+                                   **labels).inc(series.value)
+                elif family.kind == "gauge":
+                    merged.gauge(family.name, family.help,
+                                 **labels).inc(series.value)
+                else:
+                    existing = merged.histogram(family.name, family.help,
+                                                buckets=series.bounds,
+                                                **labels)
+                    merged.families[family.name].series[key] = \
+                        existing.merge(series)
+    return merged
 
 
 class _Timer:

@@ -10,10 +10,42 @@ and the id doubles as the audit-log correlation id: given a verdict line,
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
 from .clock import Clock, system_clock
+
+
+class TraceIdAllocator:
+    """A thread-safe source of sequential ``t-NNNNNN`` trace ids.
+
+    Each :class:`Tracer` owns a private allocator by default; a monitor
+    *fleet* hands the same allocator to every shard's tracer so the
+    merged verdict stream carries one gap-free id sequence -- serially
+    dispatched fleet traffic then produces exactly the ids the
+    single-monitor run would, which is what keeps the fleet parity gate
+    byte-identical.
+    """
+
+    def __init__(self, prefix: str = "t-"):
+        self.prefix = prefix
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_id(self) -> str:
+        """Allocate the next sequential id."""
+        with self._lock:
+            self._next += 1
+            return f"{self.prefix}{self._next:06d}"
+
+    @property
+    def allocated(self) -> int:
+        """How many ids have been handed out."""
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"<TraceIdAllocator {self.prefix} allocated={self._next}>"
 
 
 class Span:
@@ -126,23 +158,32 @@ class Tracer:
     aggregates forever, so nothing quantitative is lost).
     """
 
-    def __init__(self, clock: Clock = None, keep: int = 256):
+    def __init__(self, clock: Clock = None, keep: int = 256,
+                 trace_ids: Optional[TraceIdAllocator] = None):
         self.clock: Clock = clock if clock is not None else system_clock
         self.finished: Deque[Trace] = deque(maxlen=keep)
-        self._sequence = 0
-        #: Total traces ever started (not bounded by *keep*).
+        #: Id source; fleet shards share one so the merged stream stays
+        #: a single gap-free sequence.
+        self.trace_ids = (trace_ids if trace_ids is not None
+                          else TraceIdAllocator())
+        #: Total traces ever started *by this tracer* (not bounded by
+        #: *keep*; under a shared allocator this is the per-shard count).
         self.started_count = 0
         #: id -> trace index over the finished ring, kept in sync with
         #: ring eviction so :meth:`find` is O(1) instead of a linear scan
         #: -- ``find`` sits on the ``/-/traces/<id>`` path and in every
         #: exemplar resolution, so it must not walk 256 traces per hit.
         self._by_id: Dict[str, Trace] = {}
+        #: Guards started_count, the finished ring, and the id index:
+        #: concurrent shard traffic finishing traces unlocked could evict
+        #: a ring slot while another thread indexes it.
+        self._lock = threading.Lock()
 
     def begin(self, name: str) -> Trace:
         """Start a new trace with the next sequential id."""
-        self._sequence += 1
-        self.started_count += 1
-        return Trace(f"t-{self._sequence:06d}", name, self.clock)
+        with self._lock:
+            self.started_count += 1
+        return Trace(self.trace_ids.next_id(), name, self.clock)
 
     def finish(self, trace: Trace) -> Trace:
         """Close *trace* and retain it in the finished ring.
@@ -153,15 +194,16 @@ class Tracer:
         """
         if trace.end is None:
             trace.end = self.clock()
-        if self._by_id.get(trace.trace_id) is trace:
-            return trace
-        maxlen = self.finished.maxlen
-        if maxlen is not None and len(self.finished) == maxlen and maxlen:
-            evicted = self.finished[0]
-            if self._by_id.get(evicted.trace_id) is evicted:
-                del self._by_id[evicted.trace_id]
-        self.finished.append(trace)
-        self._by_id[trace.trace_id] = trace
+        with self._lock:
+            if self._by_id.get(trace.trace_id) is trace:
+                return trace
+            maxlen = self.finished.maxlen
+            if maxlen is not None and len(self.finished) == maxlen and maxlen:
+                evicted = self.finished[0]
+                if self._by_id.get(evicted.trace_id) is evicted:
+                    del self._by_id[evicted.trace_id]
+            self.finished.append(trace)
+            self._by_id[trace.trace_id] = trace
         return trace
 
     def find(self, trace_id: str) -> Optional[Trace]:

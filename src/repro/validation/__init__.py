@@ -24,10 +24,13 @@ from .chaos import (
     ChaosRun,
     assert_breaker_sequence,
     assert_indeterminate_degradation,
+    flaky_program,
+    fleet_setup,
     recoverable_program,
     resilient_setup,
     run_breaker_sequence,
     run_chaos_campaign,
+    run_fleet_leg,
     run_leg,
     unrecoverable_program,
 )
@@ -52,9 +55,12 @@ __all__ = [
     "TestOracle",
     "assert_indeterminate_degradation",
     "default_setup",
+    "flaky_program",
+    "fleet_setup",
     "recoverable_program",
     "resilient_setup",
     "run_chaos_campaign",
+    "run_fleet_leg",
     "run_leg",
     "unrecoverable_program",
     "EXPECTED_BREAKER_SEQUENCE",

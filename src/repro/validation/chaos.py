@@ -25,7 +25,8 @@ import json
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cloud import PrivateCloud
-from ..core import CloudMonitor, ResilientTransport, RetryPolicy, Verdict
+from ..core import (CloudMonitor, MonitorFleet, ResilientTransport,
+                    RetryPolicy, Verdict)
 from ..core.auditlog import verdict_to_json
 from ..httpsim import FailN, Flake, FaultProgram, by_path
 from ..obs import Observability
@@ -37,31 +38,74 @@ from ..workloads import WorkloadRunner, make_workload
 CHAOS_HOSTS: Tuple[str, ...] = ("cinder", "keystone")
 
 
+def _chaos_policy(policy: Optional[RetryPolicy]) -> RetryPolicy:
+    """The campaign's seeded retry policy (shared by every leg shape)."""
+    return policy or RetryPolicy(max_attempts=3, base_delay=0.05, seed=11)
+
+
 def resilient_setup(enforcing: bool = False,
                     volume_quota: int = 5,
                     policy: Optional[RetryPolicy] = None,
                     failure_threshold: int = 5,
                     recovery_time: float = 30.0,
+                    fanout: int = 1,
                     ) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper setup with a ResilientTransport under the monitor.
 
     Everything is deterministic: ManualClock observability (backoff waits
     advance virtual time instead of sleeping) and a seeded retry jitter.
+    *fanout* > 1 issues each probe phase's independent probes
+    concurrently -- the verdict stream must not change, which is exactly
+    what the fan-out parity gate checks.
     """
     observability = Observability(clock=ManualClock())
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
     transport = ResilientTransport(
         cloud.network,
-        policy=policy or RetryPolicy(max_attempts=3, base_delay=0.05,
-                                     seed=11),
+        policy=_chaos_policy(policy),
         failure_threshold=failure_threshold,
         recovery_time=recovery_time)
     monitor = CloudMonitor.for_service(
         "cinder", cloud.network, "myProject",
         enforcing=enforcing, observability=observability,
-        transport=transport)
+        transport=transport, fanout=fanout)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
+
+
+def fleet_setup(shards: int = 4,
+                enforcing: bool = False,
+                volume_quota: int = 5,
+                policy: Optional[RetryPolicy] = None,
+                failure_threshold: int = 5,
+                recovery_time: float = 30.0,
+                fanout: int = 1,
+                router_seed: int = 0,
+                ) -> Tuple[PrivateCloud, MonitorFleet]:
+    """The paper setup behind a sharded :class:`MonitorFleet`.
+
+    One shared ManualClock, one shared trace-id allocator (inside the
+    fleet builder), and one *independent* ResilientTransport per shard:
+    breaker and retry state never crosses shards, yet serially dispatched
+    traffic reproduces the single-monitor verdict stream byte for byte.
+    """
+    clock = ManualClock()
+    cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
+
+    def transport_factory(index: int, observability: Observability):
+        return ResilientTransport(
+            cloud.network,
+            policy=_chaos_policy(policy),
+            failure_threshold=failure_threshold,
+            recovery_time=recovery_time)
+
+    fleet = MonitorFleet.for_service(
+        "cinder", cloud.network, "myProject",
+        shards=shards, clock=clock, router_seed=router_seed,
+        transport_factory=transport_factory,
+        enforcing=enforcing, fanout=fanout)
+    cloud.network.register("cmonitor", fleet)
+    return cloud, fleet
 
 
 def recoverable_program() -> FaultProgram:
@@ -71,6 +115,18 @@ def recoverable_program() -> FaultProgram:
     double-creates; one retry per URL recovers everything.
     """
     return FailN(1, key=by_path)
+
+
+def flaky_program(rate: float = 0.3, seed: int = 5) -> FaultProgram:
+    """Each probe URL flakes deterministically, independent of ordering.
+
+    Keyed by ``(method, path)``: whether attempt *k* on a URL fails is a
+    pure hash of (seed, URL, k), so serial, fan-out, and fleet runs see
+    the *same* fault landscape even though they interleave requests
+    differently -- the precondition for demanding byte-identical
+    verdicts across all three under flaky faults.
+    """
+    return Flake(rate, seed=seed, key=by_path)
 
 
 def unrecoverable_program() -> FaultProgram:
@@ -134,27 +190,64 @@ class ChaosReport:
 
 def run_leg(count: int = 40, seed: int = 7,
             fault_factory: Optional[Callable[[], FaultProgram]] = None,
-            enforcing: bool = False) -> ChaosRun:
+            enforcing: bool = False, fanout: int = 1) -> ChaosRun:
     """Run the seeded workload once, optionally under a fault program.
 
     A *fresh* cloud + monitor per leg: chaos must never leak state into
-    the baseline it is compared against.
+    the baseline it is compared against.  *fanout* > 1 runs the same
+    workload with concurrent probe fan-out -- the rows must not change.
     """
-    cloud, monitor = resilient_setup(enforcing=enforcing)
-    if fault_factory is not None:
-        for host in CHAOS_HOSTS:
-            cloud.network.inject_fault(host, fault_factory())
-    runner = WorkloadRunner(cloud, monitor)
-    histogram = runner.execute(make_workload(count, seed=seed),
-                               monitored=True)
-    metrics = monitor.obs.metrics
-    return ChaosRun(
-        rows=[verdict_to_json(verdict) for verdict in monitor.log],
-        histogram=histogram,
-        retries=metrics.total("monitor_retries_total"),
-        indeterminate=int(
-            metrics.counter_value("monitor_indeterminate_total")),
-        probe_count=monitor.provider.probe_count)
+    cloud, monitor = resilient_setup(enforcing=enforcing, fanout=fanout)
+    try:
+        if fault_factory is not None:
+            for host in CHAOS_HOSTS:
+                cloud.network.inject_fault(host, fault_factory())
+        runner = WorkloadRunner(cloud, monitor)
+        histogram = runner.execute(make_workload(count, seed=seed),
+                                   monitored=True)
+        metrics = monitor.obs.metrics
+        return ChaosRun(
+            rows=[verdict_to_json(verdict) for verdict in monitor.log],
+            histogram=histogram,
+            retries=metrics.total("monitor_retries_total"),
+            indeterminate=int(
+                metrics.counter_value("monitor_indeterminate_total")),
+            probe_count=monitor.provider.probe_count)
+    finally:
+        monitor.close()
+
+
+def run_fleet_leg(count: int = 40, seed: int = 7,
+                  fault_factory: Optional[Callable[[], FaultProgram]] = None,
+                  enforcing: bool = False,
+                  shards: int = 4, fanout: int = 1) -> ChaosRun:
+    """Run the seeded workload through a sharded fleet.
+
+    Same workload, same deterministic stack, but traffic is partitioned
+    across *shards* monitors behind the fleet dispatcher.  The merged,
+    arrival-ordered verdict rows must be byte-identical to the serial
+    single-monitor leg -- the fleet half of the parity gate.
+    """
+    cloud, fleet = fleet_setup(shards=shards, enforcing=enforcing,
+                               fanout=fanout)
+    try:
+        if fault_factory is not None:
+            for host in CHAOS_HOSTS:
+                cloud.network.inject_fault(host, fault_factory())
+        runner = WorkloadRunner(cloud)
+        histogram = runner.execute(make_workload(count, seed=seed),
+                                   monitored=True)
+        merged = fleet.merged_metrics()
+        return ChaosRun(
+            rows=[verdict_to_json(verdict) for verdict in fleet.log],
+            histogram=histogram,
+            retries=merged.total("monitor_retries_total"),
+            indeterminate=int(
+                merged.counter_value("monitor_indeterminate_total")),
+            probe_count=sum(monitor.provider.probe_count
+                            for monitor in fleet.shards))
+    finally:
+        fleet.close()
 
 
 def run_chaos_campaign(count: int = 40, seed: int = 7,

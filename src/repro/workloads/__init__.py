@@ -5,11 +5,21 @@
   experiment's traffic),
 * :mod:`repro.workloads.scaling` -- synthetic model families of growing
   size (the SCALE experiment: contract generation and codegen cost as the
-  models grow).
+  models grow) plus the fleet throughput ladder and its persisted
+  ``BENCH_scaling.json`` trajectory.
 """
 
 from .generator import RequestMix, WorkloadRunner, make_workload
-from .scaling import synthetic_models
+from .scaling import (
+    append_trajectory,
+    balanced_tenants,
+    best_throughput,
+    load_trajectory,
+    measure_fleet_throughput,
+    scaling_sweep,
+    synthetic_models,
+    tenant_header_key,
+)
 from .trace import RecordingClient, Trace, TraceEntry
 
 __all__ = [
@@ -18,6 +28,13 @@ __all__ = [
     "Trace",
     "TraceEntry",
     "WorkloadRunner",
+    "append_trajectory",
+    "balanced_tenants",
+    "best_throughput",
+    "load_trajectory",
     "make_workload",
+    "measure_fleet_throughput",
+    "scaling_sweep",
     "synthetic_models",
+    "tenant_header_key",
 ]

@@ -1,4 +1,4 @@
-"""Synthetic model families for the SCALE experiment.
+"""Scaling experiments: synthetic model families and fleet throughput.
 
 Section VI-B discusses scalability of the modelling approach; the SCALE
 bench measures how contract generation and code generation cost grow with
@@ -6,12 +6,31 @@ model size.  :func:`synthetic_models` builds a family of consistent
 resource + behavioral models: *n* collection/member resource pairs, each
 member with a quota-style three-state lifecycle (the Cinder pattern
 repeated n times).
+
+The second half of this module measures the *runtime* scaling axis: how
+monitored-request throughput grows with the shard count of a
+:class:`~repro.core.fleet.MonitorFleet`.  The substrate is given a
+``time.sleep``-based per-request latency (the realistic regime -- a
+monitor is I/O-bound on its probes), so shard driver threads genuinely
+overlap their waits and the measured speedup reflects the architecture,
+not GIL accounting.  :func:`measure_fleet_throughput` runs one shape;
+:func:`scaling_sweep` runs the 1..N ladder; the trajectory helpers
+persist sweeps to ``BENCH_scaling.json`` so regressions are visible
+across commits (``scripts/check_bench_trajectory.py`` gates on it).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cloud import PrivateCloud
+from ..core.fleet import MonitorFleet
+from ..httpsim import Latency, Request
+from ..obs.clock import system_clock
 from ..rbac import SecurityRequirement, SecurityRequirementsTable
 from ..uml import ClassDiagram, StateMachine
 from ..core.behavior_model import BehaviorModelBuilder
@@ -114,3 +133,195 @@ def synthetic_models(n_resources: int,
     # are intentionally disconnected from resource 0's initial state; skip
     # the reachability validation that would flag them.
     return resources.build(), behavior.build(validate=False)
+
+
+# ---------------------------------------------------------------------------
+# Fleet throughput scaling (the runtime half of the SCALE bench)
+# ---------------------------------------------------------------------------
+
+#: Substrate hosts that receive the sleep-based latency fault.
+BENCH_HOSTS: Tuple[str, ...] = ("cinder", "keystone")
+
+#: How many sweep entries the persisted trajectory retains.
+TRAJECTORY_KEEP = 50
+
+
+def tenant_header_key(request: Request) -> str:
+    """Shard key for bench traffic: the ``X-Tenant`` header.
+
+    Real deployments shard across many tenants; the simulated cloud only
+    bootstraps three users, so the bench stamps each request with a
+    synthetic tenant id and routes on that (falling back to the auth
+    token, like the default key, when the header is absent).
+    """
+    return request.headers.get("X-Tenant") or (request.auth_token or "")
+
+
+def balanced_tenants(router) -> List[str]:
+    """One synthetic tenant name per shard, covering every shard.
+
+    Scans ``tenant-0000, tenant-0001, ...`` (deterministic for a given
+    router seed/shard count) until each shard index has a representative,
+    and returns the names ordered by the shard they land on.  Stamping
+    request *j* with ``tenants[j % shards]`` then spreads any workload
+    perfectly evenly -- the bench measures shard parallelism, not hash
+    luck.
+    """
+    found: Dict[int, str] = {}
+    index = 0
+    while len(found) < router.shards:
+        name = f"tenant-{index:04d}"
+        shard = router.route(name)
+        if shard not in found:
+            found[shard] = name
+        index += 1
+    return [found[shard] for shard in range(router.shards)]
+
+
+def measure_fleet_throughput(shards: int,
+                             requests: int = 96,
+                             latency: float = 0.002,
+                             fanout: int = 1,
+                             router_seed: int = 0) -> Dict[str, object]:
+    """Measure monitored GET throughput through a *shards*-wide fleet.
+
+    A fresh paper cloud gets ``time.sleep``-based latency on its
+    substrate hosts (:data:`BENCH_HOSTS`), making every probe and
+    forward genuinely I/O-bound.  The workload is read-only
+    (``GET /cmonitor/volumes``) so concurrent shards never race on
+    substrate writes; requests are stamped with synthetic tenants from
+    :func:`balanced_tenants` and pre-partitioned per shard; one driver
+    thread per shard replays its partition.  Returns a result dict with
+    the measured ``throughput`` (requests/second).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if requests < shards:
+        raise ValueError("need at least one request per shard")
+    cloud = PrivateCloud.paper_setup()
+    for host in BENCH_HOSTS:
+        cloud.network.inject_fault(host, Latency(latency, system_clock))
+    fleet = MonitorFleet.for_service(
+        "cinder", cloud.network, "myProject", shards=shards,
+        router_seed=router_seed, tenant_key=tenant_header_key,
+        fanout=fanout)
+    tokens = sorted(cloud.paper_tokens().values())
+    tenants = balanced_tenants(fleet.router)
+
+    partitions: List[List[Request]] = [[] for _ in range(shards)]
+    for number in range(requests):
+        shard = number % shards
+        request = Request("GET", "http://cmonitor/cmonitor/volumes",
+                          headers={
+                              "X-Auth-Token": tokens[number % len(tokens)],
+                              "X-Tenant": tenants[shard],
+                          })
+        partitions[shard].append(request)
+
+    statuses: List[int] = []
+    status_lock = threading.Lock()
+    barrier = threading.Barrier(shards + 1)
+
+    def drive(partition: List[Request]) -> None:
+        barrier.wait()
+        seen = []
+        for request in partition:
+            response = fleet.handle(request)
+            seen.append(response.status_code)
+        with status_lock:
+            statuses.extend(seen)
+
+    threads = [threading.Thread(target=drive, args=(partition,),
+                                name=f"bench-shard-{index}")
+               for index, partition in enumerate(partitions)]
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        fleet.close()
+
+    if len(statuses) != requests:
+        raise RuntimeError(
+            f"bench drove {len(statuses)} requests, expected {requests}")
+    failures = sum(1 for status in statuses if status >= 500)
+    return {
+        "shards": shards,
+        "fanout": fanout,
+        "requests": requests,
+        "latency": latency,
+        "elapsed": round(elapsed, 6),
+        "throughput": round(requests / elapsed, 3) if elapsed > 0 else 0.0,
+        "failures": failures,
+        "dispatched": list(fleet.dispatched),
+        "verdicts": len(fleet.log),
+    }
+
+
+def scaling_sweep(shard_counts: Sequence[int] = (1, 2, 4),
+                  requests: int = 96,
+                  latency: float = 0.002,
+                  fanout: int = 1) -> Dict[str, object]:
+    """Run the shard ladder and assemble one trajectory entry.
+
+    The entry records per-shape throughput plus the headline
+    ``speedup``: max-shard throughput over single-shard throughput
+    (1.0 when the sweep does not include a single-shard run).
+    """
+    runs = [measure_fleet_throughput(shards, requests=requests,
+                                     latency=latency, fanout=fanout)
+            for shards in shard_counts]
+    by_shards = {run["shards"]: run["throughput"] for run in runs}
+    baseline = by_shards.get(1)
+    peak_shards = max(by_shards)
+    speedup = (by_shards[peak_shards] / baseline
+               if baseline else 1.0)
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "requests": requests,
+        "latency": latency,
+        "fanout": fanout,
+        "runs": runs,
+        "throughput_by_shards": {str(k): v for k, v in by_shards.items()},
+        "peak_shards": peak_shards,
+        "speedup": round(speedup, 3),
+    }
+
+
+def load_trajectory(path: str) -> Dict[str, object]:
+    """Load ``BENCH_scaling.json``; an absent file is an empty trajectory."""
+    if not os.path.exists(path):
+        return {"bench": "fleet-scaling", "entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path} is not a scaling trajectory")
+    return data
+
+
+def append_trajectory(path: str, entry: Dict[str, object],
+                      keep: int = TRAJECTORY_KEEP) -> Dict[str, object]:
+    """Append *entry* to the trajectory at *path*, keeping the last *keep*."""
+    trajectory = load_trajectory(path)
+    entries = list(trajectory.get("entries", []))
+    entries.append(entry)
+    trajectory["entries"] = entries[-keep:]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trajectory
+
+
+def best_throughput(trajectory: Dict[str, object],
+                    shards: int) -> Optional[float]:
+    """Best recorded throughput at *shards* across the trajectory."""
+    best: Optional[float] = None
+    for entry in trajectory.get("entries", []):
+        value = entry.get("throughput_by_shards", {}).get(str(shards))
+        if value is not None and (best is None or value > best):
+            best = value
+    return best

@@ -1,0 +1,170 @@
+"""Property tests for the fleet dispatcher (hypothesis-driven).
+
+Three laws the sharded fleet rests on:
+
+* **routing purity** -- the shard for a tenant is a pure function of
+  (router seed, shard count, tenant key): no state, no arrival-order
+  dependence, stable across router instances;
+* **exactly-one-shard** -- every request of a workload is dispatched to
+  precisely one shard, the one its tenant routes to, and the dispatch
+  counters account for every request exactly once;
+* **merge equivalence** -- for any interleaving of metric operations
+  across per-shard registries, the merged view equals a single registry
+  that saw all operations (counters sum, gauges sum, histogram buckets
+  merge).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fleet import ShardRouter, tenant_from_token
+from repro.httpsim import Request
+from repro.obs.clock import ManualClock
+from repro.obs.metrics import MetricsRegistry, merge_registries
+
+tenants = st.text(min_size=0, max_size=24)
+shard_counts = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+
+class TestRoutingPurity:
+    @given(tenant=tenants, shards=shard_counts, seed=seeds)
+    @settings(max_examples=200, deadline=None)
+    def test_route_is_deterministic_and_in_range(self, tenant, shards,
+                                                 seed):
+        router = ShardRouter(shards, seed=seed)
+        first = router.route(tenant)
+        assert 0 <= first < shards
+        # Pure: same answer on repeat, and from a fresh equal router.
+        assert router.route(tenant) == first
+        assert ShardRouter(shards, seed=seed).route(tenant) == first
+
+    @given(batch=st.lists(tenants, max_size=30), tenant=tenants,
+           shards=shard_counts, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_route_ignores_other_traffic(self, batch, tenant, shards,
+                                         seed):
+        router = ShardRouter(shards, seed=seed)
+        before = router.route(tenant)
+        for other in batch:
+            router.route(other)
+        assert router.route(tenant) == before
+
+    @given(tenant=tenants, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_single_shard_routes_everything_to_zero(self, tenant, seed):
+        assert ShardRouter(1, seed=seed).route(tenant) == 0
+
+
+class TestExactlyOneShard:
+    @given(tokens=st.lists(st.text(min_size=1, max_size=12),
+                           min_size=1, max_size=40),
+           shards=shard_counts, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_every_request_lands_on_its_tenants_shard(self, tokens,
+                                                      shards, seed):
+        router = ShardRouter(shards, seed=seed)
+        per_shard = [0] * shards
+        for token in tokens:
+            request = Request("GET", "http://cmonitor/cmonitor/volumes",
+                              headers={"X-Auth-Token": token})
+            index = router.route(tenant_from_token(request))
+            per_shard[index] += 1
+            # The shard is the tenant's shard, not request-dependent.
+            assert index == router.route(token)
+        assert sum(per_shard) == len(tokens)
+
+    @given(tokens=st.lists(st.text(min_size=1, max_size=12),
+                           min_size=1, max_size=40),
+           shards=shard_counts, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_same_tenant_never_splits_across_shards(self, tokens, shards,
+                                                    seed):
+        router = ShardRouter(shards, seed=seed)
+        seen = {}
+        for token in tokens:
+            index = router.route(token)
+            assert seen.setdefault(token, index) == index
+
+
+# One metric operation: (shard, kind, name, amount).  Amounts are
+# integer-valued so sums are exact regardless of accumulation order --
+# the property under test is the merge algebra, not float associativity.
+operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.sampled_from(["counter", "gauge", "histogram"]),
+              st.sampled_from(["requests", "retries", "latency"]),
+              st.integers(min_value=0, max_value=100).map(float)),
+    max_size=60)
+
+
+class TestMergeEquivalence:
+    @given(ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_merged_registries_equal_one_registry_seeing_all_ops(self,
+                                                                 ops):
+        clock = ManualClock()
+        shards = [MetricsRegistry(clock=clock) for _ in range(4)]
+        single = MetricsRegistry(clock=clock)
+
+        def apply(registry, kind, name, amount):
+            if kind == "counter":
+                registry.counter(f"m_{name}_total").inc(amount)
+            elif kind == "gauge":
+                registry.gauge(f"m_{name}").inc(amount)
+            else:
+                registry.histogram(f"m_{name}_seconds").observe(amount)
+
+        for shard, kind, name, amount in ops:
+            apply(shards[shard], kind, name, amount)
+            apply(single, kind, name, amount)
+
+        merged = merge_registries(shards, clock=clock)
+        for _, kind, name, _ in ops:
+            if kind == "counter":
+                metric = f"m_{name}_total"
+                assert merged.total(metric) == single.total(metric)
+            elif kind == "gauge":
+                metric = f"m_{name}"
+                assert merged.get(metric).value == \
+                    single.get(metric).value
+            else:
+                metric = f"m_{name}_seconds"
+                assert merged.get(metric).state() == \
+                    single.get(metric).state()
+
+    @given(ops=operations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_interleaving_invariant(self, ops):
+        # Any assignment of the same multiset of per-shard operations
+        # merges to the same totals -- dispatch order cannot matter.
+        clock = ManualClock()
+        forward = [MetricsRegistry(clock=clock) for _ in range(4)]
+        reverse = [MetricsRegistry(clock=clock) for _ in range(4)]
+
+        def apply(registry, kind, name, amount):
+            if kind == "counter":
+                registry.counter(f"m_{name}_total").inc(amount)
+            elif kind == "gauge":
+                registry.gauge(f"m_{name}").inc(amount)
+            else:
+                registry.histogram(f"m_{name}_seconds").observe(amount)
+
+        for shard, kind, name, amount in ops:
+            apply(forward[shard], kind, name, amount)
+        for shard, kind, name, amount in reversed(ops):
+            apply(reverse[3 - shard], kind, name, amount)
+
+        left = merge_registries(forward, clock=clock)
+        right = merge_registries(reverse, clock=clock)
+        for _, kind, name, _ in ops:
+            if kind == "counter":
+                metric = f"m_{name}_total"
+                assert left.total(metric) == right.total(metric)
+            elif kind == "gauge":
+                metric = f"m_{name}"
+                assert left.get(metric).value == right.get(metric).value
+            else:
+                metric = f"m_{name}_seconds"
+                assert left.get(metric).state() == \
+                    right.get(metric).state()

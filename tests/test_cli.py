@@ -241,6 +241,36 @@ class TestChaosBreakerLine:
                "-> closed" in out
 
 
+class TestFleet:
+    def test_parity_mode_matches_serial(self, capsys):
+        assert main(["fleet", "--shards", "3", "--requests", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict parity vs serial:  OK" in out
+
+    def test_parity_json_summary(self, capsys):
+        import json
+
+        assert main(["fleet", "--shards", "2", "--fanout", "4",
+                     "--requests", "16", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["parity"] is True
+        assert summary["serial_digest"] == summary["fleet_digest"]
+        assert summary["verdicts"] == 16
+
+    def test_bench_mode_appends_trajectory(self, capsys, tmp_path):
+        import json
+
+        trajectory = tmp_path / "BENCH_scaling.json"
+        assert main(["fleet", "--bench", "--shards", "2",
+                     "--requests", "16", "--latency", "0.001",
+                     "--trajectory", str(trajectory)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        recorded = json.loads(trajectory.read_text())
+        assert len(recorded["entries"]) == 1
+        assert recorded["entries"][0]["peak_shards"] == 2
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
