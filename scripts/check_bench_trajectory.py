@@ -47,15 +47,29 @@ def main() -> int:
     from repro.workloads import (append_trajectory, best_throughput,
                                  load_trajectory, scaling_sweep)
 
+    from repro.validation import measure_probe_rate
+
     prior = load_trajectory(args.trajectory)
     entry = scaling_sweep(shard_counts=(1, 2, 4), requests=args.requests)
     peak = entry["peak_shards"]
     current = entry["throughput_by_shards"][str(peak)]
     best = best_throughput(prior, peak)
 
+    # Probes per monitored request rides along in the trajectory so the
+    # probe-planning/probe-cache story is visible in the same history as
+    # the throughput ladder (both are deterministic, seeded runs).
+    entry["probes_per_request"] = {
+        "uncached": measure_probe_rate()["probes_per_request"],
+        "cached": measure_probe_rate(
+            probe_cache=True)["probes_per_request"],
+    }
+
     print(f"bench trajectory: {peak}-shard throughput "
           f"{current:.1f} req/s, speedup {entry['speedup']:.2f}x "
           f"({len(prior.get('entries', []))} prior entries)")
+    print(f"  probes/request: "
+          f"{entry['probes_per_request']['uncached']:.4f} uncached, "
+          f"{entry['probes_per_request']['cached']:.4f} cached")
 
     failures = []
     for run in entry["runs"]:

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Enforce cache parity: the probe cache must not change a single verdict.
+
+Runs the seeded chaos workload twice per leg -- once uncached, once with
+the cross-request probe cache -- on a clean substrate and again under the
+recoverable fail-once-then-succeed fault program, and requires:
+
+* the cached verdict rows are byte-identical to the uncached run on both
+  legs (their SHA-256 digests match each other *and* the digest recorded
+  in ``scripts/cache_parity.json``), and
+* the cache actually worked: the cached leg issues fewer probes than
+  the uncached leg on the clean run (a silently disabled cache would
+  pass parity trivially).
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_cache_parity.py [--update]
+
+``--update`` re-records the baseline digests after an intentional change
+to the verdict schema, the workload, or the caching policy.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "cache_parity.json")
+
+WORKLOAD_COUNT = 40
+WORKLOAD_SEED = 7
+
+
+def measure():
+    from repro.validation import (recoverable_program,
+                                  run_cache_parity_campaign)
+
+    clean = run_cache_parity_campaign(count=WORKLOAD_COUNT,
+                                      seed=WORKLOAD_SEED)
+    faulted = run_cache_parity_campaign(count=WORKLOAD_COUNT,
+                                        seed=WORKLOAD_SEED,
+                                        fault_factory=recoverable_program)
+    return clean, faulted
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    clean, faulted = measure()
+    current = {
+        "workload": {"count": WORKLOAD_COUNT, "seed": WORKLOAD_SEED},
+        "clean_digest": clean.baseline.digest(),
+        "faulted_digest": faulted.baseline.digest(),
+        "verdict_count": len(clean.baseline.rows),
+    }
+
+    for label, report in (("clean", clean), ("faulted", faulted)):
+        if not report.parity:
+            print(f"FAIL: the probe cache changed the verdict stream on "
+                  f"the {label} leg (first divergence at row "
+                  f"{report.first_divergence()})", file=sys.stderr)
+            return 1
+    if clean.faulted.probe_count >= clean.baseline.probe_count:
+        print("FAIL: the cached leg did not issue fewer probes than the "
+              f"uncached leg ({clean.faulted.probe_count} >= "
+              f"{clean.baseline.probe_count}); is the cache wired in?",
+              file=sys.stderr)
+        return 1
+    print(f"cache parity: {len(clean.baseline.rows)} verdicts identical "
+          "with the probe cache on, clean and recoverable-fault legs "
+          f"({clean.baseline.probe_count} -> {clean.faulted.probe_count} "
+          "probes)")
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"cache parity baseline recorded: "
+              f"digest {current['clean_digest'][:12]}... over "
+              f"{current['verdict_count']} verdicts")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    for key in ("clean_digest", "faulted_digest", "verdict_count"):
+        if recorded[key] != current[key]:
+            print(f"FAIL: {key} drifted from the recorded baseline "
+                  "(schema, workload, or policy change?); re-record "
+                  "with --update if intentional", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,10 +2,13 @@
 """Enforce the monitor's probe budget: GET probes per monitored request.
 
 Runs the seeded overhead workload (deterministic: seeded RNG, in-process
-network) through the monitor with demand-driven probe planning enabled and
-compares probes-per-request against the recorded baseline in
-``scripts/probe_budget.json``.  A regression above the baseline fails the
-gate; an improvement prints a hint to re-record.
+network) through the monitor twice -- demand-driven probe planning alone,
+then planning plus the cross-request probe cache -- and compares both
+probes-per-request rates against the recorded baseline in
+``scripts/probe_budget.json``.  A regression above either recorded rate
+fails the gate, as does a cached rate at or above the hard ceiling (the
+uncached budget the cache must beat); improvements print a hint to
+re-record.
 
 Usage (from the repository root)::
 
@@ -22,20 +25,37 @@ import sys
 BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "probe_budget.json")
 
+#: The cached rate must stay strictly below the historical uncached
+#: budget -- the cache is pointless (and suspect) otherwise.
+CACHED_CEILING = 7.20
+
 
 def measure():
-    """Probes per request on the seeded workload, planning enabled."""
-    from repro.validation import default_setup
-    from repro.workloads import WorkloadRunner, make_workload
+    """Both probe rates on the seeded workload, planning enabled."""
+    from repro.validation import measure_probe_rate
 
-    workload = make_workload(60, seed=42)
-    cloud, monitor = default_setup(probe_planning=True)
-    runner = WorkloadRunner(cloud, monitor)
-    runner.execute(workload, monitored=True)
+    uncached = measure_probe_rate(count=60, seed=42)
+    cached = measure_probe_rate(count=60, seed=42, probe_cache=True)
     return {
-        "workload": {"count": len(workload), "seed": 42},
-        "probes_per_request": monitor.provider.probe_count / len(workload),
+        "workload": uncached["workload"],
+        "probes_per_request": uncached["probes_per_request"],
+        "cached_probes_per_request": cached["probes_per_request"],
+        "cache": cached["cache"],
     }
+
+
+def _gate(label, actual, budget) -> int:
+    print(f"probe budget ({label}): {actual:.4f} probes/request "
+          f"(baseline {budget:.4f})")
+    # The run is deterministic, so any excess is a real regression.
+    if actual > budget + 1e-9:
+        print(f"FAIL: {label} probes per monitored request regressed "
+              "above the recorded baseline", file=sys.stderr)
+        return 1
+    if actual < budget - 1e-9:
+        print("note: probe cost improved; re-record with --update to "
+              "tighten the gate")
+    return 0
 
 
 def main() -> int:
@@ -52,7 +72,9 @@ def main() -> int:
             json.dump(current, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"probe budget baseline recorded: "
-              f"{current['probes_per_request']:.4f} probes/request")
+              f"{current['probes_per_request']:.4f} uncached / "
+              f"{current['cached_probes_per_request']:.4f} cached "
+              "probes/request")
         return 0
 
     try:
@@ -63,19 +85,17 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    budget = recorded["probes_per_request"]
-    actual = current["probes_per_request"]
-    print(f"probe budget: {actual:.4f} probes/request "
-          f"(baseline {budget:.4f})")
-    # The run is deterministic, so any excess is a real regression.
-    if actual > budget + 1e-9:
-        print("FAIL: probes per monitored request regressed above the "
-              "recorded baseline", file=sys.stderr)
-        return 1
-    if actual < budget - 1e-9:
-        print("note: probe cost improved; re-record with --update to "
-              "tighten the gate")
-    return 0
+    status = _gate("uncached", current["probes_per_request"],
+                   recorded["probes_per_request"])
+    if "cached_probes_per_request" in recorded:
+        status |= _gate("cached", current["cached_probes_per_request"],
+                        recorded["cached_probes_per_request"])
+    if current["cached_probes_per_request"] >= CACHED_CEILING:
+        print(f"FAIL: cached probe rate "
+              f"{current['cached_probes_per_request']:.4f} is not below "
+              f"the {CACHED_CEILING:.2f} ceiling", file=sys.stderr)
+        status |= 1
+    return status
 
 
 if __name__ == "__main__":

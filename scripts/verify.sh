@@ -22,6 +22,9 @@ PYTHONPATH=src python scripts/check_probe_budget.py
 echo "==> chaos parity gate (recoverable faults leave verdicts unchanged)"
 PYTHONPATH=src python scripts/check_chaos_parity.py
 
+echo "==> cache parity gate (probe cache leaves verdicts unchanged)"
+PYTHONPATH=src python scripts/check_cache_parity.py
+
 echo "==> slo gate (deterministic slo/events output matches baseline)"
 PYTHONPATH=src python scripts/check_slo_gate.py
 

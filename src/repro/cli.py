@@ -65,7 +65,8 @@ def cmd_contracts(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    cloud, monitor = default_setup(enforcing=args.enforcing)
+    cloud, monitor = default_setup(enforcing=args.enforcing,
+                                   probe_cache=args.probe_cache)
     oracle = TestOracle(cloud, monitor)
     battery = extended_battery() if args.extended else standard_battery()
     oracle.run(battery)
@@ -74,6 +75,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print(f"{name:<24} {response.status_code:>6}  {verdict.verdict}")
     print()
     print(monitor.coverage.report())
+    if monitor.probe_cache is not None:
+        stats = monitor.probe_cache.stats()
+        print(f"\nprobe cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses, "
+              f"{stats['invalidations']} invalidations")
     violations = monitor.violations()
     print(f"\nviolations: {len(violations)}")
     return 0 if not violations else 1
@@ -168,9 +174,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
     from .validation import run_fleet_leg, run_leg
 
-    serial = run_leg(count=args.requests, seed=args.seed)
+    serial = run_leg(count=args.requests, seed=args.seed,
+                     probe_cache=args.probe_cache)
     fleet = run_fleet_leg(count=args.requests, seed=args.seed,
-                          shards=args.shards, fanout=args.fanout)
+                          shards=args.shards, fanout=args.fanout,
+                          probe_cache=args.probe_cache)
     parity = serial.rows == fleet.rows
     summary = {
         "shards": args.shards,
@@ -433,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "mode) instead of audit mode")
     demo.add_argument("--extended", action="store_true",
                       help="use the extended battery with functional edges")
+    demo.add_argument("--probe-cache", action="store_true",
+                      help="serve pre-phase probes for untouched roots "
+                           "from the cross-request cache")
 
     campaign = sub.add_parser(
         "campaign", help="run the mutation-validation campaign")
@@ -471,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--trajectory", default=None,
                        help="append --bench results to this "
                             "BENCH_scaling.json trajectory file")
+    fleet.add_argument("--probe-cache", action="store_true",
+                       help="per-shard probe caches (parity mode only; "
+                            "verdicts must match the uncached serial run)")
     fleet.add_argument("--json", action="store_true",
                        help="machine-readable summary")
 

@@ -23,6 +23,7 @@ from .fleet import MonitorFleet, ShardRouter, tenant_from_token
 from .mirror import MirrorDatabase, MirrorTable
 from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
+from .probecache import ProbeCache
 from .resilience import (
     CircuitBreaker,
     ProbeFailure,
@@ -56,6 +57,7 @@ __all__ = [
     "MonitorVerdict",
     "PROBE_COSTS",
     "PROBE_ROOTS",
+    "ProbeCache",
     "ProbeFailure",
     "ProbeOutcome",
     "ProbePlan",

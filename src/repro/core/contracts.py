@@ -18,7 +18,8 @@ and knows which state must be snapshotted before forwarding a request.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import GenerationError
 from ..ocl import Context, Evaluator, Snapshot, parse, to_text
@@ -85,8 +86,21 @@ class MethodContract:
             [case.implication for case in cases])
         self._compiled_pre = None
         self._compiled_post = None
+        #: The optimized ASTs :meth:`compile` produced (None until then);
+        #: probe planning analyses these so folded-away roots stop being
+        #: probed.
+        self._optimized_pre: Optional[Expression] = None
+        self._optimized_post: Optional[Expression] = None
+        #: Compiled snapshot capture: (structural key, closure) pairs over
+        #: the *optimized* post-condition, so snapshot keys always match
+        #: what the compiled post-condition looks up.
+        self._compiled_snapshot = None
         self._obs = None
         self._probe_plans: Dict[Optional[Tuple[str, ...]], Any] = {}
+        #: Guards the compile/plan memoization: under fleet fan-out two
+        #: threads may race to compile, and a reader must never observe a
+        #: compiled pre paired with a still-interpreted post.
+        self._lock = threading.Lock()
 
     @property
     def security_requirements(self) -> List[str]:
@@ -99,18 +113,55 @@ class MethodContract:
 
     # -- evaluation ------------------------------------------------------------
 
-    def compile(self) -> "MethodContract":
-        """Compile both conditions to closures (see :mod:`repro.ocl.compile`).
+    def compile(self, costs: Optional[Mapping[str, int]] = None,
+                ) -> "MethodContract":
+        """Compile both conditions through the optimizing pipeline.
 
         The monitor evaluates contracts on every request; compiled
-        contracts skip the interpreter's per-node dispatch.  Returns self
+        contracts skip the interpreter's per-node dispatch.  Compilation
+        first optimizes the ASTs (see
+        :func:`repro.ocl.compile.optimize_expression`): constant folding
+        through the simplifier, DNF normalization of the pre-condition's
+        disjuncts, and cost-ordering of and/or chains by *costs* (the
+        provider's probe-cost table, defaulting to the Cinder
+        :data:`~repro.core.planning.PROBE_COSTS`) so the cheapest-to-bind
+        operand short-circuits first.  Snapshot capture is compiled over
+        the same optimized post-condition, and the memoized probe plans
+        are recomputed from the optimized ASTs -- a pre-condition that
+        folds to a constant therefore plans zero pre-phase roots and the
+        monitor skips its pre-probe round entirely.
+
+        Thread-safe: every artifact is built before any is published, and
+        publication happens under the contract's lock, so a racing reader
+        never evaluates pre compiled but post interpreted.  Returns self
         for chaining; calling twice is a no-op.
         """
-        from ..ocl.compile import compile_bool
+        from ..ocl.compile import (compile_bool, compile_snapshot_plan,
+                                   optimize_expression)
 
-        if self._compiled_pre is None:
-            self._compiled_pre = compile_bool(self.precondition)
-            self._compiled_post = compile_bool(self.postcondition)
+        with self._lock:
+            if self._compiled_pre is not None:
+                return self
+            if costs is None:
+                from .planning import PROBE_COSTS
+                costs = PROBE_COSTS
+            optimized_pre = optimize_expression(self.precondition,
+                                                costs=costs, dnf=True)
+            optimized_post = optimize_expression(self.postcondition,
+                                                 costs=costs)
+            compiled_pre = compile_bool(optimized_pre)
+            compiled_post = compile_bool(optimized_post)
+            snapshot_plan = compile_snapshot_plan(optimized_post)
+            self._optimized_pre = optimized_pre
+            self._optimized_post = optimized_post
+            self._compiled_snapshot = snapshot_plan
+            # Post publishes before pre: ``is_compiled`` keys off
+            # ``_compiled_pre``, so readers outside the lock see either
+            # nothing or everything.
+            self._compiled_post = compiled_post
+            self._compiled_pre = compiled_pre
+            # Plans memoized over the raw ASTs are stale now.
+            self._probe_plans.clear()
         return self
 
     @property
@@ -118,20 +169,39 @@ class MethodContract:
         """True once :meth:`compile` has run."""
         return self._compiled_pre is not None
 
+    @property
+    def planning_precondition(self) -> Expression:
+        """The pre-condition AST probe planning should analyse.
+
+        The optimized AST once :meth:`compile` has run -- folded-away
+        roots must stop being probed -- and the raw disjunction before.
+        """
+        optimized = self._optimized_pre
+        return optimized if optimized is not None else self.precondition
+
+    @property
+    def planning_postcondition(self) -> Expression:
+        """The post-condition AST probe planning should analyse."""
+        optimized = self._optimized_post
+        return optimized if optimized is not None else self.postcondition
+
     def probe_plan(self, roots: Optional[Tuple[str, ...]] = None):
         """The roots each monitoring phase must bind, as a ``ProbePlan``.
 
         *roots* is the provider's bindable root set (defaults to the
         Cinder scenario's).  The plan is a static analysis of the
         contract's ASTs (see :mod:`repro.core.planning`); the expressions
-        are immutable, so the result is memoized per root set.
+        are immutable, so the result is memoized per root set (under the
+        contract's lock -- fleet shards share contract objects).
         """
         key = tuple(roots) if roots is not None else None
-        if key not in self._probe_plans:
-            from .planning import ProbePlan
+        with self._lock:
+            if key not in self._probe_plans:
+                from .planning import ProbePlan
 
-            self._probe_plans[key] = ProbePlan.for_contract(self, roots=key)
-        return self._probe_plans[key]
+                self._probe_plans[key] = ProbePlan.for_contract(self,
+                                                                roots=key)
+            return self._probe_plans[key]
 
     def instrument(self, observability) -> "MethodContract":
         """Report evaluation timings into *observability* (``None`` stops).
@@ -173,9 +243,21 @@ class MethodContract:
         return result
 
     def snapshot(self, context: Context) -> Snapshot:
-        """Capture every ``pre()`` value the post-condition will need."""
+        """Capture every ``pre()`` value the post-condition will need.
+
+        Compiled contracts run the compiled snapshot plan (one closure per
+        structurally distinct ``pre()`` operand of the *optimized*
+        post-condition, so keys match the compiled post's lookups);
+        interpreted contracts capture via the evaluator as before.
+        """
         start = self._obs.clock() if self._obs is not None else 0.0
-        snapshot = Snapshot().capture(self.postcondition, context)
+        plan = self._compiled_snapshot
+        if plan is not None:
+            snapshot = Snapshot()
+            for key, closure in plan:
+                snapshot.values[key] = closure(context)
+        else:
+            snapshot = Snapshot().capture(self.postcondition, context)
         if self._obs is not None:
             self._record_eval("snapshot", start, None)
         return snapshot

@@ -174,7 +174,23 @@ class MonitorFleet:
             with self._merge_lock:
                 for verdict in produced:
                     self._verdicts.append((arrival, index, verdict))
+        if request.method != "GET":
+            self._broadcast_invalidation(index)
         return response
+
+    def _broadcast_invalidation(self, origin: int) -> None:
+        """Evict every *other* shard's probe cache after a mutation.
+
+        Shards partition traffic, not cloud state: a mutation one shard
+        forwards changes what every shard's probes observe, so the
+        origin shard's own eviction (done inside ``monitor_request``)
+        is not enough.  Over-invalidation (e.g. a blocked mutation) is
+        safe -- it only costs cache hits, never verdicts.
+        """
+        for index, monitor in enumerate(self.shards):
+            if index == origin or monitor.probe_cache is None:
+                continue
+            monitor._invalidate_probe_cache()
 
     def close(self) -> None:
         """Release every shard's probe scheduler pool."""
@@ -235,6 +251,12 @@ class MonitorFleet:
                 "probes": monitor.provider.probe_count,
                 "traces": monitor.obs.tracer.started_count,
                 "events": monitor.obs.events.emitted_count,
+                # Per-shard probe-cache counters (zeros when the fleet
+                # was built without probe_cache=True): each shard owns
+                # its own ProbeCache, so hits never cross shards.
+                "probe_cache": (monitor.probe_cache.stats()
+                                if monitor.probe_cache is not None
+                                else None),
             })
         return {
             "shards": len(self.shards),

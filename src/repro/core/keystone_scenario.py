@@ -83,6 +83,10 @@ class KeystoneStateProvider(CloudStateProvider):
 
     roots = ("projects", "project", "user")
     probe_costs = {"projects": 1, "project": 1, "user": 1}
+    item_scoped_roots = ("project",)
+    # Keystone mutations are identity-plane changes: a project CRUD can
+    # shift role assignments and scoping, so nothing survives a mutation.
+    mutation_dirty_roots = ("projects", "project", "user")
 
     def bindings(self, token: str,
                  item_id: Optional[str] = None,
@@ -111,7 +115,7 @@ class KeystoneStateProvider(CloudStateProvider):
                 skipped += self.probe_costs["project"]
 
         self._count_skipped(skipped)
-        return self._execute_probe_tasks(tasks)
+        return self._execute_probe_tasks(tasks, token=token, item_id=item_id)
 
     def _probe_listing(self, token: str,
                        cache: Optional[Dict[tuple, Any]] = None) -> Any:

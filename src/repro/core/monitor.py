@@ -47,6 +47,7 @@ from .contracts import MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
+from .probecache import ProbeCache
 from .resilience import ProbeFailure, transport_failure
 from .scheduler import ProbeScheduler, SingleFlight
 from .verdict_schema import verdict_record
@@ -159,6 +160,20 @@ class CloudStateProvider:
     #: override alongside :attr:`roots`.
     probe_costs: Dict[str, int] = PROBE_COSTS
 
+    #: Roots whose probes read the *item* addressed by the request URI;
+    #: their cache entries are keyed by the item id so two items never
+    #: share a binding.  Scenario subclasses override alongside
+    #: :attr:`roots`.
+    item_scoped_roots: Tuple[str, ...] = ("volume",)
+
+    #: Roots a forwarded POST/PUT/DELETE may dirty -- what the monitor
+    #: evicts from the probe cache after every mutation.  The Cinder
+    #: scenario's data-plane mutations cannot change a token's identity,
+    #: so ``user`` survives; subclasses whose mutations touch the
+    #: identity plane must include it.
+    mutation_dirty_roots: Tuple[str, ...] = ("project", "volume",
+                                             "quota_sets")
+
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
                  cinder_host: str = "cinder",
@@ -196,6 +211,12 @@ class CloudStateProvider:
         #: :meth:`invalidate_identity_cache` after RBAC changes.
         self.cache_identity = cache_identity
         self._identity_cache: Dict[str, Dict[str, Any]] = {}
+        #: Optional cross-request :class:`~repro.core.probecache.ProbeCache`
+        #: (the owning monitor installs one when built with
+        #: ``probe_cache=True``): untouched roots are served from cache
+        #: instead of re-probing, and the monitor evicts the dirty roots
+        #: after every forwarded mutation.
+        self.probe_cache: Optional[ProbeCache] = None
 
     @property
     def unbound_roots(self) -> FrozenSet[str]:
@@ -318,7 +339,7 @@ class CloudStateProvider:
             skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
-        return self._execute_probe_tasks(tasks)
+        return self._execute_probe_tasks(tasks, token=token, item_id=item_id)
 
     def _new_phase_cache(self):
         """The single-flight cache for one probe phase.
@@ -333,6 +354,8 @@ class CloudStateProvider:
 
     def _execute_probe_tasks(
             self, tasks: List[Tuple[str, Callable[[], Any]]],
+            token: Optional[str] = None,
+            item_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Run one phase's ``(root, probe)`` tasks and merge their results.
 
@@ -345,9 +368,17 @@ class CloudStateProvider:
         is unknowable, which is different from "the resource does not
         exist" -- so the root is recorded as unbound rather than bound to
         an empty value the contract would happily mis-evaluate.
+
+        With a :attr:`probe_cache` installed (and *token* known), cached
+        roots are answered without probing -- no network send, no
+        ``probe_count`` tick -- and freshly probed bindings are stored
+        for the next request; failed probes are never cached.
         """
         bindings: Dict[str, Any] = {}
         unbound: set = set()
+        if self.probe_cache is not None and token is not None:
+            tasks = self._consult_probe_cache(tasks, bindings, token,
+                                              item_id)
         scheduler = self.scheduler
         if (scheduler is not None and scheduler.concurrent
                 and len(tasks) > 1):
@@ -365,6 +396,55 @@ class CloudStateProvider:
                     unbound.add(root)
         self.unbound_roots = frozenset(unbound)
         return bindings
+
+    def _consult_probe_cache(
+            self, tasks: List[Tuple[str, Callable[[], Any]]],
+            bindings: Dict[str, Any], token: str,
+            item_id: Optional[str]) -> List[Tuple[str, Callable[[], Any]]]:
+        """Serve cached roots into *bindings*; wrap the rest to cache.
+
+        Returns the remaining ``(root, probe)`` tasks, each wrapped so a
+        *successful* probe stores its binding under ``(root, resource
+        id, token)``.  Hits and misses tick the
+        ``monitor_probe_cache_{hits,misses}_total`` counters.
+        """
+        cache = self.probe_cache
+        remaining: List[Tuple[str, Callable[[], Any]]] = []
+        for root, thunk in tasks:
+            scoped_id = item_id if root in self.item_scoped_roots else None
+            hit, value = cache.get(root, scoped_id, token)
+            if hit:
+                bindings[root] = value
+                self._count_cache(
+                    "monitor_probe_cache_hits_total",
+                    "Probe bindings served from the cross-request cache")
+            else:
+                self._count_cache(
+                    "monitor_probe_cache_misses_total",
+                    "Probe lookups the cross-request cache could not serve")
+                remaining.append((root, self._caching_probe(
+                    cache, root, scoped_id, token, thunk)))
+        return remaining
+
+    @staticmethod
+    def _caching_probe(cache: ProbeCache, root: str,
+                       scoped_id: Optional[str], token: str,
+                       thunk: Callable[[], Any]) -> Callable[[], Any]:
+        """Wrap *thunk* so its successful result enters the cache.
+
+        A :class:`~repro.core.resilience.ProbeFailure` propagates without
+        caching -- an unreachable substrate is not an observation.
+        """
+        def probe_and_store() -> Any:
+            value = thunk()
+            cache.put(root, scoped_id, token, value)
+            return value
+
+        return probe_and_store
+
+    def _count_cache(self, name: str, help_text: str) -> None:
+        if self.observability is not None:
+            self.observability.metrics.counter(name, help_text).inc()
 
     def _count_skipped(self, skipped: int) -> None:
         """Record probes a plan avoided (subclass ``bindings`` reuse this)."""
@@ -569,7 +649,8 @@ class CloudMonitor:
                  observability: Optional[Observability] = None,
                  probe_planning: bool = True,
                  transport=None,
-                 fanout: int = 1):
+                 fanout: int = 1,
+                 probe_cache=None):
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
@@ -581,6 +662,19 @@ class CloudMonitor:
         #: The ``roots`` keyword is part of the provider ``bindings``
         #: contract, so no capability sniffing happens here.
         self.probe_planning = bool(probe_planning)
+        #: Cross-request probe cache (see
+        #: :mod:`repro.core.probecache`).  ``True`` builds a fresh
+        #: instance, or pass a :class:`~repro.core.probecache.ProbeCache`
+        #: to install a specific one; ``None``/``False`` (the default)
+        #: keeps the uncached probe-everything-again behavior.  Each
+        #: fleet shard gets its own instance via the ``for_service``
+        #: keyword pass-through.
+        self.probe_cache: Optional[ProbeCache] = None
+        if probe_cache:
+            self.probe_cache = (probe_cache
+                                if isinstance(probe_cache, ProbeCache)
+                                else ProbeCache())
+            self.provider.probe_cache = self.probe_cache
         #: Optional local copy of the monitored resources (the runtime
         #: analogue of the generated models.py tables).
         self.mirror = mirror
@@ -826,6 +920,8 @@ class CloudMonitor:
             "retries": metrics.total("monitor_retries_total"),
             "transport_failures":
                 metrics.total("monitor_transport_failures_total"),
+            "probe_cache_hits":
+                metrics.total("monitor_probe_cache_hits_total"),
         }
         with self.obs.events.correlate(trace.trace_id):
             return self._run_workflow(operation, request, token, contract,
@@ -840,10 +936,18 @@ class CloudMonitor:
         # round also binds the snapshot roots: the pre-probe context is
         # reused by the snapshot phase below.
         with trace.span("pre_probe"):
-            pre_context = self.provider.context(
-                token, item_id,
-                roots=plan.pre_phase_roots if plan is not None else None)
-        unbound = self.provider.unbound_roots
+            if plan is not None and not plan.pre_phase_roots:
+                # The (optimized) contract reads no pre-state at all --
+                # constant pre-condition and no snapshot roots -- so the
+                # phase skips the provider round-trip entirely instead of
+                # asking it to bind an empty set.
+                pre_context = Context({}, strict=False)
+                unbound: FrozenSet[str] = frozenset()
+            else:
+                pre_context = self.provider.context(
+                    token, item_id,
+                    roots=plan.pre_phase_roots if plan is not None else None)
+                unbound = self.provider.unbound_roots
         if unbound:
             # The transport gave up on at least one probe: the pre-state
             # is unobservable, so neither blocking nor forwarding can be
@@ -888,6 +992,14 @@ class CloudMonitor:
         with trace.span("forward") as forward_span:
             cloud_response = self.transport.send(forward_request)
             forward_span.tags["status"] = cloud_response.status_code
+        if request.method != "GET":
+            # The forwarded mutation may have changed cloud state; evict
+            # the roots it can dirty *before* any post-phase probe (or
+            # any later request) could be served stale pre-state.  Even a
+            # transport-failed forward may have reached the application
+            # (a mangled response still executed), so eviction does not
+            # wait for a clean answer.
+            self._invalidate_probe_cache()
         reason = transport_failure(cloud_response)
         if reason is not None:
             # The 503 in hand is the transport's own (retries exhausted or
@@ -978,6 +1090,24 @@ class CloudMonitor:
 
     # -- bookkeeping ----------------------------------------------------------------
 
+    def _invalidate_probe_cache(self) -> None:
+        """Evict probe-cache entries a forwarded mutation dirtied.
+
+        The provider's :attr:`~CloudStateProvider.mutation_dirty_roots`
+        names what a POST/PUT/DELETE can touch; eviction crosses all
+        tokens and resource ids for those roots.  Each evicted entry
+        ticks ``monitor_probe_cache_invalidations_total``.
+        """
+        cache = self.provider.probe_cache
+        if cache is None:
+            return
+        evicted = cache.invalidate(self.provider.mutation_dirty_roots)
+        if evicted:
+            self.obs.metrics.counter(
+                "monitor_probe_cache_invalidations_total",
+                "Probe-cache entries evicted because a forwarded "
+                "mutation dirtied their root").inc(evicted)
+
     @staticmethod
     def _requirements(contract: MethodContract, applicable) -> List[str]:
         if applicable:
@@ -1060,7 +1190,8 @@ class CloudMonitor:
         """
         metrics = self.obs.metrics
         baseline = getattr(self._baseline, "value", None) or {
-            "probes": 0.0, "retries": 0.0, "transport_failures": 0.0}
+            "probes": 0.0, "retries": 0.0, "transport_failures": 0.0,
+            "probe_cache_hits": 0.0}
         self._baseline.value = None
         breaker_states = getattr(self.transport, "breaker_states", None)
         self.obs.events.emit(
@@ -1079,6 +1210,9 @@ class CloudMonitor:
             unbound_roots=list(verdict.unbound_roots),
             probe_plan=trace.tags.get("probe_plan"),
             probes=int(self.provider.probe_count - baseline["probes"]),
+            probe_cache_hits=int(
+                metrics.total("monitor_probe_cache_hits_total")
+                - baseline["probe_cache_hits"]),
             retries=int(metrics.total("monitor_retries_total")
                         - baseline["retries"]),
             transport_failures=int(

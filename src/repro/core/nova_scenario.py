@@ -96,6 +96,9 @@ class NovaStateProvider(CloudStateProvider):
 
     roots = ("project", "server", "user")
     probe_costs = {"project": 2, "server": 1, "user": 1}
+    item_scoped_roots = ("server",)
+    # Nova's data-plane mutations (server CRUD) cannot change identity.
+    mutation_dirty_roots = ("project", "server")
 
     def __init__(self, network: Network, project_id: str,
                  keystone_host: str = "keystone",
@@ -130,7 +133,7 @@ class NovaStateProvider(CloudStateProvider):
             skipped += self.probe_costs["user"]
 
         self._count_skipped(skipped)
-        return self._execute_probe_tasks(tasks)
+        return self._execute_probe_tasks(tasks, token=token, item_id=item_id)
 
     def _probe_nova_project(self, token: str,
                             cache: Optional[Dict[tuple, Any]] = None,

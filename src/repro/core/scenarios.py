@@ -79,7 +79,8 @@ def _build_cinder(network: Network, project_id: str,
                   observability: Optional[Observability] = None,
                   probe_planning: bool = True,
                   transport=None,
-                  fanout: int = 1) -> CloudMonitor:
+                  fanout: int = 1,
+                  probe_cache=None) -> CloudMonitor:
     """The paper's monitor for the Cinder volume scenario.
 
     Builds the Figure-3 models (unless given), generates the contracts,
@@ -108,7 +109,8 @@ def _build_cinder(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         mirror=mirror, observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport, fanout=fanout)
+                        transport=transport, fanout=fanout,
+                        probe_cache=probe_cache)
 
 
 def _build_nova(network: Network, project_id: str,

@@ -27,7 +27,13 @@ navigation ``a.b``, collection operations ``c->size()``, ``c->isEmpty()``,
 ``x.oclIsUndefined()``.
 """
 
-from .compile import compile_bool, compile_expression
+from .compile import (
+    compile_bool,
+    compile_expression,
+    compile_optimized,
+    compile_snapshot_plan,
+    optimize_expression,
+)
 from .context import Context, DictNavigator, Navigator, ObjectNavigator
 from .evaluator import Evaluator, Snapshot, collect_pre_expressions, evaluate
 from .lexer import tokenize
@@ -75,7 +81,10 @@ __all__ = [
     "collect_pre_expressions",
     "compile_bool",
     "compile_expression",
+    "compile_optimized",
+    "compile_snapshot_plan",
     "evaluate",
+    "optimize_expression",
     "free_names",
     "is_defined",
     "old_value_roots",

@@ -20,12 +20,12 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import OCLEvaluationError, OCLTypeError
 from . import ops
 from .context import Context
-from .evaluator import Snapshot
+from .evaluator import Snapshot, collect_pre_expressions
 from .nodes import (
     ArrowCall,
     Binary,
@@ -39,12 +39,21 @@ from .nodes import (
     Navigation,
     Pre,
     Unary,
+    conjoin,
+    disjoin,
 )
 from .parser import parse
+from .simplify import simplify
+from .usage import required_roots
 from .values import ocl_equal, ocl_truthy, require_number
 
 #: A compiled expression: (context, snapshot) -> value.
 Compiled = Callable[[Context, Optional[Snapshot]], Any]
+
+#: Ceiling on the conjunctive terms DNF normalization may produce; an
+#: expression whose distribution would exceed it keeps its original shape
+#: (normalization is an optimization, never an obligation).
+DNF_TERM_LIMIT = 64
 
 
 def compile_expression(expression: Union[str, Expression]) -> Compiled:
@@ -60,6 +69,148 @@ def compile_bool(expression: Union[str, Expression]) -> Compiled:
         return ocl_truthy(inner(context, snapshot))
 
     return run
+
+
+# -- the optimization pass ----------------------------------------------------
+
+
+def to_dnf(expression: Union[str, Expression],
+           limit: int = DNF_TERM_LIMIT) -> Expression:
+    """Normalize *expression*'s and/or structure to disjunctive normal form.
+
+    Only the boolean skeleton is rewritten -- comparisons, ``not``,
+    ``implies``/``xor``, navigations, and calls are opaque atoms.  When
+    distribution would produce more than *limit* conjunctive terms the
+    original expression is returned unchanged.  DNF puts a contract's
+    pre-condition back into its per-case disjunct shape after constant
+    folding, so one cheap true disjunct short-circuits the whole check.
+    """
+    node = parse(expression)
+    terms = _dnf_terms(node, limit)
+    if terms is None:
+        return node
+    return disjoin([conjoin(term) for term in terms])
+
+
+def _dnf_terms(node: Expression,
+               limit: int) -> Optional[List[List[Expression]]]:
+    """*node* as a list of conjunct lists, or ``None`` past the limit."""
+    if isinstance(node, Binary) and node.operator == "or":
+        left = _dnf_terms(node.left, limit)
+        right = _dnf_terms(node.right, limit)
+        if left is None or right is None or len(left) + len(right) > limit:
+            return None
+        return left + right
+    if isinstance(node, Binary) and node.operator == "and":
+        left = _dnf_terms(node.left, limit)
+        right = _dnf_terms(node.right, limit)
+        if left is None or right is None or len(left) * len(right) > limit:
+            return None
+        return [lterm + rterm for lterm in left for rterm in right]
+    return [[node]]
+
+
+def binding_cost(expression: Union[str, Expression],
+                 costs: Mapping[str, int]) -> int:
+    """Planned GET probes needed before *expression* can evaluate.
+
+    The sum of per-root probe costs (the provider's ``PROBE_COSTS``
+    table) over the roots the expression reads; an expression reading no
+    known root costs 0 -- it can always evaluate first.
+    """
+    return sum(costs[root]
+               for root in required_roots(parse(expression), tuple(costs)))
+
+
+def order_by_cost(expression: Union[str, Expression],
+                  costs: Mapping[str, int]) -> Expression:
+    """Stably reorder and/or chains so cheap-to-bind operands come first.
+
+    Each chain's operands are sorted by :func:`binding_cost` (stable:
+    equal-cost operands keep their source order, preserving determinism),
+    recursively.  Short-circuit evaluation then settles most requests on
+    the operands whose probes are cheapest -- e.g. a ``user``-only
+    authorization term (cost 1) runs before a ``project`` inventory
+    comparison (cost 2).  Only apply this to total boolean expressions
+    (contract conditions are: undefined bindings compare false instead of
+    raising), because reordering also reorders which operand raises.
+    """
+    node = parse(expression)
+    if isinstance(node, Binary) and node.operator in ("and", "or"):
+        operands = [order_by_cost(operand, costs)
+                    for operand in _chain(node.operator, node)]
+        ordered = sorted(operands,
+                         key=lambda operand: binding_cost(operand, costs))
+        result = ordered[0]
+        for operand in ordered[1:]:
+            result = Binary(node.operator, result, operand)
+        return result
+    return node
+
+
+def _chain(operator: str, node: Expression) -> List[Expression]:
+    """Flatten an and/or chain into its operand list."""
+    if isinstance(node, Binary) and node.operator == operator:
+        return _chain(operator, node.left) + _chain(operator, node.right)
+    return [node]
+
+
+def optimize_expression(expression: Union[str, Expression],
+                        costs: Optional[Mapping[str, int]] = None,
+                        dnf: bool = False) -> Expression:
+    """The contract-compilation optimization pipeline, as an AST pass.
+
+    1. constant folding through :func:`repro.ocl.simplify.simplify`
+       (connectives, comparisons via ``ocl_equal``, arithmetic);
+    2. optionally (*dnf*) normalize the boolean skeleton to DNF and fold
+       again -- distribution duplicates atoms that the second fold
+       deduplicates;
+    3. with a *costs* table, stably order every and/or chain so the
+       cheapest-to-bind operand short-circuits first.
+
+    The result evaluates to the same value as *expression* on total
+    (two-valued, non-raising) inputs -- the shape contract conditions
+    satisfy -- which the interpreter/compiler equivalence property suite
+    checks.
+    """
+    node = simplify(parse(expression))
+    if dnf:
+        normalized = to_dnf(node)
+        if normalized is not node:
+            node = simplify(normalized)
+    if costs:
+        node = order_by_cost(node, costs)
+    return node
+
+
+def compile_optimized(expression: Union[str, Expression],
+                      costs: Optional[Mapping[str, int]] = None,
+                      dnf: bool = False) -> Compiled:
+    """:func:`optimize_expression` then :func:`compile_bool`."""
+    return compile_bool(optimize_expression(expression, costs=costs,
+                                            dnf=dnf))
+
+
+def compile_snapshot_plan(
+        expression: Union[str, Expression],
+) -> List[Tuple[tuple, Compiled]]:
+    """Compile *expression*'s snapshot capture: (key, closure) pairs.
+
+    One entry per structurally distinct outermost ``pre()`` node, in
+    first-occurrence order; the key is the operand's structural key --
+    exactly what :meth:`repro.ocl.evaluator.Snapshot.capture` stores, so
+    a snapshot filled from this plan is interchangeable with an
+    interpreted capture of the same expression.
+    """
+    plan: List[Tuple[tuple, Compiled]] = []
+    seen = set()
+    for pre_node in collect_pre_expressions(parse(expression)):
+        key = pre_node.operand._key()
+        if key in seen:
+            continue
+        seen.add(key)
+        plan.append((key, _compile(pre_node.operand)))
+    return plan
 
 
 def _compile(node: Expression) -> Compiled:

@@ -37,7 +37,10 @@ from .nodes import (
     Pre,
     Unary,
 )
+from ..errors import OCLTypeError
+from . import ops
 from .parser import parse
+from .values import UNDEFINED, ocl_equal
 
 
 def _is_literal(node: Expression, value: object) -> bool:
@@ -102,10 +105,13 @@ def _fold_comparison(node: Binary) -> Expression:
         return node
     lv, rv = left.value, right.value
     try:
+        # Equality folds through ocl_equal -- the evaluator's notion of
+        # equality (mixed int/float compare by value, bool and int stay
+        # distinct) -- so simplify("1 = 1.0") agrees with evaluation.
         if node.operator == "=":
-            return Literal(lv == rv and type(lv) is type(rv))
+            return Literal(ocl_equal(lv, rv))
         if node.operator == "<>":
-            return Literal(not (lv == rv and type(lv) is type(rv)))
+            return Literal(not ocl_equal(lv, rv))
         if lv is None or rv is None or isinstance(lv, bool) or \
                 isinstance(rv, bool):
             return node
@@ -120,6 +126,26 @@ def _fold_comparison(node: Binary) -> Expression:
     except TypeError:
         return node
     return node
+
+
+def _fold_arithmetic(node: Binary) -> Expression:
+    """Fold arithmetic on two literals through the shared ``ops.arith``.
+
+    Division by zero is *not* folded: its value is ``UNDEFINED``, which is
+    not a literal, so the node is kept and the evaluator produces the
+    undefined value at runtime.  Type errors (``1 + true``) are also kept:
+    simplification must not swallow an error evaluation would raise.
+    """
+    left, right = node.left, node.right
+    if not (isinstance(left, Literal) and isinstance(right, Literal)):
+        return node
+    try:
+        value = ops.arith(node.operator, left.value, right.value)
+    except OCLTypeError:
+        return node
+    if value is UNDEFINED:
+        return node
+    return Literal(value)
 
 
 def _is_pure(node: Expression) -> bool:
@@ -160,6 +186,8 @@ def _simplify(node: Expression) -> Expression:
             return _simplify_connective(rebuilt)
         if node.operator in Binary.COMPARISONS:
             return _fold_comparison(rebuilt)
+        if node.operator in Binary.ARITHMETIC:
+            return _fold_arithmetic(rebuilt)
         return rebuilt
     if isinstance(node, Let):
         return Let(node.variable, _simplify(node.value),

@@ -16,6 +16,7 @@ from .campaign import (
     KillRecord,
     MutationCampaign,
     default_setup,
+    measure_probe_rate,
     release2_setup,
 )
 from .chaos import (
@@ -29,6 +30,7 @@ from .chaos import (
     recoverable_program,
     resilient_setup,
     run_breaker_sequence,
+    run_cache_parity_campaign,
     run_chaos_campaign,
     run_fleet_leg,
     run_leg,
@@ -57,8 +59,10 @@ __all__ = [
     "default_setup",
     "flaky_program",
     "fleet_setup",
+    "measure_probe_rate",
     "recoverable_program",
     "resilient_setup",
+    "run_cache_parity_campaign",
     "run_chaos_campaign",
     "run_fleet_leg",
     "run_leg",

@@ -28,6 +28,7 @@ def default_setup(enforcing: bool = False,
                   volume_quota: int = 5,
                   observability=None,
                   probe_planning: bool = True,
+                  probe_cache: bool = False,
                   ) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper's setup: myProject cloud + Cinder monitor in audit mode.
 
@@ -35,15 +36,46 @@ def default_setup(enforcing: bool = False,
     even when the pre-condition fails, so wrong *acceptance* by the cloud
     is observable (that is how escalation mutants die).  Pass an
     :class:`repro.obs.Observability` to collect the session's metrics and
-    traces under an injected clock.
+    traces under an injected clock.  *probe_cache* installs the
+    cross-request :class:`~repro.core.probecache.ProbeCache` -- verdicts
+    must not change (the cache-parity gate), only the probe count.
     """
     cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
     monitor = CloudMonitor.for_service("cinder", cloud.network, "myProject",
                                        enforcing=enforcing,
                                        observability=observability,
-                                       probe_planning=probe_planning)
+                                       probe_planning=probe_planning,
+                                       probe_cache=probe_cache)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
+
+
+def measure_probe_rate(count: int = 60, seed: int = 42,
+                       probe_planning: bool = True,
+                       probe_cache: bool = False) -> dict:
+    """Probes per request on the seeded overhead workload.
+
+    The measurement behind the probe-budget gate and the bench
+    trajectory: deterministic (seeded RNG, in-process network), so the
+    returned rate is exact, not an estimate.  Includes the monitor's
+    probe-cache counters when the cache is enabled.
+    """
+    from ..workloads import WorkloadRunner, make_workload
+
+    workload = make_workload(count, seed=seed)
+    cloud, monitor = default_setup(probe_planning=probe_planning,
+                                   probe_cache=probe_cache)
+    runner = WorkloadRunner(cloud, monitor)
+    runner.execute(workload, monitored=True)
+    result = {
+        "workload": {"count": len(workload), "seed": seed},
+        "probe_planning": probe_planning,
+        "probe_cache": probe_cache,
+        "probes_per_request": monitor.provider.probe_count / len(workload),
+    }
+    if monitor.probe_cache is not None:
+        result["cache"] = monitor.probe_cache.stats()
+    return result
 
 
 def release2_setup(enforcing: bool = False,

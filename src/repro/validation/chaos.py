@@ -49,6 +49,7 @@ def resilient_setup(enforcing: bool = False,
                     failure_threshold: int = 5,
                     recovery_time: float = 30.0,
                     fanout: int = 1,
+                    probe_cache: bool = False,
                     ) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper setup with a ResilientTransport under the monitor.
 
@@ -68,7 +69,7 @@ def resilient_setup(enforcing: bool = False,
     monitor = CloudMonitor.for_service(
         "cinder", cloud.network, "myProject",
         enforcing=enforcing, observability=observability,
-        transport=transport, fanout=fanout)
+        transport=transport, fanout=fanout, probe_cache=probe_cache)
     cloud.network.register("cmonitor", monitor.app)
     return cloud, monitor
 
@@ -81,6 +82,7 @@ def fleet_setup(shards: int = 4,
                 recovery_time: float = 30.0,
                 fanout: int = 1,
                 router_seed: int = 0,
+                probe_cache: bool = False,
                 ) -> Tuple[PrivateCloud, MonitorFleet]:
     """The paper setup behind a sharded :class:`MonitorFleet`.
 
@@ -103,7 +105,7 @@ def fleet_setup(shards: int = 4,
         "cinder", cloud.network, "myProject",
         shards=shards, clock=clock, router_seed=router_seed,
         transport_factory=transport_factory,
-        enforcing=enforcing, fanout=fanout)
+        enforcing=enforcing, fanout=fanout, probe_cache=probe_cache)
     cloud.network.register("cmonitor", fleet)
     return cloud, fleet
 
@@ -190,14 +192,18 @@ class ChaosReport:
 
 def run_leg(count: int = 40, seed: int = 7,
             fault_factory: Optional[Callable[[], FaultProgram]] = None,
-            enforcing: bool = False, fanout: int = 1) -> ChaosRun:
+            enforcing: bool = False, fanout: int = 1,
+            probe_cache: bool = False) -> ChaosRun:
     """Run the seeded workload once, optionally under a fault program.
 
     A *fresh* cloud + monitor per leg: chaos must never leak state into
     the baseline it is compared against.  *fanout* > 1 runs the same
     workload with concurrent probe fan-out -- the rows must not change.
+    *probe_cache* enables the cross-request probe cache -- the rows must
+    not change either (the cache-parity gate).
     """
-    cloud, monitor = resilient_setup(enforcing=enforcing, fanout=fanout)
+    cloud, monitor = resilient_setup(enforcing=enforcing, fanout=fanout,
+                                     probe_cache=probe_cache)
     try:
         if fault_factory is not None:
             for host in CHAOS_HOSTS:
@@ -220,7 +226,8 @@ def run_leg(count: int = 40, seed: int = 7,
 def run_fleet_leg(count: int = 40, seed: int = 7,
                   fault_factory: Optional[Callable[[], FaultProgram]] = None,
                   enforcing: bool = False,
-                  shards: int = 4, fanout: int = 1) -> ChaosRun:
+                  shards: int = 4, fanout: int = 1,
+                  probe_cache: bool = False) -> ChaosRun:
     """Run the seeded workload through a sharded fleet.
 
     Same workload, same deterministic stack, but traffic is partitioned
@@ -229,7 +236,7 @@ def run_fleet_leg(count: int = 40, seed: int = 7,
     single-monitor leg -- the fleet half of the parity gate.
     """
     cloud, fleet = fleet_setup(shards=shards, enforcing=enforcing,
-                               fanout=fanout)
+                               fanout=fanout, probe_cache=probe_cache)
     try:
         if fault_factory is not None:
             for host in CHAOS_HOSTS:
@@ -264,6 +271,23 @@ def run_chaos_campaign(count: int = 40, seed: int = 7,
                       fault_factory if fault_factory is not None
                       else recoverable_program)
     return ChaosReport(baseline, faulted)
+
+
+def run_cache_parity_campaign(count: int = 40, seed: int = 7,
+                              fault_factory: Optional[
+                                  Callable[[], FaultProgram]] = None,
+                              ) -> ChaosReport:
+    """Uncached serial leg vs. the same workload with the probe cache.
+
+    The cross-request :class:`~repro.core.probecache.ProbeCache` must be
+    invisible to the verdict stream: serving untouched roots from cache
+    and re-probing after every mutation has to produce byte-identical
+    verdict rows, fault program or not.  The report's ``baseline`` is the
+    uncached leg, ``faulted`` the cached one; ``parity`` is the gate.
+    """
+    uncached = run_leg(count, seed, fault_factory)
+    cached = run_leg(count, seed, fault_factory, probe_cache=True)
+    return ChaosReport(uncached, cached)
 
 
 #: The breaker lifecycle a recovery must walk, as (from, to) transitions:
