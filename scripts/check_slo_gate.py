@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Enforce deterministic diagnostics: SLO and event output must not drift.
 
-Runs ``cloudmon slo --deterministic --json`` and ``cloudmon events
---deterministic --json`` twice each (fresh monitor, fixed-tick
-ManualClock, seeded battery) and requires:
+Runs ``cloudmon slo --deterministic --json``, ``cloudmon events
+--deterministic --json``, and ``cloudmon alarms --degraded --json``
+(the deterministic incident replay: escalate to CRITICAL on a dead
+substrate, stand down hysteretically after recovery) twice each (fresh
+monitor, fixed-tick ManualClock, seeded battery) and requires:
 
 * each command's output is byte-identical across the two runs -- the
   diagnostics layer must not leak wall-clock time, dict ordering, or any
@@ -34,6 +36,7 @@ BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 COMMANDS = {
     "slo": ["slo", "--deterministic", "--json"],
     "events": ["events", "--deterministic", "--json"],
+    "alarms": ["alarms", "--degraded", "--json"],
 }
 
 
@@ -102,8 +105,8 @@ def main() -> int:
             failed = True
     if failed:
         return 1
-    print("slo gate: deterministic slo + events output byte-stable and "
-          "matching the recorded baseline")
+    print("slo gate: deterministic slo + events + alarms output "
+          "byte-stable and matching the recorded baseline")
     return 0
 
 

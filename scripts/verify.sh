@@ -25,8 +25,11 @@ PYTHONPATH=src python scripts/check_chaos_parity.py
 echo "==> cache parity gate (probe cache leaves verdicts unchanged)"
 PYTHONPATH=src python scripts/check_cache_parity.py
 
-echo "==> slo gate (deterministic slo/events output matches baseline)"
+echo "==> slo gate (deterministic slo/events/alarms output matches baseline)"
 PYTHONPATH=src python scripts/check_slo_gate.py
+
+echo "==> config gate (round-trip + migrate lossless by digest)"
+PYTHONPATH=src python scripts/check_config_migrate.py
 
 echo "==> fan-out/fleet parity gate (concurrency leaves verdicts unchanged)"
 PYTHONPATH=src python scripts/check_fanout_parity.py

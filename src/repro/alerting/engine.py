@@ -1,0 +1,321 @@
+"""The alarm engine: deterministic state machines over burn rates.
+
+One :class:`AlarmEngine` owns a set of :class:`~repro.alerting.rules.
+AlarmRule` state machines and evaluates them against a
+:class:`~repro.obs.slo.SLOEngine`'s multi-window burn rates.  The
+monitor calls :meth:`AlarmEngine.evaluate` once per monitored request,
+*immediately after* the SLO snapshot and with the snapshot's own clock
+reading -- the engine itself never touches the clock, so wiring alarms
+into a monitor changes **zero** clock reads and leaves every previously
+recorded deterministic digest intact.
+
+State-machine semantics (pinned by hypothesis properties):
+
+* **escalation is immediate** -- the first evaluation whose breaching
+  window count reaches a rule's threshold transitions the alarm, so a
+  CRITICAL (all windows breaching, the classic fast+slow agreement)
+  can never be reported late;
+* **de-escalation is hysteretic** -- the alarm stands down only after
+  ``clear_after`` *consecutive* evaluations strictly below the current
+  severity, landing on the highest severity seen while waiting; burn
+  rates oscillating around a threshold therefore cannot flap an alarm.
+
+Each transition produces an :class:`AlarmTransition` dispatched to
+every notification sink (the wide-event log by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import AlarmError
+from .notifications import EventLogSink, NotificationSink
+from .rules import CRITICAL, OK, SEVERITY_ORDER, AlarmRule, default_rules
+
+
+def _round9(value: float) -> float:
+    """Canonical 9-significant-digit rounding for byte-stable reports."""
+    return float(f"{float(value):.9g}")
+
+
+@dataclass(frozen=True)
+class AlarmTransition:
+    """One alarm state change, with the evidence that caused it."""
+
+    alarm: str
+    slo: str
+    from_state: str
+    to_state: str
+    at: float
+    breaching_windows: int
+    window_count: int
+    burn_rates: Dict[str, float]
+
+    def to_record(self) -> Dict[str, Any]:
+        """The flat notification record sinks receive."""
+        return {
+            "alarm": self.alarm,
+            "slo": self.slo,
+            "from_state": self.from_state,
+            "to_state": self.to_state,
+            "severity": self.to_state,
+            "at": _round9(self.at),
+            "breaching_windows": self.breaching_windows,
+            "window_count": self.window_count,
+            "burn_rates": {label: _round9(rate)
+                           for label, rate in self.burn_rates.items()},
+        }
+
+
+class AlarmState:
+    """The mutable evaluation state of one rule."""
+
+    def __init__(self, rule: AlarmRule, since: float = 0.0):
+        self.rule = rule
+        self.state = OK
+        #: Clock reading of the last transition (engine creation until
+        #: the first one).
+        self.since = since
+        #: Candidate lower severity while hysteresis counts down.
+        self.pending: Optional[str] = None
+        self.pending_count = 0
+        #: Breaching-window count of the most recent evaluation.
+        self.breaching = 0
+        self.window_count = 0
+        self.transition_count = 0
+
+    def observe(self, target: str, breaching: int, window_count: int,
+                burn_rates: Dict[str, float],
+                now: float) -> Optional[AlarmTransition]:
+        """Feed one evaluation; returns the transition it caused, if any."""
+        self.breaching = breaching
+        self.window_count = window_count
+        current_rank = SEVERITY_ORDER[self.state]
+        target_rank = SEVERITY_ORDER[target]
+        if target_rank > current_rank:
+            # Escalate immediately; an incident must not wait for
+            # hysteresis.
+            return self._transition(target, breaching, window_count,
+                                    burn_rates, now)
+        if target_rank == current_rank:
+            # Holding steady resets any countdown toward standing down.
+            self.pending = None
+            self.pending_count = 0
+            return None
+        # Calmer than the current state: count consecutive calm
+        # evaluations, landing on the *highest* severity seen while
+        # waiting (an OK, WARN sequence under a CRITICAL alarm stands
+        # down to WARN, not OK).
+        if self.pending is None:
+            self.pending = target
+            self.pending_count = 1
+        else:
+            self.pending_count += 1
+            if target_rank > SEVERITY_ORDER[self.pending]:
+                self.pending = target
+        if self.pending_count >= self.rule.clear_after:
+            return self._transition(self.pending, breaching, window_count,
+                                    burn_rates, now)
+        return None
+
+    def _transition(self, to_state: str, breaching: int, window_count: int,
+                    burn_rates: Dict[str, float],
+                    now: float) -> AlarmTransition:
+        transition = AlarmTransition(
+            alarm=self.rule.name, slo=self.rule.slo,
+            from_state=self.state, to_state=to_state, at=now,
+            breaching_windows=breaching, window_count=window_count,
+            burn_rates=dict(burn_rates))
+        self.state = to_state
+        self.since = now
+        self.pending = None
+        self.pending_count = 0
+        self.transition_count += 1
+        return transition
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of this alarm's current state."""
+        return {
+            "alarm": self.rule.name,
+            "slo": self.rule.slo,
+            "state": self.state,
+            "since": _round9(self.since),
+            "breaching_windows": self.breaching,
+            "window_count": self.window_count,
+            "pending": self.pending,
+            "pending_count": self.pending_count,
+            "transitions": self.transition_count,
+            "warn_breaches": self.rule.warn_breaches,
+            "critical_breaches": self.rule.critical_breaches,
+            "clear_after": self.rule.clear_after,
+        }
+
+    def __repr__(self) -> str:
+        return f"<AlarmState {self.rule.name} {self.state}>"
+
+
+class AlarmEngine:
+    """Evaluates alarm rules against an SLO engine's burn windows.
+
+    *rules* defaults to :func:`~repro.alerting.rules.default_rules` over
+    the engine's catalog (one alarm per SLO).  *sinks* defaults to a
+    single :class:`~repro.alerting.notifications.EventLogSink` when
+    *events* is given, else no sinks -- transitions are always retained
+    in :attr:`history` either way.
+    """
+
+    def __init__(self, slo_engine,
+                 rules: Optional[Sequence[AlarmRule]] = None,
+                 sinks: Optional[Sequence[NotificationSink]] = None,
+                 events=None,
+                 keep: int = 1024):
+        self.slo_engine = slo_engine
+        resolved = (list(rules) if rules is not None
+                    else default_rules(slo_engine.slos))
+        names = [rule.name for rule in resolved]
+        if len(set(names)) != len(names):
+            raise AlarmError(f"duplicate alarm names: {sorted(names)}")
+        known = {slo.name for slo in slo_engine.slos}
+        for rule in resolved:
+            if rule.slo not in known:
+                raise AlarmError(
+                    f"alarm {rule.name!r} watches unknown SLO "
+                    f"{rule.slo!r} (catalog: {sorted(known)})")
+        since = getattr(slo_engine, "created", 0.0)
+        self.states: List[AlarmState] = [AlarmState(rule, since=since)
+                                         for rule in resolved]
+        if sinks is not None:
+            self.sinks: List[NotificationSink] = list(sinks)
+        elif events is not None:
+            self.sinks = [EventLogSink(events)]
+        else:
+            self.sinks = []
+        #: Every transition ever fired, oldest first (bounded).
+        self.history: List[AlarmTransition] = []
+        self.keep = keep
+        #: Clock reading of the most recent evaluation.
+        self.last_evaluated = since
+
+    @property
+    def rules(self) -> List[AlarmRule]:
+        return [state.rule for state in self.states]
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> List[AlarmTransition]:
+        """Evaluate every rule; dispatch and return fired transitions.
+
+        *now* should be the clock reading of the SLO snapshot the
+        evaluation rides on (the monitor passes
+        ``slos.snapshot()``'s return value); when ``None`` the SLO
+        engine's clock is read once -- fine interactively, avoided on
+        the deterministic per-request path.
+        """
+        if now is None:
+            now = self.slo_engine.clock()
+        status = self.slo_engine.window_status(now)
+        fired: List[AlarmTransition] = []
+        for state in self.states:
+            windows = status.get(state.rule.slo)
+            if windows is None:
+                continue
+            breaching = sum(1 for window in windows if window["breaching"])
+            burn_rates = {window["window"]: window["burn_rate"]
+                          for window in windows}
+            target = state.rule.severity_for(breaching, len(windows))
+            transition = state.observe(target, breaching, len(windows),
+                                       burn_rates, now)
+            if transition is not None:
+                fired.append(transition)
+                self._dispatch(transition)
+        self.last_evaluated = now
+        return fired
+
+    def _dispatch(self, transition: AlarmTransition) -> None:
+        self.history.append(transition)
+        if len(self.history) > self.keep:
+            del self.history[:len(self.history) - self.keep]
+        record = transition.to_record()
+        for sink in self.sinks:
+            sink.notify(record)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def overall(self) -> str:
+        """The most severe current alarm state."""
+        if not self.states:
+            return OK
+        return max((state.state for state in self.states),
+                   key=lambda state: SEVERITY_ORDER[state])
+
+    def active(self) -> List[AlarmState]:
+        """Alarms currently above OK, most severe first."""
+        return sorted((state for state in self.states if state.state != OK),
+                      key=lambda state: (-SEVERITY_ORDER[state.state],
+                                         state.rule.name))
+
+    def report(self) -> Dict[str, Any]:
+        """The canonical JSON-ready alarm document (sort-stable).
+
+        Built entirely from evaluation state -- no clock reads, no
+        registry reads -- so it is byte-stable whenever the evaluations
+        that fed it were deterministic.
+        """
+        return {
+            "generated_at": _round9(self.last_evaluated),
+            "overall": self.overall,
+            "alarms": [state.to_dict() for state in self.states],
+            "transitions": [transition.to_record()
+                            for transition in self.history],
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """The compact health-payload block: overall + active alarms."""
+        return {
+            "overall": self.overall,
+            "active": [{
+                "alarm": state.rule.name,
+                "slo": state.rule.slo,
+                "state": state.state,
+                "since": _round9(state.since),
+            } for state in self.active()],
+        }
+
+    def render(self) -> str:
+        """The report as an aligned text table (``cloudmon alarms``)."""
+        report = self.report()
+        lines = [
+            f"alarm report at t={report['generated_at']} "
+            f"(overall: {report['overall']})",
+            "",
+            f"{'alarm':<32} {'slo':<24} {'state':<9} "
+            f"{'breach':>6} {'pend':>4}  transitions",
+        ]
+        for entry in report["alarms"]:
+            breach = f"{entry['breaching_windows']}/{entry['window_count']}"
+            pend = (f"{entry['pending_count']}/{entry['clear_after']}"
+                    if entry["pending"] else "-")
+            lines.append(
+                f"{entry['alarm']:<32} {entry['slo']:<24} "
+                f"{entry['state']:<9} {breach:>6} {pend:>4}  "
+                f"{entry['transitions']}")
+        if report["transitions"]:
+            lines.append("")
+            lines.append("transition log:")
+            for record in report["transitions"]:
+                lines.append(
+                    f"  t={record['at']:<12.6g} {record['alarm']}: "
+                    f"{record['from_state']} -> {record['to_state']} "
+                    f"({record['breaching_windows']}/"
+                    f"{record['window_count']} windows breaching)")
+        return "\n".join(lines)
+
+    def has_critical(self) -> bool:
+        """True when any alarm currently stands at CRITICAL."""
+        return any(state.state == CRITICAL for state in self.states)
+
+    def __repr__(self) -> str:
+        return (f"<AlarmEngine rules={len(self.states)} "
+                f"overall={self.overall}>")

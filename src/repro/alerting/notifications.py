@@ -1,0 +1,112 @@
+"""Notification sinks: where structured alarm transitions go.
+
+A sink receives one flat dict per :class:`~repro.alerting.engine.
+AlarmTransition` -- the evidence-grade record of *what* changed state,
+*why* (the breaching windows and burn rates at the moment of
+transition), and *when* (the injected clock's reading).  Sinks are
+declarative config (``kind`` + parameters) so a
+:class:`~repro.config.MonitorConfig` can enumerate them:
+
+* ``events`` -- :class:`EventLogSink`: emits an ``alarm_transition``
+  wide event into the monitor's bounded event ring (the default; makes
+  transitions queryable via ``/-/events`` and ``cloudmon events``);
+* ``jsonl`` -- :class:`JsonlSink`: appends canonical JSONL rows to a
+  file (the exportable audit trail);
+* ``memory`` -- :class:`MemorySink`: retains records in a list (tests
+  and embedding callers).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import AlarmError
+
+#: Keys every transition record carries (the engine builds them; sinks
+#: only transport them).
+TRANSITION_KEYS = ("alarm", "slo", "from_state", "to_state", "severity",
+                   "breaching_windows", "window_count", "burn_rates", "at")
+
+
+class NotificationSink:
+    """Base sink: a named destination for alarm-transition records."""
+
+    kind = "base"
+
+    def __init__(self, name: str = ""):
+        self.name = name or self.kind
+
+    def notify(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class EventLogSink(NotificationSink):
+    """Emit each transition as an ``alarm_transition`` wide event.
+
+    The event log stamps its own envelope (``seq``/``time``/current
+    trace id), so the record's evaluation-time ``at`` field rides along
+    as a payload field: ``time`` is *when the event was emitted*, ``at``
+    is *the clock reading the alarm was evaluated against*.
+    """
+
+    kind = "events"
+
+    def __init__(self, events, name: str = ""):
+        super().__init__(name)
+        if events is None:
+            raise AlarmError("an EventLogSink needs an event log")
+        self.events = events
+
+    def notify(self, record: Dict[str, Any]) -> None:
+        self.events.emit("alarm_transition", **record)
+
+
+class MemorySink(NotificationSink):
+    """Retain every transition record in :attr:`records`."""
+
+    kind = "memory"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self.records: List[Dict[str, Any]] = []
+
+    def notify(self, record: Dict[str, Any]) -> None:
+        self.records.append(dict(record))
+
+
+class JsonlSink(NotificationSink):
+    """Append each transition as one canonical JSONL row to a file."""
+
+    kind = "jsonl"
+
+    def __init__(self, path: str, name: str = ""):
+        super().__init__(name)
+        if not path:
+            raise AlarmError("a JsonlSink needs a destination path")
+        self.path = path
+
+    def notify(self, record: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def build_sink(kind: str, name: str = "", path: Optional[str] = None,
+               events=None) -> NotificationSink:
+    """Construct a sink from its declarative description.
+
+    The ``events`` kind requires the caller to supply the event log (a
+    config file cannot name a live object); ``jsonl`` requires *path*.
+    """
+    if kind == "events":
+        return EventLogSink(events, name=name)
+    if kind == "jsonl":
+        return JsonlSink(path or "", name=name)
+    if kind == "memory":
+        return MemorySink(name=name)
+    raise AlarmError(
+        f"unknown notification sink kind {kind!r} "
+        "(known: events, jsonl, memory)")

@@ -1,0 +1,120 @@
+"""Alarm rules as data: thresholds over burn windows, with hysteresis.
+
+A rule never samples raw metrics itself -- it reads the per-window
+``breaching`` booleans the SLO engine computes (fast/slow multi-window
+burn rates) and maps *how many windows breach* to a severity:
+
+* fewer than ``warn_breaches`` breaching windows -> ``OK``
+* at least ``warn_breaches`` -> ``WARN``
+* at least ``critical_breaches`` (default: *all* windows, the classic
+  "page only when fast AND slow agree" condition) -> ``CRITICAL``
+
+Escalation is immediate -- an incident must never wait -- while
+de-escalation requires ``clear_after`` consecutive calmer evaluations
+(hysteresis), so burn rates oscillating around a threshold cannot flap
+an alarm.  Both properties are pinned by hypothesis tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import AlarmError
+
+#: The three alarm severities, least to most severe.
+OK = "ok"
+WARN = "warn"
+CRITICAL = "critical"
+
+#: Severity ranking used by the state machine and reports.
+SEVERITY_ORDER = {OK: 0, WARN: 1, CRITICAL: 2}
+
+
+@dataclass(frozen=True)
+class AlarmRule:
+    """One declarative alarm over one SLO's burn windows.
+
+    ``critical_breaches=0`` (the default) means "every configured
+    window" -- resolved against the actual window count at evaluation
+    time, so the same rule works for any window configuration.
+    """
+
+    name: str
+    slo: str
+    warn_breaches: int = 1
+    critical_breaches: int = 0
+    clear_after: int = 2
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AlarmError("an alarm rule needs a non-empty name")
+        if not self.slo:
+            raise AlarmError(
+                f"alarm rule {self.name!r} names no SLO to watch")
+        if self.warn_breaches < 1:
+            raise AlarmError(
+                f"alarm rule {self.name!r}: warn_breaches must be >= 1")
+        if self.critical_breaches < 0:
+            raise AlarmError(
+                f"alarm rule {self.name!r}: critical_breaches must be "
+                ">= 0 (0 means every window)")
+        if (self.critical_breaches
+                and self.critical_breaches < self.warn_breaches):
+            raise AlarmError(
+                f"alarm rule {self.name!r}: critical_breaches "
+                f"({self.critical_breaches}) cannot be below "
+                f"warn_breaches ({self.warn_breaches})")
+        if self.clear_after < 1:
+            raise AlarmError(
+                f"alarm rule {self.name!r}: clear_after must be >= 1")
+
+    def critical_threshold(self, window_count: int) -> int:
+        """Breaching windows needed for CRITICAL (0 resolves to all)."""
+        return self.critical_breaches or max(window_count, 1)
+
+    def severity_for(self, breaching: int, window_count: int) -> str:
+        """The target severity for *breaching* of *window_count* windows.
+
+        This is the *memoryless* mapping; the hysteresis that turns it
+        into an actual transition lives in the engine's state machine.
+        """
+        if breaching >= self.critical_threshold(window_count):
+            return CRITICAL
+        if breaching >= self.warn_breaches:
+            return WARN
+        return OK
+
+    def __repr__(self) -> str:
+        return (f"<AlarmRule {self.name} slo={self.slo} "
+                f"warn>={self.warn_breaches} "
+                f"critical>={self.critical_breaches or 'all'} "
+                f"clear_after={self.clear_after}>")
+
+
+def default_rules(slos: Sequence,
+                  clear_after: int = 2) -> List[AlarmRule]:
+    """One alarm per SLO: WARN on any breaching window, CRITICAL on all.
+
+    *slos* is a sequence of :class:`~repro.obs.slo.SLO` (anything with
+    ``name`` / ``description`` attributes works).  This mirrors the SLO
+    engine's own paging condition -- an SLO reports ``burning`` exactly
+    when every window breaches -- so the default fleet of alarms agrees
+    with ``/-/health`` while adding the WARN early-warning tier and
+    hysteresis on the way down.
+    """
+    return [AlarmRule(name=f"{slo.name}-burn",
+                      slo=slo.name,
+                      clear_after=clear_after,
+                      description=getattr(slo, "description", ""))
+            for slo in slos]
+
+
+def rule_for_slo(rules: Sequence[AlarmRule],
+                 slo_name: str) -> Optional[AlarmRule]:
+    """The first rule watching *slo_name*, or ``None``."""
+    for rule in rules:
+        if rule.slo == slo_name:
+            return rule
+    return None

@@ -41,10 +41,10 @@ from .rbac import SecurityRequirementsTable
 from .validation import (
     MutationCampaign,
     TestOracle,
-    default_setup,
     extended_battery,
     standard_battery,
 )
+from .validation.campaign import _default_setup as default_setup
 
 
 def cmd_table(_args: argparse.Namespace) -> int:
@@ -314,6 +314,170 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 0 if report["overall"] == "ok" else 1
 
 
+def _degraded_alarm_session():
+    """A deterministic incident: healthy -> dead substrate -> recovery.
+
+    Everything runs under a fixed-tick ManualClock and the seeded
+    battery-free request loop, so the alarm transition log -- escalation
+    to CRITICAL while the substrate is dead, hysteretic stand-down after
+    it heals and the burn windows drain -- is byte-identical across
+    runs.  ``scripts/check_slo_gate.py`` pins its digest.
+    """
+    from .validation.chaos import (CHAOS_HOSTS, _resilient_setup,
+                                   unrecoverable_program)
+
+    cloud, monitor = _resilient_setup()
+    clock = monitor.obs.clock
+    token = cloud.paper_tokens()["alice"]
+    url = "http://cmonitor/cmonitor/volumes"
+
+    def replay(count: int) -> None:
+        for _ in range(count):
+            monitor.app.get(url, headers={"X-Auth-Token": token})
+
+    replay(6)                                   # healthy baseline
+    for host in CHAOS_HOSTS:
+        cloud.network.inject_fault(host, unrecoverable_program())
+    replay(6)                                   # burn: escalate
+    for host in CHAOS_HOSTS:
+        cloud.network.clear_fault(host)
+    clock.advance(3600.5)                       # drain both burn windows
+    replay(8)                                   # recover: stand down
+    return cloud, monitor
+
+
+def cmd_alarms(args: argparse.Namespace) -> int:
+    """Print the alarm report: states, hysteresis, transition log.
+
+    Exit code 0 unless any alarm currently stands at CRITICAL --
+    the same condition that turns ``/-/health`` into a 503.
+    """
+    import json
+
+    if args.degraded:
+        _cloud, monitor = _degraded_alarm_session()
+    else:
+        _obs, monitor = _monitored_session(args)
+    report = monitor.alarms.report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(monitor.alarms.render())
+    return 1 if monitor.alarms.has_critical() else 0
+
+
+def _load_config_document(path: str):
+    """Read *path* and return its raw (pre-schema) document mapping."""
+    from .config import parse_text
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_text(handle.read())
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    """Inspect, validate, and migrate declarative monitor configs."""
+    import json
+
+    from .config import (CONFIG_VERSION, MonitorConfig, config_digest,
+                         dumps, loads, migrate, needs_migration)
+
+    if args.config_command == "show":
+        if args.path:
+            config = MonitorConfig.from_dict(migrate(
+                _load_config_document(args.path)))
+        else:
+            config = MonitorConfig()
+        print(dumps(config, format=args.format), end="")
+        print(f"# digest: sha256:{config_digest(config)}",
+              file=sys.stderr)
+        return 0
+
+    if args.config_command == "validate":
+        document = _load_config_document(args.path)
+        if needs_migration(document):
+            print(f"{args.path}: config_version "
+                  f"{document.get('config_version', 0)} needs migration "
+                  f"(run `cloudmon config migrate {args.path}`)",
+                  file=sys.stderr)
+            return 1
+        config = MonitorConfig.from_dict(document)
+        problems = config.validate()
+        if problems:
+            for problem in problems:
+                print(f"{args.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid (config_version {CONFIG_VERSION}, "
+              f"digest sha256:{config_digest(config)[:16]}...)")
+        return 0
+
+    # migrate
+    document = _load_config_document(args.path)
+    migrated = migrate(document)
+    config = MonitorConfig.from_dict(migrated)
+    before = document.get("config_version", 0)
+    fresh = needs_migration(document)
+    digest = config_digest(config)
+    if not fresh:
+        # Round-trip losslessness proof: a current document re-parsed
+        # from its canonical dump must fingerprint identically.
+        reparsed = loads(dumps(config, format="json"))
+        assert config_digest(reparsed) == digest
+        print(f"{args.path}: already at config_version {CONFIG_VERSION}; "
+              f"round-trip digest stable (sha256:{digest[:16]}...)")
+        return 0
+    target = args.output or args.path
+    format = "json" if target.endswith(".json") else "yaml"
+    text = dumps(config, format=format)
+    if args.dry_run:
+        print(text, end="")
+        print(f"# would migrate {args.path} from config_version {before} "
+              f"to {CONFIG_VERSION} (digest sha256:{digest[:16]}...); "
+              "not written (--dry-run)", file=sys.stderr)
+        return 0
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"migrated {args.path} (config_version {before} -> "
+          f"{CONFIG_VERSION}) -> {target}")
+    return 0
+
+
+def cmd_run_config(args: argparse.Namespace) -> int:
+    """Stand up the deployment a config file describes and exercise it.
+
+    The ``cloudmon --config monitor.yaml`` quickstart: build the cloud
+    and monitor (or fleet) purely from the document, replay the seeded
+    workload, and print the verdict histogram plus health and alarm
+    state.
+    """
+    import json
+
+    from .config import MonitorConfig, build_from_config, migrate
+    from .workloads import WorkloadRunner, make_workload
+
+    config = MonitorConfig.from_dict(migrate(
+        _load_config_document(args.config)))
+    cloud, deployment = build_from_config(config)
+    shards = getattr(deployment, "shards", None)
+    runner = (WorkloadRunner(cloud) if shards is not None
+              else WorkloadRunner(cloud, deployment))
+    histogram = runner.execute(make_workload(40, seed=7), monitored=True)
+    monitors = shards if shards is not None else [deployment]
+    overall = "ok"
+    for monitor in monitors:
+        state = monitor.alarms.overall
+        if monitor.alarms.has_critical():
+            overall = "critical"
+        elif state != "ok" and overall == "ok":
+            overall = state
+    print(f"deployment: scenario={config.scenario.name} "
+          f"shards={len(monitors)} "
+          f"enforcing={config.monitor.enforcing} "
+          f"resilient={config.resilience.enabled}")
+    print("verdicts: " + json.dumps(histogram, sort_keys=True))
+    print(f"alarms:   {overall}")
+    return 1 if overall == "critical" else 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     from .uml import class_diagram_to_dot, state_machine_to_dot
 
@@ -425,7 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cloudmon",
         description="Model-driven cloud monitor reproduction (DSN 2018)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="declarative monitor config (YAML/JSON); with no "
+             "subcommand, builds the deployment it describes and "
+             "replays the seeded workload through it")
+    sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("table", help="print the Table-I security requirements")
 
@@ -541,6 +710,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject a fixed-tick manual clock so output "
                           "is identical across runs")
 
+    alarms = sub.add_parser(
+        "alarms", help="replay a battery and print the alarm report "
+                       "(states, hysteresis, transition log)")
+    alarms.add_argument("--json", action="store_true",
+                        help="the raw report document instead of the table")
+    alarms.add_argument("--extended", action="store_true",
+                        help="extended battery with functional edges")
+    alarms.add_argument("--enforcing", action="store_true",
+                        help="enforcing mode instead of audit mode")
+    alarms.add_argument("--deterministic", action="store_true",
+                        help="inject a fixed-tick manual clock so output "
+                             "is identical across runs")
+    alarms.add_argument("--degraded", action="store_true",
+                        help="deterministic incident replay: dead "
+                             "substrate escalates to CRITICAL, recovery "
+                             "stands the alarm down (always manual-clock)")
+
+    config_parser = sub.add_parser(
+        "config", help="inspect, validate, and migrate declarative "
+                       "monitor configs")
+    config_sub = config_parser.add_subparsers(dest="config_command",
+                                              required=True)
+    config_show = config_sub.add_parser(
+        "show", help="print the canonical form of a config (or the "
+                     "built-in defaults)")
+    config_show.add_argument("path", nargs="?", default=None,
+                             help="config file; omit for the defaults")
+    config_show.add_argument("--format", choices=["yaml", "json"],
+                             default="yaml")
+    config_validate = config_sub.add_parser(
+        "validate", help="strict schema + semantic validation")
+    config_validate.add_argument("path", help="config file to validate")
+    config_migrate = config_sub.add_parser(
+        "migrate", help="lift an older document to the current "
+                        "config_version, losslessly by digest")
+    config_migrate.add_argument("path", help="config file to migrate")
+    config_migrate.add_argument("--dry-run", action="store_true",
+                                help="print the migrated document "
+                                     "without writing anything")
+    config_migrate.add_argument("--output", "-o", default=None,
+                                help="write to this file instead of "
+                                     "in place")
+
     dot = sub.add_parser("dot", help="Graphviz DOT of the design models")
     dot.add_argument("model", choices=["resources", "behavior"])
 
@@ -578,7 +790,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     handlers = {
         "table": cmd_table,
         "contracts": cmd_contracts,
@@ -589,6 +802,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "events": cmd_events,
         "slo": cmd_slo,
+        "alarms": cmd_alarms,
+        "config": cmd_config,
         "dot": cmd_dot,
         "slice": cmd_slice,
         "check": cmd_check,
@@ -596,8 +811,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "serve": cmd_serve,
     }
+    if args.command is None:
+        if args.config is None:
+            parser.error("a subcommand (or --config PATH) is required")
+        handler = cmd_run_config
+    else:
+        handler = handlers[args.command]
     try:
-        return handlers[args.command](args)
+        return handler(args)
     except ReproError as exc:
         print(f"cloudmon: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,82 @@
+"""Declarative monitor configuration: one document, one deployment.
+
+The setup API had sprawled -- ``default_setup``, ``resilient_setup``,
+``fleet_setup``, each with its own keyword soup.  This package replaces
+the sprawl with data: a schema-versioned :class:`MonitorConfig`
+(``config_version: 1``, YAML or JSON) describing the cloud, scenario,
+monitor options, resilience policy, fleet shape, SLO catalog, alarm
+rules, and notification sinks; :func:`build_from_config` stands the
+whole thing up byte-identically to the legacy setup functions; and
+:func:`~repro.config.migrate.migrate` lifts pre-versioning flat
+documents forward, losslessly by digest.
+
+>>> cfg = loads(open("monitor.yaml").read())   # doctest: +SKIP
+>>> cloud, monitor = build_from_config(cfg)    # doctest: +SKIP
+"""
+
+from .builder import (
+    build_alarm_rules,
+    build_clock,
+    build_fleet_from_config,
+    build_from_config,
+    build_selector,
+    build_sinks,
+    build_slos,
+    build_windows,
+    monitor_options,
+    resilience_options,
+)
+from .migrate import migrate, needs_migration
+from .schema import (
+    CONFIG_VERSION,
+    AlarmSpec,
+    CloudSection,
+    FleetSection,
+    MonitorConfig,
+    MonitorSection,
+    ObservabilitySection,
+    ResilienceSection,
+    ScenarioSection,
+    SinkSpec,
+    SLOSpec,
+    WindowSpec,
+    config_digest,
+    dump,
+    dumps,
+    load,
+    loads,
+    parse_text,
+)
+
+__all__ = [
+    "AlarmSpec",
+    "CONFIG_VERSION",
+    "CloudSection",
+    "FleetSection",
+    "MonitorConfig",
+    "MonitorSection",
+    "ObservabilitySection",
+    "ResilienceSection",
+    "ScenarioSection",
+    "SinkSpec",
+    "SLOSpec",
+    "WindowSpec",
+    "build_alarm_rules",
+    "build_clock",
+    "build_fleet_from_config",
+    "build_from_config",
+    "build_selector",
+    "build_sinks",
+    "build_slos",
+    "build_windows",
+    "config_digest",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "migrate",
+    "monitor_options",
+    "needs_migration",
+    "parse_text",
+    "resilience_options",
+]

@@ -22,6 +22,7 @@ from .coverage import CoverageTracker
 from .fleet import MonitorFleet, ShardRouter, tenant_from_token
 from .mirror import MirrorDatabase, MirrorTable
 from .monitor import CloudMonitor, CloudStateProvider, MonitorVerdict, Verdict
+from .options import MonitorOptions, ResilienceOptions, resolve_options
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
 from .probecache import ProbeCache
 from .resilience import (
@@ -54,6 +55,7 @@ __all__ = [
     "MirrorDatabase",
     "MirrorTable",
     "MonitorFleet",
+    "MonitorOptions",
     "MonitorVerdict",
     "PROBE_COSTS",
     "PROBE_ROOTS",
@@ -62,6 +64,7 @@ __all__ = [
     "ProbeOutcome",
     "ProbePlan",
     "ProbeScheduler",
+    "ResilienceOptions",
     "ResilientTransport",
     "ResourceModelBuilder",
     "RetryPolicy",
@@ -78,6 +81,7 @@ __all__ = [
     "cinder_resource_model",
     "read_log",
     "register_scenario",
+    "resolve_options",
     "scenario_names",
     "tenant_from_token",
     "transport_failure",

@@ -39,8 +39,10 @@ from typing import (Any, Callable, Dict, IO, Iterable, List, Optional,
 from ..errors import MonitorError
 from ..httpsim import Network, Request, Response
 from ..obs import Observability, SLOEngine, TraceIdAllocator, merge_registries
+from ..alerting import SEVERITY_ORDER
 from .auditlog import verdict_to_json
 from .monitor import CloudMonitor, MonitorVerdict
+from .options import MonitorOptions, resolve_options
 
 #: How a request is reduced to the key the router shards on.
 TenantKeyFn = Callable[[Request], str]
@@ -122,20 +124,27 @@ class MonitorFleet:
                     tenant_key: Optional[TenantKeyFn] = None,
                     transport_factory: Optional[
                         Callable[[int, Observability], Any]] = None,
-                    fanout: int = 1,
+                    fanout: Optional[int] = None,
+                    options: Optional[MonitorOptions] = None,
                     **kwargs) -> "MonitorFleet":
         """Build a fleet of *shards* monitors for a registered scenario.
 
         Every shard gets its own :class:`~repro.obs.Observability` (on
         the shared *clock*) and -- when *transport_factory* is given --
         its own transport built by ``transport_factory(index, obs)``, so
-        breaker state never crosses shards.  All shards share one
-        :class:`~repro.obs.tracing.TraceIdAllocator`.  Remaining keyword
-        arguments go to the scenario builder (``enforcing``,
-        ``probe_planning``, ...).
+        breaker state never crosses shards (with no factory,
+        ``options.resilience`` gives each shard its own transport the
+        same way).  All shards share one
+        :class:`~repro.obs.tracing.TraceIdAllocator`.  *options* shapes
+        every shard; the ``fanout=`` / ``probe_cache=`` keywords still
+        fold in but are deprecated.  Remaining keyword arguments go to
+        the scenario builder (``enforcing``, ``probe_planning``, ...).
         """
         if shards < 1:
             raise MonitorError("a fleet needs at least one shard")
+        options = resolve_options(options, fanout=fanout,
+                                  probe_cache=kwargs.pop("probe_cache",
+                                                         None))
         trace_ids = TraceIdAllocator()
         monitors = []
         for index in range(shards):
@@ -144,7 +153,7 @@ class MonitorFleet:
                          if transport_factory is not None else None)
             monitors.append(CloudMonitor.for_service(
                 name, network, project_id, observability=obs,
-                transport=transport, fanout=fanout, **kwargs))
+                transport=transport, options=options, **kwargs))
         return cls(monitors, router=ShardRouter(shards, seed=router_seed),
                    tenant_key=tenant_key)
 
@@ -238,6 +247,18 @@ class MonitorFleet:
                            clock=self.shards[0].obs.clock)
         engine.snapshot()
         return engine.report()
+
+    def alarm_report(self) -> Dict[str, Any]:
+        """Every shard's alarm document, plus the fleet-wide worst state.
+
+        Alarm state lives per shard (each shard evaluates its own SLO
+        windows); the fleet view unions them so one poll answers "is any
+        shard alarming?".
+        """
+        shards = [monitor.alarms.report() for monitor in self.shards]
+        overall = max((report["overall"] for report in shards),
+                      key=lambda state: SEVERITY_ORDER[state])
+        return {"overall": overall, "shards": shards}
 
     def stats(self) -> Dict[str, Any]:
         """Dispatch and outcome counts, per shard and fleet-wide."""

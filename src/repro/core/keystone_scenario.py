@@ -138,13 +138,14 @@ class KeystoneStateProvider(CloudStateProvider):
 
 
 def monitor_for_keystone(network: Network, project_id: str,
-                         enforcing: bool = True,
+                         enforcing: Optional[bool] = None,
                          keystone_host: str = "keystone",
                          mount: str = "imonitor",
                          observability=None,
-                         probe_planning: bool = True,
+                         probe_planning: Optional[bool] = None,
                          transport=None,
-                         fanout: int = 1) -> CloudMonitor:
+                         fanout: Optional[int] = None,
+                         options=None) -> CloudMonitor:
     """Assemble the identity-scenario monitor.
 
     Registered in the scenario registry as ``"keystone"``; prefer
@@ -170,4 +171,5 @@ def monitor_for_keystone(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport, fanout=fanout)
+                        transport=transport, fanout=fanout,
+                        options=options)

@@ -36,6 +36,7 @@ import threading
 import warnings
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..alerting import AlarmEngine
 from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
 from ..obs import Observability, ObservabilityMiddleware, SLOEngine
@@ -46,6 +47,7 @@ from ..uml import ClassDiagram, StateMachine, Trigger
 from .contracts import MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
+from .options import MonitorOptions, resolve_options
 from .planning import PROBE_COSTS, PROBE_ROOTS, ProbePlan
 from .probecache import ProbeCache
 from .resilience import ProbeFailure, transport_failure
@@ -643,25 +645,35 @@ class CloudMonitor:
     def __init__(self, contracts: Dict[Trigger, MethodContract],
                  provider: CloudStateProvider,
                  operations: Iterable[MonitoredOperation],
-                 enforcing: bool = True,
+                 enforcing: Optional[bool] = None,
                  coverage: Optional[CoverageTracker] = None,
                  mirror: Optional["MirrorDatabase"] = None,
                  observability: Optional[Observability] = None,
-                 probe_planning: bool = True,
+                 probe_planning: Optional[bool] = None,
                  transport=None,
-                 fanout: int = 1,
-                 probe_cache=None):
+                 fanout: Optional[int] = None,
+                 probe_cache=None,
+                 options: Optional[MonitorOptions] = None):
+        #: The resolved :class:`~repro.core.options.MonitorOptions` this
+        #: monitor was built with.  Pass ``options=`` directly; the
+        #: ``fanout=`` / ``probe_cache=`` keywords still fold in for one
+        #: release but warn :class:`DeprecationWarning`.
+        self.options = resolve_options(options, enforcing=enforcing,
+                                       probe_planning=probe_planning,
+                                       fanout=fanout,
+                                       probe_cache=probe_cache)
+        probe_cache = self.options.probe_cache
         self.contracts = contracts
         self.provider = provider
         self.operations = list(operations)
-        self.enforcing = enforcing
+        self.enforcing = self.options.enforcing
         self.coverage = coverage
         #: When True (the default), each probe phase binds only the roots
         #: the contract's :class:`~repro.core.planning.ProbePlan` proves
         #: necessary; False restores the paper's probe-everything rounds.
         #: The ``roots`` keyword is part of the provider ``bindings``
         #: contract, so no capability sniffing happens here.
-        self.probe_planning = bool(probe_planning)
+        self.probe_planning = bool(self.options.probe_planning)
         #: Cross-request probe cache (see
         #: :mod:`repro.core.probecache`).  ``True`` builds a fresh
         #: instance, or pass a :class:`~repro.core.probecache.ProbeCache`
@@ -687,7 +699,14 @@ class CloudMonitor:
         #: provider's own transport (the bare network unless the provider
         #: was built resilient); passing a
         #: :class:`~repro.core.resilience.ResilientTransport` threads
-        #: retries + circuit breaking under every send.
+        #: retries + circuit breaking under every send.  With no explicit
+        #: transport, ``options.resilience`` builds one from its declared
+        #: retry/breaker parameters (breakers are lazy, so this performs
+        #: no clock reads and stays byte-compatible with a pre-built
+        #: transport).
+        if transport is None and self.options.resilience is not None:
+            transport = self.options.resilience.build_transport(
+                self.provider.network)
         if transport is not None:
             self.provider.transport = transport
         self.transport = self.provider.transport
@@ -706,6 +725,13 @@ class CloudMonitor:
         #: ``cloudmon slo``.  Replace :attr:`slos`.slos to monitor custom
         #: objectives.
         self.slos = SLOEngine(self.obs.metrics, clock=self.obs.clock)
+        #: Alarm state machines over the burn-rate windows (see
+        #: :mod:`repro.alerting`): evaluated right after every SLO
+        #: snapshot with the snapshot's own clock reading, so alarms add
+        #: zero clock reads to the monitored path.  Transitions land in
+        #: the wide-event log as ``alarm_transition`` events; replace the
+        #: rules/sinks with :meth:`configure_alarms`.
+        self.alarms = AlarmEngine(self.slos, events=self.obs.events)
         #: Requested probe fan-out width.  At 1 (the default) probing is
         #: serial; above 1 the provider gets a
         #: :class:`~repro.core.scheduler.ProbeScheduler` sized to
@@ -713,7 +739,7 @@ class CloudMonitor:
         #: fully busy -- and each probe phase overlaps its independent
         #: root probes.  Outcome merging is submission-ordered, so the
         #: verdict stream is byte-identical to the serial path.
-        self.fanout = max(1, int(fanout))
+        self.fanout = max(1, int(self.options.fanout))
         self.scheduler: Optional[ProbeScheduler] = None
         if self.fanout > 1:
             self.scheduler = ProbeScheduler(
@@ -766,6 +792,21 @@ class CloudMonitor:
         if self.scheduler is not None:
             self.scheduler.close()
 
+    def configure_alarms(self, rules=None, sinks=None) -> AlarmEngine:
+        """Replace the alarm engine's rules and/or notification sinks.
+
+        *rules* is a sequence of :class:`~repro.alerting.AlarmRule`
+        (``None`` keeps the default one-per-SLO set); *sinks* a sequence
+        of :class:`~repro.alerting.NotificationSink` (``None`` keeps the
+        wide-event-log sink).  Alarm state restarts from OK -- changing
+        the rule set mid-incident re-derives severity on the next
+        evaluation rather than trusting stale state.
+        """
+        self.alarms = AlarmEngine(
+            self.slos, rules=rules, sinks=sinks,
+            events=self.obs.events if sinks is None else None)
+        return self.alarms
+
     @classmethod
     def for_cinder(cls, network: Network, project_id: str,
                    **kwargs) -> "CloudMonitor":
@@ -798,6 +839,8 @@ class CloudMonitor:
                                 name="metrics", methods=("GET",)))
         self.app.add_route(path("-/health", self._health_view,
                                 name="health", methods=("GET",)))
+        self.app.add_route(path("-/alarms", self._alarms_view,
+                                name="alarms", methods=("GET",)))
         self.app.add_route(path("-/events", self._events_view,
                                 name="events", methods=("GET",)))
         self.app.add_route(path("-/traces", self._trace_index_view,
@@ -813,14 +856,24 @@ class CloudMonitor:
             "Content-Type": "text/plain; version=0.0.4; charset=utf-8"})
 
     def _health_view(self, request: Request, **kwargs) -> Response:
-        """The SLO burn-rate report; 503 while any objective is burning.
+        """The SLO burn-rate report plus active alarm states.
 
         A load balancer (or a human) polls this instead of re-deriving
-        health from the raw metrics exposition.
+        health from the raw metrics exposition.  503 while any objective
+        is burning **or** any alarm stands at critical -- an alarm held
+        up by de-escalation hysteresis keeps the endpoint unhealthy even
+        on an evaluation tick where the burn rate momentarily dipped.
+        200 otherwise (warn-level alarms are reported but not unhealthy).
         """
         report = self.slos.report()
-        code = 200 if report["overall"] == "ok" else 503
+        report["alarms"] = self.alarms.status()
+        code = (200 if report["overall"] == "ok"
+                and not self.alarms.has_critical() else 503)
         return Response.json_response(report, code)
+
+    def _alarms_view(self, request: Request, **kwargs) -> Response:
+        """The full alarm document: per-rule states + transition log."""
+        return Response.json_response(self.alarms.report())
 
     def _events_view(self, request: Request, **kwargs) -> Response:
         """The retained wide events, filterable by query parameters.
@@ -1129,7 +1182,11 @@ class CloudMonitor:
             self.obs.tracer.finish(trace)
             self._record_metrics(verdict, trace)
             self._emit_wide_event(verdict, trace)
-            self.slos.snapshot()
+            # One snapshot, one alarm evaluation, one clock reading: the
+            # alarm engine reuses the snapshot's time, adding zero clock
+            # reads to the deterministic per-request path.
+            now = self.slos.snapshot()
+            self.alarms.evaluate(now)
         with self._log_lock:
             self.log.append(verdict)
             # Indeterminate outcomes say nothing about the requirement

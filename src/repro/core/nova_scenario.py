@@ -168,13 +168,14 @@ class NovaStateProvider(CloudStateProvider):
 
 
 def monitor_for_nova(network: Network, project_id: str,
-                     enforcing: bool = True,
+                     enforcing: Optional[bool] = None,
                      nova_host: str = "nova",
                      mount: str = "smonitor",
                      observability=None,
-                     probe_planning: bool = True,
+                     probe_planning: Optional[bool] = None,
                      transport=None,
-                     fanout: int = 1) -> CloudMonitor:
+                     fanout: Optional[int] = None,
+                     options=None) -> CloudMonitor:
     """Assemble the server-scenario monitor (the Cinder recipe, re-applied).
 
     Registered in the scenario registry as ``"nova"``; prefer
@@ -191,4 +192,5 @@ def monitor_for_nova(network: Network, project_id: str,
                         enforcing=enforcing, coverage=coverage,
                         observability=observability,
                         probe_planning=probe_planning,
-                        transport=transport, fanout=fanout)
+                        transport=transport, fanout=fanout,
+                        options=options)

@@ -1,0 +1,157 @@
+"""Typed construction options for monitors and fleets.
+
+Historically every tuning knob travelled as its own keyword through the
+whole construction chain: ``probe_cache=`` and ``fanout=`` were threaded
+through ``CloudMonitor.__init__``, ``CloudMonitor.for_service``, every
+scenario builder, and ``MonitorFleet.for_service``, and resilience
+parameters (retry policy, breaker thresholds) had to be baked into a
+transport object by the caller.  Adding a knob meant touching five
+signatures.
+
+This module replaces the ad-hoc keywords with two frozen dataclasses:
+
+* :class:`ResilienceOptions` -- the full retry + circuit-breaker
+  parameter set, able to build a
+  :class:`~repro.core.resilience.ResilientTransport` on demand;
+* :class:`MonitorOptions` -- everything that shapes one monitor shard
+  (mode, planning, fan-out, probe cache, resilience).
+
+``CloudMonitor`` and ``MonitorFleet`` accept a single ``options=``
+object; the old keywords are still accepted for one release but warn
+:class:`DeprecationWarning` (see :func:`resolve_options`).  A
+:class:`~repro.config.MonitorConfig` derives its options through
+:func:`repro.config.builder.monitor_options`, making config the one
+construction path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..errors import MonitorError
+from .resilience import ResilientTransport, RetryPolicy
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Retry + circuit-breaker parameters as one typed value.
+
+    Field defaults mirror :class:`~repro.core.resilience.RetryPolicy`
+    and :class:`~repro.core.resilience.ResilientTransport` exactly, so
+    ``ResilienceOptions()`` builds the same transport a bare
+    ``ResilientTransport(network)`` would.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    failure_threshold: int = 5
+    recovery_time: float = 30.0
+
+    @classmethod
+    def from_policy(cls, policy: RetryPolicy,
+                    failure_threshold: int = 5,
+                    recovery_time: float = 30.0) -> "ResilienceOptions":
+        """Capture an existing :class:`RetryPolicy` as options."""
+        return cls(max_attempts=policy.max_attempts,
+                   base_delay=policy.base_delay,
+                   multiplier=policy.multiplier,
+                   max_delay=policy.max_delay,
+                   jitter=policy.jitter,
+                   seed=policy.seed,
+                   failure_threshold=failure_threshold,
+                   recovery_time=recovery_time)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The :class:`RetryPolicy` these options describe."""
+        return RetryPolicy(max_attempts=self.max_attempts,
+                           base_delay=self.base_delay,
+                           multiplier=self.multiplier,
+                           max_delay=self.max_delay,
+                           jitter=self.jitter,
+                           seed=self.seed)
+
+    def build_transport(self, network,
+                        observability=None) -> ResilientTransport:
+        """A fresh :class:`ResilientTransport` over *network*."""
+        return ResilientTransport(network,
+                                  policy=self.retry_policy(),
+                                  failure_threshold=self.failure_threshold,
+                                  recovery_time=self.recovery_time,
+                                  observability=observability)
+
+
+@dataclass(frozen=True)
+class MonitorOptions:
+    """Everything that shapes one monitor shard, as one value.
+
+    * ``enforcing`` -- block failing pre-conditions (Figure-2 proxy
+      mode) instead of audit mode;
+    * ``probe_planning`` -- demand-driven probe plans (the default)
+      versus the paper's probe-everything rounds;
+    * ``fanout`` -- concurrent probe fan-out width (1 = serial);
+    * ``probe_cache`` -- cross-request probe cache: ``False`` off,
+      ``True`` a fresh :class:`~repro.core.probecache.ProbeCache`, or a
+      specific instance to install;
+    * ``resilience`` -- when set, the monitor builds its own
+      :class:`~repro.core.resilience.ResilientTransport` from these
+      parameters (unless an explicit transport is installed).
+    """
+
+    enforcing: bool = True
+    probe_planning: bool = True
+    fanout: int = 1
+    probe_cache: Any = False
+    resilience: Optional[ResilienceOptions] = None
+
+    def __post_init__(self) -> None:
+        if int(self.fanout) < 1:
+            raise MonitorError(
+                f"fanout must be >= 1, got {self.fanout}")
+
+
+#: The keywords that now live in :class:`MonitorOptions`; passing them
+#: directly keeps working for one release but warns.
+_DEPRECATED_KEYWORDS = ("fanout", "probe_cache")
+
+
+def resolve_options(options: Optional[MonitorOptions] = None,
+                    enforcing: Optional[bool] = None,
+                    probe_planning: Optional[bool] = None,
+                    fanout: Optional[int] = None,
+                    probe_cache: Any = None,
+                    stacklevel: int = 3) -> MonitorOptions:
+    """Fold legacy keywords into a :class:`MonitorOptions`.
+
+    *options* provides the base (``MonitorOptions()`` when ``None``);
+    any legacy keyword passed as non-``None`` overrides the
+    corresponding field.  ``fanout`` and ``probe_cache`` are the
+    deprecated ad-hoc keywords -- using them warns
+    :class:`DeprecationWarning` pointing at the options field.
+    ``enforcing`` and ``probe_planning`` stay first-class keywords on
+    the constructors (they predate the options object and read well at
+    call sites), so overriding them here never warns.
+    """
+    resolved = options if options is not None else MonitorOptions()
+    if enforcing is not None:
+        resolved = replace(resolved, enforcing=bool(enforcing))
+    if probe_planning is not None:
+        resolved = replace(resolved, probe_planning=bool(probe_planning))
+    if fanout is not None:
+        warnings.warn(
+            "the fanout= keyword is deprecated; pass "
+            "options=MonitorOptions(fanout=...) instead",
+            DeprecationWarning, stacklevel=stacklevel)
+        resolved = replace(resolved, fanout=int(fanout))
+    if probe_cache is not None and probe_cache is not False:
+        warnings.warn(
+            "the probe_cache= keyword is deprecated; pass "
+            "options=MonitorOptions(probe_cache=...) instead",
+            DeprecationWarning, stacklevel=stacklevel)
+        resolved = replace(resolved, probe_cache=probe_cache)
+    return resolved

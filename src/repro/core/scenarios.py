@@ -71,16 +71,17 @@ def build_scenario(name: str, network: Network, project_id: str,
 def _build_cinder(network: Network, project_id: str,
                   machine: Optional[StateMachine] = None,
                   diagram: Optional[ClassDiagram] = None,
-                  enforcing: bool = True,
+                  enforcing: Optional[bool] = None,
                   coverage: Optional[CoverageTracker] = None,
                   cinder_host: str = "cinder",
                   with_mirror: bool = False,
                   compiled: bool = False,
                   observability: Optional[Observability] = None,
-                  probe_planning: bool = True,
+                  probe_planning: Optional[bool] = None,
                   transport=None,
-                  fanout: int = 1,
-                  probe_cache=None) -> CloudMonitor:
+                  fanout: Optional[int] = None,
+                  probe_cache=None,
+                  options=None) -> CloudMonitor:
     """The paper's monitor for the Cinder volume scenario.
 
     Builds the Figure-3 models (unless given), generates the contracts,
@@ -110,7 +111,7 @@ def _build_cinder(network: Network, project_id: str,
                         mirror=mirror, observability=observability,
                         probe_planning=probe_planning,
                         transport=transport, fanout=fanout,
-                        probe_cache=probe_cache)
+                        probe_cache=probe_cache, options=options)
 
 
 def _build_nova(network: Network, project_id: str,

@@ -93,3 +93,11 @@ class EventError(ReproError):
 
 class SLOError(ReproError):
     """A service-level objective was declared or evaluated inconsistently."""
+
+
+class AlarmError(ReproError):
+    """An alarm rule or notification sink was declared inconsistently."""
+
+
+class ConfigError(ReproError):
+    """A monitor config document is malformed, unknown, or unmigratable."""

@@ -28,6 +28,7 @@ All selector reads are O(series); nothing here retains observations.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SLOError
@@ -293,6 +294,13 @@ class SLOEngine:
         #: Snapshot ring: (time, {slo_name: (good, total)}).
         self._snapshots: List[Tuple[float, Dict[str, Tuple[float, float]]]] \
             = []
+        #: Snapshot times, parallel to the ring, for bisect lookups.
+        self._times: List[float] = []
+
+    @property
+    def created(self) -> float:
+        """The clock reading at engine construction (the implicit zero)."""
+        return self._created
 
     # -- recording ---------------------------------------------------------
 
@@ -302,8 +310,11 @@ class SLOEngine:
         measurements = {slo.name: slo.measure(self.registry)
                         for slo in self.slos}
         self._snapshots.append((now, measurements))
+        self._times.append(now)
         if len(self._snapshots) > self.keep:
-            del self._snapshots[:len(self._snapshots) - self.keep]
+            excess = len(self._snapshots) - self.keep
+            del self._snapshots[:excess]
+            del self._times[:excess]
         return now
 
     def __len__(self) -> int:
@@ -320,13 +331,13 @@ class SLOEngine:
         snapshot at engine creation is the baseline.
         """
         edge = now - window.seconds
-        reference: Tuple[float, float] = (0.0, 0.0)
-        for time, measurements in self._snapshots:
-            if time > edge:
-                break
+        index = bisect_right(self._times, edge) - 1
+        while index >= 0:
+            measurements = self._snapshots[index][1]
             if slo_name in measurements:
-                reference = measurements[slo_name]
-        return reference
+                return measurements[slo_name]
+            index -= 1
+        return (0.0, 0.0)
 
     @staticmethod
     def _burn(good_delta: float, total_delta: float, budget: float) -> float:
@@ -336,13 +347,49 @@ class SLOEngine:
         bad_fraction = min(max(1.0 - good_delta / total_delta, 0.0), 1.0)
         return bad_fraction / budget
 
-    def report(self) -> Dict[str, Any]:
+    def window_status(self, now: Optional[float] = None) \
+            -> Dict[str, List[Dict[str, Any]]]:
+        """Per-SLO window burn data at *now*, from the newest snapshot.
+
+        Unlike :meth:`report`, the current measurement is the most recent
+        snapshot rather than a fresh registry read, and the clock is only
+        consulted when *now* is ``None`` -- so calling this right after
+        :meth:`snapshot` with the snapshot's own time performs **zero**
+        clock or registry reads.  This is the alarm engine's per-request
+        evaluation path.
+        """
+        if now is None:
+            now = self.clock()
+        latest: Dict[str, Tuple[float, float]] = (
+            self._snapshots[-1][1] if self._snapshots else {})
+        status: Dict[str, List[Dict[str, Any]]] = {}
+        for slo in self.slos:
+            good, total = latest.get(slo.name, (0.0, 0.0))
+            windows: List[Dict[str, Any]] = []
+            for window in self.windows:
+                ref_good, ref_total = self._reference(now, window, slo.name)
+                burn = self._burn(good - ref_good, total - ref_total,
+                                  slo.budget)
+                windows.append({
+                    "window": window.label,
+                    "seconds": _round9(window.seconds),
+                    "burn_rate": _round9(burn),
+                    "threshold": _round9(window.threshold),
+                    "breaching": burn > window.threshold,
+                })
+            status[slo.name] = windows
+        return status
+
+    def report(self, now: Optional[float] = None) -> Dict[str, Any]:
         """The canonical JSON-ready health document (sort-stable).
 
         Deterministic inputs (ManualClock + seeded workload) make the
         rendered JSON byte-stable -- the property the SLO gate pins.
+        *now* lets a caller that already holds a clock reading (e.g. a
+        snapshot time) evaluate without advancing an injected clock.
         """
-        now = self.clock()
+        if now is None:
+            now = self.clock()
         slos: List[Dict[str, Any]] = []
         overall_ok = True
         for slo in self.slos:

@@ -22,15 +22,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cloud import PrivateCloud
-from ..core import (CloudMonitor, MonitorFleet, ResilientTransport,
-                    RetryPolicy, Verdict)
+from ..core import CloudMonitor, MonitorFleet, RetryPolicy, Verdict
 from ..core.auditlog import verdict_to_json
 from ..httpsim import FailN, Flake, FaultProgram, by_path
-from ..obs import Observability
-from ..obs.clock import ManualClock
 from ..workloads import WorkloadRunner, make_workload
 
 #: The hosts the Cinder-scenario monitor talks to; chaos programs are
@@ -43,6 +41,46 @@ def _chaos_policy(policy: Optional[RetryPolicy]) -> RetryPolicy:
     return policy or RetryPolicy(max_attempts=3, base_delay=0.05, seed=11)
 
 
+def _chaos_config(enforcing: bool = False,
+                  volume_quota: int = 5,
+                  policy: Optional[RetryPolicy] = None,
+                  failure_threshold: int = 5,
+                  recovery_time: float = 30.0,
+                  fanout: int = 1,
+                  probe_cache: bool = False,
+                  shards: int = 1,
+                  router_seed: int = 0):
+    """The chaos deployment (resilient transport, manual clock) as data."""
+    from ..config import (CloudSection, FleetSection, MonitorConfig,
+                          MonitorSection, ObservabilitySection,
+                          ResilienceSection)
+
+    retry = _chaos_policy(policy)
+    return MonitorConfig(
+        cloud=CloudSection(volume_quota=volume_quota),
+        monitor=MonitorSection(enforcing=enforcing, fanout=fanout,
+                               probe_cache=probe_cache),
+        observability=ObservabilitySection(clock="manual"),
+        resilience=ResilienceSection(
+            enabled=True,
+            max_attempts=retry.max_attempts,
+            base_delay=retry.base_delay,
+            multiplier=retry.multiplier,
+            max_delay=retry.max_delay,
+            jitter=retry.jitter,
+            seed=retry.seed,
+            failure_threshold=failure_threshold,
+            recovery_time=recovery_time),
+        fleet=FleetSection(shards=shards, router_seed=router_seed))
+
+
+def _resilient_setup(**kwargs) -> Tuple[PrivateCloud, CloudMonitor]:
+    """The non-deprecated core of :func:`resilient_setup` (internal)."""
+    from ..config import build_from_config
+
+    return build_from_config(_chaos_config(**kwargs))
+
+
 def resilient_setup(enforcing: bool = False,
                     volume_quota: int = 5,
                     policy: Optional[RetryPolicy] = None,
@@ -53,25 +91,39 @@ def resilient_setup(enforcing: bool = False,
                     ) -> Tuple[PrivateCloud, CloudMonitor]:
     """The paper setup with a ResilientTransport under the monitor.
 
+    .. deprecated:: PR8
+       A thin shim over :func:`repro.config.build_from_config` with a
+       ``resilience.enabled`` config; the chaos-parity digests are
+       byte-identical either way.
+
     Everything is deterministic: ManualClock observability (backoff waits
     advance virtual time instead of sleeping) and a seeded retry jitter.
     *fanout* > 1 issues each probe phase's independent probes
     concurrently -- the verdict stream must not change, which is exactly
     what the fan-out parity gate checks.
     """
-    observability = Observability(clock=ManualClock())
-    cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
-    transport = ResilientTransport(
-        cloud.network,
-        policy=_chaos_policy(policy),
-        failure_threshold=failure_threshold,
-        recovery_time=recovery_time)
-    monitor = CloudMonitor.for_service(
-        "cinder", cloud.network, "myProject",
-        enforcing=enforcing, observability=observability,
-        transport=transport, fanout=fanout, probe_cache=probe_cache)
-    cloud.network.register("cmonitor", monitor.app)
-    return cloud, monitor
+    warnings.warn(
+        "resilient_setup is deprecated; describe the deployment with a "
+        "repro.config.MonitorConfig (resilience.enabled: true) and call "
+        "build_from_config",
+        DeprecationWarning, stacklevel=2)
+    return _resilient_setup(enforcing=enforcing, volume_quota=volume_quota,
+                            policy=policy,
+                            failure_threshold=failure_threshold,
+                            recovery_time=recovery_time, fanout=fanout,
+                            probe_cache=probe_cache)
+
+
+def _fleet_setup(shards: int = 4, **kwargs
+                 ) -> Tuple[PrivateCloud, MonitorFleet]:
+    """The non-deprecated core of :func:`fleet_setup` (internal).
+
+    Always a fleet, even at one shard -- callers get the dispatcher and
+    merged views regardless of width.
+    """
+    from ..config import build_fleet_from_config
+
+    return build_fleet_from_config(_chaos_config(shards=shards, **kwargs))
 
 
 def fleet_setup(shards: int = 4,
@@ -86,28 +138,26 @@ def fleet_setup(shards: int = 4,
                 ) -> Tuple[PrivateCloud, MonitorFleet]:
     """The paper setup behind a sharded :class:`MonitorFleet`.
 
+    .. deprecated:: PR8
+       A thin shim over :func:`repro.config.build_from_config` with
+       ``fleet.shards`` > 1; the fan-out parity digests are
+       byte-identical either way.
+
     One shared ManualClock, one shared trace-id allocator (inside the
     fleet builder), and one *independent* ResilientTransport per shard:
     breaker and retry state never crosses shards, yet serially dispatched
     traffic reproduces the single-monitor verdict stream byte for byte.
     """
-    clock = ManualClock()
-    cloud = PrivateCloud.paper_setup(volume_quota=volume_quota)
-
-    def transport_factory(index: int, observability: Observability):
-        return ResilientTransport(
-            cloud.network,
-            policy=_chaos_policy(policy),
-            failure_threshold=failure_threshold,
-            recovery_time=recovery_time)
-
-    fleet = MonitorFleet.for_service(
-        "cinder", cloud.network, "myProject",
-        shards=shards, clock=clock, router_seed=router_seed,
-        transport_factory=transport_factory,
-        enforcing=enforcing, fanout=fanout, probe_cache=probe_cache)
-    cloud.network.register("cmonitor", fleet)
-    return cloud, fleet
+    warnings.warn(
+        "fleet_setup is deprecated; describe the deployment with a "
+        "repro.config.MonitorConfig (fleet.shards > 1) and call "
+        "build_from_config",
+        DeprecationWarning, stacklevel=2)
+    return _fleet_setup(shards=shards, enforcing=enforcing,
+                        volume_quota=volume_quota, policy=policy,
+                        failure_threshold=failure_threshold,
+                        recovery_time=recovery_time, fanout=fanout,
+                        router_seed=router_seed, probe_cache=probe_cache)
 
 
 def recoverable_program() -> FaultProgram:
@@ -202,7 +252,7 @@ def run_leg(count: int = 40, seed: int = 7,
     *probe_cache* enables the cross-request probe cache -- the rows must
     not change either (the cache-parity gate).
     """
-    cloud, monitor = resilient_setup(enforcing=enforcing, fanout=fanout,
+    cloud, monitor = _resilient_setup(enforcing=enforcing, fanout=fanout,
                                      probe_cache=probe_cache)
     try:
         if fault_factory is not None:
@@ -235,7 +285,7 @@ def run_fleet_leg(count: int = 40, seed: int = 7,
     arrival-ordered verdict rows must be byte-identical to the serial
     single-monitor leg -- the fleet half of the parity gate.
     """
-    cloud, fleet = fleet_setup(shards=shards, enforcing=enforcing,
+    cloud, fleet = _fleet_setup(shards=shards, enforcing=enforcing,
                                fanout=fanout, probe_cache=probe_cache)
     try:
         if fault_factory is not None:
@@ -314,7 +364,7 @@ def run_breaker_sequence(failure_threshold: int = 2,
     campaign asserts instead of sampling the ``monitor_breaker_state``
     gauge between requests.
     """
-    cloud, monitor = resilient_setup(failure_threshold=failure_threshold,
+    cloud, monitor = _resilient_setup(failure_threshold=failure_threshold,
                                      recovery_time=recovery_time)
     token = cloud.paper_tokens()["alice"]
     url = "http://cmonitor/cmonitor/volumes"

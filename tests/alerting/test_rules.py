@@ -1,0 +1,93 @@
+"""Alarm rule validation and severity mapping."""
+
+import pytest
+
+from repro.alerting import (
+    CRITICAL,
+    OK,
+    WARN,
+    AlarmRule,
+    default_rules,
+    rule_for_slo,
+)
+from repro.errors import AlarmError
+from repro.obs.slo import default_slos
+
+
+class TestAlarmRuleValidation:
+    def test_defaults_are_valid(self):
+        rule = AlarmRule(name="r", slo="s")
+        assert rule.warn_breaches == 1
+        assert rule.critical_breaches == 0
+        assert rule.clear_after == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="", slo="s")
+
+    def test_empty_slo_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="r", slo="")
+
+    def test_nonpositive_warn_threshold_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="r", slo="s", warn_breaches=0)
+
+    def test_negative_critical_threshold_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="r", slo="s", critical_breaches=-1)
+
+    def test_nonpositive_clear_after_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="r", slo="s", clear_after=0)
+
+    def test_rules_are_frozen(self):
+        rule = AlarmRule(name="r", slo="s")
+        with pytest.raises(AttributeError):
+            rule.name = "other"
+
+
+class TestSeverityMapping:
+    def test_zero_breaching_is_ok(self):
+        rule = AlarmRule(name="r", slo="s")
+        assert rule.severity_for(0, 2) == OK
+
+    def test_warn_at_warn_threshold(self):
+        rule = AlarmRule(name="r", slo="s", warn_breaches=1)
+        assert rule.severity_for(1, 2) == WARN
+
+    def test_critical_zero_means_all_windows(self):
+        rule = AlarmRule(name="r", slo="s", critical_breaches=0)
+        assert rule.critical_threshold(2) == 2
+        assert rule.severity_for(2, 2) == CRITICAL
+        assert rule.severity_for(1, 2) == WARN
+
+    def test_explicit_critical_threshold(self):
+        rule = AlarmRule(name="r", slo="s", warn_breaches=1,
+                         critical_breaches=3)
+        assert rule.severity_for(2, 4) == WARN
+        assert rule.severity_for(3, 4) == CRITICAL
+
+    def test_single_window_catalog(self):
+        rule = AlarmRule(name="r", slo="s")
+        assert rule.severity_for(1, 1) == CRITICAL
+
+
+class TestDefaultRules:
+    def test_one_rule_per_slo(self):
+        slos = default_slos()
+        rules = default_rules(slos)
+        assert [rule.slo for rule in rules] == [slo.name for slo in slos]
+        assert all(rule.name == f"{rule.slo}-burn" for rule in rules)
+
+    def test_rule_for_slo(self):
+        rules = default_rules(default_slos(), clear_after=5)
+        rule = rule_for_slo(rules, "verdict-availability")
+        assert rule is not None
+        assert rule.clear_after == 5
+        assert rule_for_slo(rules, "no-such-slo") is None
+
+    def test_critical_below_warn_rejected(self):
+        with pytest.raises(AlarmError):
+            AlarmRule(name="r", slo="s", warn_breaches=2,
+                      critical_breaches=1)

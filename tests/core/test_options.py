@@ -1,0 +1,135 @@
+"""Typed monitor options and the one-release deprecation of the
+ad-hoc ``fanout=`` / ``probe_cache=`` keywords."""
+
+import warnings
+
+import pytest
+
+from repro.cloud import PrivateCloud
+from repro.core import (
+    CloudMonitor,
+    MonitorFleet,
+    MonitorOptions,
+    ResilienceOptions,
+    RetryPolicy,
+    resolve_options,
+)
+from repro.core.resilience import ResilientTransport
+from repro.errors import MonitorError
+
+
+class TestResilienceOptions:
+    def test_defaults_mirror_retry_policy(self):
+        built, stock = ResilienceOptions().retry_policy(), RetryPolicy()
+        for field in ("max_attempts", "base_delay", "multiplier",
+                      "max_delay", "jitter", "seed"):
+            assert getattr(built, field) == getattr(stock, field)
+
+    def test_from_policy_round_trips(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.2, seed=11)
+        options = ResilienceOptions.from_policy(policy,
+                                                failure_threshold=2)
+        assert options.max_attempts == 5
+        assert options.base_delay == 0.2
+        assert options.retry_policy().seed == 11
+        assert options.failure_threshold == 2
+
+    def test_build_transport(self):
+        cloud = PrivateCloud.paper_setup()
+        transport = ResilienceOptions(seed=11).build_transport(
+            cloud.network)
+        assert isinstance(transport, ResilientTransport)
+        assert transport.policy.seed == 11
+
+
+class TestMonitorOptions:
+    def test_defaults(self):
+        options = MonitorOptions()
+        assert options.enforcing is True
+        assert options.probe_planning is True
+        assert options.fanout == 1
+        assert options.probe_cache is False
+        assert options.resilience is None
+
+    def test_fanout_floor_enforced(self):
+        with pytest.raises(MonitorError):
+            MonitorOptions(fanout=0)
+
+
+class TestResolveOptions:
+    def test_no_arguments_is_defaults_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_options() == MonitorOptions()
+
+    def test_first_class_keywords_never_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_options(enforcing=False,
+                                       probe_planning=False)
+        assert resolved.enforcing is False
+        assert resolved.probe_planning is False
+
+    def test_probe_cache_false_never_warns(self):
+        # False is the default value, not a request for a cache; legacy
+        # call sites passing it explicitly must stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_options(probe_cache=False)
+        assert resolved.probe_cache is False
+
+    def test_fanout_keyword_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="fanout"):
+            resolved = resolve_options(fanout=3)
+        assert resolved.fanout == 3
+
+    def test_probe_cache_keyword_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="probe_cache"):
+            resolved = resolve_options(probe_cache=True)
+        assert resolved.probe_cache is True
+
+    def test_keywords_override_the_base_options(self):
+        base = MonitorOptions(enforcing=False, fanout=2)
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_options(base, fanout=4)
+        assert resolved.fanout == 4
+        assert resolved.enforcing is False  # untouched fields survive
+
+
+class TestConstructorDeprecations:
+    def test_monitor_accepts_options_silently(self):
+        cloud = PrivateCloud.paper_setup()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            monitor = CloudMonitor.for_service(
+                "cinder", cloud.network, "myProject",
+                options=MonitorOptions(enforcing=False, fanout=2))
+        assert monitor.fanout == 2
+        monitor.close()
+
+    def test_monitor_fanout_keyword_warns(self):
+        cloud = PrivateCloud.paper_setup()
+        with pytest.warns(DeprecationWarning, match="fanout"):
+            monitor = CloudMonitor.for_service(
+                "cinder", cloud.network, "myProject", fanout=2)
+        assert monitor.fanout == 2
+        monitor.close()
+
+    def test_fleet_probe_cache_keyword_warns(self):
+        cloud = PrivateCloud.paper_setup()
+        with pytest.warns(DeprecationWarning, match="probe_cache"):
+            fleet = MonitorFleet.for_service(
+                "cinder", cloud.network, "myProject", shards=2,
+                probe_cache=True)
+        fleet.close()
+
+    def test_fleet_options_propagate_to_every_shard(self):
+        cloud = PrivateCloud.paper_setup()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fleet = MonitorFleet.for_service(
+                "cinder", cloud.network, "myProject", shards=3,
+                options=MonitorOptions(enforcing=False, fanout=2))
+        assert [shard.fanout for shard in fleet.shards] == [2, 2, 2]
+        assert all(not shard.enforcing for shard in fleet.shards)
+        fleet.close()
