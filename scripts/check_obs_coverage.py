@@ -37,6 +37,17 @@ REQUIRED_MODULES = (
     "tracing.py",
 )
 
+#: Core modules that feed the observability surface (wide-event fields,
+#: gauges, counters) and therefore must exist for the obs suite to mean
+#: anything.  ``admission.py`` owns deadline budgets, shed decisions,
+#: and the degradation ladder behind ``monitor_shed_total`` and
+#: ``monitor_degraded_mode``.
+REQUIRED_CORE_MODULES = (
+    "admission.py",
+)
+
+CORE_DIR = os.path.join(REPO_ROOT, "src", "repro", "core")
+
 
 def _check_required_modules(report=None):
     """Missing or untested required modules, as error strings."""
@@ -49,6 +60,9 @@ def _check_required_modules(report=None):
             if total and not hit:
                 errors.append(
                     f"required module repro/obs/{name} has no coverage")
+    for name in REQUIRED_CORE_MODULES:
+        if not os.path.exists(os.path.join(CORE_DIR, name)):
+            errors.append(f"required module repro/core/{name} is missing")
     return errors
 
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Enforce the overload gates: parity when idle, grace under pressure.
+
+Two legs, both fully deterministic (ManualClock, paced arrival trace,
+virtual per-send service time):
+
+* **parity** -- overload controls enabled with generous thresholds must
+  leave a calm workload's verdict rows, metrics export, and wide-event
+  stream byte-identical to a run with every control disabled.  This is
+  a hard assertion (no recorded baseline needed: the two legs are
+  compared against each other).
+* **burst** -- under the 10x arrival burst the monitor must answer and
+  forward every request in some mode (``full``/``cached_only``/
+  ``audit_only``), shed load, record mode transitions, and recover to
+  ``full``.  The burst leg's verdict/metrics/events digests are pinned
+  in ``scripts/overload_gate.json`` -- any drift in the degradation
+  choreography shows up as a digest mismatch.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_overload_gate.py [--update]
+
+``--update`` re-records the burst digests after an intentional change
+to the burst shape, the verdict schema, or the degradation policy.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "overload_gate.json")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the burst baseline instead of "
+                             "gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    from repro.validation import (assert_burst_invariants,
+                                  run_parity_campaign)
+
+    parity = run_parity_campaign()
+    if not parity.parity:
+        detail = parity.to_dict()
+        print("FAIL: generous overload controls changed the calm "
+              f"workload (verdicts equal: {detail['verdict_parity']}, "
+              f"metrics equal: {detail['metrics_parity']}, "
+              f"events equal: {detail['events_parity']})",
+              file=sys.stderr)
+        return 1
+    print(f"overload parity: {parity.to_dict()['verdict_count']} calm "
+          "verdicts byte-identical with generous controls enabled")
+
+    try:
+        burst = assert_burst_invariants()
+    except AssertionError as exc:
+        print(f"FAIL: burst invariant broken: {exc}", file=sys.stderr)
+        return 1
+    summary = burst.to_dict()
+    current = {
+        "requests": summary["requests"],
+        "shed": summary["shed"],
+        "modes_seen": summary["modes_seen"],
+        "transitions": summary["transitions"],
+        "final_mode": summary["final_mode"],
+        "verdict_digest": summary["verdict_digest"],
+        "metrics_digest": summary["metrics_digest"],
+        "events_digest": summary["events_digest"],
+    }
+    print(f"overload burst: {summary['verdicts']}/{summary['requests']} "
+          f"answered, {summary['shed']} shed, modes "
+          + " -> ".join(summary["modes_seen"])
+          + f", recovered to {summary['final_mode']}")
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"overload burst baseline recorded: digest "
+              f"{current['verdict_digest'][:12]}... over "
+              f"{current['requests']} requests")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    drift = [key for key in recorded if recorded[key] != current.get(key)]
+    if drift:
+        print("FAIL: burst leg drifted from the recorded baseline on "
+              f"{', '.join(sorted(drift))}; re-record with --update if "
+              "intentional", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,9 @@ PYTHONPATH=src python scripts/check_config_migrate.py
 echo "==> fan-out/fleet parity gate (concurrency leaves verdicts unchanged)"
 PYTHONPATH=src python scripts/check_fanout_parity.py
 
+echo "==> overload gate (generous-control parity + deterministic burst)"
+PYTHONPATH=src python scripts/check_overload_gate.py
+
 echo "==> bench trajectory gate (multi-shard throughput vs recorded best)"
 PYTHONPATH=src python scripts/check_bench_trajectory.py
 

@@ -18,6 +18,9 @@ Subcommands:
   JSON, or JSONL to a file,
 * ``cloudmon slo [--json] [--deterministic]`` -- replay a battery and
   print the SLO burn-rate report (the ``/-/health`` document),
+* ``cloudmon overload [--json]`` -- run the overload campaign: the
+  generous-controls parity leg and the deterministic 10x burst (shed,
+  degrade through the mode ladder, recover),
 * ``cloudmon dot {resources,behavior}`` -- Graphviz DOT of the Figure-3
   models,
 * ``cloudmon slice RESOURCE [...]`` -- slice the Cinder models and print
@@ -137,6 +140,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print("  breaker lifecycle:    "
               + " -> ".join(["closed"] + [to for _, to in transitions]))
     return 0 if report.parity else 1
+
+
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Run the overload campaign: parity leg plus the 10x burst leg.
+
+    Exit code 0 means (a) enabled-but-generous overload controls left
+    the calm workload's verdict/metrics/event digests byte-identical to
+    the disabled-controls baseline, and (b) under the deterministic
+    burst every request was forwarded in some mode, load was shed, mode
+    transitions were recorded, and the ladder recovered to ``full``.
+    """
+    import json
+
+    from .validation import run_burst_campaign, run_parity_campaign
+
+    parity = run_parity_campaign()
+    burst = run_burst_campaign()
+    if args.json:
+        print(json.dumps({"parity": parity.to_dict(),
+                          "burst": burst.to_dict()},
+                         indent=2, sort_keys=True))
+        return 0 if parity.parity and burst.ok else 1
+    summary = burst.to_dict()
+    print(f"overload campaign: {parity.to_dict()['verdict_count']} calm + "
+          f"{summary['requests']} burst requests")
+    print(f"  parity (generous controls): "
+          f"{'OK' if parity.parity else 'BROKEN'} "
+          f"(verdicts {'=' if parity.verdict_parity else '!='}, "
+          f"metrics {'=' if parity.metrics_parity else '!='}, "
+          f"events {'=' if parity.events_parity else '!='})")
+    print(f"  burst answered/forwarded:   "
+          f"{summary['verdicts']}/{summary['requests']} "
+          f"({'all forwarded' if summary['all_forwarded'] else 'BLOCKED'})")
+    print(f"  requests shed:              {summary['shed']}")
+    print(f"  modes served:               "
+          + " -> ".join(summary['modes_seen']))
+    print(f"  ladder transitions:         "
+          + ", ".join(f"{a}->{b}" for a, b in summary['transitions']))
+    print(f"  final mode:                 {summary['final_mode']}")
+    return 0 if parity.parity and burst.ok else 1
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -630,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable summary")
 
+    overload = sub.add_parser(
+        "overload", help="overload campaign: generous-controls parity "
+                         "plus the 10x burst (shed, degrade, recover)")
+    overload.add_argument("--json", action="store_true",
+                          help="machine-readable summary")
+
     fleet = sub.add_parser(
         "fleet", help="sharded monitor fleet: verdict parity vs a serial "
                       "run, or --bench for the throughput ladder")
@@ -798,6 +847,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "campaign": cmd_campaign,
         "chaos": cmd_chaos,
+        "overload": cmd_overload,
         "fleet": cmd_fleet,
         "metrics": cmd_metrics,
         "events": cmd_events,

@@ -15,6 +15,7 @@ documents forward, losslessly by digest.
 """
 
 from .builder import (
+    admission_options,
     build_alarm_rules,
     build_clock,
     build_fleet_from_config,
@@ -23,14 +24,19 @@ from .builder import (
     build_sinks,
     build_slos,
     build_windows,
+    deadline_options,
+    degradation_options,
     monitor_options,
     resilience_options,
 )
 from .migrate import migrate, needs_migration
 from .schema import (
     CONFIG_VERSION,
+    AdmissionSection,
     AlarmSpec,
     CloudSection,
+    DeadlineSection,
+    DegradationSection,
     FleetSection,
     MonitorConfig,
     MonitorSection,
@@ -49,9 +55,12 @@ from .schema import (
 )
 
 __all__ = [
+    "AdmissionSection",
     "AlarmSpec",
     "CONFIG_VERSION",
     "CloudSection",
+    "DeadlineSection",
+    "DegradationSection",
     "FleetSection",
     "MonitorConfig",
     "MonitorSection",
@@ -68,8 +77,11 @@ __all__ = [
     "build_selector",
     "build_sinks",
     "build_slos",
+    "admission_options",
     "build_windows",
     "config_digest",
+    "deadline_options",
+    "degradation_options",
     "dump",
     "dumps",
     "load",

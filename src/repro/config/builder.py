@@ -25,6 +25,11 @@ from ..alerting import AlarmRule, NotificationSink, build_sink
 from ..cloud import PrivateCloud
 from ..core.fleet import MonitorFleet
 from ..core.monitor import CloudMonitor
+from ..core.admission import (
+    AdmissionOptions,
+    DeadlineOptions,
+    DegradationOptions,
+)
 from ..core.options import MonitorOptions, ResilienceOptions
 from ..errors import ConfigError
 from ..obs import Observability
@@ -71,6 +76,35 @@ def resilience_options(config: MonitorConfig) -> Optional[ResilienceOptions]:
         recovery_time=section.recovery_time)
 
 
+def deadline_options(config: MonitorConfig) -> Optional[DeadlineOptions]:
+    """The per-request deadline, or ``None`` when disabled."""
+    section = config.deadline
+    if not section.enabled:
+        return None
+    return DeadlineOptions(timeout=section.timeout)
+
+
+def admission_options(config: MonitorConfig) -> Optional[AdmissionOptions]:
+    """The admission-controller parameters, or ``None`` when disabled."""
+    section = config.admission
+    if not section.enabled:
+        return None
+    return AdmissionOptions(max_inflight=section.max_inflight,
+                            queue_depth=section.queue_depth,
+                            queue_seconds=section.queue_seconds)
+
+
+def degradation_options(config: MonitorConfig,
+                        ) -> Optional[DegradationOptions]:
+    """The degradation-ladder parameters, or ``None`` when disabled."""
+    section = config.degradation
+    if not section.enabled:
+        return None
+    return DegradationOptions(escalate_after=section.escalate_after,
+                              clear_after=section.clear_after,
+                              alarm_escalation=section.alarm_escalation)
+
+
 def monitor_options(config: MonitorConfig) -> MonitorOptions:
     """The typed options object every monitor/shard is built with."""
     section = config.monitor
@@ -79,7 +113,10 @@ def monitor_options(config: MonitorConfig) -> MonitorOptions:
         probe_planning=section.probe_planning,
         fanout=section.fanout,
         probe_cache=section.probe_cache,
-        resilience=resilience_options(config))
+        resilience=resilience_options(config),
+        deadline=deadline_options(config),
+        admission=admission_options(config),
+        degradation=degradation_options(config))
 
 
 def build_selector(spec: Mapping[str, Any]) -> Selector:

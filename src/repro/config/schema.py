@@ -214,6 +214,38 @@ class ResilienceSection:
 
 
 @dataclass(frozen=True)
+class DeadlineSection:
+    """Per-request deadline budget; ``enabled: false`` (the default)
+    adds no budget (and no clock reads) to the monitored path.  Mirrors
+    :class:`~repro.core.admission.DeadlineOptions`."""
+
+    enabled: bool = False
+    timeout: float = 30.0
+
+
+@dataclass(frozen=True)
+class AdmissionSection:
+    """Admission control (one controller per monitor/shard); mirrors
+    :class:`~repro.core.admission.AdmissionOptions`."""
+
+    enabled: bool = False
+    max_inflight: int = 64
+    queue_depth: int = 128
+    queue_seconds: float = 1.0
+
+
+@dataclass(frozen=True)
+class DegradationSection:
+    """The ``full -> cached_only -> audit_only`` ladder; mirrors
+    :class:`~repro.core.admission.DegradationOptions`."""
+
+    enabled: bool = False
+    escalate_after: int = 1
+    clear_after: int = 8
+    alarm_escalation: bool = True
+
+
+@dataclass(frozen=True)
 class FleetSection:
     """Sharding: ``shards: 1`` builds a single monitor, more a
     :class:`~repro.core.fleet.MonitorFleet`."""
@@ -338,8 +370,9 @@ class SinkSpec:
 
 #: Top-level document keys, in canonical emission order.
 _TOP_LEVEL_KEYS = ("config_version", "cloud", "scenario", "monitor",
-                   "observability", "resilience", "fleet", "slos",
-                   "windows", "alarms", "sinks")
+                   "observability", "resilience", "deadline", "admission",
+                   "degradation", "fleet", "slos", "windows", "alarms",
+                   "sinks")
 
 
 @dataclass(frozen=True)
@@ -352,6 +385,10 @@ class MonitorConfig:
     observability: ObservabilitySection = field(
         default_factory=ObservabilitySection)
     resilience: ResilienceSection = field(default_factory=ResilienceSection)
+    deadline: DeadlineSection = field(default_factory=DeadlineSection)
+    admission: AdmissionSection = field(default_factory=AdmissionSection)
+    degradation: DegradationSection = field(
+        default_factory=DegradationSection)
     fleet: FleetSection = field(default_factory=FleetSection)
     slos: Tuple[SLOSpec, ...] = ()
     windows: Tuple[WindowSpec, ...] = ()
@@ -387,6 +424,13 @@ class MonitorConfig:
             resilience=_section_from_dict(ResilienceSection,
                                           data.get("resilience"),
                                           "resilience"),
+            deadline=_section_from_dict(DeadlineSection,
+                                        data.get("deadline"), "deadline"),
+            admission=_section_from_dict(AdmissionSection,
+                                         data.get("admission"), "admission"),
+            degradation=_section_from_dict(DegradationSection,
+                                           data.get("degradation"),
+                                           "degradation"),
             fleet=_section_from_dict(FleetSection, data.get("fleet"),
                                      "fleet"),
             slos=tuple(SLOSpec.from_dict(entry, f"slos[{i}]")
@@ -409,6 +453,9 @@ class MonitorConfig:
             "monitor": _section_to_dict(self.monitor),
             "observability": _section_to_dict(self.observability),
             "resilience": _section_to_dict(self.resilience),
+            "deadline": _section_to_dict(self.deadline),
+            "admission": _section_to_dict(self.admission),
+            "degradation": _section_to_dict(self.degradation),
             "fleet": _section_to_dict(self.fleet),
             "slos": [spec.to_dict() for spec in self.slos],
             "windows": [spec.to_dict() for spec in self.windows],
@@ -446,6 +493,20 @@ class MonitorConfig:
             problems.append("observability.tick cannot be negative")
         if self.resilience.enabled and self.resilience.max_attempts < 1:
             problems.append("resilience.max_attempts must be >= 1")
+        if self.deadline.enabled and self.deadline.timeout <= 0:
+            problems.append("deadline.timeout must be positive")
+        if self.admission.enabled:
+            if self.admission.max_inflight < 1:
+                problems.append("admission.max_inflight must be >= 1")
+            if self.admission.queue_depth < 0:
+                problems.append("admission.queue_depth cannot be negative")
+            if self.admission.queue_seconds < 0:
+                problems.append("admission.queue_seconds cannot be negative")
+        if self.degradation.enabled:
+            if self.degradation.escalate_after < 1:
+                problems.append("degradation.escalate_after must be >= 1")
+            if self.degradation.clear_after < 1:
+                problems.append("degradation.clear_after must be >= 1")
         if self.cloud.volume_quota < 1:
             problems.append("cloud.volume_quota must be >= 1")
         slo_names: List[str] = []

@@ -13,6 +13,16 @@
 * :mod:`repro.core.coverage` -- security-requirement coverage tracking.
 """
 
+from .admission import (
+    ARRIVAL_HEADER,
+    MODES,
+    AdmissionController,
+    AdmissionOptions,
+    DeadlineBudget,
+    DeadlineOptions,
+    DegradationLadder,
+    DegradationOptions,
+)
 from .auditlog import read_log, write_log
 from .behavior_model import BehaviorModelBuilder, cinder_behavior_model
 from .composite import CompositeMonitor
@@ -43,8 +53,16 @@ from .verdict_schema import (
 )
 
 __all__ = [
+    "ARRIVAL_HEADER",
+    "AdmissionController",
+    "AdmissionOptions",
     "BehaviorModelBuilder",
     "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineOptions",
+    "DegradationLadder",
+    "DegradationOptions",
+    "MODES",
     "CloudMonitor",
     "CloudStateProvider",
     "CompositeMonitor",

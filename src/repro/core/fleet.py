@@ -278,11 +278,22 @@ class MonitorFleet:
                 "probe_cache": (monitor.probe_cache.stats()
                                 if monitor.probe_cache is not None
                                 else None),
+                # Per-shard overload bulkhead: admission decisions and
+                # the ladder rung (None when the overload controls are
+                # off).  Each shard owns its own controller/ladder, so
+                # one overloaded shard degrades without dragging its
+                # siblings down.
+                "admission": (monitor.admission.stats()
+                              if monitor.admission is not None else None),
+                "mode": (monitor.ladder.stats()
+                         if monitor.ladder is not None else None),
             })
         return {
             "shards": len(self.shards),
             "requests": sum(self.dispatched),
             "violations": sum(entry["violations"] for entry in per_shard),
+            "shed": sum(entry["admission"]["shed"] for entry in per_shard
+                        if entry["admission"] is not None),
             "per_shard": per_shard,
         }
 

@@ -44,6 +44,13 @@ from ..obs.analytics import critical_path, trace_report
 from ..ocl import Context
 from ..ocl.values import UNDEFINED
 from ..uml import ClassDiagram, StateMachine, Trigger
+from .admission import (
+    ARRIVAL_HEADER,
+    MODE_GAUGE,
+    AdmissionController,
+    DeadlineBudget,
+    parse_arrival,
+)
 from .contracts import MethodContract
 from .coverage import CoverageTracker
 from .mirror import MirrorDatabase
@@ -233,6 +240,36 @@ class CloudStateProvider:
     def unbound_roots(self, value: FrozenSet[str]) -> None:
         self._local.unbound_roots = frozenset(value)
 
+    @property
+    def current_budget(self) -> Optional[DeadlineBudget]:
+        """The calling thread's per-request deadline budget (or ``None``).
+
+        The owning monitor installs it for the request's duration; probe
+        sends pass it to a budget-aware transport and probe phases
+        abandon their pending tasks once it is exhausted.  Thread-local
+        so concurrent requests never share (or cap) each other's budget.
+        """
+        return getattr(self._local, "budget", None)
+
+    @current_budget.setter
+    def current_budget(self, value: Optional[DeadlineBudget]) -> None:
+        self._local.budget = value
+
+    @property
+    def probe_mode(self) -> str:
+        """``"live"`` (default) or ``"cache"`` for the calling thread.
+
+        In ``"cache"`` mode (the degradation ladder's ``cached_only``
+        rung) a probe phase answers only from the cross-request
+        :attr:`probe_cache`; roots without a cached binding are reported
+        unbound instead of issuing live GETs.
+        """
+        return getattr(self._local, "probe_mode", "live")
+
+    @probe_mode.setter
+    def probe_mode(self, value: str) -> None:
+        self._local.probe_mode = value
+
     def _get(self, token: str, url: str,
              extra_headers: Optional[Dict[str, str]] = None,
              cache=None) -> Response:
@@ -270,7 +307,13 @@ class CloudStateProvider:
             self.observability.metrics.counter(
                 "monitor_probe_requests_total",
                 "GET probes issued to bind the OCL roots").inc()
-        response = self.transport.send(Request("GET", url, headers=headers))
+        probe = Request("GET", url, headers=headers)
+        budget = self.current_budget
+        if budget is not None and getattr(self.transport,
+                                          "supports_budget", False):
+            response = self.transport.send(probe, budget=budget)
+        else:
+            response = self.transport.send(probe)
         reason = transport_failure(response)
         if reason is not None:
             # The transport layer gave up (retries exhausted / breaker
@@ -375,16 +418,36 @@ class CloudStateProvider:
         roots are answered without probing -- no network send, no
         ``probe_count`` tick -- and freshly probed bindings are stored
         for the next request; failed probes are never cached.
+
+        Two overload seams gate the live probing itself: in
+        :attr:`probe_mode` ``"cache"`` every root the cache could not
+        serve is reported unbound without a single GET, and an exhausted
+        :attr:`current_budget` abandons the pending tasks of the phase
+        (serially task by task; concurrently at submission, see
+        :meth:`~repro.core.scheduler.ProbeScheduler.map`).
         """
         bindings: Dict[str, Any] = {}
         unbound: set = set()
+        budget = self.current_budget
         if self.probe_cache is not None and token is not None:
             tasks = self._consult_probe_cache(tasks, bindings, token,
                                               item_id)
+        if self.probe_mode == "cache":
+            # cached_only degradation: whatever the cache could not
+            # answer stays unbound -- live GETs are exactly what this
+            # mode exists to avoid.
+            unbound.update(root for root, _ in tasks)
+            tasks = []
         scheduler = self.scheduler
         if (scheduler is not None and scheduler.concurrent
                 and len(tasks) > 1):
-            outcomes = scheduler.map([thunk for _, thunk in tasks])
+            thunks = [thunk for _, thunk in tasks]
+            if budget is not None:
+                # Pool threads have their own thread-locals: re-install
+                # the request's budget inside each worker so its probe
+                # sends stay capped.
+                thunks = [self._budgeted(thunk, budget) for thunk in thunks]
+            outcomes = scheduler.map(thunks, budget=budget)
             for (root, _), outcome in zip(tasks, outcomes):
                 if outcome.ok:
                     bindings[root] = outcome.value
@@ -392,12 +455,28 @@ class CloudStateProvider:
                     unbound.add(root)
         else:
             for root, thunk in tasks:
+                if budget is not None and budget.exhausted():
+                    unbound.add(root)
+                    continue
                 try:
                     bindings[root] = thunk()
                 except ProbeFailure:
                     unbound.add(root)
         self.unbound_roots = frozenset(unbound)
         return bindings
+
+    def _budgeted(self, thunk: Callable[[], Any],
+                  budget: DeadlineBudget) -> Callable[[], Any]:
+        """Wrap *thunk* to carry *budget* into the worker thread."""
+        def run() -> Any:
+            previous = self.current_budget
+            self.current_budget = budget
+            try:
+                return thunk()
+            finally:
+                self.current_budget = previous
+
+        return run
 
     def _consult_probe_cache(
             self, tasks: List[Tuple[str, Callable[[], Any]]],
@@ -732,6 +811,22 @@ class CloudMonitor:
         #: the wide-event log as ``alarm_transition`` events; replace the
         #: rules/sinks with :meth:`configure_alarms`.
         self.alarms = AlarmEngine(self.slos, events=self.obs.events)
+        #: Overload controls (see :mod:`repro.core.admission`), all off
+        #: by default: a per-request deadline-budget template, one
+        #: admission controller per monitor/shard, and the degradation
+        #: ladder.  When all three are ``None`` the monitored path runs
+        #: the exact pre-admission code -- zero extra clock reads, so
+        #: recorded digest gates hold byte-for-byte.
+        self.deadline = self.options.deadline
+        self.admission: Optional[AdmissionController] = (
+            self.options.admission.build()
+            if self.options.admission is not None else None)
+        self.ladder = (self.options.degradation.build()
+                       if self.options.degradation is not None else None)
+        #: Mode the in-flight request is served under ("full" when the
+        #: overload controls are off); thread-local like the counter
+        #: baselines, read by the wide event.
+        self._request_mode = threading.local()
         #: Requested probe fan-out width.  At 1 (the default) probing is
         #: serial; above 1 the provider gets a
         #: :class:`~repro.core.scheduler.ProbeScheduler` sized to
@@ -977,14 +1072,122 @@ class CloudMonitor:
                 metrics.total("monitor_probe_cache_hits_total"),
         }
         with self.obs.events.correlate(trace.trace_id):
-            return self._run_workflow(operation, request, token, contract,
-                                      item_id, plan, trace)
+            admitted = self._admit(request)
+            if admitted is None:
+                return self._run_workflow(operation, request, token,
+                                          contract, item_id, plan, trace)
+            mode, budget, slot_held, mode_reason = admitted
+            self._request_mode.value = mode
+            self.provider.current_budget = budget
+            if mode == "cached_only":
+                self.provider.probe_mode = "cache"
+            try:
+                return self._run_workflow(operation, request, token,
+                                          contract, item_id, plan, trace,
+                                          mode=mode, budget=budget,
+                                          mode_reason=mode_reason)
+            finally:
+                self._request_mode.value = None
+                self.provider.current_budget = None
+                self.provider.probe_mode = "live"
+                if slot_held:
+                    self.admission.release()
+
+    def _admit(self, request: Request):
+        """The overload gate in front of the Figure-2 workflow.
+
+        Returns ``None`` when every overload control is off (the default
+        -- the caller then runs the untouched workflow with no extra
+        clock reads), else ``(mode, budget, slot_held, reason)``: the
+        degradation mode to serve this request under, its deadline
+        budget, whether an admission slot must be released afterwards,
+        and a human-readable reason for any non-``full`` mode.
+
+        One clock reading covers the admission decision, the ladder
+        update, and the budget start; the request's scheduled arrival
+        (:data:`~repro.core.admission.ARRIVAL_HEADER`, stamped by paced
+        trace replay) both measures queue lag and backdates the budget,
+        so queue wait counts against the deadline.
+        """
+        if (self.deadline is None and self.admission is None
+                and self.ladder is None):
+            return None
+        clock = self.obs.clock
+        now = clock()
+        arrival = parse_arrival(request)
+        decision = AdmissionController.ADMIT
+        slot_held = False
+        if self.admission is not None:
+            decision = self.admission.admit(now=now, scheduled_at=arrival)
+            slot_held = decision != AdmissionController.SHED
+        shed = decision == AdmissionController.SHED
+        mode, transition = "full", None
+        severity = "ok"
+        if self.ladder is not None:
+            severity = self.alarms.overall
+            mode, transition = self.ladder.observe(shed, severity=severity)
+        reason = None
+        if shed:
+            # A shed request is served audit-only regardless of the
+            # ladder's rung: admission already decided it cannot afford
+            # contract evaluation.
+            mode = "audit_only"
+            reason = "admission shed"
+        elif mode != "full":
+            reason = f"degradation ladder at {mode}"
+        budget: Optional[DeadlineBudget] = None
+        if self.deadline is not None:
+            budget = self.deadline.budget(
+                clock, start=arrival if arrival is not None else now)
+        if shed:
+            self.obs.metrics.counter(
+                "monitor_shed_total",
+                "Requests shed by admission control "
+                "(served audit-only)").inc()
+            self.obs.events.emit(
+                "admission_shed",
+                decision=decision,
+                lag=self.admission.last_lag,
+                mode=mode,
+                deadline_remaining_seconds=(
+                    budget.remaining(now) if budget is not None else None))
+        if transition is not None:
+            self.obs.metrics.gauge(
+                "monitor_degraded_mode",
+                "Degradation ladder rung: 0 full, 1 cached_only, "
+                "2 audit_only").set(MODE_GAUGE[self.ladder.mode])
+            self.obs.events.emit(
+                "monitor_mode_transition",
+                from_mode=transition[0],
+                to_mode=transition[1],
+                shed=shed,
+                severity=severity,
+                deadline_remaining_seconds=(
+                    budget.remaining(now) if budget is not None else None))
+        return mode, budget, slot_held, reason
 
     def _run_workflow(self, operation: MonitoredOperation, request: Request,
                       token: str, contract: MethodContract,
                       item_id: Optional[str], plan: Optional[ProbePlan],
-                      trace) -> Tuple[Response, MonitorVerdict]:
-        """Stages (1)-(6) of Figure 2 (see :meth:`monitor_request`)."""
+                      trace, mode: str = "full",
+                      budget: Optional[DeadlineBudget] = None,
+                      mode_reason: Optional[str] = None,
+                      ) -> Tuple[Response, MonitorVerdict]:
+        """Stages (1)-(6) of Figure 2 (see :meth:`monitor_request`).
+
+        *mode* / *budget* are the overload controls' per-request verdicts
+        (see :meth:`_admit`): ``audit_only`` short-circuits to a
+        pass-through forward, ``cached_only`` answers probes from the
+        probe cache (falling back to a degraded forward when the cache
+        cannot serve the pre-state), and an exhausted *budget* turns a
+        pre-state probe abandonment into a degraded forward with a
+        ``deadline_exceeded`` reason instead of blocking the request.
+        """
+        if mode == "audit_only":
+            return self._degraded_forward(
+                operation, request, trace, mode,
+                mode_reason or "degraded to audit_only",
+                contract.security_requirements, budget=budget)
         # (1)-(2) probe pre-state and check the pre-condition.  The pre
         # round also binds the snapshot roots: the pre-probe context is
         # reused by the snapshot phase below.
@@ -1002,6 +1205,26 @@ class CloudMonitor:
                     roots=plan.pre_phase_roots if plan is not None else None)
                 unbound = self.provider.unbound_roots
         if unbound:
+            if mode == "cached_only":
+                # The ladder already decided live probing is off; a
+                # cache miss degrades one rung further for this request
+                # rather than refusing it.
+                return self._degraded_forward(
+                    operation, request, trace, mode,
+                    "pre-state not in probe cache: "
+                    + ", ".join(sorted(unbound)),
+                    contract.security_requirements, unbound=unbound,
+                    budget=budget)
+            if budget is not None and budget.exhausted():
+                # The probes were abandoned (or died) because the
+                # deadline ran out, not because the substrate is sick:
+                # forward rather than block, per the deadline contract.
+                return self._degraded_forward(
+                    operation, request, trace, mode,
+                    "deadline_exceeded: could not bind "
+                    + ", ".join(sorted(unbound)),
+                    contract.security_requirements, unbound=unbound,
+                    budget=budget)
             # The transport gave up on at least one probe: the pre-state
             # is unobservable, so neither blocking nor forwarding can be
             # justified.  Even in audit mode the request is NOT forwarded
@@ -1037,13 +1260,9 @@ class CloudMonitor:
         # (4) forward to the private cloud, query string included: the
         # template fills the path, the incoming params ride along (a
         # template carrying its own query keeps both, incoming wins).
-        forwarded_url = operation.cloud_url(request.path_args)
-        forward_request = Request(request.method, forwarded_url,
-                                  body=request.body)
-        forward_request.headers = request.headers.copy()
-        forward_request.params.update(request.params)
+        forward_request = self._forward_request(operation, request)
         with trace.span("forward") as forward_span:
-            cloud_response = self.transport.send(forward_request)
+            cloud_response = self._send_forward(forward_request, budget)
             forward_span.tags["status"] = cloud_response.status_code
         if request.method != "GET":
             # The forwarded mutation may have changed cloud state; evict
@@ -1102,10 +1321,15 @@ class CloudMonitor:
                 roots=plan.post_phase_roots if plan is not None else None)
         unbound = self.provider.unbound_roots
         if unbound:
+            why = "post-state unobservable"
+            if mode == "cached_only":
+                why = "post-state not in probe cache"
+            elif budget is not None and budget.exhausted():
+                why = "post-state unobservable (deadline_exceeded)"
             verdict = self._finish(MonitorVerdict(
                 operation.trigger, Verdict.INDETERMINATE, True, True,
                 cloud_response.status_code, None,
-                "post-state unobservable: transport could not bind "
+                f"{why}: transport could not bind "
                 + ", ".join(sorted(unbound)),
                 requirements, snapshot_bytes=snapshot.storage_bytes,
                 unbound_roots=unbound), trace)
@@ -1139,6 +1363,60 @@ class CloudMonitor:
             except ValueError:
                 body = None
             self.mirror.observe(operation.trigger, body, item_id=item_id)
+        return cloud_response, verdict
+
+    # -- degraded service --------------------------------------------------------
+
+    @staticmethod
+    def _forward_request(operation: MonitoredOperation,
+                         request: Request) -> Request:
+        """The cloud-side request for *request*, query string included:
+        the template fills the path, the incoming params ride along (a
+        template carrying its own query keeps both, incoming wins).  The
+        monitor-internal arrival stamp never leaks to the cloud."""
+        forwarded_url = operation.cloud_url(request.path_args)
+        forward_request = Request(request.method, forwarded_url,
+                                  body=request.body)
+        forward_request.headers = request.headers.copy()
+        if forward_request.headers.get(ARRIVAL_HEADER) is not None:
+            forward_request.headers.remove(ARRIVAL_HEADER)
+        forward_request.params.update(request.params)
+        return forward_request
+
+    def _send_forward(self, forward_request: Request,
+                      budget: Optional[DeadlineBudget]) -> Response:
+        """One forward send, deadline-capped when the transport can."""
+        if budget is not None and getattr(self.transport,
+                                          "supports_budget", False):
+            return self.transport.send(forward_request, budget=budget)
+        return self.transport.send(forward_request)
+
+    def _degraded_forward(self, operation: MonitoredOperation,
+                          request: Request, trace, mode: str, reason: str,
+                          requirements: List[str],
+                          unbound: Iterable[str] = (),
+                          budget: Optional[DeadlineBudget] = None,
+                          ) -> Tuple[Response, MonitorVerdict]:
+        """Serve one request without contract evaluation.
+
+        The degraded tail of the ladder: the request is forwarded and
+        audit-logged (the cloud's answer passes through untouched), but
+        the verdict is :data:`Verdict.INDETERMINATE` -- the monitor
+        refuses to claim valid/invalid for state it never checked.
+        Probe-cache invalidation still runs after mutations: a degraded
+        write must not leave stale bindings behind for the recovery.
+        """
+        forward_request = self._forward_request(operation, request)
+        with trace.span("forward") as forward_span:
+            cloud_response = self._send_forward(forward_request, budget)
+            forward_span.tags["status"] = cloud_response.status_code
+        if request.method != "GET":
+            self._invalidate_probe_cache()
+        verdict = self._finish(MonitorVerdict(
+            operation.trigger, Verdict.INDETERMINATE, None, True,
+            cloud_response.status_code, None,
+            f"degraded ({mode}): {reason}; contract not evaluated",
+            list(requirements), unbound_roots=unbound), trace)
         return cloud_response, verdict
 
     # -- bookkeeping ----------------------------------------------------------------
@@ -1265,6 +1543,8 @@ class CloudMonitor:
             message=verdict.message,
             security_requirements=list(verdict.security_requirements),
             unbound_roots=list(verdict.unbound_roots),
+            monitor_mode=(getattr(self._request_mode, "value", None)
+                          or "full"),
             probe_plan=trace.tags.get("probe_plan"),
             probes=int(self.provider.probe_count - baseline["probes"]),
             probe_cache_hits=int(

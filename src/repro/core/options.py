@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from ..errors import MonitorError
+from .admission import AdmissionOptions, DeadlineOptions, DegradationOptions
 from .resilience import ResilientTransport, RetryPolicy
 
 
@@ -100,7 +101,11 @@ class MonitorOptions:
       specific instance to install;
     * ``resilience`` -- when set, the monitor builds its own
       :class:`~repro.core.resilience.ResilientTransport` from these
-      parameters (unless an explicit transport is installed).
+      parameters (unless an explicit transport is installed);
+    * ``deadline`` / ``admission`` / ``degradation`` -- the overload
+      controls from :mod:`repro.core.admission`; all three default to
+      ``None`` (off), which keeps the monitored path byte-identical to
+      the pre-admission monitor.
     """
 
     enforcing: bool = True
@@ -108,6 +113,9 @@ class MonitorOptions:
     fanout: int = 1
     probe_cache: Any = False
     resilience: Optional[ResilienceOptions] = None
+    deadline: Optional[DeadlineOptions] = None
+    admission: Optional[AdmissionOptions] = None
+    degradation: Optional[DegradationOptions] = None
 
     def __post_init__(self) -> None:
         if int(self.fanout) < 1:

@@ -270,12 +270,24 @@ class ResilientTransport:
 
     # -- the send path -----------------------------------------------------------
 
-    def send(self, request: Request) -> Response:
+    #: Feature flag callers probe with ``getattr`` before passing
+    #: ``budget=``: plain networks (and test doubles) without it keep
+    #: receiving the bare single-argument ``send``.
+    supports_budget = True
+
+    def send(self, request: Request, budget=None) -> Response:
         """Deliver *request*, retrying per policy behind the host breaker.
 
         Never raises on substrate failure: exhausted retries and open
         breakers return a synthesized 503 carrying
         :data:`TRANSPORT_ERROR_HEADER` so the caller can degrade.
+
+        *budget* (a :class:`~repro.core.admission.DeadlineBudget`) caps
+        the retry ladder: the first attempt always runs -- a deadline
+        must shorten retries, never block the forward -- but a backoff
+        delay that no longer fits the remaining budget gives up
+        immediately with reason ``"deadline-exceeded"`` instead of
+        sleeping past the deadline.
         """
         host = request.host
         breaker = self.breaker(host)
@@ -307,6 +319,14 @@ class ResilientTransport:
                     request, "retries-exhausted", attempts,
                     last_status=response.status_code)
             delay = self.policy.delay(attempts, key=host)
+            if budget is not None and not budget.allows(delay):
+                breaker.record_failure()
+                self._count_failure(host, "deadline-exceeded",
+                                    attempts=attempts)
+                self._publish_state(host, breaker)
+                return self._failure_response(
+                    request, "deadline-exceeded", attempts,
+                    last_status=response.status_code)
             self._count_retry(host, attempt=attempts, delay=delay)
             self._sleep(delay)
 

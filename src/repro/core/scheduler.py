@@ -159,7 +159,8 @@ class ProbeScheduler:
         """True when this scheduler can actually overlap probes."""
         return self.width > 1
 
-    def map(self, tasks: Sequence[Callable[[], Any]]) -> List[ProbeOutcome]:
+    def map(self, tasks: Sequence[Callable[[], Any]],
+            budget=None) -> List[ProbeOutcome]:
         """Run *tasks*, returning outcomes **in submission order**.
 
         Serial (width 1, or fewer than two tasks) runs on the calling
@@ -167,10 +168,26 @@ class ProbeScheduler:
         and the results are collected in order -- the merge order is the
         submission order regardless of completion order, which is what
         keeps fan-out byte-identical to the serial path.
+
+        *budget* (a :class:`~repro.core.admission.DeadlineBudget`)
+        bounds the phase: once the budget is exhausted, tasks not yet
+        started are abandoned -- each yields a failed outcome (root
+        stays unbound) instead of issuing its probe.  Serial runs check
+        before every task; concurrent runs check once at submission
+        (already-submitted probes run to completion, their transport
+        caps the tail via the same budget).
         """
         tasks = list(tasks)
         if not self.concurrent or len(tasks) <= 1:
-            return [self._run(task) for task in tasks]
+            outcomes = []
+            for task in tasks:
+                if budget is not None and budget.exhausted():
+                    outcomes.append(self._abandoned())
+                else:
+                    outcomes.append(self._run(task))
+            return outcomes
+        if budget is not None and budget.exhausted():
+            return [self._abandoned() for _ in tasks]
         pool = self._ensure_pool()
         trace_id = (self._events.current_trace_id
                     if self._events is not None else None)
@@ -179,6 +196,11 @@ class ProbeScheduler:
         futures = [pool.submit(self._run_correlated, task, trace_id)
                    for task in tasks]
         return [future.result() for future in futures]
+
+    @staticmethod
+    def _abandoned() -> ProbeOutcome:
+        return ProbeOutcome(error=ProbeFailure(
+            "probe abandoned: deadline exceeded"))
 
     def _run_correlated(self, task: Callable[[], Any],
                         trace_id: Optional[str]) -> ProbeOutcome:

@@ -88,12 +88,24 @@ class AppServer:
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join the serving thread."""
+        """Shut the server down and join the serving thread.
+
+        Raises :class:`RuntimeError` if the thread outlives the join
+        timeout: a still-serving thread holds the port and keeps
+        handling requests, so silently returning would report "stopped"
+        while the server very much is not.  The thread reference is kept
+        in that case so a later :meth:`stop` can try again.
+        """
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+            thread, self._thread = self._thread, None
+            thread.join(timeout=5)
+            if thread.is_alive():
+                self._thread = thread
+                raise RuntimeError(
+                    f"server thread {thread.name} is still alive after a "
+                    "5s join; the port may still be bound")
 
     def __enter__(self) -> "AppServer":
         return self.start()

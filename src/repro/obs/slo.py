@@ -239,7 +239,12 @@ def default_slos() -> List[SLO]:
     * ``indeterminate-rate`` -- a 1% ceiling on transport-degraded
       verdicts, read from the labelled verdict counter (a deliberately
       different selector path than availability, so the two cross-check
-      each other).
+      each other);
+    * ``shed-rate`` -- a 1% ceiling on requests shed by admission
+      control: sustained shedding means the deployment is undersized,
+      not just momentarily bursty.  The default one-rule-per-SLO alarm
+      set gives this objective its own ``shed-rate-burn`` alarm, which
+      is what lets alarm severity feed the degradation ladder.
     """
     requests = CounterTotal("monitor_requests_total")
     return [
@@ -262,6 +267,12 @@ def default_slos() -> List[SLO]:
                          (-1, CounterTotal("monitor_verdicts_total",
                                            labels={"verdict":
                                                    "indeterminate"}))]),
+            total=requests),
+        SLO("shed-rate",
+            "ceiling on requests shed by admission control",
+            0.99,
+            good=Linear([(1, requests),
+                         (-1, CounterTotal("monitor_shed_total"))]),
             total=requests),
     ]
 

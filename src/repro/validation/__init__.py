@@ -37,6 +37,20 @@ from .chaos import (
     unrecoverable_program,
 )
 from .localization import Diagnosis, localize, render_report
+from .overload import (
+    OverloadBurstReport,
+    OverloadParityReport,
+    OverloadRun,
+    assert_burst_invariants,
+    burst_config,
+    generous_config,
+    make_burst_trace,
+    make_calm_trace,
+    overload_config,
+    run_burst_campaign,
+    run_overload_leg,
+    run_parity_campaign,
+)
 from .reporting import session_report
 from .oracle import (
     BatteryStep,
@@ -54,18 +68,30 @@ __all__ = [
     "Diagnosis",
     "KillRecord",
     "MutationCampaign",
+    "OverloadBurstReport",
+    "OverloadParityReport",
+    "OverloadRun",
     "TestOracle",
+    "assert_burst_invariants",
     "assert_indeterminate_degradation",
+    "burst_config",
     "default_setup",
     "flaky_program",
     "fleet_setup",
+    "generous_config",
+    "make_burst_trace",
+    "make_calm_trace",
     "measure_probe_rate",
+    "overload_config",
     "recoverable_program",
     "resilient_setup",
+    "run_burst_campaign",
     "run_cache_parity_campaign",
     "run_chaos_campaign",
     "run_fleet_leg",
     "run_leg",
+    "run_overload_leg",
+    "run_parity_campaign",
     "unrecoverable_program",
     "EXPECTED_BREAKER_SEQUENCE",
     "assert_breaker_sequence",

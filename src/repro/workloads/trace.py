@@ -5,6 +5,15 @@ sequence against every build.  A :class:`Trace` is that script in data
 form: an ordered list of (user, method, path, payload) entries that can be
 saved as JSONL, loaded, and replayed against any deployment -- the
 regression-testing workflow for new cloud releases.
+
+Entries may optionally carry an ``at`` arrival timestamp (seconds on
+whatever clock the deployment runs).  A timestamped trace is a *load
+shape*, not just a sequence: :meth:`Trace.replay` with a ``clock=``
+paces the replay to those arrivals (waiting on the injectable clock, so
+a :class:`~repro.obs.clock.ManualClock` replays bursts in virtual time)
+and stamps each request's scheduled arrival into the
+:data:`~repro.core.admission.ARRIVAL_HEADER` for the monitor's
+admission control.  Traces without ``at`` replay exactly as before.
 """
 
 from __future__ import annotations
@@ -12,42 +21,57 @@ from __future__ import annotations
 import json
 from typing import IO, Iterator, List, Optional, Union
 
+from ..core.admission import ARRIVAL_HEADER
 from ..errors import ValidationError
 from ..httpsim import Client, Response
+from ..obs.clock import sleeper_for
 
 
 class TraceEntry:
-    """One recorded request."""
+    """One recorded request, optionally with a scheduled arrival time."""
 
     def __init__(self, user: str, method: str, path: str,
-                 payload: Optional[dict] = None):
+                 payload: Optional[dict] = None,
+                 at: Optional[float] = None):
         self.user = user
         self.method = method.upper()
         self.path = path
         self.payload = payload
+        #: Scheduled arrival (clock seconds), or ``None`` for "as fast
+        #: as the replayer goes" -- the pre-timestamp trace format.
+        self.at = at
 
     def to_json(self) -> str:
-        return json.dumps({
+        record = {
             "user": self.user,
             "method": self.method,
             "path": self.path,
             "payload": self.payload,
-        }, sort_keys=True)
+        }
+        # Untimed entries keep the original four-key wire form, so a
+        # trace recorded before arrival times existed round-trips
+        # byte-identically.
+        if self.at is not None:
+            record["at"] = self.at
+        return json.dumps(record, sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "TraceEntry":
         try:
             record = json.loads(line)
+            at = record.get("at")
             return cls(record["user"], record["method"], record["path"],
-                       record.get("payload"))
+                       record.get("payload"),
+                       at=float(at) if at is not None else None)
         except (ValueError, KeyError, TypeError) as exc:
             raise ValidationError(f"malformed trace line: {exc}") from exc
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TraceEntry):
             return NotImplemented
-        return (self.user, self.method, self.path, self.payload) == (
-            other.user, other.method, other.path, other.payload)
+        return (self.user, self.method, self.path, self.payload,
+                self.at) == (other.user, other.method, other.path,
+                             other.payload, other.at)
 
     def __repr__(self) -> str:
         return f"<TraceEntry {self.user} {self.method} {self.path}>"
@@ -60,9 +84,10 @@ class Trace:
         self.entries: List[TraceEntry] = list(entries or [])
 
     def record(self, user: str, method: str, path: str,
-               payload: Optional[dict] = None) -> TraceEntry:
+               payload: Optional[dict] = None,
+               at: Optional[float] = None) -> TraceEntry:
         """Append one request to the script."""
-        entry = TraceEntry(user, method, path, payload)
+        entry = TraceEntry(user, method, path, payload, at=at)
         self.entries.append(entry)
         return entry
 
@@ -85,22 +110,41 @@ class Trace:
                    if line.strip()]
         return cls(entries)
 
-    def replay(self, clients: dict, host: str) -> List[Response]:
+    def replay(self, clients: dict, host: str,
+               clock=None) -> List[Response]:
         """Execute every entry via the per-user *clients* against *host*.
 
         Unknown users are an error: a trace is a contract about who calls
         what, so a missing client means the deployment under test is not
         the one the trace was written for.
+
+        With *clock* given, entries carrying an ``at`` timestamp are
+        *paced*: the replayer waits (via
+        :func:`~repro.obs.clock.sleeper_for`, so a manual clock advances
+        virtual time instead of sleeping) until the entry's arrival,
+        then sends with the scheduled arrival stamped into the
+        :data:`~repro.core.admission.ARRIVAL_HEADER` -- the seam the
+        overload campaign and admission control share.  When the replay
+        is already *behind* an entry's arrival (a burst outran service
+        time) nothing waits: the lag itself is the load signal.
         """
         responses: List[Response] = []
+        sleep = sleeper_for(clock) if clock is not None else None
         for entry in self.entries:
             client = clients.get(entry.user)
             if client is None:
                 raise ValidationError(
                     f"trace references unknown user {entry.user!r}")
             url = f"http://{host}{entry.path}"
+            headers = None
+            if clock is not None and entry.at is not None:
+                now = clock.now if hasattr(clock, "now") else clock()
+                if entry.at > now:
+                    sleep(entry.at - now)
+                headers = {ARRIVAL_HEADER: repr(float(entry.at))}
             responses.append(client.request(entry.method, url,
-                                            payload=entry.payload))
+                                            payload=entry.payload,
+                                            headers=headers))
         return responses
 
     def __len__(self) -> int:

@@ -47,8 +47,8 @@ class TestCanonicalForm:
         assert data["config_version"] == CONFIG_VERSION
         assert set(data) == {
             "config_version", "cloud", "scenario", "monitor",
-            "observability", "resilience", "fleet", "slos", "windows",
-            "alarms", "sinks"}
+            "observability", "resilience", "deadline", "admission",
+            "degradation", "fleet", "slos", "windows", "alarms", "sinks"}
 
     def test_from_dict_inverts_to_dict(self):
         config = sample_config()

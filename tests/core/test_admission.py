@@ -1,0 +1,367 @@
+"""Tests for deadline budgets, admission control, and the mode ladder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResilientTransport, RetryPolicy
+from repro.core.admission import (
+    ARRIVAL_HEADER,
+    MODE_GAUGE,
+    MODES,
+    AdmissionController,
+    AdmissionOptions,
+    DeadlineBudget,
+    DeadlineOptions,
+    DegradationLadder,
+    DegradationOptions,
+    parse_arrival,
+)
+from repro.core.resilience import TRANSPORT_ERROR_HEADER, ProbeFailure
+from repro.core.scheduler import ProbeScheduler
+from repro.errors import MonitorError
+from repro.httpsim import Request, Response
+from repro.obs import Observability
+from repro.obs.clock import ManualClock
+
+URL = "http://cinder/v3/myProject/volumes"
+
+
+class TestDeadlineBudget:
+    def test_remaining_counts_down_on_the_clock(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(10.0, clock)
+        assert budget.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+        assert not budget.exhausted()
+        clock.advance(6.0)
+        assert budget.exhausted()
+        assert budget.remaining() == 0.0
+
+    def test_remaining_never_negative(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(1.0, clock)
+        clock.advance(100.0)
+        assert budget.remaining() == 0.0
+
+    def test_start_override_makes_queue_wait_count(self):
+        # The overload path starts the budget at the *scheduled arrival*:
+        # a request that queued for 3s behind a backlog has already spent
+        # that much of its budget when the monitor first sees it.
+        clock = ManualClock(start=5.0)
+        budget = DeadlineBudget(4.0, clock, start=2.0)
+        assert budget.remaining() == pytest.approx(1.0)
+
+    def test_allows_checks_the_candidate_delay(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(1.0, clock)
+        assert budget.allows(0.5)
+        assert budget.allows(1.0)
+        assert not budget.allows(1.5)
+
+    def test_explicit_now_avoids_clock_reads(self):
+        reads = []
+
+        def counting_clock():
+            reads.append(1)
+            return 0.0
+
+        budget = DeadlineBudget(5.0, counting_clock)
+        reads.clear()
+        assert budget.remaining(now=1.0) == pytest.approx(4.0)
+        assert not budget.exhausted(now=1.0)
+        assert budget.allows(2.0, now=1.0)
+        assert reads == []
+
+    def test_rejects_non_positive_timeout(self):
+        clock = ManualClock()
+        with pytest.raises(MonitorError):
+            DeadlineBudget(0.0, clock)
+        with pytest.raises(MonitorError):
+            DeadlineBudget(-1.0, clock)
+
+    def test_options_build_a_budget(self):
+        clock = ManualClock()
+        budget = DeadlineOptions(timeout=2.5).budget(clock, start=1.0)
+        assert budget.timeout == 2.5
+        assert budget.deadline == pytest.approx(3.5)
+
+
+class TestAdmissionController:
+    def test_admits_below_the_soft_limit(self):
+        controller = AdmissionController(max_inflight=2, queue_depth=1)
+        assert controller.admit() == AdmissionController.ADMIT
+        assert controller.admit() == AdmissionController.ADMIT
+
+    def test_queues_between_soft_and_hard_limits(self):
+        controller = AdmissionController(max_inflight=1, queue_depth=2)
+        assert controller.admit() == AdmissionController.ADMIT
+        assert controller.admit() == AdmissionController.QUEUED
+        assert controller.admit() == AdmissionController.QUEUED
+        assert controller.admit() == AdmissionController.SHED
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(max_inflight=1, queue_depth=0)
+        assert controller.admit() == AdmissionController.ADMIT
+        assert controller.admit() == AdmissionController.SHED
+        controller.release()
+        assert controller.admit() == AdmissionController.ADMIT
+
+    def test_shed_requests_hold_no_slot(self):
+        controller = AdmissionController(max_inflight=1, queue_depth=0)
+        controller.admit()
+        for _ in range(5):
+            controller.admit()
+        assert controller.stats()["in_flight"] == 1
+
+    def test_virtual_lag_sheds_past_queue_seconds(self):
+        controller = AdmissionController(queue_seconds=0.5)
+        assert controller.admit(now=10.0, scheduled_at=9.8) \
+            == AdmissionController.ADMIT
+        assert controller.admit(now=10.0, scheduled_at=9.0) \
+            == AdmissionController.SHED
+        assert controller.stats()["last_lag"] == pytest.approx(1.0)
+
+    def test_early_arrival_is_zero_lag(self):
+        controller = AdmissionController(queue_seconds=0.0)
+        assert controller.admit(now=1.0, scheduled_at=2.0) \
+            == AdmissionController.ADMIT
+
+    def test_stats_count_every_decision(self):
+        controller = AdmissionController(max_inflight=1, queue_depth=1)
+        controller.admit()
+        controller.admit()
+        controller.admit()
+        stats = controller.stats()
+        assert stats["admitted"] == 1
+        assert stats["queued"] == 1
+        assert stats["shed"] == 1
+        assert stats["in_flight"] == 2
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController()
+        controller.release()
+        assert controller.stats()["in_flight"] == 0
+
+    def test_validation(self):
+        with pytest.raises(MonitorError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(MonitorError):
+            AdmissionController(queue_depth=-1)
+        with pytest.raises(MonitorError):
+            AdmissionController(queue_seconds=-0.1)
+
+    def test_options_build(self):
+        controller = AdmissionOptions(max_inflight=3, queue_depth=4,
+                                      queue_seconds=2.0).build()
+        assert controller.max_inflight == 3
+        assert controller.queue_depth == 4
+        assert controller.queue_seconds == 2.0
+
+
+class TestDegradationLadder:
+    def test_escalates_after_consecutive_pressure(self):
+        ladder = DegradationLadder(escalate_after=2)
+        assert ladder.observe(shed=True) == ("full", None)
+        mode, transition = ladder.observe(shed=True)
+        assert mode == "cached_only"
+        assert transition == ("full", "cached_only")
+
+    def test_pressure_streak_resets_on_calm(self):
+        ladder = DegradationLadder(escalate_after=2, clear_after=10)
+        ladder.observe(shed=True)
+        ladder.observe(shed=False)
+        ladder.observe(shed=True)
+        assert ladder.mode == "full"
+
+    def test_climbs_to_audit_only_and_stops(self):
+        ladder = DegradationLadder(escalate_after=1)
+        for _ in range(5):
+            ladder.observe(shed=True)
+        assert ladder.mode == "audit_only"
+
+    def test_recovery_is_hysteretic_one_rung_at_a_time(self):
+        ladder = DegradationLadder(escalate_after=1, clear_after=3)
+        ladder.observe(shed=True)
+        ladder.observe(shed=True)
+        assert ladder.mode == "audit_only"
+        ladder.observe(shed=False)
+        ladder.observe(shed=False)
+        assert ladder.mode == "audit_only"  # not yet: 2 < clear_after
+        mode, transition = ladder.observe(shed=False)
+        assert mode == "cached_only"
+        assert transition == ("audit_only", "cached_only")
+        for _ in range(3):
+            mode, _ = ladder.observe(shed=False)
+        assert mode == "full"
+
+    def test_critical_alarm_counts_as_pressure_when_enabled(self):
+        ladder = DegradationLadder(escalate_after=1, alarm_escalation=True)
+        ladder.observe(shed=False, severity="critical")
+        assert ladder.mode == "cached_only"
+
+    def test_alarm_escalation_can_be_disabled(self):
+        ladder = DegradationLadder(escalate_after=1, alarm_escalation=False)
+        ladder.observe(shed=False, severity="critical")
+        assert ladder.mode == "full"
+
+    def test_warn_severity_is_not_pressure(self):
+        ladder = DegradationLadder(escalate_after=1, alarm_escalation=True)
+        ladder.observe(shed=False, severity="warn")
+        assert ladder.mode == "full"
+
+    def test_transitions_history_and_stats(self):
+        ladder = DegradationLadder(escalate_after=1, clear_after=1)
+        ladder.observe(shed=True)
+        ladder.observe(shed=False)
+        assert ladder.transitions == [("full", "cached_only"),
+                                      ("cached_only", "full")]
+        stats = ladder.stats()
+        assert stats["mode"] == "full"
+        assert stats["transitions"] == [["full", "cached_only"],
+                                        ["cached_only", "full"]]
+
+    def test_validation(self):
+        with pytest.raises(MonitorError):
+            DegradationLadder(escalate_after=0)
+        with pytest.raises(MonitorError):
+            DegradationLadder(clear_after=0)
+
+    def test_options_build(self):
+        ladder = DegradationOptions(escalate_after=2, clear_after=5,
+                                    alarm_escalation=False).build()
+        assert ladder.escalate_after == 2
+        assert ladder.clear_after == 5
+        assert ladder.alarm_escalation is False
+
+    def test_mode_gauge_encoding_matches_the_modes(self):
+        assert MODES == ("full", "cached_only", "audit_only")
+        assert [MODE_GAUGE[mode] for mode in MODES] == [0, 1, 2]
+
+
+class TestParseArrival:
+    def test_reads_the_stamped_header(self):
+        request = Request("GET", URL, headers={ARRIVAL_HEADER: "12.5"})
+        assert parse_arrival(request) == 12.5
+
+    def test_missing_header_is_none(self):
+        assert parse_arrival(Request("GET", URL)) is None
+
+    def test_malformed_header_is_none_not_an_error(self):
+        request = Request("GET", URL, headers={ARRIVAL_HEADER: "soon"})
+        assert parse_arrival(request) is None
+
+
+class _AlwaysFailing:
+    """A substrate that 503s every send (and counts them)."""
+
+    def __init__(self):
+        self.sends = 0
+
+    def send(self, request):
+        self.sends += 1
+        return Response.error(503, "overloaded")
+
+
+def _transport(network, max_attempts=5):
+    obs = Observability(clock=ManualClock())
+    policy = RetryPolicy(max_attempts=max_attempts, base_delay=0.05,
+                         multiplier=2.0, max_delay=2.0, jitter=0.1,
+                         seed=11)
+    transport = ResilientTransport(network, policy=policy,
+                                   failure_threshold=10 ** 6,
+                                   observability=obs)
+    return transport, obs.clock
+
+
+class TestTransportBudget:
+    def test_first_attempt_always_runs_even_on_a_dead_budget(self):
+        network = _AlwaysFailing()
+        transport, clock = _transport(network)
+        budget = DeadlineBudget(0.001, clock)
+        clock.advance(1.0)  # exhaust before the send
+        response = transport.send(Request("GET", URL), budget=budget)
+        assert network.sends == 1
+        assert response.headers.get(TRANSPORT_ERROR_HEADER) \
+            == "deadline-exceeded"
+
+    def test_generous_budget_changes_nothing(self):
+        network = _AlwaysFailing()
+        transport, clock = _transport(network, max_attempts=3)
+        response = transport.send(Request("GET", URL),
+                                  budget=DeadlineBudget(10 ** 6, clock))
+        assert network.sends == 3
+        assert response.headers.get(TRANSPORT_ERROR_HEADER) \
+            == "retries-exhausted"
+
+    @settings(max_examples=40, deadline=None)
+    @given(timeout=st.floats(min_value=0.001, max_value=10.0,
+                             allow_nan=False, allow_infinity=False))
+    def test_backoff_never_sleeps_past_the_deadline(self, timeout):
+        # The property the transport guarantees: with a ManualClock the
+        # only time that passes is backoff sleeps, and every sleep is
+        # pre-checked against the remaining budget -- so total elapsed
+        # virtual time can never exceed the timeout.
+        network = _AlwaysFailing()
+        transport, clock = _transport(network, max_attempts=8)
+        start = clock.now
+        transport.send(Request("GET", URL),
+                       budget=DeadlineBudget(timeout, clock))
+        assert clock.now - start <= timeout + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(small=st.floats(min_value=0.001, max_value=5.0,
+                           allow_nan=False, allow_infinity=False),
+           extra=st.floats(min_value=0.0, max_value=5.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_attempts_are_monotone_in_the_budget(self, small, extra):
+        # More budget can only buy more attempts, never fewer: the retry
+        # ladder is deterministic (seeded jitter, same key), so the
+        # attempt count is a monotone function of the timeout.
+        def attempts_with(timeout):
+            network = _AlwaysFailing()
+            transport, clock = _transport(network, max_attempts=8)
+            transport.send(Request("GET", URL),
+                           budget=DeadlineBudget(timeout, clock))
+            return network.sends
+
+        assert attempts_with(small) <= attempts_with(small + extra)
+
+
+class TestSchedulerAbandonment:
+    def test_serial_abandons_once_the_budget_dies(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(1.0, clock)
+        scheduler = ProbeScheduler(width=1)
+        calls = []
+
+        def probe_then_kill_budget():
+            calls.append("ran")
+            clock.advance(2.0)
+            return "bound"
+
+        outcomes = scheduler.map([probe_then_kill_budget, lambda: "late"],
+                                 budget=budget)
+        assert calls == ["ran"]  # the second task never ran
+        assert outcomes[0].value == "bound"
+        assert isinstance(outcomes[1].error, ProbeFailure)
+        assert "deadline exceeded" in str(outcomes[1].error)
+
+    def test_concurrent_abandons_the_whole_phase_at_submission(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(1.0, clock)
+        clock.advance(2.0)
+        with ProbeScheduler(width=4) as scheduler:
+            outcomes = scheduler.map([lambda: "a", lambda: "b",
+                                      lambda: "c"], budget=budget)
+        assert all(isinstance(outcome.error, ProbeFailure)
+                   for outcome in outcomes)
+        assert scheduler.dispatched_count == 0
+
+    def test_live_budget_runs_everything(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(100.0, clock)
+        scheduler = ProbeScheduler(width=1)
+        outcomes = scheduler.map([lambda: 1, lambda: 2], budget=budget)
+        assert [outcome.value for outcome in outcomes] == [1, 2]

@@ -127,3 +127,48 @@ class TestServerLifecycle:
         running.stop()
         with pytest.raises(Exception):
             http("GET", url)
+
+    def test_stop_raises_when_the_thread_outlives_the_join(self):
+        # A thread that survives the join still holds the port; stop()
+        # must say so instead of reporting "stopped".  A stub thread
+        # avoids waiting out a real 5s join.
+        class StuckThread:
+            name = "httpsim-stuck"
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        app = Application("x")
+        running = serve(app).start()
+        running.stop()  # real shutdown: serve_forever has exited
+        running._thread = StuckThread()
+        with pytest.raises(RuntimeError, match="still alive"):
+            running.stop()
+
+    def test_failed_stop_keeps_the_thread_for_a_retry(self):
+        class FlakyThread:
+            name = "httpsim-flaky"
+
+            def __init__(self):
+                self.alive = True
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return self.alive
+
+        app = Application("x")
+        running = serve(app).start()
+        running.stop()
+        stuck = FlakyThread()
+        running._thread = stuck
+        with pytest.raises(RuntimeError):
+            running.stop()
+        assert running._thread is stuck
+        stuck.alive = False  # the thread finally wound down
+        running.stop()
+        assert running._thread is None

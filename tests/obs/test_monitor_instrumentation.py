@@ -230,7 +230,7 @@ class TestDiagnosticRoutes:
         assert document["overall"] == "ok"
         assert {entry["name"] for entry in document["slos"]} \
             == {"verdict-availability", "stage-latency",
-                "indeterminate-rate"}
+                "indeterminate-rate", "shed-rate"}
 
     def test_events_route_filters(self):
         cloud, monitor, clients = deterministic_setup()

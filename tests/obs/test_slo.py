@@ -97,7 +97,7 @@ class TestDefaultSLOs:
     def test_catalog_names_and_objectives(self):
         by_name = {slo.name: slo for slo in default_slos()}
         assert set(by_name) == {"verdict-availability", "stage-latency",
-                                "indeterminate-rate"}
+                                "indeterminate-rate", "shed-rate"}
         assert by_name["verdict-availability"].objective == 0.999
 
     def test_latency_threshold_is_a_default_bucket_bound(self):

@@ -220,7 +220,7 @@ class TestSlo:
         assert report["overall"] == "ok"
         assert {entry["name"] for entry in report["slos"]} \
             == {"verdict-availability", "stage-latency",
-                "indeterminate-rate"}
+                "indeterminate-rate", "shed-rate"}
         for entry in report["slos"]:
             assert [window["window"] for window in entry["windows"]] \
                 == ["fast", "slow"]
@@ -269,6 +269,25 @@ class TestFleet:
         recorded = json.loads(trajectory.read_text())
         assert len(recorded["entries"]) == 1
         assert recorded["entries"][0]["peak_shards"] == 2
+
+
+class TestOverload:
+    def test_campaign_summary(self, capsys):
+        assert main(["overload"]) == 0
+        out = capsys.readouterr().out
+        assert "parity (generous controls): OK" in out
+        assert "requests shed:" in out
+        assert "final mode:                 full" in out
+
+    def test_json_summary(self, capsys):
+        import json
+
+        assert main(["overload", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["parity"]["parity"] is True
+        assert summary["burst"]["ok"] is True
+        assert summary["burst"]["modes_seen"] == [
+            "full", "cached_only", "audit_only"]
 
 
 class TestParser:

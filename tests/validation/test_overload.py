@@ -1,0 +1,113 @@
+"""Tests for the overload campaign: parity when idle, grace under load."""
+
+import json
+
+import pytest
+
+from repro.validation import (
+    assert_burst_invariants,
+    burst_config,
+    generous_config,
+    make_burst_trace,
+    make_calm_trace,
+    overload_config,
+    run_burst_campaign,
+    run_overload_leg,
+    run_parity_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def parity():
+    return run_parity_campaign()
+
+
+@pytest.fixture(scope="module")
+def burst():
+    return run_burst_campaign()
+
+
+class TestConfigs:
+    def test_disabled_config_turns_every_control_off(self):
+        config = overload_config(enabled=False)
+        assert config.deadline.enabled is False
+        assert config.admission.enabled is False
+        assert config.degradation.enabled is False
+
+    def test_generous_config_is_enabled_but_unreachable(self):
+        config = generous_config()
+        assert config.deadline.enabled
+        assert config.admission.enabled
+        assert config.degradation.enabled
+        assert config.deadline.timeout >= 1e6
+        assert config.admission.queue_seconds >= 1e6
+        # Alarm escalation is the one ladder input with no numeric
+        # threshold to push out of reach, so generous means off.
+        assert config.degradation.alarm_escalation is False
+
+    def test_burst_config_uses_tight_thresholds(self):
+        config = burst_config()
+        assert config.deadline.timeout < config.admission.queue_seconds
+
+    def test_traces_are_deterministic(self):
+        first = [entry.to_json() for entry in make_burst_trace()]
+        second = [entry.to_json() for entry in make_burst_trace()]
+        assert first == second
+        assert all(entry.at is not None for entry in make_calm_trace())
+
+
+class TestParity:
+    def test_generous_controls_are_byte_invisible(self, parity):
+        assert parity.verdict_parity
+        assert parity.metrics_parity
+        assert parity.events_parity
+        assert parity.parity
+
+    def test_report_shape(self, parity):
+        report = parity.to_dict()
+        assert report["parity"] is True
+        assert report["verdict_count"] == 12
+
+
+class TestBurst:
+    def test_invariants_hold(self, burst):
+        assert burst.ok
+        assert_burst_invariants(burst)
+
+    def test_every_request_answered_and_forwarded(self, burst):
+        assert burst.all_answered
+        assert burst.all_forwarded
+        assert all(status < 500 for status in burst.run.statuses)
+
+    def test_ladder_walks_down_and_recovers(self, burst):
+        assert burst.run.shed > 0
+        assert burst.run.modes_seen == ["full", "cached_only",
+                                        "audit_only"]
+        assert burst.run.final_mode == "full"
+        assert burst.run.transitions[0] == ("full", "cached_only")
+        assert burst.run.transitions[-1] == ("cached_only", "full")
+
+    def test_deadline_exhaustion_degrades_instead_of_blocking(self, burst):
+        # The mid-burst write invalidates the probe cache, so lagged
+        # requests probe live on exhausted budgets and must degrade
+        # with the deadline_exceeded reason -- never stall or 5xx.
+        rows = [json.loads(row) for row in burst.run.rows]
+        degraded = [row for row in rows
+                    if "deadline_exceeded" in (row.get("message") or "")]
+        assert degraded
+        assert all(row["verdict"] == "indeterminate" for row in degraded)
+
+    def test_digests_are_stable_across_runs(self, burst):
+        again = run_burst_campaign()
+        assert again.run.verdict_digest() == burst.run.verdict_digest()
+        assert again.run.metrics_digest == burst.run.metrics_digest
+        assert again.run.events_digest == burst.run.events_digest
+
+
+class TestLeg:
+    def test_calm_leg_stays_in_full_mode(self):
+        run = run_overload_leg(make_calm_trace(), generous_config())
+        assert run.shed == 0
+        assert run.modes_seen == ["full"]
+        assert run.final_mode == "full"
+        assert run.admission_stats["shed"] == 0

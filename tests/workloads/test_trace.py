@@ -91,6 +91,81 @@ class TestReplay:
         assert first == second
 
 
+class _HeaderSpy:
+    """A stand-in client recording the headers each request carried."""
+
+    def __init__(self):
+        self.calls = []
+
+    def request(self, method, url, payload=None, headers=None):
+        self.calls.append((method, url, headers))
+        from repro.httpsim import Response
+        return Response(200, b"{}")
+
+
+class TestArrivalTimes:
+    def test_timed_entry_round_trips_with_at(self):
+        entry = TraceEntry("bob", "GET", "/x", at=2.5)
+        assert '"at": 2.5' in entry.to_json()
+        assert TraceEntry.from_json(entry.to_json()) == entry
+
+    def test_untimed_entry_keeps_the_four_key_wire_form(self):
+        # Pre-timestamp traces must round-trip byte-identically.
+        entry = TraceEntry("bob", "GET", "/x")
+        assert '"at"' not in entry.to_json()
+        assert TraceEntry.from_json(entry.to_json()).at is None
+
+    def test_paced_replay_advances_the_manual_clock(self):
+        from repro.obs.clock import ManualClock
+
+        clock = ManualClock()
+        trace = Trace()
+        trace.record("u", "GET", "/a", at=1.0)
+        trace.record("u", "GET", "/b", at=3.0)
+        trace.replay({"u": _HeaderSpy()}, "anyhost", clock=clock)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_paced_replay_stamps_the_arrival_header(self):
+        from repro.core.admission import ARRIVAL_HEADER
+        from repro.obs.clock import ManualClock
+
+        clock = ManualClock()
+        spy = _HeaderSpy()
+        trace = Trace()
+        trace.record("u", "GET", "/a", at=1.5)
+        trace.replay({"u": spy}, "anyhost", clock=clock)
+        assert spy.calls[0][2] == {ARRIVAL_HEADER: "1.5"}
+
+    def test_lagging_replay_does_not_wait(self):
+        # When the clock is already past an entry's arrival the replayer
+        # must not sleep: the lag is the overload signal.
+        from repro.obs.clock import ManualClock
+
+        clock = ManualClock(start=10.0)
+        trace = Trace()
+        trace.record("u", "GET", "/a", at=2.0)
+        trace.replay({"u": _HeaderSpy()}, "anyhost", clock=clock)
+        assert clock.now == pytest.approx(10.0)
+
+    def test_untimed_entries_replay_unpaced_even_with_a_clock(self):
+        from repro.obs.clock import ManualClock
+
+        clock = ManualClock()
+        spy = _HeaderSpy()
+        trace = Trace()
+        trace.record("u", "GET", "/a")
+        trace.replay({"u": spy}, "anyhost", clock=clock)
+        assert clock.now == 0.0
+        assert spy.calls[0][2] is None
+
+    def test_without_a_clock_at_is_ignored(self, setup):
+        cloud, monitor, clients = setup
+        trace = Trace()
+        trace.record("carol", "GET", "/cmonitor/volumes", at=50.0)
+        responses = trace.replay(clients, "cmonitor")
+        assert responses[0].status_code == 200
+
+
 class TestRecordingClient:
     def test_records_while_passing_through(self, setup):
         cloud, monitor, clients = setup
