@@ -11,12 +11,21 @@ through the monitor; the bench reports the per-request latency of each path
 snapshot size per method, which must stay tens of bytes.
 """
 
+import os
 import time
 
 from repro.validation import default_setup
-from repro.workloads import WorkloadRunner, make_workload
+from repro.workloads import (
+    WorkloadRunner,
+    append_trajectory,
+    make_workload,
+    measure_overhead_ladder,
+)
 
 WORKLOAD = make_workload(60, seed=42)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_scaling.json")
 
 
 def test_bench_overhead_direct(benchmark):
@@ -123,3 +132,53 @@ def test_bench_overhead_probe_planning(benchmark):
     assert planned["coverage"] == unplanned["coverage"]
     assert planned["probes"] < unplanned["probes"]
     assert planned["skipped"] > 0
+
+
+def test_bench_overhead_sampling_ladder(benchmark):
+    """The obs-layer row: 1x/10x/100x volume through a sampled fleet.
+
+    Sampling exists so the observability layer's cost stays bounded as
+    volume grows; this ladder drives a Poisson-paced workload through a
+    4-shard fleet at 10% sampling and gates the three claims:
+
+    * retained-trace memory stays within the tracer rings at 100x,
+    * every non-valid verdict's trace survives sampling on every rung,
+    * p99 ``obs_overhead_seconds`` at 100x stays within 2x of 1x (the
+      fleet runs on a manual clock, so the histogram counts operations,
+      not host speed -- per-request obs cost must not grow with volume).
+
+    The ladder entry is appended to ``BENCH_scaling.json`` so the
+    trajectory gate can watch the overhead story across commits.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    entry = measure_overhead_ladder(base=16, factors=(1, 10, 100))
+
+    print("\n[OVERHEAD] volume  retained/bound  decisions "
+          "(kept/dropped/forced)  p99 obs")
+    for rung in entry["rungs"]:
+        decisions = rung["decisions"]
+        print(f"[OVERHEAD] {rung['requests']:<7} "
+              f"{rung['retained']:>5}/{rung['ring_bound']:<7} "
+              f"{decisions.get('kept', 0)}/{decisions.get('dropped', 0)}/"
+              f"{decisions.get('forced', 0):<18} "
+              f"{rung['overhead_p99']:.6f}s")
+    print(f"[OVERHEAD] p99 ratio 100x/1x: {entry['p99_ratio']:.2f} "
+          "(gate: <= 2.0)")
+
+    for rung in entry["rungs"]:
+        assert sum(rung["decisions"].values()) == rung["begun"], \
+            "sampling decisions must reconcile with traces begun"
+        assert rung["decisions"].get("dropped", 0) == rung["events_shed"], \
+            "every dropped trace sheds exactly its one wide event"
+    assert entry["retained_within_bound"], \
+        "retained traces exceeded the tracer ring bound"
+    assert entry["non_valid_retained"], \
+        "a non-valid verdict's trace was sampled away"
+    assert entry["p99_ratio"] <= 2.0, \
+        "p99 obs overhead grew with volume"
+
+    trajectory = append_trajectory(TRAJECTORY_PATH,
+                                   {"timestamp": entry["timestamp"],
+                                    "obs_overhead": entry})
+    assert trajectory["entries"][-1]["obs_overhead"]["p99_ratio"] \
+        == entry["p99_ratio"]

@@ -99,6 +99,24 @@ def main() -> int:
         "verdict_digest": burst_summary["verdict_digest"],
     }
 
+    # The observability-overhead story rides along the same way: a small
+    # deterministic sampled ladder (manual clock, so the p99 measures
+    # operation counts) whose flat p99 ratio shows the obs layer's
+    # per-request cost does not grow with volume.
+    from repro.workloads import measure_overhead_ladder
+
+    ladder = measure_overhead_ladder(base=8, factors=(1, 10))
+    entry["obs_overhead"] = {
+        "base": ladder["base"],
+        "factors": ladder["factors"],
+        "rate": ladder["rate"],
+        "p99_by_volume": ladder["p99_by_volume"],
+        "p99_ratio": ladder["p99_ratio"],
+        "retained_within_bound": ladder["retained_within_bound"],
+        "non_valid_retained": ladder["non_valid_retained"],
+        "reconciled": ladder["reconciled"],
+    }
+
     print(f"bench trajectory: {peak}-shard throughput "
           f"{current:.1f} req/s, speedup {entry['speedup']:.2f}x "
           f"({len(prior.get('entries', []))} prior entries)")
@@ -108,8 +126,21 @@ def main() -> int:
     print(f"  overload burst: {burst_summary['shed']} shed over "
           f"{burst_summary['requests']} requests, recovered to "
           f"{burst_summary['final_mode']}")
+    print(f"  obs overhead: p99 ratio {ladder['p99_ratio']:.2f} across "
+          f"{'x/'.join(str(f) for f in ladder['factors'])}x volume")
 
     failures = []
+    if not (ladder["retained_within_bound"] and ladder["non_valid_retained"]
+            and ladder["reconciled"]):
+        failures.append(
+            "obs-overhead ladder invariants failed (retained within "
+            f"bound: {ladder['retained_within_bound']}, non-valid "
+            f"retained: {ladder['non_valid_retained']}, reconciled: "
+            f"{ladder['reconciled']})")
+    if ladder["p99_ratio"] > 2.0:
+        failures.append(
+            f"p99 obs overhead grew {ladder['p99_ratio']:.2f}x with "
+            "volume (gate: <= 2.0x)")
     if not burst.ok:
         failures.append("overload burst invariants failed "
                         f"(answered: {burst.all_answered}, forwarded: "

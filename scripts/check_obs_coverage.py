@@ -33,6 +33,8 @@ REQUIRED_MODULES = (
     "exporters.py",
     "metrics.py",
     "middleware.py",
+    "overhead.py",
+    "sampling.py",
     "slo.py",
     "tracing.py",
 )

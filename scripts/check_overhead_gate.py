@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Enforce the sampling gates: parity when disabled, reconciliation when on.
+
+Two legs, both fully deterministic (ManualClock, paced arrival trace,
+hash-seeded sampling decisions):
+
+* **parity** -- a config whose ``observability.sampling`` block is
+  present but *disabled* (with non-default rate/seed/threshold knobs)
+  must leave a calm workload's verdict rows, metrics export, and
+  wide-event stream byte-identical to a config with no sampling block
+  at all.  Hard assertion, no recorded baseline: the two legs are
+  compared against each other.
+* **invariants** -- with sampling *enabled* on a small volume ladder
+  through a 4-shard fleet, ``kept + dropped + forced`` must equal the
+  traces begun, every dropped trace must shed exactly one wide event,
+  no non-``valid`` verdict may lose its trace, retained traces must
+  stay within the tracer rings, and re-running the same seed must
+  replay the same decisions.  The ladder's decision tallies and p99
+  ``obs_overhead_seconds`` are pinned in
+  ``scripts/overhead_gate.json`` -- any drift in the sampling or
+  self-accounting choreography shows up as a mismatch.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/check_overhead_gate.py [--update]
+
+``--update`` re-records the ladder baseline after an intentional change
+to the sampling policy, the workload shape, or the overhead accounting.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "overhead_gate.json")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the ladder baseline instead of "
+                             "gating")
+    parser.add_argument("--baseline", default=BASELINE,
+                        help="baseline JSON path")
+    args = parser.parse_args()
+
+    from repro.validation import (assert_sampling_invariants,
+                                  run_sampling_parity_campaign)
+
+    parity = run_sampling_parity_campaign()
+    if not parity.parity:
+        detail = parity.to_dict()
+        print("FAIL: a disabled sampling block changed the calm "
+              f"workload (verdicts equal: {detail['verdict_parity']}, "
+              f"metrics equal: {detail['metrics_parity']}, "
+              f"events equal: {detail['events_parity']})",
+              file=sys.stderr)
+        return 1
+    print(f"sampling parity: {parity.to_dict()['verdict_count']} calm "
+          "verdicts byte-identical with a disabled sampling block")
+
+    try:
+        rungs = assert_sampling_invariants()
+    except AssertionError as exc:
+        print(f"FAIL: sampling invariant broken: {exc}", file=sys.stderr)
+        return 1
+    current = {
+        "rungs": [{
+            "requests": rung["requests"],
+            "shards": rung["shards"],
+            "rate": rung["rate"],
+            "seed": rung["seed"],
+            "decisions": rung["decisions"],
+            "events_shed": rung["events_shed"],
+            "retained": rung["retained"],
+            "non_valid": rung["non_valid"],
+            "overhead_p99": rung["overhead_p99"],
+        } for rung in rungs],
+    }
+    for rung in rungs:
+        decisions = rung["decisions"]
+        print(f"sampling ladder: {rung['requests']} requests -> "
+              f"{decisions.get('kept', 0)} kept / "
+              f"{decisions.get('dropped', 0)} dropped / "
+              f"{decisions.get('forced', 0)} forced, "
+              f"{rung['retained']} retained, "
+              f"p99 obs {rung['overhead_p99']:.6f}s")
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sampling ladder baseline recorded over "
+              f"{len(rungs)} rungs")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    if recorded != current:
+        print("FAIL: sampling ladder drifted from the recorded baseline; "
+              "re-record with --update if intentional", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,9 @@ PYTHONPATH=src python scripts/check_fanout_parity.py
 echo "==> overload gate (generous-control parity + deterministic burst)"
 PYTHONPATH=src python scripts/check_overload_gate.py
 
+echo "==> overhead gate (disabled-sampling parity + sampled-ladder invariants)"
+PYTHONPATH=src python scripts/check_overhead_gate.py
+
 echo "==> bench trajectory gate (multi-shard throughput vs recorded best)"
 PYTHONPATH=src python scripts/check_bench_trajectory.py
 

@@ -253,13 +253,31 @@ def _monitored_session(args: argparse.Namespace):
     ``--deterministic`` injects a ManualClock (fixed tick per clock read)
     so every emitted duration, event timestamp, and SLO report is
     byte-identical across runs -- the property the diagnostics gates pin.
+    ``--sample-rate`` (where the subcommand offers it) enables head/tail
+    trace sampling at that keep probability, seeded by ``--sample-seed``;
+    without the flag the session is unsampled, exactly as before.
     """
     from .obs import ManualClock, Observability
 
     clock = ManualClock(tick=1e-4) if args.deterministic else None
     obs = Observability(clock=clock)
-    cloud, monitor = default_setup(enforcing=args.enforcing,
-                                   observability=obs)
+    sample_rate = getattr(args, "sample_rate", None)
+    if sample_rate is not None:
+        from .config import (CloudSection, MonitorConfig, MonitorSection,
+                             ObservabilitySection, SamplingSection,
+                             build_from_config)
+
+        config = MonitorConfig(
+            cloud=CloudSection(volume_quota=5),
+            monitor=MonitorSection(enforcing=args.enforcing),
+            observability=ObservabilitySection(
+                sampling=SamplingSection(
+                    enabled=True, rate=sample_rate,
+                    seed=getattr(args, "sample_seed", 0) or 0)))
+        cloud, monitor = build_from_config(config, observability=obs)
+    else:
+        cloud, monitor = default_setup(enforcing=args.enforcing,
+                                       observability=obs)
     oracle = TestOracle(cloud, monitor)
     battery = extended_battery() if args.extended else standard_battery()
     oracle.run(battery)
@@ -719,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--deterministic", action="store_true",
                          help="inject a fixed-tick manual clock so output "
                               "is identical across runs")
+    metrics.add_argument("--sample-rate", type=float, default=None,
+                         help="enable head/tail trace sampling at this "
+                              "keep probability in [0, 1] (adds the "
+                              "monitor_traces_sampled_total and "
+                              "obs_overhead_seconds families)")
+    metrics.add_argument("--sample-seed", type=int, default=0,
+                         help="seed for the hash-based sampling decision "
+                              "(default 0)")
 
     events = sub.add_parser(
         "events", help="replay a battery and print the structured "
@@ -745,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--deterministic", action="store_true",
                         help="inject a fixed-tick manual clock so output "
                              "is identical across runs")
+    events.add_argument("--sample-rate", type=float, default=None,
+                        help="enable head/tail trace sampling at this "
+                             "keep probability in [0, 1]; dropped traces' "
+                             "monitor_request events are shed, kept ones "
+                             "carry sampling_decision and obs_overhead")
+    events.add_argument("--sample-seed", type=int, default=0,
+                        help="seed for the hash-based sampling decision "
+                             "(default 0)")
 
     slo = sub.add_parser(
         "slo", help="replay a battery and print the SLO burn-rate report "

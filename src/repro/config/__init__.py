@@ -28,6 +28,7 @@ from .builder import (
     degradation_options,
     monitor_options,
     resilience_options,
+    sampling_options,
 )
 from .migrate import migrate, needs_migration
 from .schema import (
@@ -42,6 +43,7 @@ from .schema import (
     MonitorSection,
     ObservabilitySection,
     ResilienceSection,
+    SamplingSection,
     ScenarioSection,
     SinkSpec,
     SLOSpec,
@@ -66,6 +68,7 @@ __all__ = [
     "MonitorSection",
     "ObservabilitySection",
     "ResilienceSection",
+    "SamplingSection",
     "ScenarioSection",
     "SinkSpec",
     "SLOSpec",
@@ -91,4 +94,5 @@ __all__ = [
     "needs_migration",
     "parse_text",
     "resilience_options",
+    "sampling_options",
 ]

@@ -31,6 +31,7 @@ from ..core.admission import (
     DegradationOptions,
 )
 from ..core.options import MonitorOptions, ResilienceOptions
+from ..obs.sampling import SamplingOptions
 from ..errors import ConfigError
 from ..obs import Observability
 from ..obs.clock import ManualClock
@@ -105,6 +106,17 @@ def degradation_options(config: MonitorConfig,
                               alarm_escalation=section.alarm_escalation)
 
 
+def sampling_options(config: MonitorConfig) -> Optional[SamplingOptions]:
+    """The head/tail sampling policy, or ``None`` when disabled."""
+    section = config.observability.sampling
+    if not section.enabled:
+        return None
+    return SamplingOptions(rate=section.rate,
+                           seed=section.seed,
+                           slow_threshold=section.slow_threshold,
+                           overhead=section.overhead)
+
+
 def monitor_options(config: MonitorConfig) -> MonitorOptions:
     """The typed options object every monitor/shard is built with."""
     section = config.monitor
@@ -116,7 +128,8 @@ def monitor_options(config: MonitorConfig) -> MonitorOptions:
         resilience=resilience_options(config),
         deadline=deadline_options(config),
         admission=admission_options(config),
-        degradation=degradation_options(config))
+        degradation=degradation_options(config),
+        sampling=sampling_options(config))
 
 
 def build_selector(spec: Mapping[str, Any]) -> Selector:

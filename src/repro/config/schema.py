@@ -187,13 +187,56 @@ class MonitorSection:
 
 
 @dataclass(frozen=True)
+class SamplingSection:
+    """Head/tail trace sampling and obs-overhead self-accounting;
+    mirrors :class:`~repro.obs.sampling.SamplingOptions`.  ``enabled:
+    false`` (the default) retains every trace and keeps the monitored
+    path byte-identical to the pre-sampling monitor."""
+
+    enabled: bool = False
+    rate: float = 0.1
+    seed: int = 0
+    slow_threshold: float = 0.0
+    overhead: bool = True
+
+
+@dataclass(frozen=True)
 class ObservabilitySection:
     """Clock injection: ``system`` wall time or a deterministic
-    ``manual`` clock (every read advances it by ``tick``)."""
+    ``manual`` clock (every read advances it by ``tick``), plus the
+    nested head/tail ``sampling`` policy."""
 
     clock: str = "system"
     start: float = 0.0
     tick: float = 0.0
+    sampling: SamplingSection = field(default_factory=SamplingSection)
+
+
+def _observability_from_dict(data: Optional[Mapping[str, Any]],
+                             where: str) -> ObservabilitySection:
+    """The one nested section needs its own strict parser."""
+    if data is None:
+        return ObservabilitySection()
+    _check_keys(data, ("clock", "start", "tick", "sampling"), where)
+    kwargs: Dict[str, Any] = {}
+    if "clock" in data:
+        kwargs["clock"] = _coerce_str(data["clock"], f"{where}.clock")
+    if "start" in data:
+        kwargs["start"] = _coerce_float(data["start"], f"{where}.start")
+    if "tick" in data:
+        kwargs["tick"] = _coerce_float(data["tick"], f"{where}.tick")
+    kwargs["sampling"] = _section_from_dict(
+        SamplingSection, data.get("sampling"), f"{where}.sampling")
+    return ObservabilitySection(**kwargs)
+
+
+def _observability_to_dict(section: ObservabilitySection) -> Dict[str, Any]:
+    return {
+        "clock": section.clock,
+        "start": section.start,
+        "tick": section.tick,
+        "sampling": _section_to_dict(section.sampling),
+    }
 
 
 @dataclass(frozen=True)
@@ -418,9 +461,8 @@ class MonitorConfig:
                                         data.get("scenario"), "scenario"),
             monitor=_section_from_dict(MonitorSection, data.get("monitor"),
                                        "monitor"),
-            observability=_section_from_dict(ObservabilitySection,
-                                             data.get("observability"),
-                                             "observability"),
+            observability=_observability_from_dict(
+                data.get("observability"), "observability"),
             resilience=_section_from_dict(ResilienceSection,
                                           data.get("resilience"),
                                           "resilience"),
@@ -451,7 +493,7 @@ class MonitorConfig:
             "cloud": _section_to_dict(self.cloud),
             "scenario": _section_to_dict(self.scenario),
             "monitor": _section_to_dict(self.monitor),
-            "observability": _section_to_dict(self.observability),
+            "observability": _observability_to_dict(self.observability),
             "resilience": _section_to_dict(self.resilience),
             "deadline": _section_to_dict(self.deadline),
             "admission": _section_to_dict(self.admission),
@@ -491,6 +533,15 @@ class MonitorConfig:
                 f"got {self.observability.clock!r}")
         if self.observability.tick < 0:
             problems.append("observability.tick cannot be negative")
+        sampling = self.observability.sampling
+        if not 0.0 <= sampling.rate <= 1.0:
+            problems.append(
+                "observability.sampling.rate must be in [0, 1], "
+                f"got {sampling.rate}")
+        if sampling.slow_threshold < 0:
+            problems.append(
+                "observability.sampling.slow_threshold cannot be "
+                "negative")
         if self.resilience.enabled and self.resilience.max_attempts < 1:
             problems.append("resilience.max_attempts must be >= 1")
         if self.deadline.enabled and self.deadline.timeout <= 0:

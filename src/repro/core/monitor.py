@@ -34,6 +34,7 @@ import copy
 import re
 import threading
 import warnings
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..alerting import AlarmEngine
@@ -41,6 +42,8 @@ from ..errors import MonitorError
 from ..httpsim import Application, Network, Request, Response, path, status
 from ..obs import Observability, ObservabilityMiddleware, SLOEngine
 from ..obs.analytics import critical_path, trace_report
+from ..obs.overhead import OverheadRecorder
+from ..obs.sampling import DECISION_DROPPED, TraceSampler
 from ..ocl import Context
 from ..ocl.values import UNDEFINED
 from ..uml import ClassDiagram, StateMachine, Trigger
@@ -823,6 +826,18 @@ class CloudMonitor:
             if self.options.admission is not None else None)
         self.ladder = (self.options.degradation.build()
                        if self.options.degradation is not None else None)
+        #: Head/tail trace sampling plus obs-overhead self-accounting
+        #: (see :mod:`repro.obs.sampling` / :mod:`repro.obs.overhead`).
+        #: ``None`` (the default) retains every trace and runs the exact
+        #: pre-sampling finish path -- zero extra clock reads, recorded
+        #: digest gates hold byte-for-byte.
+        self.sampler: Optional[TraceSampler] = (
+            TraceSampler(self.options.sampling, metrics=self.obs.metrics)
+            if self.options.sampling is not None else None)
+        self.overhead: Optional[OverheadRecorder] = (
+            OverheadRecorder(self.obs.metrics, self.obs.clock)
+            if self.options.sampling is not None
+            and self.options.sampling.overhead else None)
         #: Mode the in-flight request is served under ("full" when the
         #: overload controls are off); thread-local like the counter
         #: baselines, read by the wide event.
@@ -1457,14 +1472,17 @@ class CloudMonitor:
             if verdict.unbound_roots:
                 trace.set_tag("unbound_roots",
                               ",".join(verdict.unbound_roots))
-            self.obs.tracer.finish(trace)
-            self._record_metrics(verdict, trace)
-            self._emit_wide_event(verdict, trace)
-            # One snapshot, one alarm evaluation, one clock reading: the
-            # alarm engine reuses the snapshot's time, adding zero clock
-            # reads to the deterministic per-request path.
-            now = self.slos.snapshot()
-            self.alarms.evaluate(now)
+            if self.sampler is None:
+                self.obs.tracer.finish(trace)
+                self._record_metrics(verdict, trace)
+                self._emit_wide_event(verdict, trace)
+                # One snapshot, one alarm evaluation, one clock reading:
+                # the alarm engine reuses the snapshot's time, adding
+                # zero clock reads to the deterministic per-request path.
+                now = self.slos.snapshot()
+                self.alarms.evaluate(now)
+            else:
+                self._finish_sampled(verdict, trace)
         with self._log_lock:
             self.log.append(verdict)
             # Indeterminate outcomes say nothing about the requirement
@@ -1474,6 +1492,78 @@ class CloudMonitor:
                 self.coverage.record(verdict.security_requirements,
                                      passed=not verdict.violation)
         return verdict
+
+    def _finish_sampled(self, verdict: MonitorVerdict, trace) -> None:
+        """The finish path with head/tail sampling enabled.
+
+        Deliberately reordered relative to the default path so the
+        sampling decision can see everything that forces a trace into
+        the tail: metrics first (the exemplar-novelty check), then the
+        SLO snapshot and alarm evaluation (alarm transitions force), and
+        only then the decision, the conditional ring insert, and the
+        wide event (shed for dropped traces).  The enabled path's event
+        ordering and clock-read count therefore differ from the recorded
+        digest gates -- by design: those gates pin the *disabled*
+        default, and enabling sampling is an explicit opt-in.
+        """
+        sampler, overhead = self.sampler, self.overhead
+        # Close the trace's clock before anything reads its duration --
+        # the same single read Tracer.finish would have spent.
+        if trace.end is None:
+            trace.end = self.obs.clock()
+        if overhead is not None:
+            overhead.begin_request()
+        stage = (overhead.stage if overhead is not None
+                 else (lambda name: nullcontext()))
+
+        # Exemplar force-keep: when this trace is about to become the
+        # *first* exemplar of its monitor_request_seconds latency bucket
+        # (a latency shape not seen before), it is pinned into the tail.
+        # Later traces replacing a bucket's exemplar are sampled
+        # normally; resolve_exemplars reports their traces as evicted
+        # when the coin dropped them.
+        histogram = self.obs.metrics.histogram(
+            "monitor_request_seconds",
+            "End-to-end latency of one monitored request",
+            operation=str(verdict.trigger))
+        novel = (histogram.bucket_index(trace.duration)
+                 not in histogram.exemplars)
+        with stage("metrics"):
+            self._record_metrics(verdict, trace)
+        if novel:
+            sampler.mark_forced(trace.trace_id)
+
+        now = self.slos.snapshot()
+        if self.alarms.evaluate(now):
+            # The transition events just emitted carry this trace's id
+            # (we are inside its correlation scope): keep the trace they
+            # point at.
+            sampler.mark_forced(trace.trace_id)
+
+        decision = sampler.decide(trace.trace_id, verdict=verdict.verdict,
+                                  duration=trace.duration)
+        trace.set_tag("sampling_decision", decision)
+        with stage("tracing"):
+            if decision != DECISION_DROPPED:
+                self.obs.tracer.finish(trace)
+        if decision == DECISION_DROPPED:
+            # Head/tail on the event log too: a dropped (healthy) trace
+            # sheds its monitor_request wide event.  Alarm, transition,
+            # and shed events are emitted elsewhere and never shed.
+            sampler.shed_event()
+            return
+        extra: Dict[str, Any] = {"sampling_decision": decision}
+        if overhead is not None:
+            attribution = overhead.attribution() or {}
+            extra["obs_overhead"] = {name: _round9(cost)
+                                     for name, cost
+                                     in sorted(attribution.items())}
+            extra["obs_overhead_seconds"] = _round9(
+                sum(attribution.values()))
+        # The events stage cannot appear inside the event it measures;
+        # its cost lands in the obs_overhead_seconds histogram only.
+        with stage("events"):
+            self._emit_wide_event(verdict, trace, extra=extra)
 
     def _record_metrics(self, verdict: MonitorVerdict, trace) -> None:
         metrics = self.obs.metrics
@@ -1516,12 +1606,16 @@ class CloudMonitor:
                 stage=span.name).observe(
                     span.duration, exemplar=exemplar, timestamp=span.end)
 
-    def _emit_wide_event(self, verdict: MonitorVerdict, trace) -> None:
+    def _emit_wide_event(self, verdict: MonitorVerdict, trace,
+                         extra: Optional[Dict[str, Any]] = None) -> None:
         """One flat, queryable record for the whole monitored request.
 
         The audit log keeps the verdict; this event keeps *why*: the
         probe plan, the per-stage timing, the transport's retry and
         give-up deltas, and the breaker landscape at completion.
+        *extra* fields (sampling decision, obs-overhead attribution)
+        appear only on the sampling finish path, so the default event
+        shape stays byte-identical.
         """
         metrics = self.obs.metrics
         baseline = getattr(self._baseline, "value", None) or {
@@ -1559,7 +1653,8 @@ class CloudMonitor:
                             if callable(breaker_states) else {}),
             stage_seconds={span.name: _round9(span.duration)
                            for span in trace.spans},
-            duration=_round9(trace.duration))
+            duration=_round9(trace.duration),
+            **(extra or {}))
 
     @staticmethod
     def _invalid_response(code: int, verdict: MonitorVerdict) -> Response:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from ..errors import MonitorError
+from ..obs.sampling import SamplingOptions
 from .admission import AdmissionOptions, DeadlineOptions, DegradationOptions
 from .resilience import ResilientTransport, RetryPolicy
 
@@ -105,7 +106,11 @@ class MonitorOptions:
     * ``deadline`` / ``admission`` / ``degradation`` -- the overload
       controls from :mod:`repro.core.admission`; all three default to
       ``None`` (off), which keeps the monitored path byte-identical to
-      the pre-admission monitor.
+      the pre-admission monitor;
+    * ``sampling`` -- head/tail trace sampling and obs-overhead
+      self-accounting (:class:`~repro.obs.sampling.SamplingOptions`);
+      ``None`` (the default) retains every trace and adds zero clock
+      reads, keeping the recorded digest gates byte-identical.
     """
 
     enforcing: bool = True
@@ -116,6 +121,7 @@ class MonitorOptions:
     deadline: Optional[DeadlineOptions] = None
     admission: Optional[AdmissionOptions] = None
     degradation: Optional[DegradationOptions] = None
+    sampling: Optional[SamplingOptions] = None
 
     def __post_init__(self) -> None:
         if int(self.fanout) < 1:

@@ -25,7 +25,12 @@ millisecond of a monitored request goes.  This package provides:
 * :mod:`repro.obs.exporters` -- Prometheus text exposition (with
   OpenMetrics-style exemplars) and JSON,
 * :mod:`repro.obs.middleware` -- request metrics for any
-  :class:`~repro.httpsim.app.Application`.
+  :class:`~repro.httpsim.app.Application`,
+* :mod:`repro.obs.sampling` -- deterministic head/tail trace sampling:
+  keep every interesting trace (non-valid verdicts, slow tails,
+  alarm/exemplar references), hash-sample the healthy rest,
+* :mod:`repro.obs.overhead` -- self-accounting for what the obs layer
+  itself costs per request (``obs_overhead_seconds`` by stage).
 
 :class:`Observability` bundles one registry, one tracer, one event log,
 and one clock so the monitor, the state provider, and the network all
@@ -43,9 +48,20 @@ from .analytics import (
 from .clock import Clock, ManualClock, system_clock
 from .events import EventLog, WideEvent
 from .exporters import render_json, render_prometheus
-from .metrics import (Counter, Exemplar, Gauge, Histogram, MetricsRegistry,
-                      merge_registries)
+from .metrics import (GAUGE_MERGE_MODES, Counter, Exemplar, Gauge,
+                      Histogram, MetricsRegistry, merge_registries)
 from .middleware import ObservabilityMiddleware
+from .overhead import OVERHEAD_HISTOGRAM, STAGES, OverheadRecorder
+from .sampling import (
+    DECISION_DROPPED,
+    DECISION_FORCED,
+    DECISION_KEPT,
+    DECISIONS,
+    EVENTS_SHED_COUNTER,
+    SAMPLED_COUNTER,
+    SamplingOptions,
+    TraceSampler,
+)
 from .slo import (
     SLO,
     BucketCount,
@@ -64,21 +80,33 @@ __all__ = [
     "Clock",
     "Counter",
     "CounterTotal",
+    "DECISIONS",
+    "DECISION_DROPPED",
+    "DECISION_FORCED",
+    "DECISION_KEPT",
+    "EVENTS_SHED_COUNTER",
     "EventLog",
+    "GAUGE_MERGE_MODES",
     "Exemplar",
     "Gauge",
     "Histogram",
     "Linear",
     "ManualClock",
     "MetricsRegistry",
+    "OVERHEAD_HISTOGRAM",
     "Observability",
     "ObservabilityMiddleware",
     "ObservationCount",
+    "OverheadRecorder",
+    "SAMPLED_COUNTER",
     "SLO",
     "SLOEngine",
+    "STAGES",
+    "SamplingOptions",
     "Span",
     "Trace",
     "TraceIdAllocator",
+    "TraceSampler",
     "Tracer",
     "WideEvent",
     "critical_path",

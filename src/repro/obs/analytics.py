@@ -143,6 +143,13 @@ def resolve_exemplars(registry: MetricsRegistry, tracer: Tracer,
     it is, the trace's name and duration -- the complete hop from "this
     bucket" to "this request".  Exemplars without a ``trace_id`` label
     resolve to ``False``.
+
+    An exemplar whose trace is *gone* -- evicted from the bounded ring,
+    or dropped by the trace sampler after a later observation replaced
+    the bucket's exemplar -- degrades gracefully: the join still returns
+    the trace id, marked ``evicted: true``, instead of silently dropping
+    the pointer.  The id remains greppable in the audit log even though
+    the spans are no longer retained.
     """
     entries = exemplar_index(registry)
     for entry in entries:
@@ -154,6 +161,11 @@ def resolve_exemplars(registry: MetricsRegistry, tracer: Tracer,
                 "trace_id": trace.trace_id,
                 "name": trace.name,
                 "duration": _round9(trace.duration),
+            }
+        elif trace_id:
+            entry["trace"] = {
+                "trace_id": trace_id,
+                "evicted": True,
             }
     return entries
 

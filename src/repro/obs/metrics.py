@@ -167,11 +167,7 @@ class Histogram:
         recent exemplar per bucket wins, so memory stays O(buckets).
         """
         value = float(value)
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
+        index = self.bucket_index(value)
         with self._lock:
             self.bucket_counts[index] += 1
             self.count += 1
@@ -180,6 +176,19 @@ class Histogram:
             self.max = value if self.max is None else max(self.max, value)
             if exemplar is not None:
                 self.exemplars[index] = Exemplar(exemplar, value, timestamp)
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket index *value* lands in (``len(bounds)`` = +inf).
+
+        Exposed so callers (the trace sampler's exemplar force-keep)
+        can ask "which bucket -- and does it already carry an exemplar?"
+        without re-deriving the bucketing rule.
+        """
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds)
 
     # -- summaries ---------------------------------------------------------
 
@@ -392,24 +401,55 @@ class MetricsRegistry:
                 f"series={len(self)}>")
 
 
+#: Per-gauge merge modes for :func:`merge_registries`.  The default mode
+#: is ``sum`` (sizes, in-flight counts: the fleet total is meaningful);
+#: encoded-*state* gauges -- mode enums, breaker states -- are merged
+#: with ``max`` so the fleet view reports the worst shard instead of a
+#: meaningless arithmetic sum of enum codes.
+GAUGE_MERGE_MODES: Dict[str, str] = {
+    "monitor_degraded_mode": "max",
+    "monitor_breaker_state": "max",
+}
+
+#: The merge modes :func:`merge_registries` understands.
+MERGE_MODES = ("sum", "max", "last")
+
+
 def merge_registries(registries: Sequence["MetricsRegistry"],
-                     clock: Clock = None) -> "MetricsRegistry":
+                     clock: Clock = None,
+                     gauge_modes: Optional[Dict[str, str]] = None,
+                     ) -> "MetricsRegistry":
     """Combine per-shard registries into one fleet-wide view.
 
-    Counters and gauges add, histograms merge bucket-wise (associative
-    and commutative, see :meth:`Histogram.merge`), so the merged registry
+    Counters add and histograms merge bucket-wise (associative and
+    commutative, see :meth:`Histogram.merge`), so the merged registry
     of N shard runs equals the registry of the equivalent single-shard
     run no matter how observations were partitioned -- the property the
     fleet dispatcher's metrics view rests on, checked with hypothesis in
     the test suite.  The operands are left untouched.
 
-    Gauges *sum* across shards: for sizes and in-flight counts that is
-    the fleet total; for encoded-state gauges (``monitor_breaker_state``)
-    read the per-shard registries instead.
+    Gauges merge per-family according to *gauge_modes* (default
+    :data:`GAUGE_MERGE_MODES`): ``sum`` adds across shards (sizes,
+    in-flight counts), ``max`` keeps the worst shard (mode/state enums
+    such as ``monitor_degraded_mode`` and ``monitor_breaker_state``),
+    ``last`` keeps the value from the last registry in *registries*
+    that carries the series (freshest-writer-wins snapshots).
     """
+    modes = dict(GAUGE_MERGE_MODES)
+    if gauge_modes:
+        for name, mode in gauge_modes.items():
+            if mode not in MERGE_MODES:
+                raise MetricsError(
+                    f"unknown gauge merge mode {mode!r} for {name!r}; "
+                    f"expected one of {MERGE_MODES}")
+            modes[name] = mode
     merged = MetricsRegistry(clock=clock if clock is not None
                              else (registries[0].clock if registries
                                    else system_clock))
+    # A merged gauge implicitly starts at 0.0, which is a legitimate
+    # value, so ``max``/``last`` track first-visit explicitly instead of
+    # treating 0.0 as "unset".
+    seen_gauges = set()
     for registry in registries:
         for family in registry.families.values():
             for key, series in family.series.items():
@@ -418,8 +458,18 @@ def merge_registries(registries: Sequence["MetricsRegistry"],
                     merged.counter(family.name, family.help,
                                    **labels).inc(series.value)
                 elif family.kind == "gauge":
-                    merged.gauge(family.name, family.help,
-                                 **labels).inc(series.value)
+                    target = merged.gauge(family.name, family.help,
+                                          **labels)
+                    mode = modes.get(family.name, "sum")
+                    first = (family.name, key) not in seen_gauges
+                    seen_gauges.add((family.name, key))
+                    if mode == "sum":
+                        target.inc(series.value)
+                    elif mode == "max":
+                        if first or series.value > target.value:
+                            target.set(series.value)
+                    else:  # last
+                        target.set(series.value)
                 else:
                     existing = merged.histogram(family.name, family.help,
                                                 buckets=series.bounds,

@@ -1,0 +1,115 @@
+"""Self-accounting: what the observability layer itself costs per request.
+
+The monitor sits on the request path, so its metrics, tracing, and event
+emission are request latency too.  :class:`OverheadRecorder` measures
+that cost with the same injectable clock everything else runs on: each
+obs stage of the finish path (``metrics`` recording, ``tracing`` ring
+maintenance, wide-``events`` emission) is timed into an
+``obs_overhead_seconds`` histogram labelled by stage, and the
+per-request attribution is attached to the wide event itself.
+
+Two properties matter:
+
+* **zero-cost when disabled** -- the recorder only exists when the
+  ``observability.sampling`` section enables it; a ``None`` recorder
+  means the finish path runs the exact pre-existing sequence with zero
+  extra clock reads, which is what keeps the recorded digest gates
+  byte-identical.
+* **deterministic under a manual clock** -- with a ticking
+  :class:`~repro.obs.clock.ManualClock` every stage's "duration" is
+  ``(clock reads inside the stage) x tick``: a pure operation count.
+  The benchmark ladder leans on this to assert that per-request obs
+  work does not grow with volume.
+
+One caveat by construction: the ``events`` stage measures the emission
+of the wide event, so its cost cannot appear *inside* that same event --
+it lands only in the histogram.  The wide event carries the stages
+measured before it (``metrics``, ``tracing``) plus their sum.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .clock import Clock
+
+__all__ = ["OVERHEAD_HISTOGRAM", "STAGES", "OverheadRecorder"]
+
+#: Histogram family: seconds spent inside the obs layer, by stage.
+OVERHEAD_HISTOGRAM = "obs_overhead_seconds"
+
+#: The instrumented stages of the finish path, in execution order.
+STAGES = ("metrics", "tracing", "events")
+
+#: Tight sub-millisecond buckets: obs overhead should sit far below the
+#: request-latency buckets, and the manual-clock ladder needs resolution
+#: around a handful of ticks.
+OVERHEAD_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1,
+)
+
+
+class OverheadRecorder:
+    """Times obs-layer stages into ``obs_overhead_seconds``.
+
+    Per-request attribution is thread-local: :meth:`begin_request`
+    resets it, :meth:`stage` accumulates into it, and
+    :meth:`attribution` hands back what this request has paid so far
+    (for the wide event).  The histogram is the cross-request view.
+    """
+
+    def __init__(self, metrics, clock: Clock):
+        self.metrics = metrics
+        self.clock = clock
+        self._request = threading.local()
+        self._lock = threading.Lock()
+        #: Total obs seconds attributed since construction, by stage.
+        self.totals: Dict[str, float] = {}
+
+    def begin_request(self) -> None:
+        """Reset this thread's per-request attribution."""
+        self._request.value = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one obs stage; always records, even when the body raises."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            self._record(name, elapsed)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self.metrics.histogram(
+            OVERHEAD_HISTOGRAM,
+            "Seconds spent inside the observability layer itself, "
+            "by stage", buckets=OVERHEAD_BUCKETS,
+            stage=name).observe(elapsed)
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        current = getattr(self._request, "value", None)
+        if current is not None:
+            current[name] = current.get(name, 0.0) + elapsed
+
+    def attribution(self) -> Optional[Dict[str, float]]:
+        """This request's per-stage seconds so far, or ``None``.
+
+        ``None`` before :meth:`begin_request` (or on a thread that never
+        monitored a request) -- callers skip the wide-event field then.
+        """
+        current = getattr(self._request, "value", None)
+        if current is None:
+            return None
+        return dict(current)
+
+    def total(self) -> float:
+        """All obs seconds attributed since construction."""
+        with self._lock:
+            return sum(self.totals.values())
+
+    def __repr__(self) -> str:
+        return f"<OverheadRecorder total={self.total():.6f}s>"

@@ -52,6 +52,12 @@ from .overload import (
     run_parity_campaign,
 )
 from .reporting import session_report
+from .sampling import (
+    assert_sampling_invariants,
+    run_sampling_ladder,
+    run_sampling_parity_campaign,
+    sampling_config,
+)
 from .oracle import (
     BatteryStep,
     TestOracle,
@@ -74,6 +80,7 @@ __all__ = [
     "TestOracle",
     "assert_burst_invariants",
     "assert_indeterminate_degradation",
+    "assert_sampling_invariants",
     "burst_config",
     "default_setup",
     "flaky_program",
@@ -92,6 +99,9 @@ __all__ = [
     "run_leg",
     "run_overload_leg",
     "run_parity_campaign",
+    "run_sampling_ladder",
+    "run_sampling_parity_campaign",
+    "sampling_config",
     "unrecoverable_program",
     "EXPECTED_BREAKER_SEQUENCE",
     "assert_breaker_sequence",

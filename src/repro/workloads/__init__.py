@@ -16,11 +16,21 @@ from .scaling import (
     best_throughput,
     load_trajectory,
     measure_fleet_throughput,
+    measure_overhead_ladder,
+    measure_overhead_volume,
+    overhead_trace,
     scaling_sweep,
     synthetic_models,
     tenant_header_key,
 )
-from .trace import RecordingClient, Trace, TraceEntry
+from .trace import (
+    RecordingClient,
+    Trace,
+    TraceEntry,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 
 __all__ = [
     "RecordingClient",
@@ -31,10 +41,16 @@ __all__ = [
     "append_trajectory",
     "balanced_tenants",
     "best_throughput",
+    "bursty_arrivals",
     "load_trajectory",
     "make_workload",
     "measure_fleet_throughput",
+    "measure_overhead_ladder",
+    "measure_overhead_volume",
+    "overhead_trace",
+    "poisson_arrivals",
     "scaling_sweep",
     "synthetic_models",
     "tenant_header_key",
+    "uniform_arrivals",
 ]

@@ -19,12 +19,56 @@ admission control.  Traces without ``at`` replay exactly as before.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterator, List, Optional, Union
+import random
+import threading
+from typing import IO, Iterator, List, Optional, Sequence, Union
 
 from ..core.admission import ARRIVAL_HEADER
 from ..errors import ValidationError
 from ..httpsim import Client, Response
 from ..obs.clock import sleeper_for
+
+
+# -- arrival-time distributions --------------------------------------------
+#
+# A timestamped trace is a load shape; these helpers generate the three
+# canonical shapes as plain ``at`` lists, all deterministic: uniform and
+# bursty are arithmetic, Poisson draws exponential inter-arrival gaps
+# from a *seeded* PRNG -- so the same seed replays the same "random"
+# burstiness on the manual clock, byte-for-byte.
+
+def uniform_arrivals(count: int, spacing: float,
+                     start: float = 0.0) -> List[float]:
+    """Evenly spaced arrivals: ``start, start+spacing, ...``."""
+    if spacing < 0:
+        raise ValidationError(f"spacing cannot be negative: {spacing}")
+    return [start + index * spacing for index in range(count)]
+
+
+def bursty_arrivals(count: int, burst: int, gap: float,
+                    within: float = 0.0,
+                    start: float = 0.0) -> List[float]:
+    """Arrivals in bursts of *burst*, *within* seconds apart inside a
+    burst, *gap* seconds between burst starts."""
+    if burst < 1:
+        raise ValidationError(f"burst size must be >= 1, got {burst}")
+    return [start + (index // burst) * gap + (index % burst) * within
+            for index in range(count)]
+
+
+def poisson_arrivals(count: int, rate: float, seed: int = 0,
+                     start: float = 0.0) -> List[float]:
+    """A seeded Poisson process: exponential inter-arrival gaps at
+    *rate* arrivals per second."""
+    if rate <= 0:
+        raise ValidationError(f"arrival rate must be positive: {rate}")
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    at = start
+    for _ in range(count):
+        at += rng.expovariate(rate)
+        arrivals.append(at)
+    return arrivals
 
 
 class TraceEntry:
@@ -110,8 +154,40 @@ class Trace:
                    if line.strip()]
         return cls(entries)
 
+    def with_arrivals(self, arrivals: Sequence[float]) -> "Trace":
+        """A copy of this trace stamped with *arrivals* as ``at`` times.
+
+        Pairs with :func:`uniform_arrivals` / :func:`bursty_arrivals` /
+        :func:`poisson_arrivals`: the same request script replayed under
+        different load shapes.  *arrivals* must match the entry count.
+        """
+        if len(arrivals) != len(self.entries):
+            raise ValidationError(
+                f"{len(arrivals)} arrival times for "
+                f"{len(self.entries)} entries")
+        return Trace([TraceEntry(e.user, e.method, e.path, e.payload,
+                                 at=float(at))
+                      for e, at in zip(self.entries, arrivals)])
+
+    def _send(self, entry: TraceEntry, clients: dict, host: str,
+              clock, sleep) -> Response:
+        """One entry's paced send (shared by serial and concurrent replay)."""
+        client = clients.get(entry.user)
+        if client is None:
+            raise ValidationError(
+                f"trace references unknown user {entry.user!r}")
+        url = f"http://{host}{entry.path}"
+        headers = None
+        if clock is not None and entry.at is not None:
+            now = clock.now if hasattr(clock, "now") else clock()
+            if entry.at > now:
+                sleep(entry.at - now)
+            headers = {ARRIVAL_HEADER: repr(float(entry.at))}
+        return client.request(entry.method, url, payload=entry.payload,
+                              headers=headers)
+
     def replay(self, clients: dict, host: str,
-               clock=None) -> List[Response]:
+               clock=None, concurrency: int = 1) -> List[Response]:
         """Execute every entry via the per-user *clients* against *host*.
 
         Unknown users are an error: a trace is a contract about who calls
@@ -127,25 +203,50 @@ class Trace:
         overload campaign and admission control share.  When the replay
         is already *behind* an entry's arrival (a burst outran service
         time) nothing waits: the lag itself is the load signal.
+
+        *concurrency* > 1 replays with that many driver threads, entry
+        *i* on worker ``i % concurrency``; responses come back in entry
+        order regardless.  Each worker paces its own entries, so a
+        timestamped trace becomes genuinely overlapping load.  The
+        serial default (1) keeps the original single-threaded path --
+        and deterministic clock reads -- byte-identical.
         """
-        responses: List[Response] = []
         sleep = sleeper_for(clock) if clock is not None else None
+        if concurrency <= 1:
+            return [self._send(entry, clients, host, clock, sleep)
+                    for entry in self.entries]
+        # Validate up front: a concurrent replay must fail the same way
+        # a serial one would, not halfway through a thread pool.
         for entry in self.entries:
-            client = clients.get(entry.user)
-            if client is None:
+            if entry.user not in clients:
                 raise ValidationError(
                     f"trace references unknown user {entry.user!r}")
-            url = f"http://{host}{entry.path}"
-            headers = None
-            if clock is not None and entry.at is not None:
-                now = clock.now if hasattr(clock, "now") else clock()
-                if entry.at > now:
-                    sleep(entry.at - now)
-                headers = {ARRIVAL_HEADER: repr(float(entry.at))}
-            responses.append(client.request(entry.method, url,
-                                            payload=entry.payload,
-                                            headers=headers))
-        return responses
+        responses: List[Optional[Response]] = [None] * len(self.entries)
+        errors: List[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def worker(offset: int) -> None:
+            for index in range(offset, len(self.entries), concurrency):
+                try:
+                    responses[index] = self._send(
+                        self.entries[index], clients, host, clock, sleep)
+                except BaseException as exc:  # propagate to the caller
+                    with errors_lock:
+                        errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=worker, args=(offset,),
+                                    name=f"replay-{offset}")
+                   for offset in range(min(concurrency,
+                                           len(self.entries)))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [response for response in responses
+                if response is not None]
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -108,7 +108,11 @@ class TestExemplars:
         assert resolved["resolved"]
         assert resolved["trace"]["trace_id"] == trace.trace_id
         assert not unresolved["resolved"]
-        assert "trace" not in unresolved
+        # An exemplar whose trace is gone (ring-evicted or sampled
+        # away) still hands back the id -- marked evicted -- instead of
+        # silently dropping the join.
+        assert unresolved["trace"] == {"trace_id": "t-999999",
+                                       "evicted": True}
 
     def test_exemplar_without_trace_id_stays_unresolved(self):
         registry = MetricsRegistry()
@@ -117,6 +121,7 @@ class TestExemplars:
         (entry,) = resolve_exemplars(registry,
                                      Tracer(clock=ManualClock()))
         assert entry["resolved"] is False
+        assert "trace" not in entry
 
 
 class TestTraceReport:

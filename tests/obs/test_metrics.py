@@ -3,8 +3,9 @@
 import pytest
 
 from repro.errors import MetricsError
-from repro.obs import (Counter, Exemplar, Gauge, Histogram, ManualClock,
-                       MetricsRegistry)
+from repro.obs import (Counter, Exemplar, GAUGE_MERGE_MODES, Gauge,
+                       Histogram, ManualClock, MetricsRegistry,
+                       merge_registries)
 
 
 class TestCounter:
@@ -235,3 +236,73 @@ class TestExemplars:
         left.observe(0.5, exemplar={"trace_id": "only"})
         merged = left.merge(Histogram(bounds=(1.0,)))
         assert merged.exemplars[0].labels == {"trace_id": "only"}
+
+
+class TestGaugeMergeModes:
+    """Per-gauge merge policy for the fleet's merged registry view."""
+
+    def value(self, registry, name):
+        return registry.families[name].series[()].value
+
+    def registries(self, name, values):
+        out = []
+        for value in values:
+            registry = MetricsRegistry()
+            registry.gauge(name, "g").set(value)
+            out.append(registry)
+        return out
+
+    def test_default_mode_sums_across_shards(self):
+        merged = merge_registries(self.registries("monitor_inflight",
+                                                  [2.0, 3.0, 5.0]))
+        assert self.value(merged, "monitor_inflight") == 10.0
+
+    def test_state_enum_gauges_default_to_max(self):
+        # GAUGE_MERGE_MODES pins the worst-shard policy for the two
+        # encoded-state gauges; a sum of enum codes means nothing.
+        assert GAUGE_MERGE_MODES == {"monitor_degraded_mode": "max",
+                                     "monitor_breaker_state": "max"}
+        for name in GAUGE_MERGE_MODES:
+            merged = merge_registries(self.registries(name,
+                                                      [2.0, 0.0, 1.0]))
+            assert self.value(merged, name) == 2.0, name
+
+    def test_max_mode_with_all_zero_shards_is_zero(self):
+        # 0.0 is a legitimate gauge value, not "unset": the first-visit
+        # bookkeeping must not leave the merged series missing.
+        merged = merge_registries(
+            self.registries("monitor_degraded_mode", [0.0, 0.0]))
+        assert self.value(merged, "monitor_degraded_mode") == 0.0
+
+    def test_max_mode_with_negative_values(self):
+        merged = merge_registries(
+            self.registries("monitor_degraded_mode", [-3.0, -1.0, -2.0]))
+        assert self.value(merged, "monitor_degraded_mode") == -1.0
+
+    def test_last_mode_keeps_the_final_registry(self):
+        merged = merge_registries(
+            self.registries("monitor_config_epoch", [7.0, 3.0]),
+            gauge_modes={"monitor_config_epoch": "last"})
+        assert self.value(merged, "monitor_config_epoch") == 3.0
+
+    def test_override_replaces_the_default_mode(self):
+        merged = merge_registries(
+            self.registries("monitor_degraded_mode", [2.0, 1.0]),
+            gauge_modes={"monitor_degraded_mode": "sum"})
+        assert self.value(merged, "monitor_degraded_mode") == 3.0
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(MetricsError):
+            merge_registries([MetricsRegistry()],
+                             gauge_modes={"anything": "median"})
+
+    def test_modes_apply_per_label_series(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("monitor_breaker_state", "g", host="nova").set(2.0)
+        left.gauge("monitor_breaker_state", "g", host="cinder").set(0.0)
+        right.gauge("monitor_breaker_state", "g", host="nova").set(1.0)
+        right.gauge("monitor_breaker_state", "g", host="cinder").set(1.0)
+        merged = merge_registries([left, right])
+        by_host = {dict(labels)["host"]: gauge.value for labels, gauge
+                   in merged.series("monitor_breaker_state")}
+        assert by_host == {"nova": 2.0, "cinder": 1.0}

@@ -1,0 +1,114 @@
+"""Tests for the obs-layer self-accounting recorder."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    OVERHEAD_HISTOGRAM,
+    ManualClock,
+    MetricsRegistry,
+    OverheadRecorder,
+    STAGES,
+)
+from repro.obs.overhead import OVERHEAD_BUCKETS
+
+
+def recorder(tick=1.0):
+    clock = ManualClock(tick=tick)
+    registry = MetricsRegistry(clock=clock)
+    return OverheadRecorder(registry, clock), registry
+
+
+class TestStageTiming:
+    def test_stage_cost_is_the_clock_reads_inside_it(self):
+        # Under a ticking manual clock a stage's "duration" is a pure
+        # operation count: enter + exit read the clock once each, so an
+        # empty body costs exactly one tick.
+        instance, registry = recorder(tick=1.0)
+        with instance.stage("metrics"):
+            pass
+        (labels, histogram), = registry.series(OVERHEAD_HISTOGRAM)
+        assert dict(labels)["stage"] == "metrics"
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(1.0)
+        assert histogram.bounds == OVERHEAD_BUCKETS
+
+    def test_body_clock_reads_are_attributed_to_the_stage(self):
+        instance, _registry = recorder(tick=1.0)
+        with instance.stage("tracing"):
+            instance.clock()
+            instance.clock()
+        assert instance.totals["tracing"] == pytest.approx(3.0)
+
+    def test_stage_records_even_when_the_body_raises(self):
+        instance, registry = recorder(tick=1.0)
+        with pytest.raises(RuntimeError):
+            with instance.stage("events"):
+                raise RuntimeError("boom")
+        (labels, histogram), = registry.series(OVERHEAD_HISTOGRAM)
+        assert dict(labels)["stage"] == "events"
+        assert histogram.count == 1
+
+    def test_every_finish_stage_name_is_known(self):
+        assert STAGES == ("metrics", "tracing", "events")
+
+
+class TestAttribution:
+    def test_none_before_begin_request(self):
+        instance, _registry = recorder()
+        assert instance.attribution() is None
+        with instance.stage("metrics"):
+            pass
+        # Without begin_request the histogram still records, but there
+        # is no per-request bucket to attribute into.
+        assert instance.attribution() is None
+        assert instance.total() == pytest.approx(1.0)
+
+    def test_begin_request_resets_the_attribution(self):
+        instance, _registry = recorder(tick=1.0)
+        instance.begin_request()
+        with instance.stage("metrics"):
+            pass
+        assert instance.attribution() == {"metrics": pytest.approx(1.0)}
+        instance.begin_request()
+        assert instance.attribution() == {}
+
+    def test_stages_accumulate_within_one_request(self):
+        instance, _registry = recorder(tick=1.0)
+        instance.begin_request()
+        with instance.stage("metrics"):
+            pass
+        with instance.stage("metrics"):
+            pass
+        with instance.stage("tracing"):
+            pass
+        attribution = instance.attribution()
+        assert attribution["metrics"] == pytest.approx(2.0)
+        assert attribution["tracing"] == pytest.approx(1.0)
+        assert instance.total() == pytest.approx(3.0)
+
+    def test_attribution_is_thread_local(self):
+        instance, _registry = recorder(tick=1.0)
+        instance.begin_request()
+        with instance.stage("metrics"):
+            pass
+        seen = {}
+
+        def other_thread():
+            seen["attribution"] = instance.attribution()
+            instance.begin_request()
+            with instance.stage("events"):
+                pass
+            seen["after"] = instance.attribution()
+
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        thread.join()
+        # The other thread saw no attribution until it began its own
+        # request, and its stages never leaked into this thread's view.
+        assert seen["attribution"] is None
+        assert set(seen["after"]) == {"events"}
+        assert set(instance.attribution()) == {"metrics"}
+        # The cross-request totals see both threads.
+        assert instance.total() == pytest.approx(2.0)

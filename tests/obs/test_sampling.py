@@ -1,0 +1,226 @@
+"""Unit and property tests for head/tail trace sampling.
+
+The sampler's contract is reconciliation: forced traces are never
+dropped, every finished trace gets exactly one counted decision
+(``kept + dropped + forced == begun``), and the decision for a trace id
+is a pure function of ``(seed, trace_id)`` -- independent of arrival
+order and shard assignment, which is what makes merged fleet counters
+equal the single-shard run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs import (
+    DECISION_DROPPED,
+    DECISION_FORCED,
+    DECISION_KEPT,
+    EVENTS_SHED_COUNTER,
+    MetricsRegistry,
+    SAMPLED_COUNTER,
+    SamplingOptions,
+    TraceSampler,
+    merge_registries,
+)
+
+trace_ids = st.integers(min_value=1, max_value=10 ** 6).map(
+    lambda n: f"t-{n:06d}")
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+rates = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.9, 1.0])
+verdicts = st.sampled_from(["valid", "invalid-agreed", "violation",
+                            "pre-blocked", "indeterminate"])
+
+
+def sampler(rate=0.5, seed=0, slow_threshold=0.0, metrics=None):
+    return TraceSampler(SamplingOptions(rate=rate, seed=seed,
+                                        slow_threshold=slow_threshold),
+                        metrics=metrics)
+
+
+class TestOptions:
+    def test_rate_must_be_a_probability(self):
+        with pytest.raises(ValueError):
+            SamplingOptions(rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingOptions(rate=-0.1)
+
+    def test_slow_threshold_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            SamplingOptions(slow_threshold=-1.0)
+
+    def test_defaults(self):
+        options = SamplingOptions()
+        assert options.rate == 0.1
+        assert options.seed == 0
+        assert options.slow_threshold == 0.0
+        assert options.overhead is True
+
+
+class TestDecisionClasses:
+    def test_non_valid_verdict_is_forced(self):
+        assert sampler(rate=0.0).classify("t-000001",
+                                          verdict="violation") \
+            == DECISION_FORCED
+
+    def test_slow_trace_is_forced(self):
+        slow = sampler(rate=0.0, slow_threshold=1.0)
+        assert slow.classify("t-000001", duration=1.5) == DECISION_FORCED
+        assert slow.classify("t-000001", duration=0.5) != DECISION_FORCED
+
+    def test_zero_threshold_disables_the_slow_class(self):
+        assert sampler(rate=0.0).classify("t-000001", duration=9e9) \
+            == DECISION_DROPPED
+
+    def test_marked_trace_is_forced(self):
+        instance = sampler(rate=0.0)
+        instance.mark_forced("t-000002")
+        assert instance.classify("t-000002") == DECISION_FORCED
+        assert instance.classify("t-000003") == DECISION_DROPPED
+
+    def test_rate_one_keeps_every_healthy_trace(self):
+        assert sampler(rate=1.0).classify("t-000001") == DECISION_KEPT
+
+    def test_rate_zero_drops_every_healthy_trace(self):
+        assert sampler(rate=0.0).classify("t-000001") == DECISION_DROPPED
+
+    def test_decide_discards_the_forced_mark(self):
+        instance = sampler(rate=0.0)
+        instance.mark_forced("t-000004")
+        assert instance.decide("t-000004") == DECISION_FORCED
+        # The mark was consumed: a second decision samples normally.
+        assert instance.classify("t-000004") == DECISION_DROPPED
+
+
+class TestCounters:
+    def test_decisions_are_counted_with_labels(self):
+        registry = MetricsRegistry()
+        instance = sampler(rate=1.0, metrics=registry)
+        instance.decide("t-000001")
+        instance.decide("t-000002", verdict="violation")
+        by_decision = {
+            dict(labels)["decision"]: counter.value
+            for labels, counter in registry.series(SAMPLED_COUNTER)}
+        assert by_decision == {DECISION_KEPT: 1, DECISION_FORCED: 1}
+
+    def test_shed_events_are_counted(self):
+        registry = MetricsRegistry()
+        instance = sampler(metrics=registry)
+        instance.shed_event()
+        instance.shed_event()
+        assert registry.counter_value(EVENTS_SHED_COUNTER) == 2
+        assert instance.stats()["events_shed"] == 2
+
+    def test_stats_shape(self):
+        instance = sampler(rate=1.0)
+        instance.decide("t-000001")
+        assert instance.stats() == {DECISION_KEPT: 1, DECISION_DROPPED: 0,
+                                    DECISION_FORCED: 0, "events_shed": 0}
+
+
+class TestForcedNeverDropped:
+    @given(ids=st.lists(trace_ids, min_size=1, max_size=30, unique=True),
+           verdict=verdicts.filter(lambda v: v != "valid"),
+           rate=rates, seed=seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_non_valid_verdicts_always_forced(self, ids, verdict, rate,
+                                              seed):
+        instance = sampler(rate=rate, seed=seed)
+        for trace_id in ids:
+            assert instance.decide(trace_id, verdict=verdict) \
+                == DECISION_FORCED
+
+    @given(ids=st.lists(trace_ids, min_size=1, max_size=30, unique=True),
+           rate=rates, seed=seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_marked_ids_always_forced(self, ids, rate, seed):
+        instance = sampler(rate=rate, seed=seed)
+        for trace_id in ids:
+            instance.mark_forced(trace_id)
+        for trace_id in ids:
+            assert instance.decide(trace_id) == DECISION_FORCED
+
+
+class TestReconciliation:
+    @given(ids=st.lists(trace_ids, min_size=1, max_size=50, unique=True),
+           rate=rates, seed=seeds,
+           verdict_picks=st.lists(verdicts, min_size=50, max_size=50))
+    @settings(max_examples=150, deadline=None)
+    def test_kept_plus_dropped_plus_forced_equals_begun(self, ids, rate,
+                                                        seed,
+                                                        verdict_picks):
+        registry = MetricsRegistry()
+        instance = sampler(rate=rate, seed=seed, metrics=registry)
+        for index, trace_id in enumerate(ids):
+            instance.decide(trace_id, verdict=verdict_picks[index])
+        assert instance.decided == len(ids)
+        assert sum(instance.decisions.values()) == len(ids)
+        assert registry.total(SAMPLED_COUNTER) == len(ids)
+
+
+class TestMergedRegistries:
+    @given(ids=st.lists(trace_ids, min_size=1, max_size=60, unique=True),
+           rate=rates, seed=seeds,
+           shard_picks=st.lists(st.integers(min_value=0, max_value=3),
+                                min_size=60, max_size=60),
+           verdict_picks=st.lists(verdicts, min_size=60, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_shard_registries_equal_the_single_run(self, ids, rate,
+                                                          seed,
+                                                          shard_picks,
+                                                          verdict_picks):
+        # Partition the ids across four shard-local samplers, then merge
+        # their registries: the sampled-decision counters must be
+        # byte-identical to one sampler deciding the whole stream.
+        single_registry = MetricsRegistry()
+        single = sampler(rate=rate, seed=seed, metrics=single_registry)
+        registries = [MetricsRegistry() for _ in range(4)]
+        shards = [sampler(rate=rate, seed=seed, metrics=registry)
+                  for registry in registries]
+        for index, trace_id in enumerate(ids):
+            single.decide(trace_id, verdict=verdict_picks[index])
+            shards[shard_picks[index]].decide(
+                trace_id, verdict=verdict_picks[index])
+        merged = merge_registries(registries)
+
+        def ledger(registry):
+            return sorted((labels, counter.value) for labels, counter
+                          in registry.series(SAMPLED_COUNTER))
+
+        assert ledger(merged) == ledger(single_registry)
+        assert merged.total(SAMPLED_COUNTER) == len(ids)
+
+
+class TestDeterminism:
+    @given(ids=st.lists(trace_ids, min_size=1, max_size=50, unique=True),
+           rate=rates, seed=seeds)
+    @settings(max_examples=150, deadline=None)
+    def test_same_seed_same_decisions(self, ids, rate, seed):
+        first = sampler(rate=rate, seed=seed)
+        second = sampler(rate=rate, seed=seed)
+        assert [first.decide(i) for i in ids] \
+            == [second.decide(i) for i in ids]
+
+    @given(ids=st.lists(trace_ids, min_size=2, max_size=50, unique=True),
+           rate=rates, seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_decisions_are_order_independent(self, ids, rate, seed):
+        # The property behind fleet/single-shard counter equality: the
+        # decision for an id does not depend on what was decided before
+        # it, so any partition of the ids across shards tallies the same.
+        forward = sampler(rate=rate, seed=seed)
+        backward = sampler(rate=rate, seed=seed)
+        by_id = {i: forward.decide(i) for i in ids}
+        for trace_id in reversed(ids):
+            assert backward.decide(trace_id) == by_id[trace_id]
+        assert backward.decisions == forward.decisions
+
+    @given(trace_id=trace_ids, rate=rates, seed=seeds)
+    @settings(max_examples=200, deadline=None)
+    def test_score_is_a_stable_unit_float(self, trace_id, rate, seed):
+        instance = sampler(rate=rate, seed=seed)
+        score = instance.score(trace_id)
+        assert 0.0 <= score < 1.0
+        assert instance.score(trace_id) == score
+        assert sampler(rate=rate, seed=seed).score(trace_id) == score

@@ -6,7 +6,9 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.validation import default_setup
-from repro.workloads import RecordingClient, Trace, TraceEntry
+from repro.workloads import (RecordingClient, Trace, TraceEntry,
+                             bursty_arrivals, poisson_arrivals,
+                             uniform_arrivals)
 
 
 @pytest.fixture()
@@ -205,3 +207,93 @@ class TestRecordingClient:
         recording.delete(f"http://cmonitor/cmonitor/volumes/{vid}")
         assert [entry.method for entry in trace] == [
             "POST", "PUT", "DELETE"]
+
+
+class TestArrivalDistributions:
+    def test_uniform_is_evenly_spaced(self):
+        assert uniform_arrivals(4, 0.5, start=1.0) == [1.0, 1.5, 2.0, 2.5]
+
+    def test_uniform_rejects_negative_spacing(self):
+        with pytest.raises(ValidationError):
+            uniform_arrivals(3, -0.1)
+
+    def test_bursty_groups_then_gaps(self):
+        arrivals = bursty_arrivals(5, burst=2, gap=10.0, within=0.1)
+        assert arrivals == [0.0, 0.1, 10.0, 10.1, 20.0]
+
+    def test_bursty_rejects_empty_bursts(self):
+        with pytest.raises(ValidationError):
+            bursty_arrivals(4, burst=0, gap=1.0)
+
+    def test_poisson_is_seeded_and_monotonic(self):
+        first = poisson_arrivals(20, rate=5.0, seed=3)
+        assert first == poisson_arrivals(20, rate=5.0, seed=3)
+        assert first != poisson_arrivals(20, rate=5.0, seed=4)
+        assert all(earlier < later
+                   for earlier, later in zip(first, first[1:]))
+
+    def test_poisson_rejects_non_positive_rate(self):
+        with pytest.raises(ValidationError):
+            poisson_arrivals(3, rate=0.0)
+
+    def test_with_arrivals_stamps_a_copy(self):
+        trace = Trace()
+        trace.record("alice", "GET", "/volumes")
+        trace.record("bob", "GET", "/volumes")
+        timed = trace.with_arrivals([1.0, 2.0])
+        assert [entry.at for entry in timed.entries] == [1.0, 2.0]
+        # The original trace is untouched.
+        assert [entry.at for entry in trace.entries] == [None, None]
+
+    def test_with_arrivals_rejects_length_mismatch(self):
+        trace = Trace()
+        trace.record("alice", "GET", "/volumes")
+        with pytest.raises(ValidationError):
+            trace.with_arrivals([1.0, 2.0])
+
+
+class TestConcurrentReplay:
+    def make_trace(self, count=9):
+        trace = Trace()
+        for index in range(count):
+            user = ("alice", "bob", "carol")[index % 3]
+            trace.record(user, "GET", "/cmonitor/volumes")
+        return trace
+
+    def test_responses_keep_trace_order(self, setup):
+        cloud, monitor, clients = setup
+        trace = self.make_trace()
+        serial = trace.replay(clients, "cmonitor")
+        cloud2, monitor2 = default_setup()
+        clients2 = {name: cloud2.client(token)
+                    for name, token in cloud2.paper_tokens().items()}
+        threaded = trace.replay(clients2, "cmonitor", concurrency=3)
+        assert [r.status_code for r in threaded] \
+            == [r.status_code for r in serial]
+        assert len(monitor2.log) == len(monitor.log) == len(trace)
+
+    def test_concurrency_above_trace_length_is_fine(self, setup):
+        cloud, monitor, clients = setup
+        responses = self.make_trace(count=2).replay(
+            clients, "cmonitor", concurrency=16)
+        assert len(responses) == 2
+
+    def test_unknown_user_fails_before_any_send(self, setup):
+        cloud, monitor, clients = setup
+        trace = self.make_trace(count=4)
+        trace.record("mallory", "GET", "/cmonitor/volumes")
+        with pytest.raises(ValidationError):
+            trace.replay(clients, "cmonitor", concurrency=2)
+        # Pre-validation rejects the whole trace: nothing was sent.
+        assert len(monitor.log) == 0
+
+    def test_worker_errors_propagate(self, setup):
+        cloud, monitor, clients = setup
+
+        class BoomClient:
+            def request(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        broken = dict(clients, alice=BoomClient())
+        with pytest.raises(RuntimeError):
+            self.make_trace().replay(broken, "cmonitor", concurrency=3)
